@@ -1,0 +1,93 @@
+//! Assembler errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// What went wrong during assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmErrorKind {
+    /// A mnemonic or directive that the assembler does not know.
+    UnknownMnemonic(String),
+    /// A register name that failed to parse.
+    BadRegister(String),
+    /// A malformed or out-of-range immediate / literal.
+    BadOperand(String),
+    /// Wrong number or shape of operands for the mnemonic.
+    OperandCount {
+        /// Human-readable description of the expected operand shape.
+        expected: &'static str,
+    },
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A referenced label was never defined.
+    UndefinedLabel(String),
+    /// Instructions appeared in the data segment or data in the text
+    /// segment.
+    WrongSegment(&'static str),
+    /// The program has no text segment.
+    EmptyProgram,
+}
+
+impl fmt::Display for AsmErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::BadRegister(r) => write!(f, "invalid register `{r}`"),
+            AsmErrorKind::BadOperand(o) => write!(f, "invalid operand `{o}`"),
+            AsmErrorKind::OperandCount { expected } => {
+                write!(f, "expected operands: {expected}")
+            }
+            AsmErrorKind::DuplicateLabel(l) => write!(f, "label `{l}` defined twice"),
+            AsmErrorKind::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmErrorKind::WrongSegment(what) => write!(f, "{what}"),
+            AsmErrorKind::EmptyProgram => write!(f, "program has no instructions"),
+        }
+    }
+}
+
+/// An assembly failure, carrying the 1-based source line it occurred on.
+///
+/// # Examples
+///
+/// ```
+/// use paragraph_asm::assemble;
+///
+/// let err = assemble(".text\n  frobnicate r1, r2\n").unwrap_err();
+/// assert_eq!(err.line(), 2);
+/// assert!(err.to_string().contains("frobnicate"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    line: usize,
+    kind: AsmErrorKind,
+}
+
+impl AsmError {
+    pub(crate) fn new(line: usize, kind: AsmErrorKind) -> AsmError {
+        AsmError { line, kind }
+    }
+
+    /// The 1-based source line the error occurred on (0 for whole-program
+    /// errors such as an empty program).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The error detail.
+    pub fn kind(&self) -> &AsmErrorKind {
+        &self.kind
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "assembly error: {}", self.kind)
+        } else {
+            write!(f, "assembly error at line {}: {}", self.line, self.kind)
+        }
+    }
+}
+
+impl Error for AsmError {}

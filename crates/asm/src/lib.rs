@@ -1,0 +1,82 @@
+//! A two-pass assembler for the Paragraph toolkit's assembly language.
+//!
+//! The reproduction's workloads are written in (or generated as) a small
+//! MIPS-flavoured assembly language, assembled by this crate into
+//! [`Program`]s that the `paragraph-vm` interpreter executes and traces.
+//!
+//! # Language
+//!
+//! ```text
+//! # comments run to end of line ('#' or ';')
+//!         .data
+//! vec:    .word 1, 2, 3, 4       # 64-bit integer words
+//! pi:     .float 3.14159         # 64-bit float words
+//! buf:    .space 16              # 16 zeroed words
+//!         .text
+//! main:   li   r8, 4             # loop counter
+//!         la   r9, vec
+//! loop:   lw   r10, 0(r9)
+//!         add  r11, r11, r10
+//!         addi r9, r9, 1
+//!         addi r8, r8, -1
+//!         bne  r8, r0, loop
+//!         halt
+//! ```
+//!
+//! * Registers: `r0`..`r31` (plus ABI aliases `zero, v0, v1, a0..a3, sp, fp,
+//!   ra`), floating point `f0`..`f31`.
+//! * Memory is word-addressed; each word holds a 64-bit integer or float.
+//! * Labels may be used wherever a branch/jump target or `la` address is
+//!   expected.
+//! * Pseudo-instructions: `mv`, `b`, `beqz`, `bnez`, `ble`, `bgt` —
+//!   expanded during assembly (each to exactly one machine instruction).
+//! * Execution starts at the `main` label if defined, otherwise at the first
+//!   text instruction.
+//!
+//! # Examples
+//!
+//! ```
+//! use paragraph_asm::assemble;
+//!
+//! let program = assemble("
+//!     .text
+//! main:
+//!     li r4, 2
+//!     li r5, 3
+//!     add r6, r4, r5
+//!     halt
+//! ")?;
+//! assert_eq!(program.text().len(), 4);
+//! # Ok::<(), paragraph_asm::AsmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod parser;
+mod program;
+
+pub use error::{AsmError, AsmErrorKind};
+pub use program::{Program, DEFAULT_DATA_BASE};
+
+/// Assembles `source` with the default options (data segment at
+/// [`DEFAULT_DATA_BASE`]).
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] pinpointing the offending line for syntax errors,
+/// unknown mnemonics or registers, duplicate or undefined labels, and
+/// out-of-range operands.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    assemble_at(source, DEFAULT_DATA_BASE)
+}
+
+/// Assembles `source`, placing the data segment at word address `data_base`.
+///
+/// # Errors
+///
+/// As for [`assemble`].
+pub fn assemble_at(source: &str, data_base: u64) -> Result<Program, AsmError> {
+    parser::assemble_impl(source, data_base)
+}

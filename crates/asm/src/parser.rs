@@ -1,0 +1,799 @@
+//! The two-pass assembler proper.
+
+use crate::error::{AsmError, AsmErrorKind};
+use crate::program::Program;
+use paragraph_isa::{FpReg, Inst, IntReg};
+use std::collections::BTreeMap;
+
+#[derive(Debug)]
+struct PendingInst {
+    line: usize,
+    mnemonic: String,
+    operands: Vec<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SegmentState {
+    Text,
+    Data,
+}
+
+pub(crate) fn assemble_impl(source: &str, data_base: u64) -> Result<Program, AsmError> {
+    let mut segment = SegmentState::Text;
+    let mut data: Vec<u64> = Vec::new();
+    let mut data_symbols: BTreeMap<String, u64> = BTreeMap::new();
+    let mut text_labels: BTreeMap<String, u32> = BTreeMap::new();
+    let mut pending: Vec<PendingInst> = Vec::new();
+
+    // Pass 1: collect labels, data and unencoded instructions.
+    for (line_idx, raw_line) in source.lines().enumerate() {
+        let line_no = line_idx + 1;
+        let mut line = raw_line;
+        if let Some(pos) = line.find(['#', ';']) {
+            line = &line[..pos];
+        }
+        let mut rest = line.trim();
+
+        // Leading labels (there may be several on one line).
+        while let Some(colon) = rest.find(':') {
+            let (candidate, after) = rest.split_at(colon);
+            let candidate = candidate.trim();
+            if candidate.is_empty() || !is_label(candidate) {
+                break;
+            }
+            let defined = match segment {
+                SegmentState::Text => text_labels
+                    .insert(candidate.to_owned(), pending.len() as u32)
+                    .is_some(),
+                SegmentState::Data => data_symbols
+                    .insert(candidate.to_owned(), data_base + data.len() as u64)
+                    .is_some(),
+            };
+            if defined {
+                return Err(AsmError::new(
+                    line_no,
+                    AsmErrorKind::DuplicateLabel(candidate.to_owned()),
+                ));
+            }
+            rest = after[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+
+        if let Some(directive) = rest.strip_prefix('.') {
+            let (name, args) = split_first_word(directive);
+            match name {
+                "text" => segment = SegmentState::Text,
+                "data" => segment = SegmentState::Data,
+                "word" => {
+                    require_data(segment, line_no)?;
+                    for item in split_operands(args) {
+                        let v = parse_imm(&item).ok_or_else(|| bad_operand(line_no, &item))?;
+                        data.push(v as u64);
+                    }
+                }
+                "float" => {
+                    require_data(segment, line_no)?;
+                    for item in split_operands(args) {
+                        let v: f64 = item.parse().map_err(|_| bad_operand(line_no, &item))?;
+                        data.push(v.to_bits());
+                    }
+                }
+                "space" => {
+                    require_data(segment, line_no)?;
+                    let n = parse_imm(args.trim())
+                        .filter(|&n| n >= 0)
+                        .ok_or_else(|| bad_operand(line_no, args.trim()))?;
+                    data.extend(std::iter::repeat_n(0u64, n as usize));
+                }
+                other => {
+                    return Err(AsmError::new(
+                        line_no,
+                        AsmErrorKind::UnknownMnemonic(format!(".{other}")),
+                    ))
+                }
+            }
+            continue;
+        }
+
+        if segment == SegmentState::Data {
+            return Err(AsmError::new(
+                line_no,
+                AsmErrorKind::WrongSegment("instructions are not allowed in the data segment"),
+            ));
+        }
+        let (mnemonic, args) = split_first_word(rest);
+        pending.push(PendingInst {
+            line: line_no,
+            mnemonic: mnemonic.to_ascii_lowercase(),
+            operands: split_operands(args),
+        });
+    }
+
+    if pending.is_empty() {
+        return Err(AsmError::new(0, AsmErrorKind::EmptyProgram));
+    }
+
+    // Pass 2: encode.
+    let resolver = Resolver {
+        text_labels: &text_labels,
+        data_symbols: &data_symbols,
+    };
+    let mut text = Vec::with_capacity(pending.len());
+    for inst in &pending {
+        text.push(encode(inst, &resolver)?);
+    }
+    // Control-flow targets (including numeric ones) must land inside the
+    // text segment; catching it here beats a BadJump fault at run time.
+    for (encoded, pending) in text.iter().zip(&pending) {
+        if let Some(target) = encoded.target() {
+            if target as usize >= text.len() {
+                return Err(AsmError::new(
+                    pending.line,
+                    AsmErrorKind::BadOperand(format!(
+                        "target {target} is outside the {}-instruction text segment",
+                        text.len()
+                    )),
+                ));
+            }
+        }
+    }
+
+    let entry = text_labels.get("main").copied().unwrap_or(0);
+    Ok(Program::new(
+        text,
+        data,
+        data_symbols,
+        text_labels,
+        entry,
+        data_base,
+    ))
+}
+
+fn require_data(segment: SegmentState, line: usize) -> Result<(), AsmError> {
+    if segment == SegmentState::Data {
+        Ok(())
+    } else {
+        Err(AsmError::new(
+            line,
+            AsmErrorKind::WrongSegment("data directives are only allowed in the data segment"),
+        ))
+    }
+}
+
+fn is_label(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '.' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+fn split_first_word(s: &str) -> (&str, &str) {
+    let s = s.trim();
+    match s.find(char::is_whitespace) {
+        Some(pos) => (&s[..pos], &s[pos..]),
+        None => (s, ""),
+    }
+}
+
+fn split_operands(s: &str) -> Vec<String> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+fn parse_imm(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let magnitude = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { -magnitude } else { magnitude })
+}
+
+fn bad_operand(line: usize, op: &str) -> AsmError {
+    AsmError::new(line, AsmErrorKind::BadOperand(op.to_owned()))
+}
+
+struct Resolver<'a> {
+    text_labels: &'a BTreeMap<String, u32>,
+    data_symbols: &'a BTreeMap<String, u64>,
+}
+
+impl Resolver<'_> {
+    fn target(&self, op: &str, line: usize) -> Result<u32, AsmError> {
+        if let Some(&idx) = self.text_labels.get(op) {
+            return Ok(idx);
+        }
+        if let Some(v) = parse_imm(op).filter(|&v| v >= 0 && v <= u32::MAX as i64) {
+            return Ok(v as u32);
+        }
+        if is_label(op) {
+            Err(AsmError::new(
+                line,
+                AsmErrorKind::UndefinedLabel(op.to_owned()),
+            ))
+        } else {
+            Err(bad_operand(line, op))
+        }
+    }
+
+    fn address(&self, op: &str, line: usize) -> Result<i64, AsmError> {
+        if let Some(&addr) = self.data_symbols.get(op) {
+            return Ok(addr as i64);
+        }
+        if let Some(v) = parse_imm(op) {
+            return Ok(v);
+        }
+        if is_label(op) {
+            Err(AsmError::new(
+                line,
+                AsmErrorKind::UndefinedLabel(op.to_owned()),
+            ))
+        } else {
+            Err(bad_operand(line, op))
+        }
+    }
+}
+
+fn int_reg(op: &str, line: usize) -> Result<IntReg, AsmError> {
+    op.parse()
+        .map_err(|_| AsmError::new(line, AsmErrorKind::BadRegister(op.to_owned())))
+}
+
+fn fp_reg(op: &str, line: usize) -> Result<FpReg, AsmError> {
+    op.parse()
+        .map_err(|_| AsmError::new(line, AsmErrorKind::BadRegister(op.to_owned())))
+}
+
+/// Parses `offset(base)` or `(base)`; the offset defaults to 0.
+fn mem_operand(op: &str, line: usize) -> Result<(i64, IntReg), AsmError> {
+    let open = op.find('(').ok_or_else(|| bad_operand(line, op))?;
+    let close = op.rfind(')').filter(|&c| c > open);
+    let close = close.ok_or_else(|| bad_operand(line, op))?;
+    if close != op.len() - 1 {
+        return Err(bad_operand(line, op));
+    }
+    let offset_text = op[..open].trim();
+    let offset = if offset_text.is_empty() {
+        0
+    } else {
+        parse_imm(offset_text).ok_or_else(|| bad_operand(line, op))?
+    };
+    let base = int_reg(op[open + 1..close].trim(), line)?;
+    Ok((offset, base))
+}
+
+fn expect(ops: &[String], n: usize, line: usize, shape: &'static str) -> Result<(), AsmError> {
+    if ops.len() == n {
+        Ok(())
+    } else {
+        Err(AsmError::new(
+            line,
+            AsmErrorKind::OperandCount { expected: shape },
+        ))
+    }
+}
+
+fn encode(inst: &PendingInst, resolver: &Resolver<'_>) -> Result<Inst, AsmError> {
+    let line = inst.line;
+    let ops = &inst.operands;
+
+    macro_rules! rrr {
+        ($variant:ident) => {{
+            expect(ops, 3, line, "rd, rs, rt")?;
+            Inst::$variant {
+                rd: int_reg(&ops[0], line)?,
+                rs: int_reg(&ops[1], line)?,
+                rt: int_reg(&ops[2], line)?,
+            }
+        }};
+    }
+    macro_rules! shift {
+        ($variant:ident) => {{
+            expect(ops, 3, line, "rd, rs, shamt")?;
+            let shamt = parse_imm(&ops[2])
+                .filter(|&v| (0..64).contains(&v))
+                .ok_or_else(|| bad_operand(line, &ops[2]))?;
+            Inst::$variant {
+                rd: int_reg(&ops[0], line)?,
+                rs: int_reg(&ops[1], line)?,
+                shamt: shamt as u8,
+            }
+        }};
+    }
+    macro_rules! immop {
+        ($variant:ident) => {{
+            expect(ops, 3, line, "rt, rs, imm")?;
+            Inst::$variant {
+                rt: int_reg(&ops[0], line)?,
+                rs: int_reg(&ops[1], line)?,
+                imm: parse_imm(&ops[2]).ok_or_else(|| bad_operand(line, &ops[2]))?,
+            }
+        }};
+    }
+    macro_rules! fff {
+        ($variant:ident) => {{
+            expect(ops, 3, line, "fd, fs, ft")?;
+            Inst::$variant {
+                fd: fp_reg(&ops[0], line)?,
+                fs: fp_reg(&ops[1], line)?,
+                ft: fp_reg(&ops[2], line)?,
+            }
+        }};
+    }
+    macro_rules! ff {
+        ($variant:ident) => {{
+            expect(ops, 2, line, "fd, fs")?;
+            Inst::$variant {
+                fd: fp_reg(&ops[0], line)?,
+                fs: fp_reg(&ops[1], line)?,
+            }
+        }};
+    }
+    macro_rules! fcmp {
+        ($variant:ident) => {{
+            expect(ops, 3, line, "rd, fs, ft")?;
+            Inst::$variant {
+                rd: int_reg(&ops[0], line)?,
+                fs: fp_reg(&ops[1], line)?,
+                ft: fp_reg(&ops[2], line)?,
+            }
+        }};
+    }
+    macro_rules! branch {
+        ($variant:ident, $a:expr, $b:expr) => {{
+            expect(ops, 3, line, "rs, rt, target")?;
+            Inst::$variant {
+                rs: int_reg(&ops[$a], line)?,
+                rt: int_reg(&ops[$b], line)?,
+                target: resolver.target(&ops[2], line)?,
+            }
+        }};
+    }
+
+    let encoded = match inst.mnemonic.as_str() {
+        "add" => rrr!(Add),
+        "sub" => rrr!(Sub),
+        "and" => rrr!(And),
+        "or" => rrr!(Or),
+        "xor" => rrr!(Xor),
+        "nor" => rrr!(Nor),
+        "slt" => rrr!(Slt),
+        "sltu" => rrr!(Sltu),
+        "sllv" => rrr!(Sllv),
+        "srlv" => rrr!(Srlv),
+        "mul" => rrr!(Mul),
+        "div" => rrr!(Div),
+        "rem" => rrr!(Rem),
+        "sll" => shift!(Sll),
+        "srl" => shift!(Srl),
+        "sra" => shift!(Sra),
+        "addi" => immop!(Addi),
+        "andi" => immop!(Andi),
+        "ori" => immop!(Ori),
+        "xori" => immop!(Xori),
+        "slti" => immop!(Slti),
+        "li" => {
+            expect(ops, 2, line, "rd, imm")?;
+            Inst::Li {
+                rd: int_reg(&ops[0], line)?,
+                imm: parse_imm(&ops[1]).ok_or_else(|| bad_operand(line, &ops[1]))?,
+            }
+        }
+        "la" => {
+            expect(ops, 2, line, "rd, symbol")?;
+            Inst::Li {
+                rd: int_reg(&ops[0], line)?,
+                imm: resolver.address(&ops[1], line)?,
+            }
+        }
+        "lw" | "sw" => {
+            expect(ops, 2, line, "rt, offset(base)")?;
+            let rt = int_reg(&ops[0], line)?;
+            let (offset, base) = mem_operand(&ops[1], line)?;
+            if inst.mnemonic == "lw" {
+                Inst::Lw { rt, base, offset }
+            } else {
+                Inst::Sw { rt, base, offset }
+            }
+        }
+        "flw" | "fsw" => {
+            expect(ops, 2, line, "ft, offset(base)")?;
+            let ft = fp_reg(&ops[0], line)?;
+            let (offset, base) = mem_operand(&ops[1], line)?;
+            if inst.mnemonic == "flw" {
+                Inst::Flw { ft, base, offset }
+            } else {
+                Inst::Fsw { ft, base, offset }
+            }
+        }
+        "fadd" => fff!(Fadd),
+        "fsub" => fff!(Fsub),
+        "fmul" => fff!(Fmul),
+        "fdiv" => fff!(Fdiv),
+        "fsqrt" => ff!(Fsqrt),
+        "fneg" => ff!(Fneg),
+        "fabs" => ff!(Fabs),
+        "fmov" => ff!(Fmov),
+        "fclt" => fcmp!(Fclt),
+        "fcle" => fcmp!(Fcle),
+        "fceq" => fcmp!(Fceq),
+        "cvtif" => {
+            expect(ops, 2, line, "fd, rs")?;
+            Inst::Cvtif {
+                fd: fp_reg(&ops[0], line)?,
+                rs: int_reg(&ops[1], line)?,
+            }
+        }
+        "cvtfi" => {
+            expect(ops, 2, line, "rd, fs")?;
+            Inst::Cvtfi {
+                rd: int_reg(&ops[0], line)?,
+                fs: fp_reg(&ops[1], line)?,
+            }
+        }
+        "beq" => branch!(Beq, 0, 1),
+        "bne" => branch!(Bne, 0, 1),
+        "blt" => branch!(Blt, 0, 1),
+        "bge" => branch!(Bge, 0, 1),
+        // ble rs,rt == bge rt,rs ; bgt rs,rt == blt rt,rs
+        "ble" => branch!(Bge, 1, 0),
+        "bgt" => branch!(Blt, 1, 0),
+        "beqz" | "bnez" => {
+            expect(ops, 2, line, "rs, target")?;
+            let rs = int_reg(&ops[0], line)?;
+            let target = resolver.target(&ops[1], line)?;
+            if inst.mnemonic == "beqz" {
+                Inst::Beq {
+                    rs,
+                    rt: IntReg::ZERO,
+                    target,
+                }
+            } else {
+                Inst::Bne {
+                    rs,
+                    rt: IntReg::ZERO,
+                    target,
+                }
+            }
+        }
+        "j" | "b" => {
+            expect(ops, 1, line, "target")?;
+            Inst::J {
+                target: resolver.target(&ops[0], line)?,
+            }
+        }
+        "jal" => {
+            expect(ops, 1, line, "target")?;
+            Inst::Jal {
+                target: resolver.target(&ops[0], line)?,
+            }
+        }
+        "jr" => {
+            expect(ops, 1, line, "rs")?;
+            Inst::Jr {
+                rs: int_reg(&ops[0], line)?,
+            }
+        }
+        "mv" | "move" => {
+            expect(ops, 2, line, "rd, rs")?;
+            Inst::Addi {
+                rt: int_reg(&ops[0], line)?,
+                rs: int_reg(&ops[1], line)?,
+                imm: 0,
+            }
+        }
+        "syscall" => {
+            expect(ops, 0, line, "(none)")?;
+            Inst::Syscall
+        }
+        "nop" => {
+            expect(ops, 0, line, "(none)")?;
+            Inst::Nop
+        }
+        "halt" => {
+            expect(ops, 0, line, "(none)")?;
+            Inst::Halt
+        }
+        other => {
+            return Err(AsmError::new(
+                line,
+                AsmErrorKind::UnknownMnemonic(other.to_owned()),
+            ))
+        }
+    };
+    Ok(encoded)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{assemble, assemble_at, AsmErrorKind};
+    use paragraph_isa::{Inst, IntReg};
+
+    fn r(i: u8) -> IntReg {
+        IntReg::new(i).unwrap()
+    }
+
+    #[test]
+    fn assembles_every_mnemonic_family() {
+        let program = assemble(
+            "
+            .data
+        nums:   .word 1, -2, 0x10
+        reals:  .float 1.5, -0.25
+        buf:    .space 4
+            .text
+        main:
+            add r1, r2, r3
+            mul r4, r5, r6
+            div r7, r8, r9
+            sll r1, r2, 5
+            addi r1, r2, -7
+            li r1, 100
+            la r2, nums
+            lw r3, 1(r2)
+            sw r3, (r2)
+            flw f1, 0(r2)
+            fsw f1, 2(r2)
+            fadd f2, f3, f4
+            fsqrt f5, f6
+            fclt r4, f1, f2
+            cvtif f0, r4
+            cvtfi r4, f0
+        loop:
+            beq r1, r2, loop
+            ble r1, r2, loop
+            beqz r1, loop
+            b loop
+            jal main
+            jr ra
+            syscall
+            nop
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(program.text().len(), 25);
+        assert_eq!(program.data_words().len(), 9);
+        assert_eq!(program.data_words()[2], 0x10);
+        assert_eq!(program.data_words()[3], 1.5f64.to_bits());
+    }
+
+    #[test]
+    fn labels_resolve_to_instruction_indices() {
+        let program = assemble(
+            "
+            .text
+        main:
+            li r4, 3
+        top:
+            addi r4, r4, -1
+            bne r4, r0, top
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(program.text_label("top"), Some(1));
+        assert_eq!(
+            program.text()[2],
+            Inst::Bne {
+                rs: r(4),
+                rt: r(0),
+                target: 1
+            }
+        );
+    }
+
+    #[test]
+    fn entry_defaults_to_zero_without_main() {
+        let program = assemble(".text\n nop\n halt\n").unwrap();
+        assert_eq!(program.entry(), 0);
+    }
+
+    #[test]
+    fn entry_is_main_when_defined() {
+        let program = assemble(".text\n nop\nmain:\n halt\n").unwrap();
+        assert_eq!(program.entry(), 1);
+    }
+
+    #[test]
+    fn la_resolves_data_symbols_with_custom_base() {
+        let program = assemble_at(
+            ".data\nx: .word 9\ny: .word 10\n.text\n la r1, y\n halt\n",
+            5000,
+        )
+        .unwrap();
+        assert_eq!(
+            program.text()[0],
+            Inst::Li {
+                rd: r(1),
+                imm: 5001
+            }
+        );
+    }
+
+    #[test]
+    fn pseudo_ble_swaps_operands() {
+        let program = assemble(".text\nmain:\n ble r1, r2, main\n halt\n").unwrap();
+        assert_eq!(
+            program.text()[0],
+            Inst::Bge {
+                rs: r(2),
+                rt: r(1),
+                target: 0
+            }
+        );
+    }
+
+    #[test]
+    fn mv_expands_to_addi_zero() {
+        let program = assemble(".text\n mv r5, r6\n halt\n").unwrap();
+        assert_eq!(
+            program.text()[0],
+            Inst::Addi {
+                rt: r(5),
+                rs: r(6),
+                imm: 0
+            }
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let program =
+            assemble("# leading comment\n\n.text\n nop ; trailing\n halt # end\n").unwrap();
+        assert_eq!(program.text().len(), 2);
+    }
+
+    #[test]
+    fn abi_register_aliases_parse() {
+        let program = assemble(".text\n addi sp, sp, -4\n jr ra\n halt\n").unwrap();
+        assert_eq!(
+            program.text()[0],
+            Inst::Addi {
+                rt: r(29),
+                rs: r(29),
+                imm: -4
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let err = assemble(".text\nx:\n nop\nx:\n halt\n").unwrap_err();
+        assert!(matches!(err.kind(), AsmErrorKind::DuplicateLabel(l) if l == "x"));
+        assert_eq!(err.line(), 4);
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let err = assemble(".text\n j nowhere\n").unwrap_err();
+        assert!(matches!(err.kind(), AsmErrorKind::UndefinedLabel(l) if l == "nowhere"));
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_an_error() {
+        let err = assemble(".text\n frob r1\n").unwrap_err();
+        assert!(matches!(err.kind(), AsmErrorKind::UnknownMnemonic(m) if m == "frob"));
+    }
+
+    #[test]
+    fn bad_register_is_an_error() {
+        let err = assemble(".text\n add r1, r2, r99\n").unwrap_err();
+        assert!(matches!(err.kind(), AsmErrorKind::BadRegister(reg) if reg == "r99"));
+    }
+
+    #[test]
+    fn operand_count_is_checked() {
+        let err = assemble(".text\n add r1, r2\n").unwrap_err();
+        assert!(matches!(err.kind(), AsmErrorKind::OperandCount { .. }));
+    }
+
+    #[test]
+    fn data_in_text_segment_is_an_error() {
+        let err = assemble(".text\n .word 1\n").unwrap_err();
+        assert!(matches!(err.kind(), AsmErrorKind::WrongSegment(_)));
+    }
+
+    #[test]
+    fn instructions_in_data_segment_are_an_error() {
+        let err = assemble(".data\n add r1, r2, r3\n").unwrap_err();
+        assert!(matches!(err.kind(), AsmErrorKind::WrongSegment(_)));
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        let err = assemble("# nothing\n.data\nx: .word 1\n").unwrap_err();
+        assert!(matches!(err.kind(), AsmErrorKind::EmptyProgram));
+    }
+
+    #[test]
+    fn shift_amount_range_is_checked() {
+        assert!(assemble(".text\n sll r1, r2, 63\n halt\n").is_ok());
+        assert!(assemble(".text\n sll r1, r2, 64\n halt\n").is_err());
+        assert!(assemble(".text\n sll r1, r2, -1\n halt\n").is_err());
+    }
+
+    #[test]
+    fn numeric_branch_targets_are_allowed() {
+        let program = assemble(".text\n j 0\n halt\n").unwrap();
+        assert_eq!(program.text()[0], Inst::J { target: 0 });
+    }
+
+    #[test]
+    fn out_of_range_targets_are_rejected_at_assembly() {
+        let err = assemble(".text\n j 99\n halt\n").unwrap_err();
+        assert!(matches!(err.kind(), AsmErrorKind::BadOperand(_)));
+        assert_eq!(err.line(), 2);
+        assert!(assemble(".text\n beq r1, r2, 2\n halt\n").is_err());
+        assert!(assemble(".text\n beq r1, r2, 1\n halt\n").is_ok());
+    }
+
+    #[test]
+    fn multiple_labels_one_line() {
+        let program = assemble(".text\na: b: c: nop\n halt\n").unwrap();
+        assert_eq!(program.text_label("a"), Some(0));
+        assert_eq!(program.text_label("b"), Some(0));
+        assert_eq!(program.text_label("c"), Some(0));
+    }
+
+    #[test]
+    fn mem_operand_forms() {
+        let program =
+            assemble(".text\n lw r1, 4(r2)\n lw r1, (r2)\n lw r1, -4(r2)\n halt\n").unwrap();
+        assert_eq!(
+            program.text()[1],
+            Inst::Lw {
+                rt: r(1),
+                base: r(2),
+                offset: 0
+            }
+        );
+        assert_eq!(
+            program.text()[2],
+            Inst::Lw {
+                rt: r(1),
+                base: r(2),
+                offset: -4
+            }
+        );
+        assert!(assemble(".text\n lw r1, 4(r2\n halt\n").is_err());
+        assert!(assemble(".text\n lw r1, 4[r2]\n halt\n").is_err());
+    }
+
+    #[test]
+    fn round_trip_display_reassembles() {
+        // Every instruction's Display form must be accepted by the parser.
+        let source = "
+            .text
+        main:
+            add r1, r2, r3
+            sll r4, r5, 7
+            addi r6, r7, -32
+            li r8, 123456789
+            lw r9, 8(r10)
+            fsw f11, -2(r12)
+            fadd f1, f2, f3
+            fclt r2, f1, f3
+            beq r1, r2, 0
+            j 3
+            jr r31
+            syscall
+            halt
+        ";
+        let first = assemble(source).unwrap();
+        let second = assemble(&first.disassemble()).unwrap();
+        assert_eq!(first.text(), second.text());
+    }
+}

@@ -1,0 +1,215 @@
+//! The assembled program artifact.
+
+use paragraph_isa::Inst;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Default word address of the start of the data segment.
+///
+/// Leaving the first page of the address space unused makes stray null
+/// pointers fault in the VM instead of silently reading data.
+pub const DEFAULT_DATA_BASE: u64 = 0x1000;
+
+/// An assembled program: text, initialized data, and symbols.
+///
+/// # Examples
+///
+/// ```
+/// use paragraph_asm::assemble;
+///
+/// let program = assemble("
+///     .data
+/// x:  .word 7
+///     .text
+/// main:
+///     la r8, x
+///     lw r9, 0(r8)
+///     halt
+/// ")?;
+/// assert_eq!(program.symbol("x"), Some(program.data_base()));
+/// assert_eq!(program.data_words()[0], 7i64 as u64);
+/// # Ok::<(), paragraph_asm::AsmError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    text: Vec<Inst>,
+    data: Vec<u64>,
+    symbols: BTreeMap<String, u64>,
+    text_labels: BTreeMap<String, u32>,
+    entry: u32,
+    data_base: u64,
+}
+
+impl Program {
+    pub(crate) fn new(
+        text: Vec<Inst>,
+        data: Vec<u64>,
+        symbols: BTreeMap<String, u64>,
+        text_labels: BTreeMap<String, u32>,
+        entry: u32,
+        data_base: u64,
+    ) -> Program {
+        Program {
+            text,
+            data,
+            symbols,
+            text_labels,
+            entry,
+            data_base,
+        }
+    }
+
+    /// The instructions of the text segment, in address order.
+    pub fn text(&self) -> &[Inst] {
+        &self.text
+    }
+
+    /// The initialized data segment as raw 64-bit words (integers stored
+    /// two's-complement, floats as IEEE-754 bits).
+    pub fn data_words(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// The word address where the data segment is loaded.
+    pub fn data_base(&self) -> u64 {
+        self.data_base
+    }
+
+    /// One past the last initialized data word (the initial heap break).
+    pub fn data_end(&self) -> u64 {
+        self.data_base + self.data.len() as u64
+    }
+
+    /// Instruction index execution starts at (the `main` label, or 0).
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// The word address of a data label.
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// The instruction index of a text label.
+    pub fn text_label(&self, name: &str) -> Option<u32> {
+        self.text_labels.get(name).copied()
+    }
+
+    /// All data symbols in address order.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.symbols.iter().map(|(n, &a)| (n.as_str(), a))
+    }
+
+    /// Renders the program back to assembly text, with text labels and data
+    /// symbols reconstructed at their definition sites.
+    ///
+    /// The output is a complete serialization: assembling it with
+    /// [`assemble_at`](crate::assemble_at) at the same data base reproduces
+    /// the program exactly (text, data image, symbols and entry point).
+    /// Data words are emitted as their raw 64-bit patterns, so
+    /// floating-point data survives bit-exactly.
+    pub fn disassemble(&self) -> String {
+        let mut by_index: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+        for (name, &idx) in &self.text_labels {
+            by_index.entry(idx).or_default().push(name);
+        }
+        let mut by_addr: BTreeMap<u64, Vec<&str>> = BTreeMap::new();
+        for (name, &addr) in &self.symbols {
+            by_addr.entry(addr).or_default().push(name);
+        }
+        let mut out = String::new();
+        if !self.data.is_empty() {
+            let _ = writeln!(out, "        .data   # {} words", self.data.len());
+            for (i, &word) in self.data.iter().enumerate() {
+                if let Some(labels) = by_addr.get(&(self.data_base + i as u64)) {
+                    for label in labels {
+                        let _ = writeln!(out, "{label}:");
+                    }
+                }
+                let _ = writeln!(out, "        .word {}", word as i64);
+            }
+        }
+        let _ = writeln!(out, "        .text");
+        for (i, inst) in self.text.iter().enumerate() {
+            if let Some(labels) = by_index.get(&(i as u32)) {
+                for label in labels {
+                    let _ = writeln!(out, "{label}:");
+                }
+            }
+            let _ = writeln!(out, "        {inst}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{assemble, assemble_at};
+
+    #[test]
+    fn disassemble_contains_labels_and_instructions() {
+        let program = assemble(
+            "
+            .text
+        main:
+            li r4, 1
+        loop:
+            addi r4, r4, -1
+            bne r4, r0, loop
+            halt
+        ",
+        )
+        .unwrap();
+        let text = program.disassemble();
+        assert!(text.contains("main:"));
+        assert!(text.contains("loop:"));
+        assert!(text.contains("addi r4, r4, -1"));
+    }
+
+    #[test]
+    fn disassembly_is_a_complete_serialization() {
+        let original = assemble_at(
+            "
+            .data
+        ints:   .word -5, 0x10
+        reals:  .float 2.75, -0.125
+        gap:    .space 3
+            .text
+        main:
+            la r8, reals
+            flw f1, 0(r8)
+        loop:
+            bne r8, r0, loop
+            halt
+        ",
+            0x1000,
+        )
+        .unwrap();
+        let text = original.disassemble();
+        let rebuilt = assemble_at(&text, 0x1000).unwrap();
+        assert_eq!(rebuilt.text(), original.text());
+        assert_eq!(rebuilt.data_words(), original.data_words());
+        assert_eq!(rebuilt.entry(), original.entry());
+        assert_eq!(
+            rebuilt.symbols().collect::<Vec<_>>(),
+            original.symbols().collect::<Vec<_>>()
+        );
+        assert_eq!(rebuilt.text_label("loop"), original.text_label("loop"));
+    }
+
+    #[test]
+    fn data_end_accounts_for_every_word() {
+        let program = assemble(
+            "
+            .data
+        a:  .word 1, 2, 3
+        b:  .space 5
+            .text
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(program.data_end() - program.data_base(), 8);
+        assert_eq!(program.symbol("b"), Some(program.data_base() + 3));
+    }
+}

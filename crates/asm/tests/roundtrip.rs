@@ -1,0 +1,103 @@
+//! Property tests: every machine instruction's `Display` form must be
+//! accepted by the assembler and decode to the identical instruction, for
+//! arbitrary operands.
+
+use paragraph_asm::assemble;
+use paragraph_isa::{FpReg, Inst, IntReg};
+use proptest::prelude::*;
+
+fn int_reg() -> impl Strategy<Value = IntReg> {
+    (0u8..32).prop_map(|i| IntReg::new(i).unwrap())
+}
+
+fn fp_reg() -> impl Strategy<Value = FpReg> {
+    (0u8..32).prop_map(|i| FpReg::new(i).unwrap())
+}
+
+fn imm() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        Just(0i64),
+        Just(i64::MAX),
+        Just(i64::MIN + 1), // MIN itself cannot be written as -(magnitude)
+        -1_000_000i64..1_000_000,
+    ]
+}
+
+/// Any instruction, with targets small enough to stay inside a padded
+/// program.
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    let target = 0u32..8;
+    prop_oneof![
+        (int_reg(), int_reg(), int_reg()).prop_map(|(rd, rs, rt)| Inst::Add { rd, rs, rt }),
+        (int_reg(), int_reg(), int_reg()).prop_map(|(rd, rs, rt)| Inst::Sub { rd, rs, rt }),
+        (int_reg(), int_reg(), int_reg()).prop_map(|(rd, rs, rt)| Inst::Nor { rd, rs, rt }),
+        (int_reg(), int_reg(), int_reg()).prop_map(|(rd, rs, rt)| Inst::Sltu { rd, rs, rt }),
+        (int_reg(), int_reg(), int_reg()).prop_map(|(rd, rs, rt)| Inst::Mul { rd, rs, rt }),
+        (int_reg(), int_reg(), int_reg()).prop_map(|(rd, rs, rt)| Inst::Rem { rd, rs, rt }),
+        (int_reg(), int_reg(), 0u8..64).prop_map(|(rd, rs, shamt)| Inst::Sll { rd, rs, shamt }),
+        (int_reg(), int_reg(), 0u8..64).prop_map(|(rd, rs, shamt)| Inst::Sra { rd, rs, shamt }),
+        (int_reg(), int_reg(), imm()).prop_map(|(rt, rs, imm)| Inst::Addi { rt, rs, imm }),
+        (int_reg(), int_reg(), imm()).prop_map(|(rt, rs, imm)| Inst::Xori { rt, rs, imm }),
+        (int_reg(), imm()).prop_map(|(rd, imm)| Inst::Li { rd, imm }),
+        (int_reg(), int_reg(), imm()).prop_map(|(rt, base, offset)| Inst::Lw { rt, base, offset }),
+        (int_reg(), int_reg(), imm()).prop_map(|(rt, base, offset)| Inst::Sw { rt, base, offset }),
+        (fp_reg(), int_reg(), imm()).prop_map(|(ft, base, offset)| Inst::Flw { ft, base, offset }),
+        (fp_reg(), int_reg(), imm()).prop_map(|(ft, base, offset)| Inst::Fsw { ft, base, offset }),
+        (fp_reg(), fp_reg(), fp_reg()).prop_map(|(fd, fs, ft)| Inst::Fadd { fd, fs, ft }),
+        (fp_reg(), fp_reg(), fp_reg()).prop_map(|(fd, fs, ft)| Inst::Fdiv { fd, fs, ft }),
+        (fp_reg(), fp_reg()).prop_map(|(fd, fs)| Inst::Fsqrt { fd, fs }),
+        (fp_reg(), fp_reg()).prop_map(|(fd, fs)| Inst::Fmov { fd, fs }),
+        (int_reg(), fp_reg(), fp_reg()).prop_map(|(rd, fs, ft)| Inst::Fclt { rd, fs, ft }),
+        (fp_reg(), int_reg()).prop_map(|(fd, rs)| Inst::Cvtif { fd, rs }),
+        (int_reg(), fp_reg()).prop_map(|(rd, fs)| Inst::Cvtfi { rd, fs }),
+        (int_reg(), int_reg(), target.clone()).prop_map(|(rs, rt, target)| Inst::Beq {
+            rs,
+            rt,
+            target
+        }),
+        (int_reg(), int_reg(), target.clone()).prop_map(|(rs, rt, target)| Inst::Bge {
+            rs,
+            rt,
+            target
+        }),
+        target.clone().prop_map(|target| Inst::J { target }),
+        target.prop_map(|target| Inst::Jal { target }),
+        int_reg().prop_map(|rs| Inst::Jr { rs }),
+        Just(Inst::Syscall),
+        Just(Inst::Nop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Display -> assemble is the identity on instructions.
+    #[test]
+    fn display_assembles_to_the_same_instruction(inst in arb_inst()) {
+        // Pad so small branch targets stay in range, then halt.
+        let source = format!(
+            ".text\n    {inst}\n    nop\n    nop\n    nop\n    nop\n    nop\n    nop\n    nop\n    halt\n"
+        );
+        let program = assemble(&source).unwrap_or_else(|e| {
+            panic!("`{inst}` failed to assemble: {e}")
+        });
+        prop_assert_eq!(program.text()[0], inst);
+    }
+
+    /// Whole programs survive a disassemble/assemble round trip.
+    #[test]
+    fn programs_round_trip(insts in proptest::collection::vec(arb_inst(), 1..40)) {
+        let mut source = String::from(".text\n");
+        for inst in &insts {
+            source.push_str(&format!("    {inst}\n"));
+        }
+        // Padding keeps every generated target (0..8) inside the program.
+        for _ in 0..8 {
+            source.push_str("    nop\n");
+        }
+        source.push_str("    halt\n");
+        let first = assemble(&source).unwrap();
+        let second = assemble(&first.disassemble()).unwrap();
+        prop_assert_eq!(first.text(), second.text());
+    }
+}

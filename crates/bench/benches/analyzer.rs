@@ -1,0 +1,115 @@
+//! Criterion benchmarks of the analyzer itself: live-well throughput under
+//! the paper's switch settings, window overhead, profile coarsening, and
+//! the explicit-graph builder. These measure the toolkit (the paper quotes
+//! ~10 hours per 100M-instruction analysis on a DECstation 3100; this is
+//! the modern equivalent number).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use paragraph_core::branch::{BranchPolicy, PredictorKind};
+use paragraph_core::{
+    analyze_refs, AnalysisConfig, Ddg, MemoryModel, RenameSet, SyscallPolicy, WindowSize,
+};
+use paragraph_trace::synthetic;
+
+fn livewell_throughput(c: &mut Criterion) {
+    let trace = synthetic::random_trace(100_000, 42);
+    let mut group = c.benchmark_group("livewell");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    let configs = [
+        ("dataflow_limit", AnalysisConfig::dataflow_limit()),
+        (
+            "no_renaming",
+            AnalysisConfig::dataflow_limit().with_renames(RenameSet::none()),
+        ),
+        (
+            "window_1k",
+            AnalysisConfig::dataflow_limit().with_window(WindowSize::bounded(1024)),
+        ),
+        (
+            "optimistic_syscalls",
+            AnalysisConfig::dataflow_limit().with_syscall_policy(SyscallPolicy::Optimistic),
+        ),
+        (
+            "gshare_predictor",
+            AnalysisConfig::dataflow_limit().with_branch_policy(BranchPolicy::Predict(
+                PredictorKind::Gshare { index_bits: 12 },
+            )),
+        ),
+        (
+            "issue_limit_8",
+            AnalysisConfig::dataflow_limit().with_issue_limit(8),
+        ),
+        (
+            "no_disambiguation",
+            AnalysisConfig::dataflow_limit().with_memory_model(MemoryModel::NoDisambiguation),
+        ),
+        (
+            "value_stats",
+            AnalysisConfig::dataflow_limit().with_value_stats(true),
+        ),
+    ];
+    for (name, config) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| analyze_refs(&trace, &config));
+        });
+    }
+    group.finish();
+}
+
+fn livewell_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("livewell_scaling");
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let trace = synthetic::random_trace(n, 7);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &trace, |b, trace| {
+            b.iter(|| analyze_refs(trace, &AnalysisConfig::dataflow_limit()));
+        });
+    }
+    group.finish();
+}
+
+fn explicit_ddg_build(c: &mut Criterion) {
+    let trace = synthetic::random_trace(50_000, 3);
+    let mut group = c.benchmark_group("ddg");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("build_explicit_graph", |b| {
+        b.iter(|| Ddg::from_records(&trace, &AnalysisConfig::dataflow_limit()));
+    });
+    let ddg = Ddg::from_records(&trace, &AnalysisConfig::dataflow_limit());
+    group.bench_function("critical_path_witness", |b| {
+        b.iter(|| ddg.critical_path());
+    });
+    group.bench_function("schedule_4_units", |b| {
+        b.iter(|| {
+            paragraph_core::schedule::schedule(
+                &ddg,
+                paragraph_core::schedule::ResourceModel::units(4),
+                &paragraph_core::LatencyModel::paper(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn profile_recording(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile");
+    group.bench_function("record_1m_levels_with_coarsening", |b| {
+        b.iter(|| {
+            let mut p = paragraph_core::ParallelismProfile::new(4096);
+            for level in 0..1_000_000u64 {
+                p.record(level);
+            }
+            p.total_ops()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    livewell_throughput,
+    livewell_scaling,
+    explicit_ddg_build,
+    profile_recording
+);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion benchmarks of the full pipeline: assembling workloads,
+//! executing them on the VM (the Pixie role), the binary trace format, and
+//! end-to-end trace-and-analyze runs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use paragraph_core::{AnalysisConfig, LiveWell};
+use paragraph_trace::binary::{TraceReader, TraceWriter};
+use paragraph_trace::SegmentMap;
+use paragraph_workloads::{Workload, WorkloadId};
+
+fn assemble_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assemble");
+    for id in [WorkloadId::Matrix300, WorkloadId::Fpppp, WorkloadId::Xlisp] {
+        let source = Workload::new(id).with_size(8).source();
+        group.throughput(Throughput::Bytes(source.len() as u64));
+        group.bench_function(id.name(), |b| {
+            b.iter(|| paragraph_asm::assemble(&source).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn vm_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm");
+    group.sample_size(20);
+    for id in [WorkloadId::Eqntott, WorkloadId::Doduc] {
+        let workload = Workload::new(id).with_size(8);
+        let program = workload.program().unwrap();
+        // Measure raw interpretation speed (instructions/second).
+        let mut probe = paragraph_vm::Vm::new(program.clone());
+        let executed = probe.run(10_000_000).unwrap().executed();
+        group.throughput(Throughput::Elements(executed));
+        group.bench_function(format!("execute_{id}"), |b| {
+            b.iter(|| {
+                let mut vm = paragraph_vm::Vm::new(program.clone());
+                vm.run(10_000_000).unwrap().executed()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn trace_format(c: &mut Criterion) {
+    let (records, segments) = Workload::new(WorkloadId::Cc1)
+        .with_size(4)
+        .collect_trace(10_000_000)
+        .unwrap();
+    let mut group = c.benchmark_group("trace_format");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(records.len() * 8);
+            let mut writer = TraceWriter::new(&mut buf, segments).unwrap();
+            for r in &records {
+                writer.write_record(r).unwrap();
+            }
+            writer.finish().unwrap()
+        });
+    });
+    let mut encoded = Vec::new();
+    let mut writer = TraceWriter::new(&mut encoded, SegmentMap::all_data()).unwrap();
+    for r in &records {
+        writer.write_record(r).unwrap();
+    }
+    writer.finish().unwrap();
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            TraceReader::new(encoded.as_slice())
+                .unwrap()
+                .map(|r| r.unwrap())
+                .count()
+        });
+    });
+    group.finish();
+}
+
+fn end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    let workload = Workload::new(WorkloadId::Espresso).with_size(8);
+    let program = workload.program().unwrap();
+    group.bench_function("trace_and_analyze_espresso", |b| {
+        b.iter(|| {
+            let mut vm = paragraph_vm::Vm::new(program.clone());
+            let config = AnalysisConfig::dataflow_limit().with_segments(vm.segment_map());
+            let mut analyzer = LiveWell::new(config);
+            vm.run_traced(10_000_000, |r| {
+                analyzer.process(r);
+            })
+            .unwrap();
+            analyzer.finish().available_parallelism()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    assemble_workloads,
+    vm_execution,
+    trace_format,
+    end_to_end
+);
+criterion_main!(benches);

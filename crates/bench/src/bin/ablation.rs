@@ -1,0 +1,101 @@
+//! Ablation studies beyond the paper's tables, for the design choices
+//! DESIGN.md calls out:
+//!
+//! 1. **Latency model** — Table 1 latencies vs. unit latencies: how much of
+//!    the critical path is operation latency rather than graph shape.
+//! 2. **Syscall policy under a bounded window** — firewalls interact with
+//!    the window; this quantifies the conservative-policy cost at realistic
+//!    window sizes.
+//! 3. **Functional-unit throttling (Figure 4 generalized)** — list-schedule
+//!    each workload's explicit DDG onto 1..64 generic units and report the
+//!    achieved operations/cycle, locating the knee where resources stop
+//!    mattering. Uses reduced problem sizes (the explicit graph is
+//!    materialized in memory).
+
+use paragraph_bench::{parallelism, Study};
+use paragraph_core::schedule::{schedule, ResourceModel};
+use paragraph_core::{analyze_refs, AnalysisConfig, Ddg, LatencyModel, SyscallPolicy, WindowSize};
+use paragraph_workloads::{Workload, WorkloadId};
+
+fn main() {
+    let study = Study::from_env();
+
+    println!("Ablation 1: Table 1 latencies vs unit latencies (dataflow limit)");
+    println!();
+    println!(
+        "{:<11} {:>14} {:>14} {:>14} {:>14}",
+        "Benchmark", "CP (table1)", "CP (unit)", "Par (table1)", "Par (unit)"
+    );
+    println!("{:-<72}", "");
+    for id in WorkloadId::ALL {
+        let (records, segments) = study.collect(id);
+        let base = AnalysisConfig::dataflow_limit().with_segments(segments);
+        let table1 = analyze_refs(&records, &base);
+        let unit = analyze_refs(&records, &base.clone().with_latency(LatencyModel::unit()));
+        println!(
+            "{:<11} {:>14} {:>14} {:>14} {:>14}",
+            id.name(),
+            table1.critical_path_length(),
+            unit.critical_path_length(),
+            parallelism(table1.available_parallelism()),
+            parallelism(unit.available_parallelism()),
+        );
+    }
+
+    println!();
+    println!("Ablation 2: syscall policy at window 1024 (conservative vs optimistic)");
+    println!();
+    println!(
+        "{:<11} {:>16} {:>16} {:>9}",
+        "Benchmark", "Par (conserv.)", "Par (optim.)", "Ratio"
+    );
+    println!("{:-<56}", "");
+    for id in WorkloadId::ALL {
+        let (records, segments) = study.collect(id);
+        let base = AnalysisConfig::dataflow_limit()
+            .with_segments(segments)
+            .with_window(WindowSize::bounded(1024));
+        let cons = analyze_refs(&records, &base).available_parallelism();
+        let opt = analyze_refs(
+            &records,
+            &base.clone().with_syscall_policy(SyscallPolicy::Optimistic),
+        )
+        .available_parallelism();
+        println!(
+            "{:<11} {:>16} {:>16} {:>9.3}",
+            id.name(),
+            parallelism(cons),
+            parallelism(opt),
+            if cons > 0.0 { opt / cons } else { 0.0 }
+        );
+    }
+
+    println!();
+    println!("Ablation 3: functional-unit throttling (ops/cycle on K generic units,");
+    println!("            explicit DDG at reduced size, Table 1 latencies)");
+    println!();
+    let units = [1usize, 2, 4, 8, 16, 32, 64];
+    print!("{:<11}", "Benchmark");
+    for u in units {
+        print!(" {:>8}", format!("{u}u"));
+    }
+    println!(" {:>9}", "dataflow");
+    println!("{:-<84}", "");
+    for id in WorkloadId::ALL {
+        let size = (id.default_size() / 4).max(2);
+        let workload = Workload::new(id).with_size(size);
+        let (records, segments) = workload
+            .collect_trace(400_000)
+            .unwrap_or_else(|e| panic!("{id}: {e}"));
+        let config = AnalysisConfig::dataflow_limit().with_segments(segments);
+        let ddg = Ddg::from_records(&records, &config);
+        print!("{:<11}", id.name());
+        for u in units {
+            let result = schedule(&ddg, ResourceModel::units(u), &LatencyModel::paper());
+            print!(" {:>8.2}", result.ops_per_cycle());
+        }
+        println!(" {:>9.2}", ddg.available_parallelism());
+    }
+    println!();
+    println!("(each row should rise with K and saturate at the dataflow limit)");
+}

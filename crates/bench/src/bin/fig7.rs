@@ -1,0 +1,39 @@
+//! Regenerates Figure 7 of the paper: parallelism profiles for all ten
+//! benchmarks (operations available per level of the topologically sorted
+//! DDG, conservative system calls, all renaming enabled).
+//!
+//! One CSV series per benchmark is written to `$PARAGRAPH_OUT/fig7/`
+//! (default `results/fig7/`), and a compact ASCII rendering of each profile
+//! is printed — enough to see the paper's headline observation that
+//! "parallelism is bursty, with periods of lots of parallelism followed by
+//! periods of much less parallelism".
+
+use paragraph_bench::{parallelism, Study};
+use paragraph_core::AnalysisConfig;
+use paragraph_workloads::WorkloadId;
+use std::fs;
+use std::io::BufWriter;
+
+fn main() -> std::io::Result<()> {
+    let study = Study::from_env();
+    let dir = study.out_dir().join("fig7");
+    fs::create_dir_all(&dir)?;
+    println!("Figure 7: Parallelism Profiles for the SPEC Benchmarks");
+    for id in WorkloadId::ALL {
+        let (report, _) = study.measure(id, &AnalysisConfig::dataflow_limit());
+        let path = dir.join(format!("{id}.csv"));
+        report
+            .profile()
+            .write_csv(BufWriter::new(fs::File::create(&path)?))?;
+        println!();
+        println!(
+            "{id} — {} levels, mean {} ops/level, burstiness (cv) {:.2}  [{}]",
+            report.critical_path_length(),
+            parallelism(report.available_parallelism()),
+            report.profile().burstiness(),
+            path.display()
+        );
+        print!("{}", report.profile().ascii_plot(72, 10));
+    }
+    Ok(())
+}

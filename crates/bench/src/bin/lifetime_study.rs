@@ -1,0 +1,64 @@
+//! Value-lifetime and degree-of-sharing study (§2.3 of the paper).
+//!
+//! "We can also obtain the distribution of value lifetimes from the DDG.
+//! The value lifetimes are useful in determining the amount of temporary
+//! storage required to exploit the parallelism in the DDG. ... Next, we can
+//! obtain the distribution of the degree of sharing of each computed value
+//! (or token)." The paper describes these analyses without tabling them;
+//! this study runs them for all ten benchmarks at the dataflow limit, plus
+//! the live-well peak (the analyzer's own working set — the paper needed
+//! "a very large memory (32 MBytes)").
+//!
+//! Full distributions are written as CSV to `$PARAGRAPH_OUT/lifetimes/`.
+
+use paragraph_bench::{thousands, Study};
+use paragraph_core::AnalysisConfig;
+use paragraph_workloads::WorkloadId;
+use std::fs;
+use std::io::BufWriter;
+
+fn main() -> std::io::Result<()> {
+    let study = Study::from_env();
+    let dir = study.out_dir().join("lifetimes");
+    fs::create_dir_all(&dir)?;
+    println!("Value Lifetime and Sharing Study (dataflow limit)");
+    println!();
+    println!(
+        "{:<11} | {:>9} {:>7} {:>7} {:>9} | {:>8} {:>6} {:>6} | {:>12}",
+        "Benchmark", "mean life", "p50", "p99", "max", "sharing", "p99", "max", "livewell peak"
+    );
+    println!("{:-<100}", "");
+    for id in WorkloadId::ALL {
+        let config = AnalysisConfig::dataflow_limit().with_value_stats(true);
+        let (report, _) = study.measure(id, &config);
+        let lifetimes = report.value_lifetimes().expect("value stats enabled");
+        let sharing = report.sharing_degrees().expect("value stats enabled");
+        println!(
+            "{:<11} | {:>9.2} {:>7} {:>7} {:>9} | {:>8.2} {:>6} {:>6} | {:>12}",
+            id.name(),
+            lifetimes.mean(),
+            lifetimes.percentile(0.5).unwrap_or(0),
+            lifetimes.percentile(0.99).unwrap_or(0),
+            lifetimes.max().unwrap_or(0),
+            sharing.mean(),
+            sharing.percentile(0.99).unwrap_or(0),
+            sharing.max().unwrap_or(0),
+            thousands(report.peak_live_values() as u64),
+        );
+        lifetimes.write_csv(BufWriter::new(fs::File::create(
+            dir.join(format!("{id}-lifetimes.csv")),
+        )?))?;
+        sharing.write_csv(BufWriter::new(fs::File::create(
+            dir.join(format!("{id}-sharing.csv")),
+        )?))?;
+    }
+    println!();
+    println!("CSV distributions written to {}", dir.display());
+    println!(
+        "\nReading: most values die within a handful of levels (p50 ≈ 1-2) —
+renaming's storage cost is dominated by a long tail of long-lived values;
+mean sharing near 1 means most tokens fire exactly one consumer, as an
+explicit-token-store dataflow machine would hope."
+    );
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Machine-generation study (extension).
+//!
+//! The paper closes by asking what "the next several generations of
+//! superscalar processors" can exploit of the parallelism it measures.
+//! This study answers with the toolkit's machine presets: a ladder from a
+//! scalar in-order pipeline through progressively wider out-of-order cores
+//! up to the abstract dataflow machine, each a bundle of window size,
+//! issue width, renaming, branch prediction and memory disambiguation.
+
+use paragraph_bench::{parallelism, Study};
+use paragraph_core::analyze_refs;
+use paragraph_core::machine::Machine;
+use paragraph_workloads::WorkloadId;
+
+fn main() {
+    let study = Study::from_env();
+    let machines = Machine::generations();
+    println!("Machine Generation Study: sustained operations per cycle");
+    println!();
+    for machine in &machines {
+        println!("  {machine}");
+    }
+    println!();
+    print!("{:<11}", "Benchmark");
+    for machine in &machines {
+        print!(" {:>10}", machine.name());
+    }
+    println!();
+    println!("{:-<78}", "");
+    for id in WorkloadId::ALL {
+        let (records, segments) = study.collect(id);
+        print!("{:<11}", id.name());
+        for machine in &machines {
+            let config = machine.configure().with_segments(segments);
+            let report = analyze_refs(&records, &config);
+            print!(" {:>10}", parallelism(report.available_parallelism()));
+        }
+        println!();
+    }
+    println!();
+    println!(
+        "Each column is a machine generation; each row should rise toward the\n\
+         dataflow limit. The gap between the widest practical machine and the\n\
+         dataflow column is the paper's headline: exposing the measured\n\
+         parallelism needs mechanisms beyond bigger windows."
+    );
+}

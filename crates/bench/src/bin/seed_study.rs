@@ -1,0 +1,54 @@
+//! Input-sensitivity study: how robust are the analogues' parallelism
+//! numbers to their random inputs?
+//!
+//! The paper ran each SPEC benchmark on one input (Table 2); a fair
+//! question for the reproduction is whether the analogue results are a
+//! property of the program structure or of the particular seeded input.
+//! This study re-runs every workload with [`SEEDS`] different input seeds
+//! and reports the spread of the dataflow-limit available parallelism.
+//! Tight spreads mean the dependence structure, not the data, carries the
+//! result.
+
+use paragraph_bench::{parallelism, Study};
+use paragraph_core::{analyze_refs, AnalysisConfig};
+use paragraph_workloads::{Workload, WorkloadId};
+
+/// Seeds per workload.
+const SEEDS: u64 = 5;
+
+fn main() {
+    let study = Study::from_env();
+    println!("Seed Sensitivity Study: dataflow-limit parallelism over {SEEDS} input seeds");
+    println!();
+    println!(
+        "{:<11} {:>12} {:>12} {:>12} {:>10}",
+        "Benchmark", "min", "mean", "max", "spread"
+    );
+    println!("{:-<62}", "");
+    for id in WorkloadId::ALL {
+        let size = study.workload(id).size();
+        let mut values = Vec::new();
+        for seed in 0..SEEDS {
+            let workload = Workload::new(id).with_size(size).with_seed(0xBEEF + seed);
+            let (records, segments) = workload
+                .collect_trace(study.fuel())
+                .unwrap_or_else(|e| panic!("{id}: {e}"));
+            let config = AnalysisConfig::dataflow_limit().with_segments(segments);
+            values.push(analyze_refs(&records, &config).available_parallelism());
+        }
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(0.0f64, f64::max);
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        println!(
+            "{:<11} {:>12} {:>12} {:>12} {:>9.1}%",
+            id.name(),
+            parallelism(min),
+            parallelism(mean),
+            parallelism(max),
+            100.0 * (max - min) / mean,
+        );
+    }
+    println!();
+    println!("(spread = (max - min) / mean; small values mean the analogue's");
+    println!(" parallelism is structural, not an artifact of one input)");
+}

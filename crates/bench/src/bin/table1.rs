@@ -1,0 +1,41 @@
+//! Regenerates Table 1 of the paper: instruction class operation times.
+//!
+//! These latencies are not measured — they are the model configuration
+//! (MIPS R2000/R3000-era operation times) that every analysis in the study
+//! uses. Printing them from the crate guarantees the reported model is the
+//! implemented model.
+
+use paragraph_isa::{LatencyModel, OpClass};
+
+fn main() {
+    println!("Table 1: Instruction Class Operation Times");
+    println!();
+    println!("{:<28} {:>5}", "Operation Class", "Steps");
+    println!("{:-<28} {:-<5}", "", "");
+    let model = LatencyModel::paper();
+    for class in OpClass::ALL {
+        if !class.creates_value() {
+            continue;
+        }
+        // The paper lists Load/Store as one row.
+        if class == OpClass::Store {
+            continue;
+        }
+        let label = if class == OpClass::Load {
+            "Load/Store".to_owned()
+        } else {
+            class.paper_description().to_owned()
+        };
+        println!("{label:<28} {:>5}", model.latency(class));
+    }
+    println!();
+    println!(
+        "(control classes are observed in traces but never placed in the DDG: {})",
+        OpClass::ALL
+            .iter()
+            .filter(|c| !c.creates_value())
+            .map(|c| c.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

@@ -1,0 +1,44 @@
+//! Regenerates Table 2 of the paper: the benchmark inventory.
+//!
+//! For each of the ten SPEC89 analogues this prints the source language and
+//! benchmark type from the paper, the analogue's problem size, and the
+//! *measured* dynamic instruction counts: total executed and the number
+//! analyzed (they differ only if `PARAGRAPH_FUEL` truncates a run, which is
+//! the paper's own situation — 8 of its 10 traces were cut at 100M).
+
+use paragraph_bench::{thousands, Study};
+use paragraph_core::AnalysisConfig;
+use paragraph_workloads::WorkloadId;
+
+fn main() {
+    let study = Study::from_env();
+    println!("Table 2: Benchmarks Analyzed");
+    println!();
+    println!(
+        "{:<11} {:<9} {:<11} {:>6} {:>16} {:>16} {:>9}",
+        "Benchmark", "Source", "Benchmark", "Size", "Instructions", "Instructions", "Halted"
+    );
+    println!(
+        "{:<11} {:<9} {:<11} {:>6} {:>16} {:>16} {:>9}",
+        "Name", "Language", "Type", "", "Executed", "Analyzed", ""
+    );
+    println!("{:-<84}", "");
+    for id in WorkloadId::ALL {
+        let (report, outcome) = study.measure(id, &AnalysisConfig::dataflow_limit());
+        println!(
+            "{:<11} {:<9} {:<11} {:>6} {:>16} {:>16} {:>9}",
+            id.name(),
+            id.source_language(),
+            id.benchmark_type(),
+            study.workload(id).size(),
+            thousands(outcome.executed()),
+            thousands(report.total_records()),
+            if outcome.halted() { "yes" } else { "fuel cap" }
+        );
+    }
+    println!();
+    println!(
+        "(fuel cap: {} dynamic instructions; the paper capped traces at 100,000,000)",
+        thousands(study.fuel())
+    );
+}

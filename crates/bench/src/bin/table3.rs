@@ -1,0 +1,53 @@
+//! Regenerates Table 3 of the paper: SPEC benchmark dataflow results.
+//!
+//! For each benchmark, the dataflow limit (all renaming on, infinite
+//! window) is measured twice: with **conservative** system calls (each call
+//! firewalls the graph) and with **optimistic** system calls (calls are
+//! ignored). The paper's "Maximum Measurement Error" column is the relative
+//! gap between the two available-parallelism figures — the uncertainty band
+//! within which the true value lies.
+
+use paragraph_bench::{parallelism, thousands, Study};
+use paragraph_core::{AnalysisConfig, SyscallPolicy};
+use paragraph_workloads::WorkloadId;
+
+fn main() {
+    let study = Study::from_env();
+    println!("Table 3: SPEC Benchmark Dataflow Results");
+    println!();
+    println!(
+        "{:<11} {:>8} | {:>14} {:>12} | {:>14} {:>12} | {:>7}",
+        "Benchmark", "System", "Conservative", "", "Optimistic", "", "Max"
+    );
+    println!(
+        "{:<11} {:>8} | {:>14} {:>12} | {:>14} {:>12} | {:>7}",
+        "Name", "Calls", "Crit Path", "Avail Par", "Crit Path", "Avail Par", "Error"
+    );
+    println!("{:-<92}", "");
+    for id in WorkloadId::ALL {
+        let (conservative, _) = study.measure(id, &AnalysisConfig::dataflow_limit());
+        let (optimistic, _) = study.measure(
+            id,
+            &AnalysisConfig::dataflow_limit().with_syscall_policy(SyscallPolicy::Optimistic),
+        );
+        let cons_par = conservative.available_parallelism();
+        let opt_par = optimistic.available_parallelism();
+        let error = if opt_par > 0.0 {
+            (opt_par - cons_par).abs() / opt_par
+        } else {
+            0.0
+        };
+        println!(
+            "{:<11} {:>8} | {:>14} {:>12} | {:>14} {:>12} | {:>7.2}",
+            id.name(),
+            thousands(conservative.syscalls()),
+            thousands(conservative.critical_path_length()),
+            parallelism(cons_par),
+            thousands(optimistic.critical_path_length()),
+            parallelism(opt_par),
+            error
+        );
+    }
+    println!();
+    println!("(all renaming enabled, window = entire trace, no functional unit limits)");
+}

@@ -1,0 +1,42 @@
+//! Regenerates Table 4 of the paper: available parallelism under the four
+//! renaming conditions (none / registers / registers+stack / registers+
+//! memory).
+//!
+//! Each workload's trace is captured once and re-analyzed under all four
+//! conditions, exactly as Paragraph re-ran trace files with different
+//! switch settings. System calls are conservative and the window infinite,
+//! matching the paper's setup for this table.
+
+use paragraph_bench::{analyze_many, parallelism, Study};
+use paragraph_core::{AnalysisConfig, RenameSet};
+use paragraph_workloads::WorkloadId;
+
+fn main() {
+    let study = Study::from_env();
+    println!("Table 4: SPEC Benchmarks under Different Renaming Conditions");
+    println!();
+    println!(
+        "{:<11} {:>13} {:>13} {:>19} {:>17}",
+        "Benchmark", "No Renaming", "Regs Renamed", "Regs/Stack Renamed", "Reg/Mem Renamed"
+    );
+    println!("{:-<78}", "");
+    for id in WorkloadId::ALL {
+        let (records, segments) = study.collect(id);
+        print!("{:<11}", id.name());
+        let configs: Vec<AnalysisConfig> = RenameSet::table4_conditions()
+            .into_iter()
+            .map(|renames| {
+                AnalysisConfig::dataflow_limit()
+                    .with_segments(segments)
+                    .with_renames(renames)
+            })
+            .collect();
+        let reports = analyze_many(&records, &configs);
+        for (report, width) in reports.iter().zip([13usize, 13, 19, 17]) {
+            print!("{:>width$}", parallelism(report.available_parallelism()));
+        }
+        println!();
+    }
+    println!();
+    println!("(conservative system calls, window = entire trace, no functional unit limits)");
+}

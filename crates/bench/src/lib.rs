@@ -1,0 +1,232 @@
+//! Shared harness for the table/figure regeneration binaries.
+//!
+//! Every table and figure of the paper's evaluation section has a dedicated
+//! binary in `src/bin/`:
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — instruction class operation times |
+//! | `table2` | Table 2 — benchmark inventory and trace lengths |
+//! | `table3` | Table 3 — dataflow limit (conservative vs. optimistic syscalls) |
+//! | `table4` | Table 4 — available parallelism under renaming conditions |
+//! | `fig7`   | Figure 7 — parallelism profiles (CSV series + ASCII plots) |
+//! | `fig8`   | Figure 8 — window size vs. percent of available parallelism |
+//! | `ablation` | extra studies: latency model, firewalls, functional units |
+//! | `branch_study` | extension — branch policies from serial fetch to perfect |
+//! | `alias_study` | extension — perfect vs. no memory disambiguation |
+//! | `machine_study` | extension — named machine generations, scalar → dataflow |
+//! | `lifetime_study` | §2.3 — value lifetime and sharing distributions |
+//! | `storage_study` | §2.3 — storage occupancy of the dataflow execution |
+//! | `phase_study` | the paper's open question — per-phase parallelism |
+//! | `seed_study` | reproduction methodology — input-seed sensitivity |
+//! | `growth_study` | parallelism accumulation vs. trace length |
+//! | `window_renaming_study` | window × renaming interaction |
+//!
+//! Run them with `cargo run --release -p paragraph-bench --bin table3`.
+//! Environment knobs:
+//!
+//! * `PARAGRAPH_FUEL` — dynamic-instruction cap per run (default 100M, the
+//!   paper's trace cap; the default workloads run to completion well below
+//!   it).
+//! * `PARAGRAPH_SCALE` — percentage applied to every workload's default
+//!   problem size (e.g. `50` halves them; useful for quick smoke runs).
+//! * `PARAGRAPH_OUT` — directory for CSV artifacts (default `results`).
+//!
+//! The `benches/` directory holds Criterion performance benchmarks of the
+//! toolkit itself (analyzer and VM throughput), not paper experiments.
+
+use paragraph_core::{analyze_refs, AnalysisConfig, AnalysisReport, LiveWell};
+use paragraph_trace::{SegmentMap, TraceRecord};
+use paragraph_vm::RunOutcome;
+use paragraph_workloads::{Workload, WorkloadId};
+use std::path::PathBuf;
+
+/// Study-wide settings, read from the environment.
+#[derive(Debug, Clone)]
+pub struct Study {
+    fuel: u64,
+    scale_percent: u32,
+    out_dir: PathBuf,
+}
+
+impl Study {
+    /// Reads `PARAGRAPH_FUEL`, `PARAGRAPH_SCALE` and `PARAGRAPH_OUT`.
+    pub fn from_env() -> Study {
+        let fuel = std::env::var("PARAGRAPH_FUEL")
+            .ok()
+            .and_then(|v| v.replace('_', "").parse().ok())
+            .unwrap_or(paragraph_vm::DEFAULT_FUEL);
+        let scale_percent = std::env::var("PARAGRAPH_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100)
+            .max(1);
+        let out_dir = std::env::var("PARAGRAPH_OUT")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results"));
+        Study {
+            fuel,
+            scale_percent,
+            out_dir,
+        }
+    }
+
+    /// The dynamic-instruction cap per run.
+    pub fn fuel(&self) -> u64 {
+        self.fuel
+    }
+
+    /// Directory CSV artifacts are written to.
+    pub fn out_dir(&self) -> &PathBuf {
+        &self.out_dir
+    }
+
+    /// The workload instance this study uses for `id`.
+    pub fn workload(&self, id: WorkloadId) -> Workload {
+        let size = (u64::from(id.default_size()) * u64::from(self.scale_percent) / 100).max(1);
+        Workload::new(id).with_size(size as u32)
+    }
+
+    /// Runs `id` once, streaming the trace through an analyzer configured by
+    /// `config` (with the workload's segment map applied). Returns the
+    /// analysis report and the run outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics on VM faults — the workloads are deterministic and fault-free,
+    /// so a fault is a generator bug the test suite would catch.
+    pub fn measure(&self, id: WorkloadId, config: &AnalysisConfig) -> (AnalysisReport, RunOutcome) {
+        let workload = self.workload(id);
+        let mut vm = workload.vm();
+        let config = config.clone().with_segments(vm.segment_map());
+        let mut analyzer = LiveWell::new(config);
+        let outcome = vm
+            .run_traced(self.fuel, |record| {
+                analyzer.process(record);
+            })
+            .unwrap_or_else(|e| panic!("{id}: {e}"));
+        (analyzer.finish(), outcome)
+    }
+
+    /// Captures `id`'s trace in memory for multi-configuration studies, so
+    /// the VM runs once per workload instead of once per configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on VM faults, as for [`Study::measure`].
+    pub fn collect(&self, id: WorkloadId) -> (Vec<paragraph_trace::TraceRecord>, SegmentMap) {
+        self.workload(id)
+            .collect_trace(self.fuel)
+            .unwrap_or_else(|e| panic!("{id}: {e}"))
+    }
+}
+
+impl Default for Study {
+    fn default() -> Study {
+        Study::from_env()
+    }
+}
+
+/// Analyzes one captured trace under many configurations concurrently,
+/// one OS thread per configuration (the trace is shared read-only). Order
+/// of the results matches `configs`.
+///
+/// Multi-configuration studies (Table 4's four renaming conditions, Figure
+/// 8's window ladder) are embarrassingly parallel across configurations;
+/// this keeps the harness wall-clock close to the slowest single analysis.
+pub fn analyze_many(records: &[TraceRecord], configs: &[AnalysisConfig]) -> Vec<AnalysisReport> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = configs
+            .iter()
+            .map(|config| scope.spawn(move || analyze_refs(records, config)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("analysis thread panicked"))
+            .collect()
+    })
+}
+
+/// Formats `n` with thousands separators, as the paper's tables do.
+pub fn thousands(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Formats an available-parallelism value in the paper's style (two decimal
+/// places, thousands separators on the integer part).
+pub fn parallelism(p: f64) -> String {
+    let scaled = (p * 100.0).round() as u64;
+    format!("{}.{:02}", thousands(scaled / 100), scaled % 100)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_many_matches_sequential() {
+        use paragraph_core::{RenameSet, WindowSize};
+        use paragraph_trace::synthetic;
+        let trace = synthetic::random_trace(2000, 5);
+        let configs = vec![
+            AnalysisConfig::dataflow_limit(),
+            AnalysisConfig::dataflow_limit().with_renames(RenameSet::none()),
+            AnalysisConfig::dataflow_limit().with_window(WindowSize::bounded(64)),
+        ];
+        let parallel = analyze_many(&trace, &configs);
+        for (config, report) in configs.iter().zip(&parallel) {
+            let sequential = analyze_refs(&trace, config);
+            assert_eq!(
+                report.critical_path_length(),
+                sequential.critical_path_length()
+            );
+            assert_eq!(report.placed_ops(), sequential.placed_ops());
+        }
+    }
+
+    #[test]
+    fn thousands_grouping() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1000), "1,000");
+        assert_eq!(thousands(23302), "23,302");
+        assert_eq!(thousands(1234567890), "1,234,567,890");
+    }
+
+    #[test]
+    fn parallelism_formatting() {
+        assert_eq!(parallelism(13.28), "13.28");
+        assert_eq!(parallelism(23302.6), "23,302.60");
+        assert_eq!(parallelism(0.5), "0.50");
+        assert_eq!(parallelism(0.999), "1.00");
+    }
+
+    #[test]
+    fn study_workload_uses_default_size_at_full_scale() {
+        let study = Study {
+            fuel: 1000,
+            scale_percent: 100,
+            out_dir: PathBuf::from("results"),
+        };
+        assert_eq!(
+            study.workload(WorkloadId::Xlisp).size(),
+            WorkloadId::Xlisp.default_size()
+        );
+        let half = Study {
+            scale_percent: 50,
+            ..study
+        };
+        assert_eq!(
+            half.workload(WorkloadId::Xlisp).size(),
+            WorkloadId::Xlisp.default_size() / 2
+        );
+    }
+}

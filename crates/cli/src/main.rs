@@ -1,0 +1,739 @@
+//! `paragraph` — command-line front end for the Paragraph toolkit.
+//!
+//! ```text
+//! paragraph list
+//! paragraph analyze --workload matrix300 [--size N] [--fuel N]
+//!                   [--rename none|regs|regs-stack|all] [--optimistic]
+//!                   [--window N] [--unit-latency] [--profile out.csv] [--plot]
+//! paragraph analyze --trace trace.pgtr [...]
+//! paragraph trace --workload eqntott --out trace.pgtr [--size N] [--fuel N]
+//! paragraph run --asm file.s [--input 1,2,3] [--fuel N]
+//! paragraph disasm --workload xlisp [--size N]
+//! paragraph dot --workload cc1 --out ddg.dot [--size N] [--fuel N]
+//! paragraph sweep --workload doduc --windows 1,10,100,1000 [--size N]
+//! ```
+
+use paragraph_core::branch::{BranchPolicy, PredictorKind};
+use paragraph_core::{
+    analyze_refs, AnalysisConfig, AnalysisReport, MemoryModel, RenameSet, SyscallPolicy, WindowSize,
+};
+use paragraph_isa::LatencyModel;
+use paragraph_trace::binary::{TraceReader, TraceWriter};
+use paragraph_trace::{SegmentMap, TraceRecord};
+use paragraph_vm::Vm;
+use paragraph_workloads::{Workload, WorkloadId};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("paragraph: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    let opts = Options::parse(&args[1..])?;
+    match command.as_str() {
+        "list" => cmd_list(),
+        "analyze" => cmd_analyze(&opts),
+        "trace" => cmd_trace(&opts),
+        "run" => cmd_run(&opts),
+        "disasm" => cmd_disasm(&opts),
+        "dot" => cmd_dot(&opts),
+        "sweep" => cmd_sweep(&opts),
+        "compare" => cmd_compare(&opts),
+        "stats" => cmd_stats(&opts),
+        "report" => cmd_report(&opts),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `paragraph help`)")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "paragraph — dynamic dependency analysis of ordinary programs (ISCA 1992)
+
+usage: paragraph <command> [options]
+
+commands:
+  list      show the available workloads (the paper's Table 2 inventory)
+  analyze   run the live-well analyzer over a workload or a trace file
+  trace     capture a workload's execution trace to a binary file
+  run       execute an assembly file on the VM
+  disasm    print a workload's generated assembly
+  dot       export a (small) workload's explicit DDG in Graphviz format
+  sweep     window-size sweep for one workload (Figure 8, one curve)
+  compare   one workload under the standard ladder of machine conditions
+  stats     first-order operation frequencies of a workload or trace file
+  report    full Section-2.3 analysis: lifetimes, sharing, slack, storage
+
+common options:
+  --workload NAME   one of the ten benchmark analogues
+  --trace FILE      read a binary trace instead of running a workload
+  --size N          workload problem size (default per workload)
+  --fuel N          dynamic instruction cap (default 100,000,000)
+  --rename MODE     none | regs | regs-stack | all   (default all)
+  --optimistic      ignore system calls (default: conservative firewalls)
+  --window N        instruction window size (default infinite)
+  --branch MODE     perfect | stall | always-taken | never-taken | btfn |
+                    bimodal:N | gshare:N   (default perfect)
+  --units N         at most N operations may start per level (default inf)
+  --no-disambiguation  conservative memory aliasing (loads wait for all
+                    earlier stores; stores for all earlier memory ops)
+  --value-stats     report value lifetime and sharing distributions
+  --unit-latency    all operations take one level (default: Table 1)
+  --seed N          workload input seed
+  --skip N          drop the first N trace records before analyzing
+  --take N          analyze at most N trace records (after --skip)
+  --input A,B,C     read_int inputs for `run`
+  --out FILE        output file (trace/dot)
+  --format FMT      trace output format: binary (default) | csv
+  --profile FILE    write the parallelism profile as CSV
+  --json FILE       write the analysis report as JSON
+  --plot            print an ASCII parallelism profile
+  --windows A,B,C   window sizes for `sweep`"
+    );
+}
+
+#[derive(Debug, Default)]
+struct Options {
+    workload: Option<WorkloadId>,
+    trace: Option<String>,
+    asm: Option<String>,
+    size: Option<u32>,
+    seed: Option<u64>,
+    fuel: Option<u64>,
+    rename: Option<RenameSet>,
+    optimistic: bool,
+    window: Option<usize>,
+    branch: Option<BranchPolicy>,
+    units: Option<usize>,
+    skip: Option<usize>,
+    take: Option<usize>,
+    no_disambiguation: bool,
+    value_stats: bool,
+    unit_latency: bool,
+    out: Option<String>,
+    profile: Option<String>,
+    json: Option<String>,
+    format: Option<String>,
+    plot: bool,
+    inputs: Vec<i64>,
+    windows: Vec<usize>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut opts = Options::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} requires a value"))
+            };
+            match flag.as_str() {
+                "--workload" => {
+                    let name = value()?;
+                    opts.workload = Some(
+                        WorkloadId::by_name(&name)
+                            .ok_or_else(|| format!("unknown workload `{name}`"))?,
+                    );
+                }
+                "--trace" => opts.trace = Some(value()?),
+                "--asm" => opts.asm = Some(value()?),
+                "--size" => opts.size = Some(parse_num(&value()?)?),
+                "--seed" => opts.seed = Some(parse_num(&value()?)?),
+                "--fuel" => opts.fuel = Some(parse_num(&value()?)?),
+                "--rename" => {
+                    let mode = value()?;
+                    opts.rename = Some(match mode.as_str() {
+                        "none" => RenameSet::none(),
+                        "regs" => RenameSet::registers_only(),
+                        "regs-stack" => RenameSet::registers_and_stack(),
+                        "all" => RenameSet::all(),
+                        _ => return Err(format!("unknown rename mode `{mode}`")),
+                    });
+                }
+                "--optimistic" => opts.optimistic = true,
+                "--window" => opts.window = Some(parse_num(&value()?)?),
+                "--branch" => {
+                    let mode = value()?;
+                    opts.branch = Some(parse_branch_policy(&mode)?);
+                }
+                "--units" => opts.units = Some(parse_num(&value()?)?),
+                "--skip" => opts.skip = Some(parse_num(&value()?)?),
+                "--take" => opts.take = Some(parse_num(&value()?)?),
+                "--no-disambiguation" => opts.no_disambiguation = true,
+                "--value-stats" => opts.value_stats = true,
+                "--unit-latency" => opts.unit_latency = true,
+                "--out" => opts.out = Some(value()?),
+                "--profile" => opts.profile = Some(value()?),
+                "--json" => opts.json = Some(value()?),
+                "--format" => opts.format = Some(value()?),
+                "--plot" => opts.plot = true,
+                "--input" => {
+                    opts.inputs = parse_list(&value()?)?;
+                }
+                "--windows" => {
+                    opts.windows = parse_list(&value()?)?
+                        .into_iter()
+                        .map(|v| v as usize)
+                        .collect();
+                }
+                other => return Err(format!("unknown option `{other}`")),
+            }
+        }
+        Ok(opts)
+    }
+
+    fn config(&self, segments: SegmentMap) -> AnalysisConfig {
+        let mut config = AnalysisConfig::dataflow_limit().with_segments(segments);
+        if let Some(renames) = self.rename {
+            config = config.with_renames(renames);
+        }
+        if self.optimistic {
+            config = config.with_syscall_policy(SyscallPolicy::Optimistic);
+        }
+        if let Some(w) = self.window {
+            config = config.with_window(WindowSize::bounded(w));
+        }
+        if let Some(policy) = self.branch {
+            config = config.with_branch_policy(policy);
+        }
+        if let Some(units) = self.units {
+            config = config.with_issue_limit(units);
+        }
+        if self.no_disambiguation {
+            config = config.with_memory_model(MemoryModel::NoDisambiguation);
+        }
+        if self.value_stats {
+            config = config.with_value_stats(true);
+        }
+        if self.unit_latency {
+            config = config.with_latency(LatencyModel::unit());
+        }
+        config
+    }
+
+    fn build_workload(&self) -> Result<Workload, String> {
+        let id = self
+            .workload
+            .ok_or("this command needs --workload (see `paragraph list`)")?;
+        let mut workload = Workload::new(id);
+        if let Some(size) = self.size {
+            workload = workload.with_size(size);
+        }
+        if let Some(seed) = self.seed {
+            workload = workload.with_seed(seed);
+        }
+        Ok(workload)
+    }
+
+    fn fuel(&self) -> u64 {
+        self.fuel.unwrap_or(paragraph_vm::DEFAULT_FUEL)
+    }
+}
+
+fn parse_branch_policy(mode: &str) -> Result<BranchPolicy, String> {
+    Ok(match mode {
+        "perfect" => BranchPolicy::Perfect,
+        "stall" => BranchPolicy::StallAlways,
+        "always-taken" => BranchPolicy::Predict(PredictorKind::AlwaysTaken),
+        "never-taken" => BranchPolicy::Predict(PredictorKind::NeverTaken),
+        "btfn" => BranchPolicy::Predict(PredictorKind::Btfn),
+        other => {
+            let (kind, bits) = other
+                .split_once(':')
+                .ok_or_else(|| format!("unknown branch policy `{other}`"))?;
+            let index_bits: u8 = bits
+                .parse()
+                .map_err(|_| format!("invalid predictor size `{bits}`"))?;
+            match kind {
+                "bimodal" => BranchPolicy::Predict(PredictorKind::Bimodal { index_bits }),
+                "gshare" => BranchPolicy::Predict(PredictorKind::Gshare { index_bits }),
+                _ => return Err(format!("unknown branch policy `{other}`")),
+            }
+        }
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.replace('_', "")
+        .parse()
+        .map_err(|_| format!("invalid number `{s}`"))
+}
+
+fn parse_list(s: &str) -> Result<Vec<i64>, String> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(parse_num)
+        .collect()
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!(
+        "{:<12} {:<9} {:<11} {:>6}  description",
+        "name", "language", "type", "size"
+    );
+    for id in WorkloadId::ALL {
+        println!(
+            "{:<12} {:<9} {:<11} {:>6}  {}",
+            id.name(),
+            id.source_language(),
+            id.benchmark_type(),
+            id.default_size(),
+            id.description()
+        );
+    }
+    Ok(())
+}
+
+/// Loads the records to analyze: either a binary trace or a workload run,
+/// then applies the `--skip`/`--take` phase window.
+fn load_records(opts: &Options) -> Result<(Vec<TraceRecord>, SegmentMap), String> {
+    let (mut records, segments) = if let Some(path) = &opts.trace {
+        let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut reader =
+            TraceReader::new(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+        let segments = reader.segment_map();
+        let records: Result<Vec<_>, _> = reader.by_ref().collect();
+        (records.map_err(|e| format!("{path}: {e}"))?, segments)
+    } else {
+        let workload = opts.build_workload()?;
+        workload
+            .collect_trace(opts.fuel())
+            .map_err(|e| format!("{}: {e}", workload.id()))?
+    };
+    if let Some(skip) = opts.skip {
+        records.drain(..skip.min(records.len()));
+    }
+    if let Some(take) = opts.take {
+        records.truncate(take);
+    }
+    Ok((records, segments))
+}
+
+fn print_report(report: &AnalysisReport, opts: &Options) -> Result<(), String> {
+    print!("{report}");
+    if let Some(lifetimes) = report.value_lifetimes() {
+        println!(
+            "  value lifetimes       : mean {:.2} levels, p50 {}, p99 {}, max {}",
+            lifetimes.mean(),
+            lifetimes.percentile(0.5).unwrap_or(0),
+            lifetimes.percentile(0.99).unwrap_or(0),
+            lifetimes.max().unwrap_or(0)
+        );
+    }
+    if let Some(sharing) = report.sharing_degrees() {
+        println!(
+            "  degree of sharing     : mean {:.2} consumers, p99 {}, max {}",
+            sharing.mean(),
+            sharing.percentile(0.99).unwrap_or(0),
+            sharing.max().unwrap_or(0)
+        );
+    }
+    if let Some(path) = &opts.profile {
+        let file = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        report
+            .profile()
+            .write_csv(BufWriter::new(file))
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("  profile written to    : {path}");
+    }
+    if let Some(path) = &opts.json {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!("  report written to     : {path}");
+    }
+    if opts.plot {
+        println!("{}", report.profile().ascii_plot(72, 12));
+    }
+    Ok(())
+}
+
+fn cmd_analyze(opts: &Options) -> Result<(), String> {
+    let (records, segments) = load_records(opts)?;
+    let config = opts.config(segments);
+    let report = analyze_refs(&records, &config);
+    print_report(&report, opts)
+}
+
+fn cmd_trace(opts: &Options) -> Result<(), String> {
+    let workload = opts.build_workload()?;
+    let path = opts.out.as_deref().ok_or("trace needs --out FILE")?;
+    let file = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut vm = workload.vm();
+    match opts.format.as_deref().unwrap_or("binary") {
+        "binary" => {
+            let mut writer = TraceWriter::new(BufWriter::new(file), vm.segment_map())
+                .map_err(|e| format!("{path}: {e}"))?;
+            let mut write_error = None;
+            let outcome = vm
+                .run_traced(opts.fuel(), |record| {
+                    if write_error.is_none() {
+                        if let Err(e) = writer.write_record(record) {
+                            write_error = Some(e);
+                        }
+                    }
+                })
+                .map_err(|e| format!("{}: {e}", workload.id()))?;
+            if let Some(e) = write_error {
+                return Err(format!("{path}: {e}"));
+            }
+            let written = writer.finish().map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "{}: {} records written to {path} ({:?})",
+                workload.id(),
+                written,
+                outcome.reason()
+            );
+        }
+        "csv" => {
+            // Interop format: one row per record, for pandas/awk-style
+            // downstream analysis. Sources are ';'-joined locations.
+            use std::io::Write as _;
+            let mut out = BufWriter::new(file);
+            let mut write_error: Option<std::io::Error> = None;
+            writeln!(out, "pc,class,srcs,dest,taken,target").map_err(|e| format!("{path}: {e}"))?;
+            let mut written = 0u64;
+            let outcome = vm
+                .run_traced(opts.fuel(), |record| {
+                    if write_error.is_some() {
+                        return;
+                    }
+                    let srcs: Vec<String> = record.srcs().iter().map(|s| s.to_string()).collect();
+                    let dest = record.dest().map(|d| d.to_string()).unwrap_or_default();
+                    let (taken, target) = match record.branch_info() {
+                        Some(info) => (
+                            if info.taken { "1" } else { "0" }.to_owned(),
+                            info.target.to_string(),
+                        ),
+                        None => (String::new(), String::new()),
+                    };
+                    if let Err(e) = writeln!(
+                        out,
+                        "{},{},{},{dest},{taken},{target}",
+                        record.pc(),
+                        record.class(),
+                        srcs.join(";")
+                    ) {
+                        write_error = Some(e);
+                    }
+                    written += 1;
+                })
+                .map_err(|e| format!("{}: {e}", workload.id()))?;
+            if let Some(e) = write_error {
+                return Err(format!("{path}: {e}"));
+            }
+            out.flush().map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "{}: {} records written to {path} as CSV ({:?})",
+                workload.id(),
+                written,
+                outcome.reason()
+            );
+        }
+        other => return Err(format!("unknown trace format `{other}`")),
+    }
+    Ok(())
+}
+
+fn cmd_run(opts: &Options) -> Result<(), String> {
+    let path = opts.asm.as_deref().ok_or("run needs --asm FILE")?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let program = paragraph_asm::assemble(&source).map_err(|e| format!("{path}: {e}"))?;
+    let mut vm = Vm::new(program);
+    vm.extend_input(opts.inputs.iter().copied());
+    let outcome = vm.run(opts.fuel()).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", vm.output());
+    println!(
+        "[{} instructions, {:?}]",
+        outcome.executed(),
+        outcome.reason()
+    );
+    Ok(())
+}
+
+fn cmd_disasm(opts: &Options) -> Result<(), String> {
+    let workload = opts.build_workload()?;
+    print!("{}", workload.source());
+    Ok(())
+}
+
+fn cmd_dot(opts: &Options) -> Result<(), String> {
+    let (records, segments) = load_records(opts)?;
+    if records.len() > 200_000 {
+        return Err(format!(
+            "{} records is too many for an explicit DDG export; lower --size/--fuel",
+            records.len()
+        ));
+    }
+    let config = opts.config(segments);
+    let ddg = paragraph_core::Ddg::from_records(&records, &config);
+    let dot = ddg.to_dot();
+    match &opts.out {
+        Some(path) => {
+            std::fs::write(path, dot).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "{} nodes, {} edges written to {path}",
+                ddg.len(),
+                ddg.edges().len()
+            );
+        }
+        None => print!("{dot}"),
+    }
+    Ok(())
+}
+
+fn cmd_stats(opts: &Options) -> Result<(), String> {
+    let (records, _) = load_records(opts)?;
+    let stats = paragraph_trace::TraceStats::from_records(&records);
+    print!("{stats}");
+    println!(
+        "type: {} ({:.1}% of placed operations are floating point)",
+        stats.benchmark_type(),
+        100.0 * stats.fp_fraction()
+    );
+    Ok(())
+}
+
+fn cmd_report(opts: &Options) -> Result<(), String> {
+    let (records, segments) = load_records(opts)?;
+    if records.len() > 500_000 {
+        return Err(format!(
+            "{} records is too many to materialize; lower --size/--fuel or use --take",
+            records.len()
+        ));
+    }
+    let config = opts.config(segments);
+    let ddg = paragraph_core::Ddg::from_records(&records, &config);
+    let (true_e, storage_e, control_e) = ddg.edge_counts();
+    println!("explicit DDG under: {config}");
+    println!("  nodes                 : {}", ddg.len());
+    println!("  edges                 : {true_e} true, {storage_e} storage, {control_e} control");
+    println!("  height (crit path)    : {}", ddg.height());
+    println!("  width                 : {}", ddg.width());
+    println!(
+        "  available parallelism : {:.2}",
+        ddg.available_parallelism()
+    );
+    let lifetimes = ddg.value_lifetimes();
+    println!(
+        "  value lifetimes       : {} values, mean {:.2}, p50 {}, p99 {}, max {}",
+        lifetimes.count(),
+        lifetimes.mean(),
+        lifetimes.percentile(0.5).unwrap_or(0),
+        lifetimes.percentile(0.99).unwrap_or(0),
+        lifetimes.max().unwrap_or(0)
+    );
+    let sharing = ddg.sharing_degrees();
+    println!(
+        "  degree of sharing     : mean {:.2}, p99 {}, max {}",
+        sharing.mean(),
+        sharing.percentile(0.99).unwrap_or(0),
+        sharing.max().unwrap_or(0)
+    );
+    let slack = ddg.slack_distribution();
+    println!(
+        "  scheduling slack      : {:.1}% critical (slack 0), mean {:.2}, max {}",
+        100.0 * slack.frequency(0) as f64 / slack.count().max(1) as f64,
+        slack.mean(),
+        slack.max().unwrap_or(0)
+    );
+    let occupancy = ddg.storage_occupancy();
+    let peak = occupancy.iter().copied().max().unwrap_or(0);
+    let mean = if occupancy.is_empty() {
+        0.0
+    } else {
+        occupancy.iter().sum::<u64>() as f64 / occupancy.len() as f64
+    };
+    println!("  storage occupancy     : peak {peak} live values, mean {mean:.1}");
+    Ok(())
+}
+
+fn cmd_compare(opts: &Options) -> Result<(), String> {
+    use paragraph_core::machine::Machine;
+    let (records, segments) = load_records(opts)?;
+    println!(
+        "{:<9} {:>12} {:>14} {:>12}  configuration",
+        "machine", "ops/cycle", "crit path", "% of limit"
+    );
+    let limit = analyze_refs(
+        &records,
+        &AnalysisConfig::dataflow_limit().with_segments(segments),
+    )
+    .available_parallelism();
+    for machine in Machine::generations() {
+        let config = machine.configure().with_segments(segments);
+        let report = analyze_refs(&records, &config);
+        println!(
+            "{:<9} {:>12.2} {:>14} {:>11.2}%  {}",
+            machine.name(),
+            report.available_parallelism(),
+            report.critical_path_length(),
+            100.0 * report.available_parallelism() / limit,
+            machine.description()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_sweep(opts: &Options) -> Result<(), String> {
+    let (records, segments) = load_records(opts)?;
+    let windows = if opts.windows.is_empty() {
+        vec![1, 10, 100, 1000, 10_000, 100_000]
+    } else {
+        opts.windows.clone()
+    };
+    let full = analyze_refs(&records, &opts.config(segments));
+    let total = full.available_parallelism();
+    println!(
+        "{:>10}  {:>14}  {:>12}  {:>8}",
+        "window", "critical path", "parallelism", "% of max"
+    );
+    for &w in &windows {
+        let config = opts.config(segments).with_window(WindowSize::bounded(w));
+        let report = analyze_refs(&records, &config);
+        println!(
+            "{w:>10}  {:>14}  {:>12.2}  {:>7.2}%",
+            report.critical_path_length(),
+            report.available_parallelism(),
+            100.0 * report.available_parallelism() / total
+        );
+    }
+    println!(
+        "{:>10}  {:>14}  {:>12.2}  {:>8}",
+        "inf",
+        full.critical_path_length(),
+        total,
+        "100.00%"
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Options::parse(&owned)
+    }
+
+    #[test]
+    fn parses_workload_and_switches() {
+        let opts = parse(&[
+            "--workload",
+            "cc1",
+            "--size",
+            "12",
+            "--rename",
+            "regs",
+            "--window",
+            "1024",
+            "--optimistic",
+            "--units",
+            "4",
+            "--no-disambiguation",
+            "--value-stats",
+        ])
+        .unwrap();
+        assert_eq!(opts.workload, Some(WorkloadId::Cc1));
+        assert_eq!(opts.size, Some(12));
+        assert_eq!(opts.rename, Some(RenameSet::registers_only()));
+        assert_eq!(opts.window, Some(1024));
+        assert!(opts.optimistic);
+        assert_eq!(opts.units, Some(4));
+        assert!(opts.no_disambiguation);
+        assert!(opts.value_stats);
+    }
+
+    #[test]
+    fn config_reflects_options() {
+        let opts = parse(&["--rename", "none", "--window", "64", "--units", "2"]).unwrap();
+        let config = opts.config(SegmentMap::all_data());
+        assert_eq!(config.renames(), RenameSet::none());
+        assert_eq!(config.window(), WindowSize::bounded(64));
+        assert_eq!(config.issue_limit(), Some(2));
+    }
+
+    #[test]
+    fn branch_policies_parse() {
+        assert_eq!(
+            parse_branch_policy("perfect").unwrap(),
+            BranchPolicy::Perfect
+        );
+        assert_eq!(
+            parse_branch_policy("stall").unwrap(),
+            BranchPolicy::StallAlways
+        );
+        assert_eq!(
+            parse_branch_policy("btfn").unwrap(),
+            BranchPolicy::Predict(PredictorKind::Btfn)
+        );
+        assert_eq!(
+            parse_branch_policy("bimodal:12").unwrap(),
+            BranchPolicy::Predict(PredictorKind::Bimodal { index_bits: 12 })
+        );
+        assert_eq!(
+            parse_branch_policy("gshare:8").unwrap(),
+            BranchPolicy::Predict(PredictorKind::Gshare { index_bits: 8 })
+        );
+        assert!(parse_branch_policy("oracle").is_err());
+        assert!(parse_branch_policy("bimodal:x").is_err());
+    }
+
+    #[test]
+    fn unknown_flags_and_values_error() {
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--workload", "gcc"]).is_err());
+        assert!(parse(&["--size"]).is_err());
+        assert!(parse(&["--rename", "everything"]).is_err());
+    }
+
+    #[test]
+    fn numbers_accept_underscores() {
+        let opts = parse(&["--fuel", "1_000_000"]).unwrap();
+        assert_eq!(opts.fuel, Some(1_000_000));
+    }
+
+    #[test]
+    fn skip_and_take_parse() {
+        let opts = parse(&["--skip", "100", "--take", "50"]).unwrap();
+        assert_eq!(opts.skip, Some(100));
+        assert_eq!(opts.take, Some(50));
+    }
+
+    #[test]
+    fn lists_parse() {
+        let opts = parse(&["--input", "1, 2,3", "--windows", "10,100"]).unwrap();
+        assert_eq!(opts.inputs, vec![1, 2, 3]);
+        assert_eq!(opts.windows, vec![10, 100]);
+    }
+
+    #[test]
+    fn fuel_defaults_to_the_paper_cap() {
+        let opts = parse(&[]).unwrap();
+        assert_eq!(opts.fuel(), paragraph_vm::DEFAULT_FUEL);
+    }
+
+    #[test]
+    fn workload_requires_flag() {
+        let opts = parse(&[]).unwrap();
+        assert!(opts.build_workload().is_err());
+    }
+}

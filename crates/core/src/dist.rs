@@ -1,0 +1,192 @@
+//! A discrete distribution type shared by the lifetime, sharing and
+//! branch-behaviour analyses.
+
+use std::collections::BTreeMap;
+
+/// A discrete distribution over `u64` values (lifetimes, sharing degrees...).
+///
+/// # Examples
+///
+/// ```
+/// use paragraph_core::Distribution;
+///
+/// let mut d = Distribution::new();
+/// for v in [0, 0, 3, 5] {
+///     d.record(v);
+/// }
+/// assert_eq!(d.count(), 4);
+/// assert_eq!(d.mean(), 2.0);
+/// assert_eq!(d.max(), Some(5));
+/// assert_eq!(d.frequency(0), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Distribution {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+    sum: u128,
+}
+
+impl Distribution {
+    /// An empty distribution.
+    pub fn new() -> Distribution {
+        Distribution::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.total += 1;
+        self.sum += u128::from(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of observations of exactly `value`.
+    pub fn frequency(&self, value: u64) -> u64 {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> Option<u64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> Option<u64> {
+        self.counts.keys().next().copied()
+    }
+
+    /// The smallest value `v` such that at least `p` (in `[0,1]`) of the
+    /// observations are `<= v`. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1]");
+        if self.total == 0 {
+            return None;
+        }
+        let threshold = (p * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (&value, &n) in &self.counts {
+            seen += n;
+            if seen >= threshold {
+                return Some(value);
+            }
+        }
+        self.max()
+    }
+
+    /// Iterates over `(value, frequency)` pairs in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&v, &n)| (v, n))
+    }
+
+    /// Population standard deviation (0 when fewer than two observations).
+    pub fn stddev(&self) -> f64 {
+        if self.total < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .counts
+            .iter()
+            .map(|(&v, &n)| {
+                let d = v as f64 - mean;
+                d * d * n as f64
+            })
+            .sum::<f64>()
+            / self.total as f64;
+        var.sqrt()
+    }
+
+    /// Number of distinct observed values.
+    pub fn distinct_values(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Writes the distribution as CSV (`value,count`), one row per distinct
+    /// value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out`.
+    pub fn write_csv<W: std::io::Write>(&self, mut out: W) -> std::io::Result<()> {
+        writeln!(out, "value,count")?;
+        for (value, count) in self.iter() {
+            writeln!(out, "{value},{count}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Distribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} observations, mean {:.2}, sd {:.2}, max {}",
+            self.total,
+            self.mean(),
+            self.stddev(),
+            self.max().unwrap_or(0)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        let mut d = Distribution::new();
+        for _ in 0..10 {
+            d.record(7);
+        }
+        assert_eq!(d.stddev(), 0.0);
+        assert_eq!(d.distinct_values(), 1);
+    }
+
+    #[test]
+    fn stddev_matches_hand_computation() {
+        let mut d = Distribution::new();
+        for v in [2u64, 4, 4, 4, 5, 5, 7, 9] {
+            d.record(v);
+        }
+        // Classic example: mean 5, population sd 2.
+        assert_eq!(d.mean(), 5.0);
+        assert!((d.stddev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_lists_every_distinct_value() {
+        let mut d = Distribution::new();
+        d.record(1);
+        d.record(1);
+        d.record(3);
+        let mut buf = Vec::new();
+        d.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "value,count\n1,2\n3,1\n");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut d = Distribution::new();
+        d.record(4);
+        assert!(d.to_string().contains("1 observations"));
+    }
+}

@@ -1,0 +1,964 @@
+//! The live well: the paper's streaming DDG placement algorithm.
+
+use crate::branch::{BranchPolicy, Predictor};
+use crate::config::{AnalysisConfig, SyscallPolicy};
+use crate::dist::Distribution;
+use crate::fasthash::FastMap;
+use crate::memmodel::MemOrdering;
+use crate::profile::ParallelismProfile;
+use crate::report::AnalysisReport;
+use crate::window::WindowLimiter;
+use paragraph_isa::OpClass;
+use paragraph_trace::{Loc, TraceRecord};
+
+/// A live-well entry: where a value became available, and the deepest level
+/// at which it has been used.
+#[derive(Debug, Clone, Copy)]
+struct ValueRecord {
+    /// Number of operations that have read this value (degree of sharing).
+    readers: u32,
+    /// Completion level of the operation that created the value. Values that
+    /// existed when the program began (pre-initialized registers, DATA words)
+    /// are recorded at level -1, "the level immediately preceding the
+    /// topologically highest level in the DDG", so they delay nothing.
+    avail: i64,
+    /// Deepest completion level of any operation that has read this value
+    /// (at least `avail`). This is the paper's `Ddest`: the level a
+    /// non-renamed overwrite of the location must be placed below.
+    deepest_use: i64,
+}
+
+impl ValueRecord {
+    fn preexisting() -> ValueRecord {
+        ValueRecord {
+            readers: 0,
+            avail: -1,
+            deepest_use: -1,
+        }
+    }
+}
+
+/// The streaming DDG analyzer (the paper's *Paragraph* algorithm, §3.2).
+///
+/// Processes a serial execution trace one record at a time, maintaining the
+/// *live well* — a table recording, for every live value, the DDG level in
+/// which it was created. Each value-creating instruction is placed at
+///
+/// ```text
+/// Ldest = MAX(Lsrc1, Lsrc2, highestLevel [, Ddest]) + top
+/// ```
+///
+/// where `Lsrc*` are the levels at which the source values become available,
+/// `highestLevel` is the current placement floor (raised by firewalls and by
+/// instruction-window displacement), `Ddest` is the deepest use of the
+/// previous value in the destination location (only when that location's
+/// storage class is not renamed), and `top` is the operation latency.
+///
+/// *Deviation note:* the paper's prose gives the storage-dependency term as
+/// `Ddest + 1`, but its own worked example (Figure 2, critical path 6) is
+/// only consistent with `Ddest` when levels are completion levels, so that
+/// is what this implementation (and the explicit-graph builder, which is
+/// cross-validated against it) uses. See `DESIGN.md` §1.
+///
+/// # Examples
+///
+/// ```
+/// use paragraph_core::{AnalysisConfig, LiveWell};
+/// use paragraph_trace::synthetic;
+///
+/// let mut analyzer = LiveWell::new(AnalysisConfig::dataflow_limit());
+/// for record in synthetic::figure1() {
+///     analyzer.process(&record);
+/// }
+/// let report = analyzer.finish();
+/// assert_eq!(report.critical_path_length(), 4);
+/// ```
+#[derive(Debug)]
+pub struct LiveWell {
+    config: AnalysisConfig,
+    int_regs: [Option<ValueRecord>; 32],
+    fp_regs: [Option<ValueRecord>; 32],
+    mem: FastMap<u64, ValueRecord>,
+    /// `highestLevel - 1` in the paper's terms: every newly placed operation
+    /// completes at `floor + top` at the earliest.
+    floor: i64,
+    /// The paper's `deepestLevelYetUsed`: the deepest completion level of any
+    /// placed operation; -1 before anything is placed.
+    deepest: i64,
+    window: WindowLimiter,
+    profile: ParallelismProfile,
+    predictor: Option<Predictor>,
+    /// Operations started per level, when an issue limit is configured.
+    level_starts: Option<FastMap<i64, u32>>,
+    value_stats: Option<ValueStats>,
+    /// Conservative memory ordering, under `MemoryModel::NoDisambiguation`.
+    mem_ordering: MemOrdering,
+    total_records: u64,
+    placed: u64,
+    syscalls: u64,
+    firewalls: u64,
+    branch_firewalls: u64,
+    peak_live_values: usize,
+    class_placed: [u64; OpClass::ALL.len()],
+}
+
+#[derive(Debug, Default)]
+struct ValueStats {
+    lifetimes: Distribution,
+    sharing: Distribution,
+}
+
+impl ValueStats {
+    fn retire(&mut self, record: &ValueRecord) {
+        // Preexisting values (created before the program began) are not
+        // counted; the paper's distributions cover created values.
+        if record.avail >= 0 {
+            self.lifetimes
+                .record((record.deepest_use - record.avail) as u64);
+            self.sharing.record(u64::from(record.readers));
+        }
+    }
+}
+
+impl LiveWell {
+    /// Creates an analyzer for one pass under `config`.
+    pub fn new(config: AnalysisConfig) -> LiveWell {
+        let predictor = match config.branch_policy() {
+            BranchPolicy::Predict(kind) => Some(Predictor::new(kind)),
+            _ => None,
+        };
+        LiveWell {
+            window: WindowLimiter::new(config.window()),
+            profile: ParallelismProfile::new(config.profile_bins()),
+            predictor,
+            level_starts: config.issue_limit().map(|_| FastMap::default()),
+            value_stats: config.value_stats().then(ValueStats::default),
+            mem_ordering: MemOrdering::default(),
+            config,
+            int_regs: [None; 32],
+            fp_regs: [None; 32],
+            mem: FastMap::default(),
+            floor: -1,
+            deepest: -1,
+            total_records: 0,
+            placed: 0,
+            syscalls: 0,
+            firewalls: 0,
+            branch_firewalls: 0,
+            peak_live_values: 0,
+            class_placed: [0; OpClass::ALL.len()],
+        }
+    }
+
+    fn entry(&mut self, loc: Loc) -> &mut ValueRecord {
+        let slot = match loc {
+            Loc::IntReg(r) => &mut self.int_regs[r.index() as usize],
+            Loc::FpReg(r) => &mut self.fp_regs[r.index() as usize],
+            Loc::Mem(addr) => {
+                return self
+                    .mem
+                    .entry(addr)
+                    .or_insert_with(ValueRecord::preexisting)
+            }
+        };
+        slot.get_or_insert_with(ValueRecord::preexisting)
+    }
+
+    fn peek(&self, loc: Loc) -> Option<ValueRecord> {
+        match loc {
+            Loc::IntReg(r) => self.int_regs[r.index() as usize],
+            Loc::FpReg(r) => self.fp_regs[r.index() as usize],
+            Loc::Mem(addr) => self.mem.get(&addr).copied(),
+        }
+    }
+
+    fn put(&mut self, loc: Loc, record: ValueRecord) {
+        let old = match loc {
+            Loc::IntReg(r) => self.int_regs[r.index() as usize].replace(record),
+            Loc::FpReg(r) => self.fp_regs[r.index() as usize].replace(record),
+            Loc::Mem(addr) => self.mem.insert(addr, record),
+        };
+        if let (Some(stats), Some(old)) = (self.value_stats.as_mut(), old) {
+            stats.retire(&old);
+        }
+    }
+
+    /// Processes one trace record; returns the completion level the record
+    /// was placed at, or `None` if it was not placed in the DDG (control
+    /// instructions; system calls under the optimistic policy).
+    pub fn process(&mut self, record: &TraceRecord) -> Option<u64> {
+        self.total_records += 1;
+        let class = record.class();
+
+        // The instruction enters the window, displacing the oldest visible
+        // instruction; the displaced level becomes a firewall below which
+        // this (and every later) instruction must be placed.
+        if let Some((displaced, ())) = self.window.make_room() {
+            self.floor = self.floor.max(displaced);
+        }
+
+        let skip = !class.creates_value()
+            || (class == OpClass::Syscall
+                && self.config.syscall_policy() == SyscallPolicy::Optimistic);
+        if skip {
+            if class == OpClass::Syscall {
+                self.syscalls += 1;
+            }
+            if class == OpClass::Branch {
+                self.observe_branch(record);
+            }
+            self.window.push(None);
+            return None;
+        }
+
+        // Ldest = MAX(Lsrc..., highestLevel [, Ddest]) + top
+        let mut base = self.floor;
+        for &src in record.srcs() {
+            base = base.max(self.entry(src).avail);
+        }
+        if let Some(dest) = record.dest() {
+            if !self.config.renames().renames(dest, self.config.segments()) {
+                if let Some(old) = self.peek(dest) {
+                    base = base.max(old.deepest_use);
+                }
+            }
+        }
+        if self.config.memory_model().is_conservative() {
+            // Without disambiguation a load may alias any earlier store,
+            // and a store any earlier load or store.
+            let bound = match class {
+                OpClass::Load => self.mem_ordering.load_floor(),
+                OpClass::Store => self.mem_ordering.store_floor(),
+                _ => None,
+            };
+            if let Some((level, _)) = bound {
+                base = base.max(level);
+            }
+        }
+        let top = i64::from(self.config.latency().latency(class));
+        let ldest = if let Some(limit) = self.config.issue_limit() {
+            // Resource dependency: at most `limit` operations may start in
+            // any level; slide the start level down to the first free slot.
+            let starts = self.level_starts.as_mut().expect("issue table");
+            let mut start = base + 1;
+            while starts.get(&start).is_some_and(|&n| n as usize >= limit) {
+                start += 1;
+            }
+            *starts.entry(start).or_insert(0) += 1;
+            start + top - 1
+        } else {
+            base + top
+        };
+
+        self.profile.record(ldest as u64);
+        self.deepest = self.deepest.max(ldest);
+        self.placed += 1;
+        self.class_placed[class as usize] += 1;
+        if self.config.memory_model().is_conservative() {
+            match class {
+                OpClass::Load => self.mem_ordering.observe_load(ldest, usize::MAX),
+                OpClass::Store => self.mem_ordering.observe_store(ldest, usize::MAX),
+                _ => {}
+            }
+        }
+
+        for &src in record.srcs() {
+            let entry = self.entry(src);
+            entry.deepest_use = entry.deepest_use.max(ldest);
+            entry.readers += 1;
+        }
+        if let Some(dest) = record.dest() {
+            self.put(
+                dest,
+                ValueRecord {
+                    readers: 0,
+                    avail: ldest,
+                    deepest_use: ldest,
+                },
+            );
+        }
+
+        if class == OpClass::Syscall {
+            self.syscalls += 1;
+            if self.config.syscall_policy() == SyscallPolicy::Conservative {
+                // Place a firewall immediately after the deepest computation:
+                // no later instruction may be placed higher.
+                self.floor = self.deepest;
+                self.firewalls += 1;
+            }
+        }
+
+        self.window.push(Some((ldest, ())));
+
+        // The paper's working-set concern: "a very large memory (32 MBytes)
+        // was required to hold the working set of Paragraph". Track the peak
+        // so reports can size the live well. Memory entries dominate; the
+        // register files are a constant 64.
+        self.peak_live_values = self.peak_live_values.max(self.mem.len() + 64);
+
+        Some(ldest as u64)
+    }
+
+    /// Processes every record of an iterator.
+    pub fn process_all<'a, I>(&mut self, records: I)
+    where
+        I: IntoIterator<Item = &'a TraceRecord>,
+    {
+        for record in records {
+            self.process(record);
+        }
+    }
+
+    /// Number of values currently held in the live well (the paper's working
+    /// set concern: "billions of values will be entered into the live well").
+    pub fn live_well_size(&self) -> usize {
+        let regs = self.int_regs.iter().filter(|r| r.is_some()).count()
+            + self.fp_regs.iter().filter(|r| r.is_some()).count();
+        regs + self.mem.len()
+    }
+
+    /// The deepest completion level placed so far, if anything was placed.
+    pub fn deepest_level(&self) -> Option<u64> {
+        (self.deepest >= 0).then_some(self.deepest as u64)
+    }
+
+    /// Handles a conditional branch under the configured branch policy: a
+    /// mispredicted (or unpredicted, under [`BranchPolicy::StallAlways`])
+    /// branch firewalls the graph at the branch's resolution level.
+    fn observe_branch(&mut self, record: &TraceRecord) {
+        let mispredicted = match self.config.branch_policy() {
+            BranchPolicy::Perfect => false,
+            BranchPolicy::StallAlways => true,
+            BranchPolicy::Predict(_) => match record.branch_info() {
+                Some(info) => {
+                    let predictor = self.predictor.as_mut().expect("predictor");
+                    !predictor.predict_and_train(record.pc(), info.taken, info.target)
+                }
+                // No recorded outcome: treated as correctly predicted.
+                None => false,
+            },
+        };
+        if mispredicted {
+            // The branch resolves one level after its operands are ready;
+            // nothing fetched past it may execute earlier.
+            let mut resolve = self.floor;
+            for &src in record.srcs() {
+                resolve = resolve.max(self.entry(src).avail);
+            }
+            let resolve = resolve + 1;
+            for &src in record.srcs() {
+                // The branch read the value (WAR now extends to the resolve
+                // level) but is not a sharing consumer: sharing counts
+                // value-creating operations fired by a token (§2.3).
+                let entry = self.entry(src);
+                entry.deepest_use = entry.deepest_use.max(resolve);
+            }
+            if resolve > self.floor {
+                self.floor = resolve;
+                self.branch_firewalls += 1;
+            }
+        }
+    }
+
+    /// Number of branch-misprediction firewalls inserted so far.
+    pub fn branch_firewalls(&self) -> u64 {
+        self.branch_firewalls
+    }
+
+    /// Peak number of entries the live well has held (the paper's
+    /// working-set concern; §3.2 discusses value-death tracking to bound
+    /// this, we simply report it).
+    pub fn peak_live_values(&self) -> usize {
+        self.peak_live_values
+    }
+
+    /// The running branch predictor, if the policy uses one.
+    pub fn predictor(&self) -> Option<&Predictor> {
+        self.predictor.as_ref()
+    }
+
+    /// A cheap running snapshot: `(instructions seen, operations placed,
+    /// critical path length, available parallelism)`. Lets callers trace
+    /// how parallelism accumulates with trace length without finishing the
+    /// pass.
+    pub fn snapshot(&self) -> (u64, u64, u64, f64) {
+        let cp = (self.deepest + 1).max(0) as u64;
+        let par = if cp == 0 {
+            0.0
+        } else {
+            self.placed as f64 / cp as f64
+        };
+        (self.total_records, self.placed, cp, par)
+    }
+
+    /// Finishes the pass and produces the report.
+    pub fn finish(mut self) -> AnalysisReport {
+        // Retire every value still live so the distributions are complete.
+        if let Some(mut stats) = self.value_stats.take() {
+            for slot in self.int_regs.iter().chain(self.fp_regs.iter()) {
+                if let Some(record) = slot {
+                    stats.retire(record);
+                }
+            }
+            for record in self.mem.values() {
+                stats.retire(record);
+            }
+            self.value_stats = Some(stats);
+        }
+        let value_stats = self.value_stats.map(|s| (s.lifetimes, s.sharing));
+        AnalysisReport::new(
+            self.config,
+            self.profile,
+            self.total_records,
+            self.placed,
+            self.syscalls,
+            self.firewalls,
+            self.branch_firewalls,
+            self.peak_live_values,
+            self.predictor,
+            value_stats,
+            self.class_placed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RenameSet, WindowSize};
+    use paragraph_isa::LatencyModel;
+    use paragraph_trace::synthetic;
+
+    fn run(records: &[TraceRecord], config: AnalysisConfig) -> AnalysisReport {
+        let mut lw = LiveWell::new(config);
+        lw.process_all(records);
+        lw.finish()
+    }
+
+    #[test]
+    fn figure1_dataflow_profile() {
+        // Figure 1 / §2.3: profile [4, 2, 1, 1], critical path 4.
+        let report = run(&synthetic::figure1(), AnalysisConfig::dataflow_limit());
+        assert_eq!(report.critical_path_length(), 4);
+        assert_eq!(
+            report.profile().exact_counts(),
+            Some(vec![4, 2, 1, 1]),
+            "parallelism profile must match the paper's worked example"
+        );
+    }
+
+    #[test]
+    fn figure2_storage_dependency_profile() {
+        // Figure 2 / §2.3: profile [2, 1, 2, 1, 1, 1], critical path 6.
+        let config = AnalysisConfig::dataflow_limit().with_renames(RenameSet::none());
+        let report = run(&synthetic::figure2(), config);
+        assert_eq!(report.critical_path_length(), 6);
+        assert_eq!(
+            report.profile().exact_counts(),
+            Some(vec![2, 1, 2, 1, 1, 1])
+        );
+    }
+
+    #[test]
+    fn figure2_with_register_renaming_recovers_figure1() {
+        let config = AnalysisConfig::dataflow_limit().with_renames(RenameSet::registers_only());
+        let report = run(&synthetic::figure2(), config);
+        assert_eq!(report.critical_path_length(), 4);
+        assert_eq!(report.profile().exact_counts(), Some(vec![4, 2, 1, 1]));
+    }
+
+    #[test]
+    fn chain_is_fully_serial() {
+        let report = run(&synthetic::chain(100), AnalysisConfig::dataflow_limit());
+        assert_eq!(report.critical_path_length(), 100);
+        assert_eq!(report.available_parallelism(), 1.0);
+    }
+
+    #[test]
+    fn independent_ops_all_land_in_level_zero() {
+        let report = run(
+            &synthetic::independent(50),
+            AnalysisConfig::dataflow_limit(),
+        );
+        assert_eq!(report.critical_path_length(), 1);
+        assert_eq!(report.available_parallelism(), 50.0);
+    }
+
+    #[test]
+    fn interleaved_chains_have_chain_count_parallelism() {
+        let report = run(
+            &synthetic::interleaved_chains(8, 25),
+            AnalysisConfig::dataflow_limit(),
+        );
+        assert_eq!(report.critical_path_length(), 25);
+        assert_eq!(report.available_parallelism(), 8.0);
+    }
+
+    #[test]
+    fn window_of_one_serializes_independent_ops() {
+        let config = AnalysisConfig::dataflow_limit().with_window(WindowSize::bounded(1));
+        let report = run(&synthetic::independent(20), config);
+        assert_eq!(report.critical_path_length(), 20);
+        assert_eq!(report.available_parallelism(), 1.0);
+    }
+
+    #[test]
+    fn window_bounds_level_width() {
+        for w in [2usize, 3, 7] {
+            let config = AnalysisConfig::dataflow_limit().with_window(WindowSize::bounded(w));
+            let report = run(&synthetic::independent(50), config);
+            let counts = report.profile().exact_counts().unwrap();
+            assert!(
+                counts.iter().all(|&c| c <= w as u64),
+                "window {w} must bound level width, got {counts:?}"
+            );
+            assert_eq!(counts.iter().sum::<u64>(), 50);
+        }
+    }
+
+    #[test]
+    fn window_monotonically_exposes_parallelism() {
+        let trace = synthetic::random_trace(2000, 11);
+        let mut last = 0.0;
+        for w in [1usize, 4, 16, 64, 256, 1024, 4096] {
+            let config = AnalysisConfig::dataflow_limit().with_window(WindowSize::bounded(w));
+            let par = run(&trace, config).available_parallelism();
+            assert!(
+                par >= last - 1e-9,
+                "parallelism should not decrease with window size ({w}: {par} < {last})"
+            );
+            last = par;
+        }
+        let unlimited = run(&trace, AnalysisConfig::dataflow_limit()).available_parallelism();
+        assert!(unlimited >= last - 1e-9);
+    }
+
+    #[test]
+    fn conservative_syscall_inserts_firewall() {
+        // Two independent ops with a syscall between them: under the
+        // conservative policy the second op must land below the syscall.
+        let records = vec![
+            TraceRecord::compute(0, OpClass::IntAlu, &[], Loc::int(1)),
+            TraceRecord::syscall(1, &[], None),
+            TraceRecord::compute(2, OpClass::IntAlu, &[], Loc::int(2)),
+        ];
+        let report = run(&records, AnalysisConfig::dataflow_limit());
+        assert_eq!(report.firewalls(), 1);
+        assert_eq!(report.critical_path_length(), 2);
+        assert_eq!(report.profile().exact_counts(), Some(vec![2, 1]));
+
+        let optimistic =
+            AnalysisConfig::dataflow_limit().with_syscall_policy(SyscallPolicy::Optimistic);
+        let report = run(&records, optimistic);
+        assert_eq!(report.firewalls(), 0);
+        assert_eq!(report.critical_path_length(), 1);
+        assert_eq!(report.placed_ops(), 2); // the syscall is ignored
+        assert_eq!(report.syscalls(), 1); // ...but still counted
+    }
+
+    #[test]
+    fn optimistic_never_exceeds_conservative_critical_path() {
+        let trace = synthetic::random_trace(3000, 5);
+        let cons = run(&trace, AnalysisConfig::dataflow_limit());
+        let opt = run(
+            &trace,
+            AnalysisConfig::dataflow_limit().with_syscall_policy(SyscallPolicy::Optimistic),
+        );
+        assert!(opt.critical_path_length() <= cons.critical_path_length());
+    }
+
+    #[test]
+    fn latencies_stretch_the_critical_path() {
+        // A chain of 3 multiplies: 3 * 6 = 18 levels under Table 1.
+        let records = vec![
+            TraceRecord::compute(0, OpClass::IntMul, &[], Loc::int(1)),
+            TraceRecord::compute(1, OpClass::IntMul, &[Loc::int(1)], Loc::int(1)),
+            TraceRecord::compute(2, OpClass::IntMul, &[Loc::int(1)], Loc::int(1)),
+        ];
+        let report = run(&records, AnalysisConfig::dataflow_limit());
+        assert_eq!(report.critical_path_length(), 18);
+
+        let unit = AnalysisConfig::dataflow_limit().with_latency(LatencyModel::unit());
+        let report = run(&records, unit);
+        assert_eq!(report.critical_path_length(), 3);
+    }
+
+    #[test]
+    fn memory_war_dependency_without_renaming() {
+        // load from addr 0, then store a new (independent) value to addr 0.
+        // Without memory renaming the store must follow the load's use.
+        let records = vec![
+            TraceRecord::load(0, 0, None, Loc::int(1)),
+            TraceRecord::compute(1, OpClass::IntAlu, &[Loc::int(1)], Loc::int(2)),
+            TraceRecord::compute(2, OpClass::IntAlu, &[], Loc::int(3)),
+            TraceRecord::store(3, 0, Loc::int(3), None),
+        ];
+        let no_rename = AnalysisConfig::dataflow_limit().with_renames(RenameSet::none());
+        let report = run(&records, no_rename);
+        // load@0, alu@1, li@0, store must wait for alu's use of the old
+        // value? No: Ddest of mem[0] is max(load level)=0 ... the load reads
+        // mem[0]; the *use* of mem[0]'s value is the load itself (level 0).
+        // store: max(floor, src li@0, Ddest=0) + 1 = 1... but WAW with the
+        // original value's creation (-1) is subsumed. Critical path is the
+        // alu chain: 2.
+        assert_eq!(report.critical_path_length(), 2);
+
+        // Now make a later reader deepen the old value's use:
+        let records = vec![
+            TraceRecord::load(0, 0, None, Loc::int(1)), // reads mem[0] @0
+            TraceRecord::compute(1, OpClass::IntAlu, &[Loc::int(1)], Loc::int(2)), // @1
+            TraceRecord::load(2, 0, None, Loc::int(4)), // reads mem[0] @0
+            TraceRecord::compute(3, OpClass::IntAlu, &[Loc::int(2)], Loc::int(5)), // @2
+            TraceRecord::compute(4, OpClass::IntAlu, &[Loc::int(5), Loc::int(4)], Loc::int(6)), // @3 reads mem[0]-value via r4? no: reads r5,r4
+            TraceRecord::store(5, 0, Loc::int(6), None), // overwrites mem[0]
+        ];
+        let no_rename = AnalysisConfig::dataflow_limit().with_renames(RenameSet::none());
+        let report = run(&records, no_rename.clone());
+        // The store depends on r6 (@4): placed at 5. The WAR on mem[0]
+        // (deepest use @0 by the loads) is subsumed. Renaming changes nothing
+        // here:
+        let renamed = run(
+            &records,
+            AnalysisConfig::dataflow_limit().with_renames(RenameSet::all()),
+        );
+        assert_eq!(
+            report.critical_path_length(),
+            renamed.critical_path_length()
+        );
+    }
+
+    #[test]
+    fn war_on_register_delays_overwrite() {
+        // r1 is created at level 0, read by a long-latency op completing at
+        // level 12; overwriting r1 without renaming must land after 12.
+        let records = vec![
+            TraceRecord::compute(0, OpClass::IntAlu, &[], Loc::int(1)), // @0
+            TraceRecord::compute(1, OpClass::IntDiv, &[Loc::int(1)], Loc::int(2)), // @12
+            TraceRecord::compute(2, OpClass::IntAlu, &[], Loc::int(1)), // WAR
+        ];
+        let no_rename = AnalysisConfig::dataflow_limit().with_renames(RenameSet::none());
+        let report = run(&records, no_rename);
+        // Ldest(overwrite) = max(-1 floor, Ddest=12) + 1 = 13 -> CP 14.
+        assert_eq!(report.critical_path_length(), 14);
+
+        let renamed = run(&records, AnalysisConfig::dataflow_limit());
+        assert_eq!(renamed.critical_path_length(), 13); // just the div chain
+    }
+
+    #[test]
+    fn waw_without_intervening_read_still_orders() {
+        // Two writes to r1, no reads. Without renaming the second write must
+        // be placed after the first value's creation (deepest_use == avail).
+        let records = vec![
+            TraceRecord::compute(0, OpClass::IntDiv, &[], Loc::int(1)), // completes @11
+            TraceRecord::compute(1, OpClass::IntAlu, &[], Loc::int(1)), // WAW
+        ];
+        let no_rename = AnalysisConfig::dataflow_limit().with_renames(RenameSet::none());
+        let report = run(&records, no_rename);
+        assert_eq!(report.critical_path_length(), 13); // placed @12, after the div
+        let renamed = run(&records, AnalysisConfig::dataflow_limit());
+        assert_eq!(renamed.critical_path_length(), 12); // just the div
+    }
+
+    #[test]
+    fn stack_vs_data_renaming_is_segment_sensitive() {
+        use paragraph_trace::SegmentMap;
+        // A memory word is read *deep* in the graph (its load waits for a
+        // divide chain), then overwritten by an independent store. With
+        // registers+stack renamed, only the data-segment version orders.
+        let mk = |addr: u64| {
+            vec![
+                TraceRecord::compute(0, OpClass::IntDiv, &[], Loc::int(1)), // @11
+                TraceRecord::load(1, addr, Some(Loc::int(1)), Loc::int(2)), // @12, deep read
+                TraceRecord::compute(2, OpClass::IntAlu, &[], Loc::int(3)), // @0
+                TraceRecord::store(3, addr, Loc::int(3), None),             // WAR on mem[addr]
+            ]
+        };
+        let segments = SegmentMap::new(100, 1000);
+        let config = AnalysisConfig::dataflow_limit()
+            .with_renames(RenameSet::registers_and_stack())
+            .with_segments(segments);
+        let stack_report = run(&mk(2000), config.clone());
+        let data_report = run(&mk(50), config);
+        assert!(
+            data_report.critical_path_length() > stack_report.critical_path_length(),
+            "data-segment WAR must order when only stack is renamed"
+        );
+    }
+
+    #[test]
+    fn preexisting_values_do_not_delay_computation() {
+        // A load of a never-written DATA word is placed in the first level.
+        let records = vec![TraceRecord::load(0, 77, None, Loc::int(1))];
+        let report = run(&records, AnalysisConfig::dataflow_limit());
+        assert_eq!(report.critical_path_length(), 1);
+        assert_eq!(report.profile().exact_counts(), Some(vec![1]));
+    }
+
+    #[test]
+    fn branches_are_observed_but_not_placed() {
+        let records = vec![
+            TraceRecord::compute(0, OpClass::IntAlu, &[], Loc::int(1)),
+            TraceRecord::branch(1, &[Loc::int(1)]),
+            TraceRecord::jump(2, &[]),
+        ];
+        let report = run(&records, AnalysisConfig::dataflow_limit());
+        assert_eq!(report.total_records(), 3);
+        assert_eq!(report.placed_ops(), 1);
+    }
+
+    #[test]
+    fn live_well_size_tracks_locations() {
+        let mut lw = LiveWell::new(AnalysisConfig::dataflow_limit());
+        assert_eq!(lw.live_well_size(), 0);
+        lw.process(&TraceRecord::compute(
+            0,
+            OpClass::IntAlu,
+            &[Loc::int(3)],
+            Loc::int(1),
+        ));
+        // r3 (preexisting) and r1 (created).
+        assert_eq!(lw.live_well_size(), 2);
+        lw.process(&TraceRecord::store(1, 9, Loc::int(1), None));
+        assert_eq!(lw.live_well_size(), 3);
+        assert_eq!(lw.deepest_level(), Some(1));
+    }
+
+    #[test]
+    fn stall_always_branches_serialize_around_resolution() {
+        use crate::branch::BranchPolicy;
+        // Independent ops around a branch: with perfect control flow they
+        // share level 0; stalling on every branch pushes the later one down.
+        let records = vec![
+            TraceRecord::compute(0, OpClass::IntAlu, &[], Loc::int(1)),
+            TraceRecord::branch_outcome(1, &[Loc::int(1)], true, 0),
+            TraceRecord::compute(2, OpClass::IntAlu, &[], Loc::int(2)),
+        ];
+        let perfect = run(&records, AnalysisConfig::dataflow_limit());
+        assert_eq!(perfect.critical_path_length(), 1);
+        assert_eq!(perfect.branch_firewalls(), 0);
+
+        let stall = AnalysisConfig::dataflow_limit().with_branch_policy(BranchPolicy::StallAlways);
+        let report = run(&records, stall);
+        // Branch resolves at level 1 (its source completes at 0); the next
+        // op lands at 2.
+        assert_eq!(report.critical_path_length(), 3);
+        assert_eq!(report.branch_firewalls(), 1);
+    }
+
+    #[test]
+    fn predicted_branches_do_not_firewall() {
+        use crate::branch::{BranchPolicy, PredictorKind};
+        // A loop-like stream of always-taken branches: always-taken predicts
+        // them all; never-taken misses them all.
+        let mut records = Vec::new();
+        for i in 0..20u64 {
+            records.push(TraceRecord::compute(
+                2 * i,
+                OpClass::IntAlu,
+                &[],
+                Loc::int(1),
+            ));
+            records.push(TraceRecord::branch_outcome(
+                2 * i + 1,
+                &[Loc::int(1)],
+                true,
+                0,
+            ));
+        }
+        let good = run(
+            &records,
+            AnalysisConfig::dataflow_limit()
+                .with_branch_policy(BranchPolicy::Predict(PredictorKind::AlwaysTaken)),
+        );
+        assert_eq!(good.branch_firewalls(), 0);
+        assert_eq!(good.predictor().unwrap().mispredictions(), 0);
+        let bad = run(
+            &records,
+            AnalysisConfig::dataflow_limit()
+                .with_branch_policy(BranchPolicy::Predict(PredictorKind::NeverTaken)),
+        );
+        assert_eq!(bad.predictor().unwrap().mispredictions(), 20);
+        assert!(bad.critical_path_length() > good.critical_path_length());
+    }
+
+    #[test]
+    fn branches_without_outcomes_are_treated_as_predicted() {
+        use crate::branch::{BranchPolicy, PredictorKind};
+        let records = vec![
+            TraceRecord::compute(0, OpClass::IntAlu, &[], Loc::int(1)),
+            TraceRecord::branch(1, &[Loc::int(1)]), // no outcome recorded
+            TraceRecord::compute(2, OpClass::IntAlu, &[], Loc::int(2)),
+        ];
+        let report = run(
+            &records,
+            AnalysisConfig::dataflow_limit()
+                .with_branch_policy(BranchPolicy::Predict(PredictorKind::NeverTaken)),
+        );
+        assert_eq!(report.branch_firewalls(), 0);
+        assert_eq!(report.critical_path_length(), 1);
+    }
+
+    #[test]
+    fn issue_limit_bounds_starts_per_level() {
+        // 30 independent unit-latency ops on a 4-wide machine: ceil(30/4)
+        // levels, at most 4 completions per level.
+        let config = AnalysisConfig::dataflow_limit()
+            .with_latency(LatencyModel::unit())
+            .with_issue_limit(4);
+        let report = run(&synthetic::independent(30), config);
+        assert_eq!(report.critical_path_length(), 8); // ceil(30/4)
+        let counts = report.profile().exact_counts().unwrap();
+        assert!(counts.iter().all(|&c| c <= 4));
+        assert_eq!(counts.iter().sum::<u64>(), 30);
+    }
+
+    #[test]
+    fn issue_limit_one_fully_serializes() {
+        let config = AnalysisConfig::dataflow_limit()
+            .with_latency(LatencyModel::unit())
+            .with_issue_limit(1);
+        let report = run(&synthetic::independent(12), config);
+        assert_eq!(report.critical_path_length(), 12);
+        assert_eq!(report.available_parallelism(), 1.0);
+    }
+
+    #[test]
+    fn issue_limit_is_monotone() {
+        let trace = synthetic::random_trace(1500, 17);
+        let mut last = u64::MAX;
+        for limit in [1usize, 2, 4, 8, 16, 64] {
+            let config = AnalysisConfig::dataflow_limit().with_issue_limit(limit);
+            let cp = run(&trace, config).critical_path_length();
+            assert!(cp <= last, "limit {limit}: {cp} > {last}");
+            last = cp;
+        }
+        let unlimited = run(&trace, AnalysisConfig::dataflow_limit()).critical_path_length();
+        assert!(unlimited <= last);
+    }
+
+    #[test]
+    fn value_stats_capture_lifetimes_and_sharing() {
+        // One producer read by three consumers, all unit latency.
+        let records = vec![
+            TraceRecord::compute(0, OpClass::IntAlu, &[], Loc::int(1)), // @0
+            TraceRecord::compute(1, OpClass::IntAlu, &[Loc::int(1)], Loc::int(2)), // @1
+            TraceRecord::compute(2, OpClass::IntAlu, &[Loc::int(1)], Loc::int(3)), // @1
+            TraceRecord::compute(3, OpClass::IntAlu, &[Loc::int(1)], Loc::int(4)), // @1
+        ];
+        let config = AnalysisConfig::dataflow_limit()
+            .with_latency(LatencyModel::unit())
+            .with_value_stats(true);
+        let report = run(&records, config);
+        let sharing = report.sharing_degrees().unwrap();
+        assert_eq!(sharing.count(), 4);
+        assert_eq!(sharing.frequency(3), 1); // the producer
+        assert_eq!(sharing.frequency(0), 3); // the leaves
+        let lifetimes = report.value_lifetimes().unwrap();
+        assert_eq!(lifetimes.frequency(1), 1); // producer lives 1 level
+        assert_eq!(lifetimes.frequency(0), 3); // leaves die at creation
+    }
+
+    #[test]
+    fn value_stats_match_explicit_graph() {
+        use crate::ddg::Ddg;
+        let trace = synthetic::random_trace(800, 23);
+        let config = AnalysisConfig::dataflow_limit().with_value_stats(true);
+        let report = run(&trace, config.clone());
+        let ddg = Ddg::from_records(&trace, &config);
+        assert_eq!(
+            report.value_lifetimes().unwrap(),
+            ddg.value_lifetimes(),
+            "streaming and explicit lifetimes must agree"
+        );
+        assert_eq!(
+            report.sharing_degrees().unwrap(),
+            &ddg.sharing_degrees(),
+            "streaming and explicit sharing must agree"
+        );
+    }
+
+    #[test]
+    fn value_stats_disabled_by_default() {
+        let report = run(&synthetic::chain(5), AnalysisConfig::dataflow_limit());
+        assert!(report.value_lifetimes().is_none());
+        assert!(report.sharing_degrees().is_none());
+    }
+
+    #[test]
+    fn no_disambiguation_serializes_memory_traffic() {
+        use crate::memmodel::MemoryModel;
+        // Two loads and two stores at distinct addresses: independent under
+        // perfect disambiguation, chained without it.
+        let records = vec![
+            TraceRecord::store(0, 10, Loc::int(1), None),
+            TraceRecord::load(1, 20, None, Loc::int(2)),
+            TraceRecord::store(2, 30, Loc::int(3), None),
+            TraceRecord::load(3, 40, None, Loc::int(4)),
+        ];
+        let perfect = run(&records, AnalysisConfig::dataflow_limit());
+        assert_eq!(perfect.critical_path_length(), 1);
+        let config =
+            AnalysisConfig::dataflow_limit().with_memory_model(MemoryModel::NoDisambiguation);
+        let report = run(&records, config);
+        // store@0; load waits for it @1; store waits for both @2; load @3.
+        assert_eq!(report.critical_path_length(), 4);
+        assert_eq!(report.profile().exact_counts(), Some(vec![1, 1, 1, 1]));
+    }
+
+    #[test]
+    fn no_disambiguation_leaves_alu_traffic_alone() {
+        use crate::memmodel::MemoryModel;
+        let config =
+            AnalysisConfig::dataflow_limit().with_memory_model(MemoryModel::NoDisambiguation);
+        let report = run(&synthetic::independent(20), config);
+        assert_eq!(report.critical_path_length(), 1);
+    }
+
+    #[test]
+    fn loads_between_stores_may_overlap_without_disambiguation() {
+        use crate::memmodel::MemoryModel;
+        // Loads only conflict with stores, not each other.
+        let records = vec![
+            TraceRecord::load(0, 1, None, Loc::int(1)),
+            TraceRecord::load(1, 2, None, Loc::int(2)),
+            TraceRecord::load(2, 3, None, Loc::int(3)),
+        ];
+        let config =
+            AnalysisConfig::dataflow_limit().with_memory_model(MemoryModel::NoDisambiguation);
+        let report = run(&records, config);
+        assert_eq!(report.critical_path_length(), 1);
+        assert_eq!(report.available_parallelism(), 3.0);
+    }
+
+    #[test]
+    fn snapshots_track_the_running_analysis() {
+        let mut lw = LiveWell::new(AnalysisConfig::dataflow_limit());
+        assert_eq!(lw.snapshot(), (0, 0, 0, 0.0));
+        for record in synthetic::interleaved_chains(4, 10) {
+            lw.process(&record);
+        }
+        let (seen, placed, cp, par) = lw.snapshot();
+        assert_eq!(seen, 40);
+        assert_eq!(placed, 40);
+        assert_eq!(cp, 10);
+        assert_eq!(par, 4.0);
+        let report = lw.finish();
+        assert_eq!(report.critical_path_length(), cp);
+    }
+
+    #[test]
+    fn process_returns_placement_level() {
+        let mut lw = LiveWell::new(AnalysisConfig::dataflow_limit());
+        let l0 = lw.process(&TraceRecord::compute(0, OpClass::IntAlu, &[], Loc::int(1)));
+        assert_eq!(l0, Some(0));
+        let l1 = lw.process(&TraceRecord::compute(
+            1,
+            OpClass::IntMul,
+            &[Loc::int(1)],
+            Loc::int(2),
+        ));
+        assert_eq!(l1, Some(6));
+        assert_eq!(lw.process(&TraceRecord::branch(2, &[Loc::int(2)])), None);
+    }
+}

@@ -1,0 +1,215 @@
+//! Named machine models: preset bundles of the analyzer's constraints.
+//!
+//! The paper frames its results in terms of what "the next several
+//! generations of superscalar processors" could exploit. A [`Machine`]
+//! bundles the knobs that describe such a processor — window size, issue
+//! width, branch handling, renaming, memory disambiguation — into one
+//! named configuration, so studies can compare machine generations instead
+//! of raw switch combinations.
+//!
+//! # Examples
+//!
+//! ```
+//! use paragraph_core::machine::Machine;
+//! use paragraph_core::{analyze, AnalysisConfig};
+//! use paragraph_trace::synthetic;
+//!
+//! let trace = synthetic::interleaved_chains(16, 50);
+//! let dataflow = analyze(trace.clone(), &Machine::dataflow().configure());
+//! let scalar = analyze(trace.clone(), &Machine::scalar().configure());
+//! assert!(dataflow.available_parallelism() > scalar.available_parallelism());
+//! ```
+
+use crate::branch::{BranchPolicy, PredictorKind};
+use crate::config::{AnalysisConfig, RenameSet, WindowSize};
+use crate::memmodel::MemoryModel;
+use std::fmt;
+
+/// A named machine model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Machine {
+    name: &'static str,
+    description: &'static str,
+    window: WindowSize,
+    issue: Option<usize>,
+    renames: RenameSet,
+    branches: BranchPolicy,
+    memory: MemoryModel,
+}
+
+impl Machine {
+    /// The abstract dataflow machine: the paper's limit condition. No
+    /// window, width, branch, or aliasing constraints; everything renamed.
+    pub fn dataflow() -> Machine {
+        Machine {
+            name: "dataflow",
+            description: "abstract dataflow machine (the paper's limit)",
+            window: WindowSize::Infinite,
+            issue: None,
+            renames: RenameSet::all(),
+            branches: BranchPolicy::Perfect,
+            memory: MemoryModel::Perfect,
+        }
+    }
+
+    /// A scalar in-order pipeline: single issue, four-instruction window,
+    /// no renaming, no disambiguation, stalls on every branch.
+    pub fn scalar() -> Machine {
+        Machine {
+            name: "scalar",
+            description: "single-issue in-order pipeline",
+            window: WindowSize::bounded(4),
+            issue: Some(1),
+            renames: RenameSet::none(),
+            branches: BranchPolicy::StallAlways,
+            memory: MemoryModel::NoDisambiguation,
+        }
+    }
+
+    /// An early superscalar (circa the paper): 2-wide, 32-entry window,
+    /// register renaming, static BTFN prediction, no memory disambiguation.
+    pub fn superscalar_2wide() -> Machine {
+        Machine {
+            name: "ss-2",
+            description: "2-wide superscalar, 32-entry window, BTFN",
+            window: WindowSize::bounded(32),
+            issue: Some(2),
+            renames: RenameSet::registers_only(),
+            branches: BranchPolicy::Predict(PredictorKind::Btfn),
+            memory: MemoryModel::NoDisambiguation,
+        }
+    }
+
+    /// A 4-wide out-of-order core: 128-entry window, register renaming,
+    /// bimodal prediction, perfect in-window disambiguation.
+    pub fn superscalar_4wide() -> Machine {
+        Machine {
+            name: "ss-4",
+            description: "4-wide OoO, 128-entry window, bimodal",
+            window: WindowSize::bounded(128),
+            issue: Some(4),
+            renames: RenameSet::registers_only(),
+            branches: BranchPolicy::Predict(PredictorKind::Bimodal { index_bits: 10 }),
+            memory: MemoryModel::Perfect,
+        }
+    }
+
+    /// An aggressive 8-wide out-of-order core: 1024-entry window, gshare.
+    pub fn superscalar_8wide() -> Machine {
+        Machine {
+            name: "ss-8",
+            description: "8-wide OoO, 1024-entry window, gshare",
+            window: WindowSize::bounded(1024),
+            issue: Some(8),
+            renames: RenameSet::registers_only(),
+            branches: BranchPolicy::Predict(PredictorKind::Gshare { index_bits: 14 }),
+            memory: MemoryModel::Perfect,
+        }
+    }
+
+    /// A hypothetical wide machine with memory renaming: 16-wide,
+    /// 64k-entry window, gshare, registers and memory renamed — what the
+    /// paper argues would be needed to reach the big numbers.
+    pub fn future_wide() -> Machine {
+        Machine {
+            name: "future",
+            description: "16-wide, 64k window, gshare, full renaming",
+            window: WindowSize::bounded(65_536),
+            issue: Some(16),
+            renames: RenameSet::all(),
+            branches: BranchPolicy::Predict(PredictorKind::Gshare { index_bits: 16 }),
+            memory: MemoryModel::Perfect,
+        }
+    }
+
+    /// The ladder of presets from most to least constrained.
+    pub fn generations() -> Vec<Machine> {
+        vec![
+            Machine::scalar(),
+            Machine::superscalar_2wide(),
+            Machine::superscalar_4wide(),
+            Machine::superscalar_8wide(),
+            Machine::future_wide(),
+            Machine::dataflow(),
+        ]
+    }
+
+    /// The preset's short name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One line describing the modelled processor.
+    pub fn description(&self) -> &'static str {
+        self.description
+    }
+
+    /// Builds the analysis configuration for this machine (on top of the
+    /// dataflow-limit defaults; apply `with_segments` afterwards).
+    pub fn configure(&self) -> AnalysisConfig {
+        let mut config = AnalysisConfig::dataflow_limit()
+            .with_window(self.window)
+            .with_renames(self.renames)
+            .with_branch_policy(self.branches)
+            .with_memory_model(self.memory);
+        if let Some(width) = self.issue {
+            config = config.with_issue_limit(width);
+        }
+        config
+    }
+}
+
+impl fmt::Display for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.description)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use paragraph_trace::synthetic;
+
+    #[test]
+    fn generations_are_ordered_by_capability() {
+        // On a wide, branch-free, memory-free trace each generation should
+        // expose at least as much parallelism as the one before.
+        let trace = synthetic::interleaved_chains(32, 60);
+        let mut last = 0.0;
+        for machine in Machine::generations() {
+            let report = analyze(trace.clone(), &machine.configure());
+            let par = report.available_parallelism();
+            assert!(
+                par >= last - 1e-9,
+                "{machine} regressed: {par:.2} < {last:.2}"
+            );
+            last = par;
+        }
+    }
+
+    #[test]
+    fn issue_width_caps_the_scalar_machines() {
+        let trace = synthetic::independent(64);
+        let scalar = analyze(trace.clone(), &Machine::scalar().configure());
+        assert!(scalar.available_parallelism() <= 1.0 + 1e-9);
+        let four = analyze(trace.clone(), &Machine::superscalar_4wide().configure());
+        assert!(four.available_parallelism() <= 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn dataflow_preset_is_the_default_config() {
+        assert_eq!(
+            Machine::dataflow().configure(),
+            AnalysisConfig::dataflow_limit()
+        );
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Machine::generations().iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Machine::generations().len());
+    }
+}

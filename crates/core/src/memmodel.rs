@@ -1,0 +1,116 @@
+//! Memory disambiguation models.
+//!
+//! The paper's analyses assume *perfect* memory disambiguation — a load
+//! depends only on the store that actually produced its word ("perfect
+//! control flow and memory disambiguation is assumed in the dataflow
+//! analysis") — and it contrasts its results with limit studies (Wall,
+//! ASPLOS 1991; Smith/Johnson/Horowitz) that vary "memory disambiguation
+//! strategies" among their constraints. This module provides that axis:
+//!
+//! * [`MemoryModel::Perfect`] — the paper's setting: memory dependencies
+//!   are tracked per word address.
+//! * [`MemoryModel::NoDisambiguation`] — the pessimistic hardware baseline:
+//!   addresses are never compared, so every load may depend on *every*
+//!   earlier store, and every store must follow every earlier load and
+//!   store. This is what a sequential machine without a disambiguating
+//!   load/store queue must assume.
+//!
+//! Under `NoDisambiguation` the constraint applies regardless of the
+//! renaming switches: renaming removes storage reuse you can *identify*,
+//! and without disambiguation no memory reuse can be identified.
+
+use std::fmt;
+
+/// How memory dependencies are disambiguated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemoryModel {
+    /// Dependencies tracked by exact word address (the paper's setting).
+    #[default]
+    Perfect,
+    /// No address comparison: loads conservatively depend on all earlier
+    /// stores; stores on all earlier loads and stores.
+    NoDisambiguation,
+}
+
+impl MemoryModel {
+    /// Whether this model orders memory operations conservatively.
+    pub fn is_conservative(self) -> bool {
+        matches!(self, MemoryModel::NoDisambiguation)
+    }
+}
+
+impl fmt::Display for MemoryModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MemoryModel::Perfect => "perfect disambiguation",
+            MemoryModel::NoDisambiguation => "no disambiguation",
+        })
+    }
+}
+
+/// Running conservative memory-ordering state shared by the streaming and
+/// explicit analyzers.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct MemOrdering {
+    /// Deepest completion level of any store so far, with its node id (the
+    /// explicit builder threads node ids; the live well passes `usize::MAX`).
+    pub deepest_store: Option<(i64, usize)>,
+    /// Deepest completion level of any load so far, with its node id.
+    pub deepest_load: Option<(i64, usize)>,
+}
+
+impl MemOrdering {
+    /// The floor a load must respect: all earlier stores.
+    pub fn load_floor(&self) -> Option<(i64, usize)> {
+        self.deepest_store
+    }
+
+    /// The floor a store must respect: all earlier loads and stores.
+    pub fn store_floor(&self) -> Option<(i64, usize)> {
+        match (self.deepest_store, self.deepest_load) {
+            (Some(s), Some(l)) => Some(if s.0 >= l.0 { s } else { l }),
+            (s, l) => s.or(l),
+        }
+    }
+
+    /// Records a placed load.
+    pub fn observe_load(&mut self, level: i64, node: usize) {
+        if self.deepest_load.is_none_or(|(l, _)| level > l) {
+            self.deepest_load = Some((level, node));
+        }
+    }
+
+    /// Records a placed store.
+    pub fn observe_store(&mut self, level: i64, node: usize) {
+        if self.deepest_store.is_none_or(|(l, _)| level > l) {
+            self.deepest_store = Some((level, node));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floors_track_deepest() {
+        let mut ord = MemOrdering::default();
+        assert_eq!(ord.load_floor(), None);
+        assert_eq!(ord.store_floor(), None);
+        ord.observe_load(5, 1);
+        assert_eq!(ord.load_floor(), None); // loads don't constrain loads
+        assert_eq!(ord.store_floor(), Some((5, 1)));
+        ord.observe_store(3, 2);
+        assert_eq!(ord.load_floor(), Some((3, 2)));
+        assert_eq!(ord.store_floor(), Some((5, 1)));
+        ord.observe_store(9, 3);
+        assert_eq!(ord.load_floor(), Some((9, 3)));
+        assert_eq!(ord.store_floor(), Some((9, 3)));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MemoryModel::Perfect.to_string(), "perfect disambiguation");
+        assert!(MemoryModel::NoDisambiguation.is_conservative());
+    }
+}

@@ -1,0 +1,300 @@
+//! Results of one trace analysis.
+
+use crate::branch::Predictor;
+use crate::config::AnalysisConfig;
+use crate::dist::Distribution;
+use crate::profile::ParallelismProfile;
+use paragraph_isa::OpClass;
+use std::fmt;
+
+/// The metrics produced by one pass of the analyzer over a trace.
+///
+/// "Every trace analysis produces two metrics: the parallelism profile, and
+/// the critical path length" — plus the bookkeeping needed to report them the
+/// way the paper's tables do (placed operation counts, system call counts,
+/// available parallelism).
+///
+/// # Examples
+///
+/// ```
+/// use paragraph_core::{analyze, AnalysisConfig};
+/// use paragraph_trace::synthetic;
+///
+/// let report = analyze(synthetic::chain(10), &AnalysisConfig::dataflow_limit());
+/// assert_eq!(report.critical_path_length(), 10);
+/// assert_eq!(report.available_parallelism(), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    config: AnalysisConfig,
+    profile: ParallelismProfile,
+    total_records: u64,
+    placed_ops: u64,
+    syscalls: u64,
+    firewalls: u64,
+    branch_firewalls: u64,
+    peak_live_values: usize,
+    predictor: Option<Predictor>,
+    value_stats: Option<(Distribution, Distribution)>,
+    class_placed: [u64; OpClass::ALL.len()],
+}
+
+impl AnalysisReport {
+    #[allow(clippy::too_many_arguments)] // crate-private constructor fed by LiveWell::finish
+    pub(crate) fn new(
+        config: AnalysisConfig,
+        profile: ParallelismProfile,
+        total_records: u64,
+        placed_ops: u64,
+        syscalls: u64,
+        firewalls: u64,
+        branch_firewalls: u64,
+        peak_live_values: usize,
+        predictor: Option<Predictor>,
+        value_stats: Option<(Distribution, Distribution)>,
+        class_placed: [u64; OpClass::ALL.len()],
+    ) -> AnalysisReport {
+        debug_assert_eq!(profile.total_ops(), placed_ops);
+        AnalysisReport {
+            config,
+            profile,
+            total_records,
+            placed_ops,
+            syscalls,
+            firewalls,
+            branch_firewalls,
+            peak_live_values,
+            predictor,
+            value_stats,
+            class_placed,
+        }
+    }
+
+    /// The configuration this analysis ran under.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// The parallelism profile (operations per DDG level).
+    pub fn profile(&self) -> &ParallelismProfile {
+        &self.profile
+    }
+
+    /// The critical path length: the height of the topologically sorted DDG,
+    /// i.e. the minimum number of abstract machine steps required to execute
+    /// the traced computation under the configured constraints.
+    pub fn critical_path_length(&self) -> u64 {
+        self.profile.levels()
+    }
+
+    /// Total dynamic instructions observed, including control instructions
+    /// that are never placed in the DDG.
+    pub fn total_records(&self) -> u64 {
+        self.total_records
+    }
+
+    /// Operations placed in the DDG (value-creating instructions).
+    pub fn placed_ops(&self) -> u64 {
+        self.placed_ops
+    }
+
+    /// Operations of one class placed in the DDG.
+    pub fn placed_of_class(&self, class: OpClass) -> u64 {
+        self.class_placed[class as usize]
+    }
+
+    /// System calls observed in the trace (Table 3's "Number of System
+    /// Calls"), counted under both syscall policies.
+    pub fn syscalls(&self) -> u64 {
+        self.syscalls
+    }
+
+    /// Firewalls inserted (conservative system calls).
+    pub fn firewalls(&self) -> u64 {
+        self.firewalls
+    }
+
+    /// Firewalls inserted by mispredicted branches (zero under the perfect
+    /// branch policy).
+    pub fn branch_firewalls(&self) -> u64 {
+        self.branch_firewalls
+    }
+
+    /// Peak number of live-well entries during the pass — the analyzer's
+    /// working set (the paper needed "a very large memory (32 MBytes)" for
+    /// its runs).
+    pub fn peak_live_values(&self) -> usize {
+        self.peak_live_values
+    }
+
+    /// The branch predictor's final state, when the branch policy used one:
+    /// prediction counts and accuracy.
+    pub fn predictor(&self) -> Option<&Predictor> {
+        self.predictor.as_ref()
+    }
+
+    /// Distribution of value lifetimes (levels from creation to last use),
+    /// when the configuration enabled value statistics. §2.3: "useful in
+    /// determining the amount of temporary storage required to exploit the
+    /// parallelism in the DDG."
+    pub fn value_lifetimes(&self) -> Option<&Distribution> {
+        self.value_stats.as_ref().map(|(l, _)| l)
+    }
+
+    /// Distribution of the degree of sharing (consumers per created value),
+    /// when the configuration enabled value statistics.
+    pub fn sharing_degrees(&self) -> Option<&Distribution> {
+        self.value_stats.as_ref().map(|(_, s)| s)
+    }
+
+    /// The available parallelism: placed operations divided by the critical
+    /// path length. This is the speedup attainable by an abstract machine
+    /// that extracts and executes the DDG directly.
+    ///
+    /// Returns 0 for an empty trace.
+    pub fn available_parallelism(&self) -> f64 {
+        self.profile.mean_ops_per_level()
+    }
+}
+
+impl AnalysisReport {
+    /// Serializes the report as a small, self-describing JSON object —
+    /// convenient for scripting over CLI runs without pulling a JSON
+    /// dependency into downstream tooling.
+    ///
+    /// The profile is included in binned form (`first_level`,
+    /// `avg_ops_per_level` pairs); value statistics appear when they were
+    /// collected.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"config\":\"{}\",",
+            esc(&self.config.to_string())
+        ));
+        out.push_str(&format!("\"total_records\":{},", self.total_records));
+        out.push_str(&format!("\"placed_ops\":{},", self.placed_ops));
+        out.push_str(&format!("\"syscalls\":{},", self.syscalls));
+        out.push_str(&format!("\"firewalls\":{},", self.firewalls));
+        out.push_str(&format!("\"branch_firewalls\":{},", self.branch_firewalls));
+        out.push_str(&format!("\"peak_live_values\":{},", self.peak_live_values));
+        if let Some(p) = &self.predictor {
+            out.push_str(&format!(
+                "\"branch_predictions\":{},\"branch_mispredictions\":{},",
+                p.predictions(),
+                p.mispredictions()
+            ));
+        }
+        out.push_str(&format!(
+            "\"critical_path_length\":{},",
+            self.critical_path_length()
+        ));
+        out.push_str(&format!(
+            "\"available_parallelism\":{:.6},",
+            self.available_parallelism()
+        ));
+        if let Some((lifetimes, sharing)) = &self.value_stats {
+            out.push_str(&format!(
+                "\"value_lifetime_mean\":{:.6},\"sharing_mean\":{:.6},",
+                lifetimes.mean(),
+                sharing.mean()
+            ));
+        }
+        out.push_str("\"profile\":[");
+        let mut first = true;
+        for bin in self.profile.bins() {
+            if !first {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "[{},{:.4}]",
+                bin.first_level, bin.avg_ops_per_level
+            ));
+            first = false;
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "analysis: {}", self.config)?;
+        writeln!(f, "  instructions analyzed : {:>14}", self.total_records)?;
+        writeln!(f, "  operations placed     : {:>14}", self.placed_ops)?;
+        writeln!(f, "  system calls          : {:>14}", self.syscalls)?;
+        writeln!(f, "  firewalls             : {:>14}", self.firewalls)?;
+        if let Some(p) = &self.predictor {
+            writeln!(
+                f,
+                "  branch accuracy       : {:>13.2}% ({} mispredict firewalls)",
+                100.0 * p.accuracy(),
+                self.branch_firewalls
+            )?;
+        }
+        writeln!(
+            f,
+            "  critical path length  : {:>14}",
+            self.critical_path_length()
+        )?;
+        writeln!(
+            f,
+            "  available parallelism : {:>14.2}",
+            self.available_parallelism()
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use paragraph_trace::synthetic;
+
+    #[test]
+    fn display_contains_headline_metrics() {
+        let report = analyze(synthetic::figure1(), &AnalysisConfig::dataflow_limit());
+        let text = report.to_string();
+        assert!(text.contains("critical path length"));
+        assert!(text.contains("available parallelism"));
+        assert!(text.contains('8'));
+    }
+
+    #[test]
+    fn class_counts_sum_to_placed() {
+        let report = analyze(
+            synthetic::random_trace(1000, 3),
+            &AnalysisConfig::dataflow_limit(),
+        );
+        let by_class: u64 = OpClass::ALL
+            .iter()
+            .map(|&c| report.placed_of_class(c))
+            .sum();
+        assert_eq!(by_class, report.placed_ops());
+    }
+
+    #[test]
+    fn json_export_is_well_formed() {
+        let report = analyze(synthetic::figure1(), &AnalysisConfig::dataflow_limit());
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"placed_ops\":8"));
+        assert!(json.contains("\"critical_path_length\":"));
+        assert!(json.contains("\"profile\":[[0,"));
+        // Balanced braces/brackets (a cheap well-formedness check).
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn empty_trace_reports_zeroes() {
+        let report = analyze(Vec::new(), &AnalysisConfig::dataflow_limit());
+        assert_eq!(report.critical_path_length(), 0);
+        assert_eq!(report.available_parallelism(), 0.0);
+        assert_eq!(report.placed_ops(), 0);
+    }
+}

@@ -1,0 +1,506 @@
+//! Resource-constrained execution of a DDG (Figure 4 of the paper).
+//!
+//! "By placing suitable constraints on the execution order, or the resources
+//! available, we can throttle the DDG to match a particular machine model."
+//! This module executes a materialized [`Ddg`] on an abstract machine with a
+//! limited number of functional units, using greedy list scheduling with
+//! critical-path priority, and reports the resulting schedule length and
+//! issue profile.
+
+use crate::ddg::{Ddg, NodeId};
+use paragraph_isa::{LatencyModel, OpClass};
+use std::collections::BinaryHeap;
+
+/// Functional-unit model for [`schedule`].
+///
+/// # Examples
+///
+/// ```
+/// use paragraph_core::schedule::ResourceModel;
+///
+/// let two_units = ResourceModel::units(2);
+/// assert_eq!(two_units.unit_count(), 2);
+/// assert!(two_units.is_pipelined());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceModel {
+    units: usize,
+    pipelined: bool,
+    per_class: Option<ClassUnits>,
+}
+
+/// Per-family functional-unit counts for [`ResourceModel::heterogeneous`].
+///
+/// Classes group into the classic four unit families: integer ALUs,
+/// floating-point units, memory ports, and a sequencer for system calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassUnits {
+    /// Units executing integer ALU/multiply/divide operations.
+    pub int: usize,
+    /// Units executing floating-point operations.
+    pub fp: usize,
+    /// Memory ports (loads and stores).
+    pub mem: usize,
+}
+
+impl ClassUnits {
+    /// The pool size serving operations of `class`. Syscalls (and any
+    /// other non-FP, non-memory class) share the integer units.
+    pub fn family_count(&self, class: OpClass) -> usize {
+        if class.is_fp() {
+            self.fp
+        } else if class.is_mem() {
+            self.mem
+        } else {
+            self.int
+        }
+    }
+}
+
+impl ResourceModel {
+    /// `n` generic functional units ("one is required for any instruction
+    /// execution"), fully pipelined: a unit accepts a new operation every
+    /// cycle even while earlier operations complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn units(n: usize) -> ResourceModel {
+        assert!(n > 0, "at least one functional unit is required");
+        ResourceModel {
+            units: n,
+            pipelined: true,
+            per_class: None,
+        }
+    }
+
+    /// Heterogeneous functional units: separate integer, floating-point and
+    /// memory unit pools (fully pipelined). Total issue per cycle is the
+    /// sum of the pools.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pool is empty.
+    pub fn heterogeneous(int: usize, fp: usize, mem: usize) -> ResourceModel {
+        assert!(
+            int > 0 && fp > 0 && mem > 0,
+            "every functional-unit pool needs at least one unit"
+        );
+        ResourceModel {
+            units: int + fp + mem,
+            pipelined: true,
+            per_class: Some(ClassUnits { int, fp, mem }),
+        }
+    }
+
+    /// Makes the units non-pipelined: an operation occupies its unit for its
+    /// full latency.
+    pub fn unpipelined(mut self) -> ResourceModel {
+        self.pipelined = false;
+        self
+    }
+
+    /// Number of functional units.
+    pub fn unit_count(&self) -> usize {
+        self.units
+    }
+
+    /// Whether units accept a new operation every cycle.
+    pub fn is_pipelined(&self) -> bool {
+        self.pipelined
+    }
+
+    /// The per-class unit pools, if heterogeneous.
+    pub fn class_units(&self) -> Option<ClassUnits> {
+        self.per_class
+    }
+}
+
+/// The outcome of scheduling a DDG onto limited resources.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleResult {
+    cycles: u64,
+    issued_per_cycle: Vec<u64>,
+    ops: u64,
+    units: usize,
+}
+
+impl ScheduleResult {
+    /// Total cycles to execute the DDG under the resource constraints.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Operations issued in each cycle (the resource-constrained parallelism
+    /// profile).
+    pub fn issue_profile(&self) -> &[u64] {
+        &self.issued_per_cycle
+    }
+
+    /// Total operations scheduled.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Mean operations per cycle (the throttled parallelism).
+    pub fn ops_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of issue slots used, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.ops as f64 / (self.cycles * self.units as u64) as f64
+        }
+    }
+}
+
+#[derive(PartialEq, Eq)]
+struct Ready {
+    priority: u64,
+    id: std::cmp::Reverse<NodeId>,
+}
+
+impl Ord for Ready {
+    fn cmp(&self, other: &Ready) -> std::cmp::Ordering {
+        (self.priority, self.id).cmp(&(other.priority, other.id))
+    }
+}
+
+impl PartialOrd for Ready {
+    fn partial_cmp(&self, other: &Ready) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Schedules `ddg` onto the abstract machine described by `resources`,
+/// respecting every edge in the graph and the latencies in `latency`.
+///
+/// Greedy list scheduling: at each cycle, ready operations (all
+/// predecessors complete) are issued to free units in priority order, where
+/// an operation's priority is the length of the longest latency-weighted
+/// path from it to any sink (classic critical-path priority). Ties break
+/// toward trace order.
+///
+/// # Examples
+///
+/// Reproduces Figure 4 of the paper — the Figure 1 computation on a machine
+/// with two generic functional units takes 5 steps instead of 4:
+///
+/// ```
+/// use paragraph_core::schedule::{schedule, ResourceModel};
+/// use paragraph_core::{AnalysisConfig, Ddg, LatencyModel};
+/// use paragraph_trace::synthetic;
+///
+/// let trace = synthetic::figure1();
+/// let ddg = Ddg::from_records(&trace, &AnalysisConfig::dataflow_limit());
+/// let result = schedule(&ddg, ResourceModel::units(2), &LatencyModel::unit());
+/// assert_eq!(result.cycles(), 5);
+/// assert!(result.issue_profile().iter().all(|&n| n <= 2));
+/// ```
+pub fn schedule(ddg: &Ddg, resources: ResourceModel, latency: &LatencyModel) -> ScheduleResult {
+    let n = ddg.len();
+    if n == 0 {
+        return ScheduleResult {
+            cycles: 0,
+            issued_per_cycle: Vec::new(),
+            ops: 0,
+            units: resources.unit_count(),
+        };
+    }
+
+    // Build adjacency and in-degrees.
+    let mut succs: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut preds_remaining: Vec<u32> = vec![0; n];
+    for e in ddg.edges() {
+        succs[e.from].push(e.to);
+        preds_remaining[e.to] += 1;
+    }
+
+    // Critical-path priorities via reverse topological order (node ids are
+    // already topological because edges always point from earlier to later
+    // trace positions).
+    let mut priority: Vec<u64> = vec![0; n];
+    for id in (0..n).rev() {
+        let top = u64::from(latency.latency(ddg.node(id).class)).max(1);
+        let best_succ = succs[id].iter().map(|&s| priority[s]).max().unwrap_or(0);
+        priority[id] = top + best_succ;
+    }
+
+    let mut ready: BinaryHeap<Ready> = BinaryHeap::new();
+    for id in 0..n {
+        if preds_remaining[id] == 0 {
+            ready.push(Ready {
+                priority: priority[id],
+                id: std::cmp::Reverse(id),
+            });
+        }
+    }
+
+    // completion_events[c] = nodes completing at end of cycle c.
+    let mut completions: Vec<(u64, NodeId)> = Vec::new(); // (finish_cycle, node)
+    let mut issue_profile: Vec<u64> = Vec::new();
+    let mut scheduled = 0usize;
+    let mut cycle: u64 = 0;
+    // Unit pool: number of units free this cycle (pipelined) or a vector of
+    // busy-until times (non-pipelined).
+    let mut busy_until: Vec<u64> = vec![0; resources.unit_count()];
+    let mut last_cycle_with_work = 0u64;
+
+    while scheduled < n {
+        // Retire completions due at this cycle, unlocking successors.
+        let mut i = 0;
+        while i < completions.len() {
+            if completions[i].0 == cycle {
+                let (_, done) = completions.swap_remove(i);
+                for &s in &succs[done] {
+                    preds_remaining[s] -= 1;
+                    if preds_remaining[s] == 0 {
+                        ready.push(Ready {
+                            priority: priority[s],
+                            id: std::cmp::Reverse(s),
+                        });
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+
+        // Issue to free units. With heterogeneous pools each operation
+        // draws from its own family's per-cycle budget.
+        let mut issued_now = 0u64;
+        let mut family_budget = resources.class_units().map(|c| (c.int, c.fp, c.mem));
+        let mut deferred: Vec<Ready> = Vec::new();
+        while let Some(candidate) = ready.pop() {
+            let id = candidate.id.0;
+            let class = ddg.node(id).class;
+            if let Some((int, fp, mem)) = family_budget.as_mut() {
+                let budget: &mut usize = if class.is_fp() {
+                    fp
+                } else if class.is_mem() {
+                    mem
+                } else {
+                    int
+                };
+                if *budget == 0 {
+                    deferred.push(candidate);
+                    if *int == 0 && *fp == 0 && *mem == 0 {
+                        break;
+                    }
+                    continue;
+                }
+                *budget -= 1;
+            }
+            let unit = busy_until
+                .iter_mut()
+                .filter(|b| **b <= cycle)
+                .min_by_key(|b| **b);
+            let Some(unit) = unit else {
+                deferred.push(candidate);
+                break;
+            };
+            let top = u64::from(latency.latency(class)).max(1);
+            let finish = cycle + top;
+            if resources.is_pipelined() {
+                // The unit is only occupied for the issue cycle.
+                *unit = cycle + 1;
+            } else {
+                *unit = finish;
+            }
+            completions.push((finish, id));
+            scheduled += 1;
+            issued_now += 1;
+            last_cycle_with_work = last_cycle_with_work.max(finish);
+            if issued_now == resources.unit_count() as u64 && resources.is_pipelined() {
+                break;
+            }
+        }
+        for d in deferred {
+            ready.push(d);
+        }
+        issue_profile.push(issued_now);
+
+        if scheduled == n {
+            break;
+        }
+        cycle += 1;
+        // Guard against stalls with nothing in flight (cannot happen for a
+        // DAG, but protects against malformed input).
+        assert!(
+            !completions.is_empty() || !ready.is_empty() || !issue_profile.is_empty(),
+            "scheduler wedged with work remaining"
+        );
+    }
+
+    ScheduleResult {
+        cycles: last_cycle_with_work,
+        issued_per_cycle: issue_profile,
+        ops: n as u64,
+        units: resources.unit_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AnalysisConfig;
+    use paragraph_trace::synthetic;
+
+    fn fig1_ddg() -> Ddg {
+        Ddg::from_records(&synthetic::figure1(), &AnalysisConfig::dataflow_limit())
+    }
+
+    #[test]
+    fn figure4_two_units_takes_five_steps() {
+        let result = schedule(&fig1_ddg(), ResourceModel::units(2), &LatencyModel::unit());
+        assert_eq!(result.cycles(), 5);
+        assert_eq!(result.ops(), 8);
+        assert!(result.issue_profile().iter().all(|&n| n <= 2));
+    }
+
+    #[test]
+    fn unlimited_units_recover_dataflow_height() {
+        let ddg = fig1_ddg();
+        let result = schedule(&ddg, ResourceModel::units(64), &LatencyModel::unit());
+        assert_eq!(result.cycles(), ddg.height());
+    }
+
+    #[test]
+    fn one_unit_serializes() {
+        let ddg = fig1_ddg();
+        let result = schedule(&ddg, ResourceModel::units(1), &LatencyModel::unit());
+        assert_eq!(result.cycles(), 8);
+        assert!((result.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_units_never_slow_execution() {
+        let trace = synthetic::random_trace(600, 21);
+        let ddg = Ddg::from_records(&trace, &AnalysisConfig::dataflow_limit());
+        let mut last = u64::MAX;
+        for units in [1usize, 2, 4, 8, 16, 32] {
+            let cycles =
+                schedule(&ddg, ResourceModel::units(units), &LatencyModel::paper()).cycles();
+            assert!(cycles <= last, "{units} units took {cycles} > {last}");
+            last = cycles;
+        }
+    }
+
+    #[test]
+    fn schedule_never_beats_dataflow_height() {
+        let trace = synthetic::random_trace(600, 22);
+        let ddg = Ddg::from_records(&trace, &AnalysisConfig::dataflow_limit());
+        for units in [1usize, 3, 17] {
+            let cycles =
+                schedule(&ddg, ResourceModel::units(units), &LatencyModel::paper()).cycles();
+            assert!(cycles >= ddg.height());
+        }
+    }
+
+    #[test]
+    fn unpipelined_units_are_slower_for_long_latencies() {
+        // Ten independent multiplies on 2 units: pipelined issues all in 5
+        // cycles (finish 5+6-1); non-pipelined pairs occupy units 6 cycles
+        // each.
+        let records: Vec<_> = (0..10)
+            .map(|i| {
+                paragraph_trace::TraceRecord::compute(
+                    i,
+                    paragraph_isa::OpClass::IntMul,
+                    &[],
+                    paragraph_trace::Loc::int(1 + (i % 8) as u8),
+                )
+            })
+            .collect();
+        let config = AnalysisConfig::dataflow_limit();
+        let ddg = Ddg::from_records(&records, &config);
+        let pipelined = schedule(&ddg, ResourceModel::units(2), &LatencyModel::paper());
+        let unpipelined = schedule(
+            &ddg,
+            ResourceModel::units(2).unpipelined(),
+            &LatencyModel::paper(),
+        );
+        assert!(unpipelined.cycles() > pipelined.cycles());
+    }
+
+    #[test]
+    fn empty_graph_schedules_to_zero() {
+        let ddg = Ddg::from_records(&[], &AnalysisConfig::dataflow_limit());
+        let result = schedule(&ddg, ResourceModel::units(2), &LatencyModel::paper());
+        assert_eq!(result.cycles(), 0);
+        assert_eq!(result.ops_per_cycle(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one functional unit")]
+    fn zero_units_panics() {
+        ResourceModel::units(0);
+    }
+
+    #[test]
+    fn heterogeneous_units_bound_each_family() {
+        // A trace mixing int and fp work: with 1 fp unit the fp stream
+        // serializes even though int units are idle.
+        let mut records = Vec::new();
+        for i in 0..12u64 {
+            records.push(paragraph_trace::TraceRecord::compute(
+                2 * i,
+                OpClass::FpAdd,
+                &[],
+                paragraph_trace::Loc::fp((i % 8) as u8),
+            ));
+            records.push(paragraph_trace::TraceRecord::compute(
+                2 * i + 1,
+                OpClass::IntAlu,
+                &[],
+                paragraph_trace::Loc::int(1 + (i % 8) as u8),
+            ));
+        }
+        let ddg = Ddg::from_records(&records, &crate::AnalysisConfig::dataflow_limit());
+        let narrow_fp = schedule(
+            &ddg,
+            ResourceModel::heterogeneous(8, 1, 8),
+            &LatencyModel::unit(),
+        );
+        let wide_fp = schedule(
+            &ddg,
+            ResourceModel::heterogeneous(8, 8, 8),
+            &LatencyModel::unit(),
+        );
+        assert!(narrow_fp.cycles() >= 12, "12 fp ops through 1 fp unit");
+        assert!(wide_fp.cycles() < narrow_fp.cycles());
+    }
+
+    #[test]
+    fn heterogeneous_total_width_is_pool_sum() {
+        let model = ResourceModel::heterogeneous(2, 3, 4);
+        assert_eq!(model.unit_count(), 9);
+        let pools = model.class_units().unwrap();
+        assert_eq!(pools.family_count(OpClass::FpMul), 3);
+        assert_eq!(pools.family_count(OpClass::Load), 4);
+        assert_eq!(pools.family_count(OpClass::IntAlu), 2);
+        assert_eq!(pools.family_count(OpClass::Syscall), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "every functional-unit pool")]
+    fn empty_pool_panics() {
+        ResourceModel::heterogeneous(1, 0, 1);
+    }
+
+    #[test]
+    fn issue_profile_accounts_for_every_op() {
+        let trace = synthetic::random_trace(300, 23);
+        let ddg = Ddg::from_records(&trace, &AnalysisConfig::dataflow_limit());
+        let result = schedule(&ddg, ResourceModel::units(4), &LatencyModel::paper());
+        let issued: u64 = result.issue_profile().iter().sum();
+        assert_eq!(issued, result.ops());
+    }
+}

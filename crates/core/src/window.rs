@@ -1,0 +1,154 @@
+//! The sliding instruction window (Figure 6 of the paper).
+
+use crate::config::WindowSize;
+use std::collections::VecDeque;
+
+/// Limits how many contiguous trace instructions are visible at once.
+///
+/// The window slides along the trace. As an instruction enters, the oldest
+/// instruction is displaced; once displaced, it can no longer affect the
+/// placement of future instructions. Displacement is implemented, as in the
+/// paper, by a *firewall*: the placement floor rises to the displaced
+/// instruction's level, so no later instruction can be placed above it. "The
+/// first level available for placement is always the level at the bottom of
+/// the instruction window", and the resulting DDG cannot contain more than W
+/// operations in any single level.
+///
+/// Admission is two-phase, because the displaced instruction constrains the
+/// placement of the one entering: call [`WindowLimiter::make_room`] first
+/// (raising the floor with whatever it returns), place the instruction, then
+/// [`WindowLimiter::push`] it.
+///
+/// All trace instructions occupy window slots, including control
+/// instructions that are never placed in the DDG — the window models visible
+/// *trace* context, not graph nodes.
+///
+/// The payload type `T` travels with each placed slot; the streaming
+/// analyzer uses `()` while the explicit-graph builder uses node ids.
+///
+/// # Examples
+///
+/// ```
+/// use paragraph_core::{WindowLimiter, WindowSize};
+///
+/// let mut window: WindowLimiter = WindowLimiter::new(WindowSize::bounded(2));
+/// assert_eq!(window.make_room(), None);
+/// window.push(Some((5, ())));                    // level-5 op enters
+/// assert_eq!(window.make_room(), None);
+/// window.push(None);                             // a branch enters
+/// assert_eq!(window.make_room(), Some((5, ()))); // displaces the level-5 op
+/// window.push(Some((9, ())));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowLimiter<T = ()> {
+    size: Option<usize>,
+    slots: VecDeque<Option<(i64, T)>>,
+}
+
+impl<T> WindowLimiter<T> {
+    /// Creates a limiter for the given window size.
+    pub fn new(size: WindowSize) -> WindowLimiter<T> {
+        let limit = size.limit();
+        WindowLimiter {
+            size: limit,
+            slots: VecDeque::with_capacity(limit.unwrap_or(0).min(1 << 20)),
+        }
+    }
+
+    /// Makes room for the next trace instruction, displacing the oldest one
+    /// if the window is full.
+    ///
+    /// Returns the completion level (and payload) of a displaced *placed*
+    /// instruction; the caller must raise its placement floor to at least
+    /// that level before placing the entering instruction. Displacing an
+    /// unplaced instruction (or an infinite window) returns `None`.
+    pub fn make_room(&mut self) -> Option<(i64, T)> {
+        let limit = self.size?;
+        if self.slots.len() == limit {
+            self.slots.pop_front().flatten()
+        } else {
+            None
+        }
+    }
+
+    /// Records the instruction that just entered the window.
+    ///
+    /// `placed` is its completion level and payload, or `None` for
+    /// instructions not placed in the DDG (control instructions, and system
+    /// calls under the optimistic policy).
+    pub fn push(&mut self, placed: Option<(i64, T)>) {
+        if self.size.is_some() {
+            self.slots.push_back(placed);
+        }
+    }
+
+    /// Number of instructions currently in the window (always 0 for an
+    /// infinite window, which tracks nothing).
+    pub fn occupancy(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether this limiter actually bounds the window.
+    pub fn is_bounded(&self) -> bool {
+        self.size.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn admit(w: &mut WindowLimiter, level: Option<i64>) -> Option<i64> {
+        let displaced = w.make_room().map(|(l, ())| l);
+        w.push(level.map(|l| (l, ())));
+        displaced
+    }
+
+    #[test]
+    fn infinite_window_never_displaces() {
+        let mut w: WindowLimiter = WindowLimiter::new(WindowSize::Infinite);
+        for i in 0..10_000 {
+            assert_eq!(admit(&mut w, Some(i)), None);
+        }
+        assert_eq!(w.occupancy(), 0);
+        assert!(!w.is_bounded());
+    }
+
+    #[test]
+    fn bounded_window_displaces_fifo_before_admission() {
+        let mut w: WindowLimiter = WindowLimiter::new(WindowSize::bounded(3));
+        assert_eq!(admit(&mut w, Some(1)), None);
+        assert_eq!(admit(&mut w, Some(2)), None);
+        assert_eq!(admit(&mut w, Some(3)), None);
+        assert_eq!(admit(&mut w, Some(4)), Some(1));
+        assert_eq!(admit(&mut w, Some(5)), Some(2));
+        assert_eq!(w.occupancy(), 3);
+    }
+
+    #[test]
+    fn unplaced_instructions_occupy_slots_but_displace_nothing() {
+        let mut w: WindowLimiter = WindowLimiter::new(WindowSize::bounded(2));
+        assert_eq!(admit(&mut w, None), None);
+        assert_eq!(admit(&mut w, None), None);
+        assert_eq!(admit(&mut w, Some(7)), None); // displaces an unplaced slot
+        assert_eq!(admit(&mut w, Some(8)), None); // displaces the other
+        assert_eq!(admit(&mut w, Some(9)), Some(7));
+    }
+
+    #[test]
+    fn window_of_one_displaces_immediately() {
+        let mut w: WindowLimiter = WindowLimiter::new(WindowSize::bounded(1));
+        assert_eq!(admit(&mut w, Some(4)), None);
+        assert_eq!(admit(&mut w, Some(6)), Some(4));
+        assert_eq!(admit(&mut w, Some(8)), Some(6));
+    }
+
+    #[test]
+    fn payload_travels_with_slot() {
+        let mut w: WindowLimiter<&'static str> = WindowLimiter::new(WindowSize::bounded(1));
+        assert_eq!(w.make_room(), None);
+        w.push(Some((3, "first")));
+        assert_eq!(w.make_room(), Some((3, "first")));
+        w.push(Some((5, "second")));
+    }
+}

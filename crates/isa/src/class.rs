@@ -1,0 +1,201 @@
+//! Operation classes, mirroring Table 1 of the paper.
+
+use std::fmt;
+
+/// The latency class of a dynamic operation.
+///
+/// These are exactly the classes of Table 1 ("Instruction Class Operation
+/// Times") of Austin & Sohi, plus the two control classes ([`OpClass::Branch`]
+/// and [`OpClass::Jump`]) that the paper's analyzer observes in the trace but
+/// never places into the dynamic dependency graph, and [`OpClass::Nop`] for
+/// padding instructions.
+///
+/// # Examples
+///
+/// ```
+/// use paragraph_isa::OpClass;
+///
+/// assert!(OpClass::IntAlu.creates_value());
+/// assert!(!OpClass::Branch.creates_value());
+/// assert!(OpClass::FpDiv.is_fp());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpClass {
+    /// Integer add, subtract, logical, shift, compare, immediate moves.
+    IntAlu,
+    /// Integer multiplication.
+    IntMul,
+    /// Integer division and remainder.
+    IntDiv,
+    /// Floating-point addition, subtraction, comparison, conversion.
+    FpAdd,
+    /// Floating-point multiplication.
+    FpMul,
+    /// Floating-point division and square root.
+    FpDiv,
+    /// Memory read.
+    Load,
+    /// Memory write.
+    Store,
+    /// Operating-system call.
+    Syscall,
+    /// Conditional branch (control only; not placed in the DDG).
+    Branch,
+    /// Unconditional jump, call, or return (control only; `jal` additionally
+    /// writes the link register and is modelled as creating that value).
+    Jump,
+    /// No-operation (not placed in the DDG).
+    Nop,
+}
+
+impl OpClass {
+    /// All operation classes, in Table 1 order followed by the control
+    /// classes.
+    pub const ALL: [OpClass; 12] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::IntDiv,
+        OpClass::FpAdd,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Syscall,
+        OpClass::Branch,
+        OpClass::Jump,
+        OpClass::Nop,
+    ];
+
+    /// Whether operations of this class create a value and therefore appear
+    /// as nodes in the dynamic dependency graph.
+    ///
+    /// The paper: "Since the compare and branch instructions only provide a
+    /// mechanism to change the flow of control, and do not create any values,
+    /// they are not included in the DDG." Stores are included (they create
+    /// the memory value), as are system calls (which the analyzer places so
+    /// that the conservative firewall has a well-defined level).
+    pub fn creates_value(self) -> bool {
+        !matches!(self, OpClass::Branch | OpClass::Jump | OpClass::Nop)
+    }
+
+    /// Whether this is a floating-point arithmetic class.
+    pub fn is_fp(self) -> bool {
+        matches!(self, OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv)
+    }
+
+    /// Whether this is an integer arithmetic class.
+    pub fn is_int_alu(self) -> bool {
+        matches!(self, OpClass::IntAlu | OpClass::IntMul | OpClass::IntDiv)
+    }
+
+    /// Whether this is a memory-access class.
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Whether this is a control-transfer class (never placed in the DDG).
+    pub fn is_control(self) -> bool {
+        matches!(self, OpClass::Branch | OpClass::Jump)
+    }
+
+    /// A short, stable, lowercase name suitable for report columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::IntAlu => "int-alu",
+            OpClass::IntMul => "int-mul",
+            OpClass::IntDiv => "int-div",
+            OpClass::FpAdd => "fp-add",
+            OpClass::FpMul => "fp-mul",
+            OpClass::FpDiv => "fp-div",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Syscall => "syscall",
+            OpClass::Branch => "branch",
+            OpClass::Jump => "jump",
+            OpClass::Nop => "nop",
+        }
+    }
+
+    /// The description used for this class in Table 1 of the paper, or a
+    /// matching description for the classes Table 1 omits.
+    pub fn paper_description(self) -> &'static str {
+        match self {
+            OpClass::IntAlu => "Integer ALU",
+            OpClass::IntMul => "Integer Multiply",
+            OpClass::IntDiv => "Integer Division",
+            OpClass::FpAdd => "Floating Point Add/Sub",
+            OpClass::FpMul => "Floating Point Multiply",
+            OpClass::FpDiv => "Floating Point Division",
+            OpClass::Load => "Load",
+            OpClass::Store => "Store",
+            OpClass::Syscall => "System Calls",
+            OpClass::Branch => "Conditional Branch",
+            OpClass::Jump => "Jump",
+            OpClass::Nop => "No-operation",
+        }
+    }
+
+    /// A compact stable numeric id for binary trace encoding.
+    pub fn id(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`OpClass::id`]; used by the binary trace decoder.
+    pub fn from_id(id: u8) -> Option<OpClass> {
+        OpClass::ALL.get(id as usize).copied()
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        for class in OpClass::ALL {
+            assert_eq!(OpClass::from_id(class.id()), Some(class));
+        }
+        assert_eq!(OpClass::from_id(OpClass::ALL.len() as u8), None);
+    }
+
+    #[test]
+    fn control_classes_do_not_create_values() {
+        assert!(!OpClass::Branch.creates_value());
+        assert!(!OpClass::Jump.creates_value());
+        assert!(!OpClass::Nop.creates_value());
+        assert!(OpClass::Store.creates_value());
+        assert!(OpClass::Syscall.creates_value());
+    }
+
+    #[test]
+    fn class_predicates_partition() {
+        for class in OpClass::ALL {
+            let kinds = [
+                class.is_fp(),
+                class.is_int_alu(),
+                class.is_mem(),
+                class.is_control(),
+                matches!(class, OpClass::Syscall | OpClass::Nop),
+            ];
+            assert_eq!(
+                kinds.iter().filter(|k| **k).count(),
+                1,
+                "{class} must fall into exactly one family"
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = OpClass::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), OpClass::ALL.len());
+    }
+}

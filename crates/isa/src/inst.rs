@@ -1,0 +1,837 @@
+//! The machine instruction set.
+
+use crate::class::OpClass;
+use crate::reg::{FpReg, IntReg};
+use std::fmt;
+
+/// A reference to an architectural register, in either register file.
+///
+/// Returned by [`Inst::reg_uses`] and [`Inst::reg_defs`]; the dependency
+/// analyzer maps these directly onto live-well locations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegRef {
+    /// An integer register.
+    Int(IntReg),
+    /// A floating-point register.
+    Fp(FpReg),
+}
+
+impl fmt::Display for RegRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegRef::Int(r) => r.fmt(f),
+            RegRef::Fp(r) => r.fmt(f),
+        }
+    }
+}
+
+/// A machine instruction.
+///
+/// Instructions are represented symbolically (there is no binary machine
+/// encoding; the VM interprets this enum directly). Branch and jump targets
+/// are absolute instruction indices into the text segment; the assembler
+/// resolves labels to these indices.
+///
+/// # Examples
+///
+/// ```
+/// use paragraph_isa::{Inst, IntReg, OpClass, RegRef};
+///
+/// let lw = Inst::Lw {
+///     rt: IntReg::new(4).unwrap(),
+///     base: IntReg::new(29).unwrap(),
+///     offset: 2,
+/// };
+/// assert_eq!(lw.class(), OpClass::Load);
+/// assert_eq!(lw.to_string(), "lw r4, 2(r29)");
+/// assert_eq!(
+///     lw.reg_defs().as_slice(),
+///     &[RegRef::Int(IntReg::new(4).unwrap())]
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // operand fields follow a single uniform convention
+pub enum Inst {
+    // --- integer register-register arithmetic (class: IntAlu) ---
+    /// `rd <- rs + rt`
+    Add { rd: IntReg, rs: IntReg, rt: IntReg },
+    /// `rd <- rs - rt`
+    Sub { rd: IntReg, rs: IntReg, rt: IntReg },
+    /// `rd <- rs & rt`
+    And { rd: IntReg, rs: IntReg, rt: IntReg },
+    /// `rd <- rs | rt`
+    Or { rd: IntReg, rs: IntReg, rt: IntReg },
+    /// `rd <- rs ^ rt`
+    Xor { rd: IntReg, rs: IntReg, rt: IntReg },
+    /// `rd <- !(rs | rt)`
+    Nor { rd: IntReg, rs: IntReg, rt: IntReg },
+    /// `rd <- (rs < rt) ? 1 : 0` (signed)
+    Slt { rd: IntReg, rs: IntReg, rt: IntReg },
+    /// `rd <- (rs < rt) ? 1 : 0` (unsigned)
+    Sltu { rd: IntReg, rs: IntReg, rt: IntReg },
+    /// `rd <- rs << rt` (amount taken modulo 64)
+    Sllv { rd: IntReg, rs: IntReg, rt: IntReg },
+    /// `rd <- rs >> rt` (logical)
+    Srlv { rd: IntReg, rs: IntReg, rt: IntReg },
+
+    // --- integer multiply / divide (classes: IntMul, IntDiv) ---
+    /// `rd <- rs * rt`
+    Mul { rd: IntReg, rs: IntReg, rt: IntReg },
+    /// `rd <- rs / rt` (signed; traps on divide by zero)
+    Div { rd: IntReg, rs: IntReg, rt: IntReg },
+    /// `rd <- rs % rt` (signed; traps on divide by zero)
+    Rem { rd: IntReg, rs: IntReg, rt: IntReg },
+
+    // --- shifts by immediate (class: IntAlu) ---
+    /// `rd <- rs << shamt`
+    Sll { rd: IntReg, rs: IntReg, shamt: u8 },
+    /// `rd <- rs >> shamt` (logical)
+    Srl { rd: IntReg, rs: IntReg, shamt: u8 },
+    /// `rd <- rs >> shamt` (arithmetic)
+    Sra { rd: IntReg, rs: IntReg, shamt: u8 },
+
+    // --- immediates (class: IntAlu) ---
+    /// `rt <- rs + imm`
+    Addi { rt: IntReg, rs: IntReg, imm: i64 },
+    /// `rt <- rs & imm`
+    Andi { rt: IntReg, rs: IntReg, imm: i64 },
+    /// `rt <- rs | imm`
+    Ori { rt: IntReg, rs: IntReg, imm: i64 },
+    /// `rt <- rs ^ imm`
+    Xori { rt: IntReg, rs: IntReg, imm: i64 },
+    /// `rt <- (rs < imm) ? 1 : 0` (signed)
+    Slti { rt: IntReg, rs: IntReg, imm: i64 },
+    /// `rd <- imm` (load immediate; a "load immediate ... has no
+    /// dependencies" and is placed at the topologically highest level)
+    Li { rd: IntReg, imm: i64 },
+
+    // --- memory (classes: Load, Store); addresses are word addresses ---
+    /// `rt <- mem[rs(base) + offset]`
+    Lw {
+        rt: IntReg,
+        base: IntReg,
+        offset: i64,
+    },
+    /// `mem[rs(base) + offset] <- rt`
+    Sw {
+        rt: IntReg,
+        base: IntReg,
+        offset: i64,
+    },
+    /// `ft <- mem[rs(base) + offset]` (floating point)
+    Flw {
+        ft: FpReg,
+        base: IntReg,
+        offset: i64,
+    },
+    /// `mem[rs(base) + offset] <- ft` (floating point)
+    Fsw {
+        ft: FpReg,
+        base: IntReg,
+        offset: i64,
+    },
+
+    // --- floating point arithmetic (classes: FpAdd, FpMul, FpDiv) ---
+    /// `fd <- fs + ft`
+    Fadd { fd: FpReg, fs: FpReg, ft: FpReg },
+    /// `fd <- fs - ft`
+    Fsub { fd: FpReg, fs: FpReg, ft: FpReg },
+    /// `fd <- fs * ft`
+    Fmul { fd: FpReg, fs: FpReg, ft: FpReg },
+    /// `fd <- fs / ft`
+    Fdiv { fd: FpReg, fs: FpReg, ft: FpReg },
+    /// `fd <- sqrt(fs)`
+    Fsqrt { fd: FpReg, fs: FpReg },
+    /// `fd <- -fs`
+    Fneg { fd: FpReg, fs: FpReg },
+    /// `fd <- |fs|`
+    Fabs { fd: FpReg, fs: FpReg },
+    /// `fd <- fs` (register move)
+    Fmov { fd: FpReg, fs: FpReg },
+    /// `rd <- (fs < ft) ? 1 : 0`
+    Fclt { rd: IntReg, fs: FpReg, ft: FpReg },
+    /// `rd <- (fs <= ft) ? 1 : 0`
+    Fcle { rd: IntReg, fs: FpReg, ft: FpReg },
+    /// `rd <- (fs == ft) ? 1 : 0`
+    Fceq { rd: IntReg, fs: FpReg, ft: FpReg },
+    /// `fd <- (double) rs` (integer to floating point)
+    Cvtif { fd: FpReg, rs: IntReg },
+    /// `rd <- (long) fs` (floating point to integer, truncating)
+    Cvtfi { rd: IntReg, fs: FpReg },
+
+    // --- control (classes: Branch, Jump) ---
+    /// Branch to `target` if `rs == rt`.
+    Beq { rs: IntReg, rt: IntReg, target: u32 },
+    /// Branch to `target` if `rs != rt`.
+    Bne { rs: IntReg, rt: IntReg, target: u32 },
+    /// Branch to `target` if `rs < rt` (signed).
+    Blt { rs: IntReg, rt: IntReg, target: u32 },
+    /// Branch to `target` if `rs >= rt` (signed).
+    Bge { rs: IntReg, rt: IntReg, target: u32 },
+    /// Unconditional jump to `target`.
+    J { target: u32 },
+    /// Call: `r31 <- return address; pc <- target`.
+    Jal { target: u32 },
+    /// Indirect jump (return): `pc <- rs`.
+    Jr { rs: IntReg },
+
+    // --- other ---
+    /// Operating-system call; the call number is taken from `r2` and
+    /// arguments from `r4..r7` (see `paragraph-vm`).
+    Syscall,
+    /// No-operation.
+    Nop,
+    /// Stops the machine. Not part of the paper's trace model: the VM ends
+    /// the trace without emitting it (class [`OpClass::Nop`]).
+    Halt,
+}
+
+impl Inst {
+    /// The latency/operation class of this instruction (Table 1).
+    pub fn class(self) -> OpClass {
+        use Inst::*;
+        match self {
+            Add { .. }
+            | Sub { .. }
+            | And { .. }
+            | Or { .. }
+            | Xor { .. }
+            | Nor { .. }
+            | Slt { .. }
+            | Sltu { .. }
+            | Sllv { .. }
+            | Srlv { .. }
+            | Sll { .. }
+            | Srl { .. }
+            | Sra { .. }
+            | Addi { .. }
+            | Andi { .. }
+            | Ori { .. }
+            | Xori { .. }
+            | Slti { .. }
+            | Li { .. } => OpClass::IntAlu,
+            Mul { .. } => OpClass::IntMul,
+            Div { .. } | Rem { .. } => OpClass::IntDiv,
+            Lw { .. } | Flw { .. } => OpClass::Load,
+            Sw { .. } | Fsw { .. } => OpClass::Store,
+            Fadd { .. }
+            | Fsub { .. }
+            | Fneg { .. }
+            | Fabs { .. }
+            | Fmov { .. }
+            | Fclt { .. }
+            | Fcle { .. }
+            | Fceq { .. }
+            | Cvtif { .. }
+            | Cvtfi { .. } => OpClass::FpAdd,
+            Fmul { .. } => OpClass::FpMul,
+            Fdiv { .. } | Fsqrt { .. } => OpClass::FpDiv,
+            Beq { .. } | Bne { .. } | Blt { .. } | Bge { .. } => OpClass::Branch,
+            J { .. } | Jal { .. } | Jr { .. } => OpClass::Jump,
+            Syscall => OpClass::Syscall,
+            Nop | Halt => OpClass::Nop,
+        }
+    }
+
+    /// The registers this instruction reads.
+    ///
+    /// Reads of the hardwired zero register are included here (the VM needs
+    /// them to evaluate the instruction); the dependency analyzer filters
+    /// them out because a constant creates no dependency.
+    pub fn reg_uses(self) -> OperandList {
+        use Inst::*;
+        let int = |r: IntReg| RegRef::Int(r);
+        let fp = |r: FpReg| RegRef::Fp(r);
+        match self {
+            Add { rs, rt, .. }
+            | Sub { rs, rt, .. }
+            | And { rs, rt, .. }
+            | Or { rs, rt, .. }
+            | Xor { rs, rt, .. }
+            | Nor { rs, rt, .. }
+            | Slt { rs, rt, .. }
+            | Sltu { rs, rt, .. }
+            | Sllv { rs, rt, .. }
+            | Srlv { rs, rt, .. }
+            | Mul { rs, rt, .. }
+            | Div { rs, rt, .. }
+            | Rem { rs, rt, .. } => OperandList::of2(int(rs), int(rt)),
+            Sll { rs, .. } | Srl { rs, .. } | Sra { rs, .. } => OperandList::of1(int(rs)),
+            Addi { rs, .. }
+            | Andi { rs, .. }
+            | Ori { rs, .. }
+            | Xori { rs, .. }
+            | Slti { rs, .. } => OperandList::of1(int(rs)),
+            Li { .. } => OperandList::empty(),
+            Lw { base, .. } | Flw { base, .. } => OperandList::of1(int(base)),
+            Sw { rt, base, .. } => OperandList::of2(int(rt), int(base)),
+            Fsw { ft, base, .. } => OperandList::of2(fp(ft), int(base)),
+            Fadd { fs, ft, .. }
+            | Fsub { fs, ft, .. }
+            | Fmul { fs, ft, .. }
+            | Fdiv { fs, ft, .. } => OperandList::of2(fp(fs), fp(ft)),
+            Fsqrt { fs, .. } | Fneg { fs, .. } | Fabs { fs, .. } | Fmov { fs, .. } => {
+                OperandList::of1(fp(fs))
+            }
+            Fclt { fs, ft, .. } | Fcle { fs, ft, .. } | Fceq { fs, ft, .. } => {
+                OperandList::of2(fp(fs), fp(ft))
+            }
+            Cvtif { rs, .. } => OperandList::of1(int(rs)),
+            Cvtfi { fs, .. } => OperandList::of1(fp(fs)),
+            Beq { rs, rt, .. } | Bne { rs, rt, .. } | Blt { rs, rt, .. } | Bge { rs, rt, .. } => {
+                OperandList::of2(int(rs), int(rt))
+            }
+            J { .. } | Jal { .. } => OperandList::empty(),
+            Jr { rs } => OperandList::of1(int(rs)),
+            Syscall | Nop | Halt => OperandList::empty(),
+        }
+    }
+
+    /// The register this instruction writes, if any.
+    ///
+    /// Writes to the hardwired zero register are reported (the assembler
+    /// permits them as an idiom for discarding a result); the VM and the
+    /// analyzer both discard them.
+    pub fn reg_defs(self) -> OperandList {
+        use Inst::*;
+        match self {
+            Add { rd, .. }
+            | Sub { rd, .. }
+            | And { rd, .. }
+            | Or { rd, .. }
+            | Xor { rd, .. }
+            | Nor { rd, .. }
+            | Slt { rd, .. }
+            | Sltu { rd, .. }
+            | Sllv { rd, .. }
+            | Srlv { rd, .. }
+            | Mul { rd, .. }
+            | Div { rd, .. }
+            | Rem { rd, .. }
+            | Sll { rd, .. }
+            | Srl { rd, .. }
+            | Sra { rd, .. }
+            | Li { rd, .. } => OperandList::of1(RegRef::Int(rd)),
+            Addi { rt, .. }
+            | Andi { rt, .. }
+            | Ori { rt, .. }
+            | Xori { rt, .. }
+            | Slti { rt, .. } => OperandList::of1(RegRef::Int(rt)),
+            Lw { rt, .. } => OperandList::of1(RegRef::Int(rt)),
+            Flw { ft, .. } => OperandList::of1(RegRef::Fp(ft)),
+            Sw { .. } | Fsw { .. } => OperandList::empty(),
+            Fadd { fd, .. }
+            | Fsub { fd, .. }
+            | Fmul { fd, .. }
+            | Fdiv { fd, .. }
+            | Fsqrt { fd, .. }
+            | Fneg { fd, .. }
+            | Fabs { fd, .. }
+            | Fmov { fd, .. }
+            | Cvtif { fd, .. } => OperandList::of1(RegRef::Fp(fd)),
+            Fclt { rd, .. } | Fcle { rd, .. } | Fceq { rd, .. } | Cvtfi { rd, .. } => {
+                OperandList::of1(RegRef::Int(rd))
+            }
+            Beq { .. } | Bne { .. } | Blt { .. } | Bge { .. } | J { .. } | Jr { .. } => {
+                OperandList::empty()
+            }
+            Jal { .. } => OperandList::of1(RegRef::Int(crate::abi::RA)),
+            Syscall | Nop | Halt => OperandList::empty(),
+        }
+    }
+
+    /// Whether this instruction may access memory.
+    pub fn is_mem(self) -> bool {
+        self.class().is_mem()
+    }
+
+    /// Whether this instruction may redirect control flow.
+    pub fn is_control(self) -> bool {
+        self.class().is_control()
+    }
+
+    /// The static branch/jump target, if this instruction has one.
+    pub fn target(self) -> Option<u32> {
+        use Inst::*;
+        match self {
+            Beq { target, .. }
+            | Bne { target, .. }
+            | Blt { target, .. }
+            | Bge { target, .. }
+            | J { target }
+            | Jal { target } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Returns a copy with the static target replaced.
+    ///
+    /// Used by the assembler to patch label references. Returns `None` if the
+    /// instruction has no target.
+    pub fn with_target(self, new_target: u32) -> Option<Inst> {
+        use Inst::*;
+        Some(match self {
+            Beq { rs, rt, .. } => Beq {
+                rs,
+                rt,
+                target: new_target,
+            },
+            Bne { rs, rt, .. } => Bne {
+                rs,
+                rt,
+                target: new_target,
+            },
+            Blt { rs, rt, .. } => Blt {
+                rs,
+                rt,
+                target: new_target,
+            },
+            Bge { rs, rt, .. } => Bge {
+                rs,
+                rt,
+                target: new_target,
+            },
+            J { .. } => J { target: new_target },
+            Jal { .. } => Jal { target: new_target },
+            _ => return None,
+        })
+    }
+
+    /// The instruction mnemonic, as used in assembly text.
+    pub fn mnemonic(self) -> &'static str {
+        use Inst::*;
+        match self {
+            Add { .. } => "add",
+            Sub { .. } => "sub",
+            And { .. } => "and",
+            Or { .. } => "or",
+            Xor { .. } => "xor",
+            Nor { .. } => "nor",
+            Slt { .. } => "slt",
+            Sltu { .. } => "sltu",
+            Sllv { .. } => "sllv",
+            Srlv { .. } => "srlv",
+            Mul { .. } => "mul",
+            Div { .. } => "div",
+            Rem { .. } => "rem",
+            Sll { .. } => "sll",
+            Srl { .. } => "srl",
+            Sra { .. } => "sra",
+            Addi { .. } => "addi",
+            Andi { .. } => "andi",
+            Ori { .. } => "ori",
+            Xori { .. } => "xori",
+            Slti { .. } => "slti",
+            Li { .. } => "li",
+            Lw { .. } => "lw",
+            Sw { .. } => "sw",
+            Flw { .. } => "flw",
+            Fsw { .. } => "fsw",
+            Fadd { .. } => "fadd",
+            Fsub { .. } => "fsub",
+            Fmul { .. } => "fmul",
+            Fdiv { .. } => "fdiv",
+            Fsqrt { .. } => "fsqrt",
+            Fneg { .. } => "fneg",
+            Fabs { .. } => "fabs",
+            Fmov { .. } => "fmov",
+            Fclt { .. } => "fclt",
+            Fcle { .. } => "fcle",
+            Fceq { .. } => "fceq",
+            Cvtif { .. } => "cvtif",
+            Cvtfi { .. } => "cvtfi",
+            Beq { .. } => "beq",
+            Bne { .. } => "bne",
+            Blt { .. } => "blt",
+            Bge { .. } => "bge",
+            J { .. } => "j",
+            Jal { .. } => "jal",
+            Jr { .. } => "jr",
+            Syscall => "syscall",
+            Nop => "nop",
+            Halt => "halt",
+        }
+    }
+}
+
+/// A fixed-capacity, allocation-free list of register operands.
+///
+/// Returned by [`Inst::reg_uses`] and [`Inst::reg_defs`].
+///
+/// # Examples
+///
+/// ```
+/// use paragraph_isa::{Inst, IntReg};
+///
+/// let jr = Inst::Jr { rs: IntReg::new(31).unwrap() };
+/// assert_eq!(jr.reg_uses().len(), 1);
+/// assert!(jr.reg_defs().is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OperandList {
+    regs: [RegRef; 2],
+    len: u8,
+}
+
+impl Default for RegRef {
+    fn default() -> RegRef {
+        RegRef::Int(IntReg::ZERO)
+    }
+}
+
+impl OperandList {
+    fn empty() -> OperandList {
+        OperandList::default()
+    }
+
+    fn of1(a: RegRef) -> OperandList {
+        OperandList {
+            regs: [a, RegRef::default()],
+            len: 1,
+        }
+    }
+
+    fn of2(a: RegRef, b: RegRef) -> OperandList {
+        OperandList {
+            regs: [a, b],
+            len: 2,
+        }
+    }
+
+    /// The operands as a slice.
+    pub fn as_slice(&self) -> &[RegRef] {
+        &self.regs[..self.len as usize]
+    }
+
+    /// Number of operands.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the operands.
+    pub fn iter(&self) -> std::slice::Iter<'_, RegRef> {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a OperandList {
+    type Item = &'a RegRef;
+    type IntoIter = std::slice::Iter<'a, RegRef>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl IntoIterator for OperandList {
+    type Item = RegRef;
+    type IntoIter = std::iter::Take<std::array::IntoIter<RegRef, 2>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.regs.into_iter().take(self.len as usize)
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Inst::*;
+        let m = self.mnemonic();
+        match *self {
+            Add { rd, rs, rt }
+            | Sub { rd, rs, rt }
+            | And { rd, rs, rt }
+            | Or { rd, rs, rt }
+            | Xor { rd, rs, rt }
+            | Nor { rd, rs, rt }
+            | Slt { rd, rs, rt }
+            | Sltu { rd, rs, rt }
+            | Sllv { rd, rs, rt }
+            | Srlv { rd, rs, rt }
+            | Mul { rd, rs, rt }
+            | Div { rd, rs, rt }
+            | Rem { rd, rs, rt } => {
+                write!(f, "{m} {rd}, {rs}, {rt}")
+            }
+            Sll { rd, rs, shamt } | Srl { rd, rs, shamt } | Sra { rd, rs, shamt } => {
+                write!(f, "{m} {rd}, {rs}, {shamt}")
+            }
+            Addi { rt, rs, imm }
+            | Andi { rt, rs, imm }
+            | Ori { rt, rs, imm }
+            | Xori { rt, rs, imm }
+            | Slti { rt, rs, imm } => {
+                write!(f, "{m} {rt}, {rs}, {imm}")
+            }
+            Li { rd, imm } => write!(f, "{m} {rd}, {imm}"),
+            Lw { rt, base, offset } | Sw { rt, base, offset } => {
+                write!(f, "{m} {rt}, {offset}({base})")
+            }
+            Flw { ft, base, offset } | Fsw { ft, base, offset } => {
+                write!(f, "{m} {ft}, {offset}({base})")
+            }
+            Fadd { fd, fs, ft }
+            | Fsub { fd, fs, ft }
+            | Fmul { fd, fs, ft }
+            | Fdiv { fd, fs, ft } => write!(f, "{m} {fd}, {fs}, {ft}"),
+            Fsqrt { fd, fs } | Fneg { fd, fs } | Fabs { fd, fs } | Fmov { fd, fs } => {
+                write!(f, "{m} {fd}, {fs}")
+            }
+            Fclt { rd, fs, ft } | Fcle { rd, fs, ft } | Fceq { rd, fs, ft } => {
+                write!(f, "{m} {rd}, {fs}, {ft}")
+            }
+            Cvtif { fd, rs } => write!(f, "{m} {fd}, {rs}"),
+            Cvtfi { rd, fs } => write!(f, "{m} {rd}, {fs}"),
+            Beq { rs, rt, target }
+            | Bne { rs, rt, target }
+            | Blt { rs, rt, target }
+            | Bge { rs, rt, target } => write!(f, "{m} {rs}, {rt}, {target}"),
+            J { target } | Jal { target } => write!(f, "{m} {target}"),
+            Jr { rs } => write!(f, "{m} {rs}"),
+            Syscall | Nop | Halt => f.write_str(m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> IntReg {
+        IntReg::new(i).unwrap()
+    }
+
+    fn fr(i: u8) -> FpReg {
+        FpReg::new(i).unwrap()
+    }
+
+    #[test]
+    fn classes_cover_table_1() {
+        assert_eq!(
+            Inst::Add {
+                rd: r(1),
+                rs: r(2),
+                rt: r(3)
+            }
+            .class(),
+            OpClass::IntAlu
+        );
+        assert_eq!(
+            Inst::Mul {
+                rd: r(1),
+                rs: r(2),
+                rt: r(3)
+            }
+            .class(),
+            OpClass::IntMul
+        );
+        assert_eq!(
+            Inst::Div {
+                rd: r(1),
+                rs: r(2),
+                rt: r(3)
+            }
+            .class(),
+            OpClass::IntDiv
+        );
+        assert_eq!(
+            Inst::Fadd {
+                fd: fr(1),
+                fs: fr(2),
+                ft: fr(3)
+            }
+            .class(),
+            OpClass::FpAdd
+        );
+        assert_eq!(
+            Inst::Fmul {
+                fd: fr(1),
+                fs: fr(2),
+                ft: fr(3)
+            }
+            .class(),
+            OpClass::FpMul
+        );
+        assert_eq!(
+            Inst::Fdiv {
+                fd: fr(1),
+                fs: fr(2),
+                ft: fr(3)
+            }
+            .class(),
+            OpClass::FpDiv
+        );
+        assert_eq!(
+            Inst::Lw {
+                rt: r(1),
+                base: r(2),
+                offset: 0
+            }
+            .class(),
+            OpClass::Load
+        );
+        assert_eq!(
+            Inst::Sw {
+                rt: r(1),
+                base: r(2),
+                offset: 0
+            }
+            .class(),
+            OpClass::Store
+        );
+        assert_eq!(Inst::Syscall.class(), OpClass::Syscall);
+        assert_eq!(
+            Inst::Beq {
+                rs: r(1),
+                rt: r(2),
+                target: 0
+            }
+            .class(),
+            OpClass::Branch
+        );
+        assert_eq!(Inst::J { target: 0 }.class(), OpClass::Jump);
+        assert_eq!(Inst::Nop.class(), OpClass::Nop);
+        assert_eq!(Inst::Halt.class(), OpClass::Nop);
+    }
+
+    #[test]
+    fn store_uses_value_and_base() {
+        let sw = Inst::Sw {
+            rt: r(4),
+            base: r(29),
+            offset: 1,
+        };
+        assert_eq!(
+            sw.reg_uses().as_slice(),
+            &[RegRef::Int(r(4)), RegRef::Int(r(29))]
+        );
+        assert!(sw.reg_defs().is_empty());
+    }
+
+    #[test]
+    fn fp_store_uses_fp_value_and_int_base() {
+        let fsw = Inst::Fsw {
+            ft: fr(2),
+            base: r(5),
+            offset: -3,
+        };
+        assert_eq!(
+            fsw.reg_uses().as_slice(),
+            &[RegRef::Fp(fr(2)), RegRef::Int(r(5))]
+        );
+    }
+
+    #[test]
+    fn jal_defines_link_register() {
+        let jal = Inst::Jal { target: 7 };
+        assert_eq!(jal.reg_defs().as_slice(), &[RegRef::Int(crate::abi::RA)]);
+        assert!(jal.reg_uses().is_empty());
+    }
+
+    #[test]
+    fn li_has_no_dependencies() {
+        let li = Inst::Li { rd: r(9), imm: -42 };
+        assert!(li.reg_uses().is_empty());
+        assert_eq!(li.reg_defs().as_slice(), &[RegRef::Int(r(9))]);
+    }
+
+    #[test]
+    fn with_target_patches_branches_and_jumps() {
+        let b = Inst::Bne {
+            rs: r(1),
+            rt: r(0),
+            target: 0,
+        };
+        assert_eq!(b.with_target(55).unwrap().target(), Some(55));
+        let j = Inst::Jal { target: 0 };
+        assert_eq!(j.with_target(9).unwrap().target(), Some(9));
+        assert_eq!(Inst::Nop.with_target(1), None);
+        assert_eq!(Inst::Jr { rs: r(31) }.with_target(1), None);
+    }
+
+    #[test]
+    fn display_examples_match_assembly_syntax() {
+        assert_eq!(
+            Inst::Addi {
+                rt: r(4),
+                rs: r(4),
+                imm: -1
+            }
+            .to_string(),
+            "addi r4, r4, -1"
+        );
+        assert_eq!(
+            Inst::Flw {
+                ft: fr(0),
+                base: r(8),
+                offset: 12
+            }
+            .to_string(),
+            "flw f0, 12(r8)"
+        );
+        assert_eq!(
+            Inst::Fclt {
+                rd: r(2),
+                fs: fr(1),
+                ft: fr(3)
+            }
+            .to_string(),
+            "fclt r2, f1, f3"
+        );
+        assert_eq!(Inst::Syscall.to_string(), "syscall");
+        assert_eq!(Inst::J { target: 3 }.to_string(), "j 3");
+    }
+
+    #[test]
+    fn operand_list_iteration() {
+        let add = Inst::Add {
+            rd: r(1),
+            rs: r(2),
+            rt: r(3),
+        };
+        let uses: Vec<RegRef> = add.reg_uses().into_iter().collect();
+        assert_eq!(uses, vec![RegRef::Int(r(2)), RegRef::Int(r(3))]);
+        let list = add.reg_uses();
+        let by_ref: Vec<&RegRef> = list.iter().collect();
+        assert_eq!(by_ref.len(), 2);
+    }
+
+    #[test]
+    fn every_value_creating_inst_has_exactly_one_def_or_is_store_or_syscall() {
+        let samples: Vec<Inst> = vec![
+            Inst::Add {
+                rd: r(1),
+                rs: r(2),
+                rt: r(3),
+            },
+            Inst::Li { rd: r(1), imm: 0 },
+            Inst::Lw {
+                rt: r(1),
+                base: r(2),
+                offset: 0,
+            },
+            Inst::Sw {
+                rt: r(1),
+                base: r(2),
+                offset: 0,
+            },
+            Inst::Fadd {
+                fd: fr(1),
+                fs: fr(2),
+                ft: fr(3),
+            },
+            Inst::Syscall,
+        ];
+        for inst in samples {
+            if inst.class().creates_value() {
+                let defs = inst.reg_defs().len();
+                let ok = defs == 1 || matches!(inst.class(), OpClass::Store | OpClass::Syscall);
+                assert!(ok, "{inst} violates def convention");
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! A MIPS-like instruction set architecture for the Paragraph toolkit.
+//!
+//! The paper analyzed traces captured with Pixie on DECstation (MIPS R2000/
+//! R3000) workstations. This crate defines the equivalent substrate for the
+//! reproduction: a small, regular, load/store RISC ISA with
+//!
+//! * 32 integer registers ([`IntReg`]; register 0 is hardwired to zero),
+//! * 32 floating-point registers ([`FpReg`]),
+//! * a word-addressed memory (each word holds a 64-bit integer or a 64-bit
+//!   float; see `paragraph-vm`), and
+//! * the instruction classes of Table 1 of the paper ([`OpClass`], with
+//!   latencies in [`LatencyModel`]).
+//!
+//! What matters to the dependency analysis is not the precise opcode menu but
+//! the *operand structure* of the dynamic instruction stream: which register
+//! and memory locations each instruction reads and writes, and which latency
+//! class it belongs to. [`Inst`] exposes exactly that through
+//! [`Inst::class`], [`Inst::reg_uses`] and [`Inst::reg_defs`].
+//!
+//! # Examples
+//!
+//! ```
+//! use paragraph_isa::{Inst, IntReg, OpClass};
+//!
+//! let add = Inst::Add {
+//!     rd: IntReg::new(4).unwrap(),
+//!     rs: IntReg::new(2).unwrap(),
+//!     rt: IntReg::new(3).unwrap(),
+//! };
+//! assert_eq!(add.class(), OpClass::IntAlu);
+//! assert_eq!(add.to_string(), "add r4, r2, r3");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod class;
+mod inst;
+mod latency;
+mod reg;
+
+pub use class::OpClass;
+pub use inst::{Inst, RegRef};
+pub use latency::LatencyModel;
+pub use reg::{FpReg, IntReg, ParseRegError, NUM_FP_REGS, NUM_INT_REGS};
+
+/// Conventional integer register roles used by the assembler and the VM.
+///
+/// These mirror the MIPS software conventions closely enough that assembly
+/// written for the toolkit reads familiarly.
+pub mod abi {
+    use crate::reg::IntReg;
+
+    /// Hardwired zero register (`r0`).
+    pub const ZERO: IntReg = IntReg::ZERO;
+    /// Syscall number / first return value (`r2`, MIPS `$v0`).
+    pub const V0: IntReg = IntReg::const_new(2);
+    /// Second return value (`r3`, MIPS `$v1`).
+    pub const V1: IntReg = IntReg::const_new(3);
+    /// First argument register (`r4`, MIPS `$a0`).
+    pub const A0: IntReg = IntReg::const_new(4);
+    /// Second argument register (`r5`).
+    pub const A1: IntReg = IntReg::const_new(5);
+    /// Third argument register (`r6`).
+    pub const A2: IntReg = IntReg::const_new(6);
+    /// Fourth argument register (`r7`).
+    pub const A3: IntReg = IntReg::const_new(7);
+    /// Stack pointer (`r29`).
+    pub const SP: IntReg = IntReg::const_new(29);
+    /// Frame pointer (`r30`).
+    pub const FP: IntReg = IntReg::const_new(30);
+    /// Return address, written by `jal` (`r31`).
+    pub const RA: IntReg = IntReg::const_new(31);
+}

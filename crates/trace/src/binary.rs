@@ -1,0 +1,410 @@
+//! A compact binary on-disk trace format.
+//!
+//! Traces can be captured once (e.g. with `paragraph trace`) and re-analyzed
+//! under many machine models, exactly as the paper re-ran Paragraph over
+//! Pixie trace files with different switch settings.
+//!
+//! The format is a small streaming encoding:
+//!
+//! * header: magic `PGTR`, format version, the [`SegmentMap`] boundaries;
+//! * one record per dynamic instruction: class byte, operand-count byte,
+//!   zig-zag varint pc delta, then each operand as a tag byte plus varint
+//!   payload.
+//!
+//! # Examples
+//!
+//! ```
+//! use paragraph_trace::binary::{TraceReader, TraceWriter};
+//! use paragraph_trace::{Loc, SegmentMap, TraceRecord};
+//! use paragraph_isa::OpClass;
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let mut buf = Vec::new();
+//! let mut writer = TraceWriter::new(&mut buf, SegmentMap::all_data())?;
+//! writer.write_record(&TraceRecord::compute(0, OpClass::IntAlu, &[], Loc::int(1)))?;
+//! writer.finish()?;
+//!
+//! let mut reader = TraceReader::new(buf.as_slice())?;
+//! let records: Vec<_> = reader.by_ref().collect::<Result<_, _>>()?;
+//! assert_eq!(records.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::loc::Loc;
+use crate::record::TraceRecord;
+use crate::segment::SegmentMap;
+use paragraph_isa::OpClass;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"PGTR";
+const VERSION: u8 = 1;
+
+const TAG_INT: u8 = 0;
+const TAG_FP: u8 = 1;
+const TAG_MEM: u8 = 2;
+
+fn write_varint<W: Write>(mut w: W, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(mut r: R) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        let b = byte[0];
+        if shift >= 64 || (shift == 63 && b > 1) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint overflows u64",
+            ));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn write_loc<W: Write>(mut w: W, loc: Loc) -> io::Result<()> {
+    match loc {
+        Loc::IntReg(r) => w.write_all(&[TAG_INT, r.index()]),
+        Loc::FpReg(r) => w.write_all(&[TAG_FP, r.index()]),
+        Loc::Mem(addr) => {
+            w.write_all(&[TAG_MEM])?;
+            write_varint(w, addr)
+        }
+    }
+}
+
+fn read_loc<R: Read>(mut r: R) -> io::Result<Loc> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    match tag[0] {
+        TAG_INT | TAG_FP => {
+            let mut idx = [0u8; 1];
+            r.read_exact(&mut idx)?;
+            let loc = if tag[0] == TAG_INT {
+                paragraph_isa::IntReg::new(idx[0]).map(Loc::IntReg)
+            } else {
+                paragraph_isa::FpReg::new(idx[0]).map(Loc::FpReg)
+            };
+            loc.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "register index out of range")
+            })
+        }
+        TAG_MEM => Ok(Loc::Mem(read_varint(r)?)),
+        t => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown location tag {t}"),
+        )),
+    }
+}
+
+/// Streaming writer for the binary trace format.
+///
+/// Callers that need buffering should wrap the writer in a
+/// [`std::io::BufWriter`]; a `&mut W` can be passed wherever a `W: Write` is
+/// expected.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    last_pc: u64,
+    records: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Writes the header and returns a writer ready for records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn new(mut out: W, segments: SegmentMap) -> io::Result<TraceWriter<W>> {
+        out.write_all(MAGIC)?;
+        out.write_all(&[VERSION])?;
+        write_varint(&mut out, segments.heap_base())?;
+        write_varint(&mut out, segments.stack_floor())?;
+        Ok(TraceWriter {
+            out,
+            last_pc: 0,
+            records: 0,
+        })
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_record(&mut self, record: &TraceRecord) -> io::Result<()> {
+        let nsrc = record.srcs().len() as u8;
+        let flags = nsrc
+            | if record.dest().is_some() { 0x80 } else { 0 }
+            | if record.branch_info().is_some() {
+                0x40
+            } else {
+                0
+            };
+        self.out.write_all(&[record.class().id(), flags])?;
+        write_varint(
+            &mut self.out,
+            zigzag(record.pc() as i64 - self.last_pc as i64),
+        )?;
+        self.last_pc = record.pc();
+        for &s in record.srcs() {
+            write_loc(&mut self.out, s)?;
+        }
+        if let Some(d) = record.dest() {
+            write_loc(&mut self.out, d)?;
+        }
+        if let Some(info) = record.branch_info() {
+            self.out.write_all(&[u8::from(info.taken)])?;
+            write_varint(&mut self.out, info.target)?;
+        }
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Flushes and returns the number of records written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn finish(mut self) -> io::Result<u64> {
+        self.out.flush()?;
+        Ok(self.records)
+    }
+}
+
+/// Streaming reader for the binary trace format.
+///
+/// Iterates over `io::Result<TraceRecord>`; iteration ends at end-of-file.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    input: R,
+    segments: SegmentMap,
+    last_pc: u64,
+    done: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Reads and validates the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` if the magic or version does not match, and
+    /// propagates I/O errors.
+    pub fn new(mut input: R) -> io::Result<TraceReader<R>> {
+        let mut magic = [0u8; 5];
+        input.read_exact(&mut magic)?;
+        if &magic[..4] != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a Paragraph trace (bad magic)",
+            ));
+        }
+        if magic[4] != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported trace version {}", magic[4]),
+            ));
+        }
+        let heap_base = read_varint(&mut input)?;
+        let stack_floor = read_varint(&mut input)?;
+        Ok(TraceReader {
+            input,
+            segments: SegmentMap::new(heap_base, stack_floor),
+            last_pc: 0,
+            done: false,
+        })
+    }
+
+    /// The segment map recorded in the trace header.
+    pub fn segment_map(&self) -> SegmentMap {
+        self.segments
+    }
+
+    fn read_record(&mut self) -> io::Result<Option<TraceRecord>> {
+        let mut head = [0u8; 2];
+        match self.input.read_exact(&mut head) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        let class = OpClass::from_id(head[0])
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unknown opcode class"))?;
+        let nsrc = (head[1] & 0x3f) as usize;
+        if nsrc > 3 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "record has too many sources",
+            ));
+        }
+        let has_dest = head[1] & 0x80 != 0;
+        let has_branch = head[1] & 0x40 != 0;
+        let delta = unzigzag(read_varint(&mut self.input)?);
+        let pc = self.last_pc.wrapping_add(delta as u64);
+        self.last_pc = pc;
+        let mut srcs = [Loc::mem(0); 3];
+        for slot in srcs.iter_mut().take(nsrc) {
+            *slot = read_loc(&mut self.input)?;
+        }
+        let dest = if has_dest {
+            Some(read_loc(&mut self.input)?)
+        } else {
+            None
+        };
+        if has_branch {
+            let mut taken = [0u8; 1];
+            self.input.read_exact(&mut taken)?;
+            let target = read_varint(&mut self.input)?;
+            if class != OpClass::Branch {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "branch outcome on a non-branch record",
+                ));
+            }
+            return Ok(Some(TraceRecord::branch_outcome(
+                pc,
+                &srcs[..nsrc],
+                taken[0] != 0,
+                target,
+            )));
+        }
+        Ok(Some(TraceRecord::new(pc, class, &srcs[..nsrc], dest)))
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = io::Result<TraceRecord>;
+
+    fn next(&mut self) -> Option<io::Result<TraceRecord>> {
+        if self.done {
+            return None;
+        }
+        match self.read_record() {
+            Ok(Some(record)) => Some(Ok(record)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic;
+
+    fn round_trip(records: &[TraceRecord], segments: SegmentMap) -> Vec<TraceRecord> {
+        let mut buf = Vec::new();
+        let mut writer = TraceWriter::new(&mut buf, segments).unwrap();
+        for r in records {
+            writer.write_record(r).unwrap();
+        }
+        let written = writer.finish().unwrap();
+        assert_eq!(written, records.len() as u64);
+        let reader = TraceReader::new(buf.as_slice()).unwrap();
+        assert_eq!(reader.segment_map(), segments);
+        reader.map(|r| r.unwrap()).collect()
+    }
+
+    #[test]
+    fn figure1_round_trips() {
+        let records = synthetic::figure1();
+        assert_eq!(round_trip(&records, SegmentMap::all_data()), records);
+    }
+
+    #[test]
+    fn random_trace_round_trips() {
+        let records = synthetic::random_trace(500, 42);
+        let segments = SegmentMap::new(64, 1 << 20);
+        assert_eq!(round_trip(&records, segments), records);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        assert!(round_trip(&[], SegmentMap::all_data()).is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = TraceReader::new(&b"NOPE\x01xxxx"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(99);
+        buf.extend_from_slice(&[0, 0]);
+        let err = TraceReader::new(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_record_reports_eof_error() {
+        let mut buf = Vec::new();
+        let mut writer = TraceWriter::new(&mut buf, SegmentMap::all_data()).unwrap();
+        writer
+            .write_record(&TraceRecord::compute(
+                0,
+                OpClass::IntAlu,
+                &[Loc::int(1)],
+                Loc::int(2),
+            ))
+            .unwrap();
+        writer.finish().unwrap();
+        buf.truncate(buf.len() - 1);
+        let reader = TraceReader::new(buf.as_slice()).unwrap();
+        let results: Vec<_> = reader.collect();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].is_err());
+    }
+
+    #[test]
+    fn varint_round_trips_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            assert_eq!(read_varint(buf.as_slice()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_overflow_is_rejected() {
+        let buf = [0xffu8; 11];
+        assert!(read_varint(&buf[..]).is_err());
+    }
+}

@@ -1,0 +1,302 @@
+//! One dynamic instruction as seen by the analyzer.
+
+use crate::loc::Loc;
+use paragraph_isa::OpClass;
+use std::fmt;
+
+const MAX_SRCS: usize = 3;
+
+/// A single dynamic instruction in an execution trace.
+///
+/// A record carries everything the dependency analyzer needs and nothing
+/// else: the program counter (for diagnostics and DDG node labels), the
+/// operation's latency class, the source [`Loc`]ations whose values it reads,
+/// and the destination location it writes (if any).
+///
+/// Loads appear with their memory word among the sources and the target
+/// register as destination; stores appear with the stored register (and the
+/// address base register) among the sources and the memory word as
+/// destination. Control instructions carry their register sources but no
+/// destination and are never placed in the DDG.
+///
+/// # Examples
+///
+/// ```
+/// use paragraph_trace::{Loc, TraceRecord};
+///
+/// // lw r4, 0(r29) where r29 holds 1000
+/// let lw = TraceRecord::load(8, 1000, Some(Loc::int(29)), Loc::int(4));
+/// assert_eq!(lw.dest(), Some(Loc::int(4)));
+/// assert!(lw.srcs().contains(&Loc::mem(1000)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceRecord {
+    pc: u64,
+    class: OpClass,
+    nsrc: u8,
+    srcs: [Loc; MAX_SRCS],
+    dest: Option<Loc>,
+    branch: Option<BranchInfo>,
+}
+
+/// Dynamic outcome of a conditional branch, carried on
+/// [`OpClass::Branch`] records.
+///
+/// Used by the analyzer's branch-prediction models: a mispredicted branch
+/// places a firewall at the branch's resolution level ("The firewall can
+/// also be used to represent the effect of a mispredicted conditional
+/// branch", §3.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchInfo {
+    /// Whether the branch was taken.
+    pub taken: bool,
+    /// The branch's static target instruction address.
+    pub target: u64,
+}
+
+impl TraceRecord {
+    /// Creates a record from raw parts.
+    ///
+    /// Reads of the hardwired zero register are dropped from `srcs` (they
+    /// create no dependency), and a write to the zero register is dropped
+    /// from `dest`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than three sources are supplied, or if the class/
+    /// operand combination is inconsistent (a destination on a control
+    /// instruction, a memory destination on a non-store, or a store without a
+    /// memory destination).
+    pub fn new(pc: u64, class: OpClass, srcs: &[Loc], dest: Option<Loc>) -> TraceRecord {
+        let dest = dest.filter(|d| !d.is_zero_reg());
+        if let Some(d) = dest {
+            assert!(
+                class.creates_value(),
+                "control/nop instruction at pc {pc} cannot define {d}"
+            );
+            assert_eq!(
+                d.is_mem(),
+                class == OpClass::Store,
+                "memory destinations are exactly the store class (pc {pc}, class {class})"
+            );
+        } else {
+            assert!(
+                !matches!(class, OpClass::Store | OpClass::Load),
+                "memory instruction at pc {pc} must name its memory destination/source"
+            );
+        }
+        let mut packed = [Loc::IntReg(paragraph_isa::IntReg::ZERO); MAX_SRCS];
+        let mut nsrc = 0usize;
+        for &s in srcs {
+            if s.is_zero_reg() {
+                continue;
+            }
+            assert!(nsrc < MAX_SRCS, "more than {MAX_SRCS} sources at pc {pc}");
+            packed[nsrc] = s;
+            nsrc += 1;
+        }
+        if class == OpClass::Load {
+            assert!(
+                srcs.iter().any(|s| s.is_mem()),
+                "load at pc {pc} must name its memory source"
+            );
+        }
+        TraceRecord {
+            pc,
+            class,
+            nsrc: nsrc as u8,
+            srcs: packed,
+            dest,
+            branch: None,
+        }
+    }
+
+    /// A register-to-register computation (ALU, multiply, FP, ...).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is a memory, control, or non-value class, or on
+    /// operand inconsistencies as for [`TraceRecord::new`].
+    pub fn compute(pc: u64, class: OpClass, srcs: &[Loc], dest: Loc) -> TraceRecord {
+        assert!(
+            class.creates_value() && !class.is_mem() && class != OpClass::Syscall,
+            "compute records take ALU/FP classes, got {class}"
+        );
+        TraceRecord::new(pc, class, srcs, Some(dest))
+    }
+
+    /// A load of memory word `addr` into register `dest`, optionally through
+    /// an address `base` register.
+    pub fn load(pc: u64, addr: u64, base: Option<Loc>, dest: Loc) -> TraceRecord {
+        let mut srcs = [Loc::mem(addr); 2];
+        let mut n = 1;
+        if let Some(b) = base {
+            srcs[1] = b;
+            n = 2;
+        }
+        TraceRecord::new(pc, OpClass::Load, &srcs[..n], Some(dest))
+    }
+
+    /// A store of register `value` into memory word `addr`, optionally
+    /// through an address `base` register.
+    pub fn store(pc: u64, addr: u64, value: Loc, base: Option<Loc>) -> TraceRecord {
+        let mut srcs = [value; 2];
+        let mut n = 1;
+        if let Some(b) = base {
+            srcs[1] = b;
+            n = 2;
+        }
+        TraceRecord::new(pc, OpClass::Store, &srcs[..n], Some(Loc::mem(addr)))
+    }
+
+    /// A system call. Sources are the argument registers actually read.
+    pub fn syscall(pc: u64, srcs: &[Loc], dest: Option<Loc>) -> TraceRecord {
+        TraceRecord::new(pc, OpClass::Syscall, srcs, dest)
+    }
+
+    /// A conditional branch reading the given registers, with unknown
+    /// outcome (branch-prediction models treat it as perfectly predicted).
+    pub fn branch(pc: u64, srcs: &[Loc]) -> TraceRecord {
+        TraceRecord::new(pc, OpClass::Branch, srcs, None)
+    }
+
+    /// A conditional branch with its dynamic outcome recorded, enabling the
+    /// analyzer's branch-prediction models.
+    pub fn branch_outcome(pc: u64, srcs: &[Loc], taken: bool, target: u64) -> TraceRecord {
+        let mut rec = TraceRecord::new(pc, OpClass::Branch, srcs, None);
+        rec.branch = Some(BranchInfo { taken, target });
+        rec
+    }
+
+    /// An unconditional jump (no link-register write).
+    pub fn jump(pc: u64, srcs: &[Loc]) -> TraceRecord {
+        TraceRecord::new(pc, OpClass::Jump, srcs, None)
+    }
+
+    /// The program counter (instruction address) of this dynamic instruction.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// The operation's latency class.
+    pub fn class(&self) -> OpClass {
+        self.class
+    }
+
+    /// The locations read by this instruction (zero-register reads omitted).
+    pub fn srcs(&self) -> &[Loc] {
+        &self.srcs[..self.nsrc as usize]
+    }
+
+    /// The location written by this instruction, if any.
+    pub fn dest(&self) -> Option<Loc> {
+        self.dest
+    }
+
+    /// Whether the analyzer places this record in the DDG.
+    pub fn creates_value(&self) -> bool {
+        self.class.creates_value()
+    }
+
+    /// The recorded branch outcome, if this is a conditional branch whose
+    /// outcome the tracer captured.
+    pub fn branch_info(&self) -> Option<BranchInfo> {
+        self.branch
+    }
+
+    /// The memory word this instruction accesses, if any.
+    pub fn mem_addr(&self) -> Option<u64> {
+        match self.class {
+            OpClass::Load => self.srcs().iter().find_map(|s| s.addr()),
+            OpClass::Store => self.dest.and_then(Loc::addr),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>8}  {:<8}", self.pc, self.class)?;
+        let mut first = true;
+        for s in self.srcs() {
+            if first {
+                write!(f, " reads {s}")?;
+                first = false;
+            } else {
+                write!(f, ", {s}")?;
+            }
+        }
+        if let Some(d) = self.dest {
+            write!(f, " writes {d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_reads_are_dropped() {
+        let rec =
+            TraceRecord::compute(0, OpClass::IntAlu, &[Loc::int(0), Loc::int(3)], Loc::int(4));
+        assert_eq!(rec.srcs(), &[Loc::int(3)]);
+    }
+
+    #[test]
+    fn zero_register_writes_are_dropped() {
+        let rec = TraceRecord::new(0, OpClass::IntAlu, &[Loc::int(3)], Some(Loc::int(0)));
+        assert_eq!(rec.dest(), None);
+    }
+
+    #[test]
+    fn load_records_memory_source() {
+        let rec = TraceRecord::load(4, 100, Some(Loc::int(29)), Loc::int(8));
+        assert_eq!(rec.class(), OpClass::Load);
+        assert_eq!(rec.mem_addr(), Some(100));
+        assert_eq!(rec.srcs().len(), 2);
+    }
+
+    #[test]
+    fn store_records_memory_destination() {
+        let rec = TraceRecord::store(4, 100, Loc::int(8), Some(Loc::int(29)));
+        assert_eq!(rec.class(), OpClass::Store);
+        assert_eq!(rec.dest(), Some(Loc::mem(100)));
+        assert_eq!(rec.mem_addr(), Some(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot define")]
+    fn branch_with_destination_panics() {
+        TraceRecord::new(0, OpClass::Branch, &[], Some(Loc::int(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "memory destinations")]
+    fn mem_dest_on_alu_panics() {
+        TraceRecord::new(0, OpClass::IntAlu, &[], Some(Loc::mem(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must name its memory source")]
+    fn load_without_mem_source_panics() {
+        TraceRecord::new(0, OpClass::Load, &[Loc::int(1)], Some(Loc::int(2)));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let rec = TraceRecord::store(12, 40, Loc::int(8), Some(Loc::int(29)));
+        let text = rec.to_string();
+        assert!(text.contains("store"));
+        assert!(text.contains("r8"));
+        assert!(text.contains("[40]"));
+    }
+
+    #[test]
+    fn syscall_records() {
+        let rec = TraceRecord::syscall(0, &[Loc::int(2)], Some(Loc::int(2)));
+        assert!(rec.creates_value());
+        assert_eq!(rec.class(), OpClass::Syscall);
+    }
+}

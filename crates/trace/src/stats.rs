@@ -1,0 +1,221 @@
+//! First-order trace metrics (operation frequencies).
+
+use crate::record::TraceRecord;
+use paragraph_isa::OpClass;
+use std::fmt;
+
+/// Running first-order statistics over a trace.
+///
+/// These are the "simple first-order metrics of the dynamic execution, such
+/// as operation frequencies" that the paper argues are necessary but not
+/// sufficient; the toolkit reports them alongside the dependency analyses
+/// (they populate Table 2's instruction counts).
+///
+/// # Examples
+///
+/// ```
+/// use paragraph_trace::{Loc, TraceRecord, TraceStats};
+/// use paragraph_isa::OpClass;
+///
+/// let mut stats = TraceStats::new();
+/// stats.observe(&TraceRecord::compute(0, OpClass::IntAlu, &[], Loc::int(1)));
+/// stats.observe(&TraceRecord::branch(4, &[Loc::int(1)]));
+/// assert_eq!(stats.total(), 2);
+/// assert_eq!(stats.count(OpClass::IntAlu), 1);
+/// assert_eq!(stats.placed(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    counts: [u64; OpClass::ALL.len()],
+    fp_touching: u64,
+    total: u64,
+}
+
+impl TraceStats {
+    /// Creates empty statistics.
+    pub fn new() -> TraceStats {
+        TraceStats::default()
+    }
+
+    /// Folds one record into the statistics.
+    pub fn observe(&mut self, record: &TraceRecord) {
+        self.counts[record.class() as usize] += 1;
+        self.total += 1;
+        let touches_fp = record.class().is_fp()
+            || record
+                .dest()
+                .is_some_and(|d| matches!(d, crate::Loc::FpReg(_)))
+            || record
+                .srcs()
+                .iter()
+                .any(|s| matches!(s, crate::Loc::FpReg(_)));
+        if record.creates_value() && touches_fp {
+            self.fp_touching += 1;
+        }
+    }
+
+    /// Computes statistics for an entire iterator of records.
+    pub fn from_records<'a, I>(records: I) -> TraceStats
+    where
+        I: IntoIterator<Item = &'a TraceRecord>,
+    {
+        let mut stats = TraceStats::new();
+        for r in records {
+            stats.observe(r);
+        }
+        stats
+    }
+
+    /// Total dynamic instructions observed (all classes).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Dynamic instructions of one class.
+    pub fn count(&self, class: OpClass) -> u64 {
+        self.counts[class as usize]
+    }
+
+    /// Dynamic instructions that the analyzer places in the DDG
+    /// (value-creating classes).
+    pub fn placed(&self) -> u64 {
+        OpClass::ALL
+            .iter()
+            .filter(|c| c.creates_value())
+            .map(|&c| self.count(c))
+            .sum()
+    }
+
+    /// Number of system calls observed (the paper reports these in Table 3).
+    pub fn syscalls(&self) -> u64 {
+        self.count(OpClass::Syscall)
+    }
+
+    /// Fraction of dynamic instructions in `class`, in `[0, 1]`.
+    ///
+    /// Returns 0 for an empty trace.
+    pub fn frequency(&self, class: OpClass) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(class) as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of *placed* (value-creating) operations that touch the
+    /// floating-point state: FP arithmetic plus loads/stores of FP
+    /// registers. Returns 0 for an empty trace.
+    pub fn fp_fraction(&self) -> f64 {
+        let placed = self.placed();
+        if placed == 0 {
+            return 0.0;
+        }
+        self.fp_touching as f64 / placed as f64
+    }
+
+    /// Classifies the trace the way the paper's Table 2 classifies its
+    /// benchmarks: `"Int"`, `"FP"`, or `"Int and FP"`.
+    ///
+    /// The thresholds are simple: below 5% FP-touching operations is an
+    /// integer benchmark, above 46% a floating-point benchmark, in between
+    /// a mix (spice2g6's index-chasing keeps it in the band, as in the
+    /// paper's "Int and FP" label).
+    pub fn benchmark_type(&self) -> &'static str {
+        let fp = self.fp_fraction();
+        if fp < 0.05 {
+            "Int"
+        } else if fp > 0.46 {
+            "FP"
+        } else {
+            "Int and FP"
+        }
+    }
+
+    /// Merges another statistics object into this one.
+    pub fn merge(&mut self, other: &TraceStats) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.fp_touching += other.fp_touching;
+        self.total += other.total;
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:>12} instructions", self.total)?;
+        for class in OpClass::ALL {
+            let n = self.count(class);
+            if n > 0 {
+                writeln!(f, "{n:>12} {class} ({:.2}%)", 100.0 * self.frequency(class))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loc::Loc;
+
+    fn alu(pc: u64) -> TraceRecord {
+        TraceRecord::compute(pc, OpClass::IntAlu, &[], Loc::int(1))
+    }
+
+    #[test]
+    fn counts_accumulate_by_class() {
+        let records = vec![
+            alu(0),
+            alu(1),
+            TraceRecord::branch(2, &[Loc::int(1)]),
+            TraceRecord::syscall(3, &[], None),
+        ];
+        let stats = TraceStats::from_records(&records);
+        assert_eq!(stats.total(), 4);
+        assert_eq!(stats.count(OpClass::IntAlu), 2);
+        assert_eq!(stats.count(OpClass::Branch), 1);
+        assert_eq!(stats.syscalls(), 1);
+        assert_eq!(stats.placed(), 3);
+    }
+
+    #[test]
+    fn frequency_of_empty_trace_is_zero() {
+        let stats = TraceStats::new();
+        assert_eq!(stats.frequency(OpClass::IntAlu), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let a = TraceStats::from_records(&[alu(0)]);
+        let mut b = TraceStats::from_records(&[alu(1), alu(2)]);
+        b.merge(&a);
+        assert_eq!(b.total(), 3);
+        assert_eq!(b.count(OpClass::IntAlu), 3);
+    }
+
+    #[test]
+    fn benchmark_type_thresholds() {
+        let mut stats = TraceStats::new();
+        for i in 0..100 {
+            stats.observe(&alu(i));
+        }
+        assert_eq!(stats.benchmark_type(), "Int");
+        for i in 0..20 {
+            stats.observe(&TraceRecord::compute(i, OpClass::FpMul, &[], Loc::fp(1)));
+        }
+        assert_eq!(stats.benchmark_type(), "Int and FP");
+        for i in 0..200 {
+            stats.observe(&TraceRecord::compute(i, OpClass::FpAdd, &[], Loc::fp(2)));
+        }
+        assert_eq!(stats.benchmark_type(), "FP");
+    }
+
+    #[test]
+    fn display_reports_total_and_classes() {
+        let stats = TraceStats::from_records(&[alu(0)]);
+        let text = stats.to_string();
+        assert!(text.contains("1 instructions"));
+        assert!(text.contains("int-alu"));
+    }
+}

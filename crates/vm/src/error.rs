@@ -1,0 +1,90 @@
+//! VM runtime errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// What went wrong during execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VmErrorKind {
+    /// A load or store touched the null page or an address beyond the
+    /// address-space limit.
+    MemoryFault {
+        /// The offending word address.
+        addr: u64,
+    },
+    /// Integer division or remainder by zero.
+    DivideByZero,
+    /// A branch, jump, or fall-through left the text segment.
+    BadJump {
+        /// The target instruction index.
+        target: u64,
+    },
+    /// An unknown system-call number in `r2`.
+    UnknownSyscall {
+        /// The unrecognized call number.
+        number: i64,
+    },
+    /// A `read_int` system call with no input left in the queue.
+    InputExhausted,
+}
+
+impl fmt::Display for VmErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmErrorKind::MemoryFault { addr } => write!(f, "memory fault at word {addr:#x}"),
+            VmErrorKind::DivideByZero => write!(f, "integer division by zero"),
+            VmErrorKind::BadJump { target } => {
+                write!(f, "control transfer to invalid instruction index {target}")
+            }
+            VmErrorKind::UnknownSyscall { number } => {
+                write!(f, "unknown system call number {number}")
+            }
+            VmErrorKind::InputExhausted => write!(f, "read_int with empty input queue"),
+        }
+    }
+}
+
+/// A runtime fault, carrying the instruction index it occurred at.
+///
+/// # Examples
+///
+/// ```
+/// use paragraph_asm::assemble;
+/// use paragraph_vm::{Vm, VmErrorKind};
+///
+/// let program = assemble(".text\nmain:\n lw r1, 0(r0)\n halt\n")?;
+/// let err = Vm::new(program).run(10).unwrap_err();
+/// assert!(matches!(err.kind(), VmErrorKind::MemoryFault { addr: 0 }));
+/// assert_eq!(err.pc(), 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmError {
+    pc: u64,
+    kind: VmErrorKind,
+}
+
+impl VmError {
+    pub(crate) fn new(pc: u64, kind: VmErrorKind) -> VmError {
+        VmError { pc, kind }
+    }
+
+    /// The instruction index at which the fault occurred.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// The fault detail.
+    pub fn kind(&self) -> VmErrorKind {
+        self.kind
+    }
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm fault at instruction {}: {}", self.pc, self.kind)
+    }
+}
+
+impl Error for VmError {}

@@ -1,0 +1,65 @@
+//! The interpreting virtual machine and tracer for the Paragraph toolkit.
+//!
+//! The paper captured serial execution traces of SPEC89 binaries with Pixie
+//! on DECstation (MIPS) workstations. This crate is the reproduction's
+//! equivalent substrate: it executes assembled [`Program`](paragraph_asm::Program)s
+//! and emits one [`TraceRecord`](paragraph_trace::TraceRecord) per dynamic
+//! instruction, which feeds directly into the `paragraph-core` analyzers.
+//!
+//! # Machine model
+//!
+//! * 32 integer registers (`r0` hardwired to zero) holding `i64`, and 32
+//!   floating-point registers holding `f64`.
+//! * Word-addressed sparse memory; each word is 64 bits (integers stored
+//!   two's complement, floats as IEEE-754 bits). The layout is
+//!   `[null page | data | heap →   ...   ← stack]`, with the boundaries
+//!   exposed as a [`SegmentMap`](paragraph_trace::SegmentMap) so the
+//!   analyzer's *Rename Stack* / *Rename Data* switches can classify
+//!   addresses exactly as the paper does.
+//! * System calls take their call number in `r2` (`v0`) and arguments in
+//!   `r4`/`f0`; see [`Syscall`] for the menu. Input is provided up front via
+//!   [`Vm::push_input`]; output accumulates in [`Vm::output`]. Everything is
+//!   deterministic.
+//! * Execution is fuel-limited: [`Vm::run`] stops after a configurable
+//!   number of instructions, mirroring the paper's truncation of traces at
+//!   100M instructions ("at most 100,000,000 instructions were traced due to
+//!   time restrictions").
+//!
+//! Following the paper, `jal`'s link-register write is *not* reported in the
+//! trace (jumps and branches are never placed in the DDG), though the VM of
+//! course performs it; `jr` consequently reads a value the analyzer treats
+//! as preexisting.
+//!
+//! # Examples
+//!
+//! ```
+//! use paragraph_asm::assemble;
+//! use paragraph_vm::Vm;
+//!
+//! let program = assemble("
+//!     .text
+//! main:
+//!     li r2, 1        # print_int
+//!     li r4, 42
+//!     syscall
+//!     halt
+//! ")?;
+//! let mut vm = Vm::new(program);
+//! let outcome = vm.run(1_000)?;
+//! assert!(outcome.halted());
+//! assert_eq!(vm.output(), "42\n");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod machine;
+mod memory;
+mod syscall;
+
+pub use error::{VmError, VmErrorKind};
+pub use machine::{HaltReason, RunOutcome, Vm, DEFAULT_FUEL};
+pub use memory::{Memory, NULL_PAGE_END, STACK_REGION_FLOOR, STACK_TOP};
+pub use syscall::Syscall;

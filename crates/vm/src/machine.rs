@@ -1,0 +1,931 @@
+//! The interpreter.
+
+use crate::error::{VmError, VmErrorKind};
+use crate::memory::{Memory, STACK_TOP};
+use crate::syscall::Syscall;
+use paragraph_asm::Program;
+use paragraph_isa::{abi, FpReg, Inst, IntReg, OpClass};
+use paragraph_trace::{Loc, SegmentMap, TraceRecord};
+use std::collections::VecDeque;
+
+/// Default fuel for [`Vm::run`]: the paper's 100M-instruction trace cap.
+pub const DEFAULT_FUEL: u64 = 100_000_000;
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltReason {
+    /// A `halt` instruction was executed.
+    Halt,
+    /// An `exit` system call was executed, with this exit code.
+    Exit(i64),
+    /// The fuel budget was exhausted; the program could continue. This is
+    /// the paper's situation for 8 of the 10 SPEC benchmarks (traces
+    /// truncated at 100M instructions).
+    FuelExhausted,
+}
+
+/// Outcome of a (fault-free) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    executed: u64,
+    reason: HaltReason,
+}
+
+impl RunOutcome {
+    /// Dynamic instructions executed during this run.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Why the run stopped.
+    pub fn reason(&self) -> HaltReason {
+        self.reason
+    }
+
+    /// Whether the program came to a proper end (`halt` or `exit`) rather
+    /// than running out of fuel.
+    pub fn halted(&self) -> bool {
+        !matches!(self.reason, HaltReason::FuelExhausted)
+    }
+}
+
+/// The virtual machine: registers, memory, and I/O queues for one program.
+///
+/// See the [crate documentation](crate) for the machine model and an
+/// example.
+#[derive(Debug, Clone)]
+pub struct Vm {
+    program: Program,
+    pc: u32,
+    int_regs: [i64; 32],
+    fp_regs: [f64; 32],
+    mem: Memory,
+    brk: u64,
+    input: VecDeque<i64>,
+    output: String,
+    executed: u64,
+    halted: Option<HaltReason>,
+}
+
+impl Vm {
+    /// Creates a machine with `program` loaded: data segment in memory, the
+    /// stack pointer at [`STACK_TOP`], and the pc at the program entry.
+    pub fn new(program: Program) -> Vm {
+        let mut mem = Memory::new();
+        for (i, &word) in program.data_words().iter().enumerate() {
+            mem.write(program.data_base() + i as u64, word)
+                .expect("data segment must fit in valid memory");
+        }
+        let mut int_regs = [0i64; 32];
+        int_regs[abi::SP.index() as usize] = STACK_TOP as i64;
+        Vm {
+            pc: program.entry(),
+            brk: program.data_end(),
+            program,
+            int_regs,
+            fp_regs: [0.0; 32],
+            mem,
+            input: VecDeque::new(),
+            output: String::new(),
+            executed: 0,
+            halted: None,
+        }
+    }
+
+    /// Resets the machine to its post-load state: registers cleared (sp at
+    /// [`STACK_TOP`]), memory re-imaged from the program's data segment, pc
+    /// at the entry point, output and input queues emptied, executed count
+    /// zeroed. Cheaper than re-cloning a large program for repeated runs.
+    pub fn reset(&mut self) {
+        let mut mem = Memory::new();
+        for (i, &word) in self.program.data_words().iter().enumerate() {
+            mem.write(self.program.data_base() + i as u64, word)
+                .expect("data segment must fit in valid memory");
+        }
+        self.mem = mem;
+        self.int_regs = [0; 32];
+        self.int_regs[abi::SP.index() as usize] = STACK_TOP as i64;
+        self.fp_regs = [0.0; 32];
+        self.pc = self.program.entry();
+        self.brk = self.program.data_end();
+        self.input.clear();
+        self.output.clear();
+        self.executed = 0;
+        self.halted = None;
+    }
+
+    /// Queues an integer for the `read_int` system call.
+    pub fn push_input(&mut self, value: i64) -> &mut Vm {
+        self.input.push_back(value);
+        self
+    }
+
+    /// Queues many integers for the `read_int` system call.
+    pub fn extend_input<I: IntoIterator<Item = i64>>(&mut self, values: I) -> &mut Vm {
+        self.input.extend(values);
+        self
+    }
+
+    /// Everything the program has printed so far.
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// Total dynamic instructions executed so far (across runs).
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// The memory segment map for this program, for
+    /// [`AnalysisConfig::with_segments`](../paragraph_core/struct.AnalysisConfig.html):
+    /// data below the initial heap break, stack at the top of the address
+    /// space.
+    pub fn segment_map(&self) -> SegmentMap {
+        Memory::segment_map(self.program.data_end())
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Reads an integer register (always 0 for `r0`).
+    pub fn int_reg(&self, reg: IntReg) -> i64 {
+        self.int_regs[reg.index() as usize]
+    }
+
+    /// Reads a floating-point register.
+    pub fn fp_reg(&self, reg: FpReg) -> f64 {
+        self.fp_regs[reg.index() as usize]
+    }
+
+    /// Reads a memory word as raw bits.
+    ///
+    /// # Errors
+    ///
+    /// Faults like a program access would.
+    pub fn mem_word(&self, addr: u64) -> Result<u64, VmError> {
+        self.mem.read(addr)
+    }
+
+    /// Runs without capturing a trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first runtime fault (memory fault, division by zero, bad
+    /// jump, unknown syscall, exhausted input).
+    pub fn run(&mut self, fuel: u64) -> Result<RunOutcome, VmError> {
+        self.run_traced(fuel, |_| {})
+    }
+
+    /// Runs, invoking `sink` with one [`TraceRecord`] per executed
+    /// instruction (the Pixie role). Stops at `fuel` instructions, `halt`,
+    /// or `exit`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Vm::run`].
+    pub fn run_traced<F>(&mut self, fuel: u64, mut sink: F) -> Result<RunOutcome, VmError>
+    where
+        F: FnMut(&TraceRecord),
+    {
+        let mut executed_now = 0u64;
+        if let Some(reason) = self.halted {
+            return Ok(RunOutcome {
+                executed: 0,
+                reason,
+            });
+        }
+        while executed_now < fuel {
+            match self.step(&mut sink)? {
+                None => executed_now += 1,
+                Some(reason) => {
+                    executed_now += 1;
+                    self.halted = Some(reason);
+                    return Ok(RunOutcome {
+                        executed: executed_now,
+                        reason,
+                    });
+                }
+            }
+        }
+        Ok(RunOutcome {
+            executed: executed_now,
+            reason: HaltReason::FuelExhausted,
+        })
+    }
+
+    /// Runs and collects the trace into a vector (convenient for bounded
+    /// programs; long traces should stream through [`Vm::run_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Vm::run`].
+    pub fn run_collect(&mut self, fuel: u64) -> Result<(Vec<TraceRecord>, RunOutcome), VmError> {
+        let mut records = Vec::new();
+        let outcome = self.run_traced(fuel, |r| records.push(*r))?;
+        Ok((records, outcome))
+    }
+
+    fn geti(&self, r: IntReg) -> i64 {
+        self.int_regs[r.index() as usize]
+    }
+
+    fn seti(&mut self, r: IntReg, v: i64) {
+        if !r.is_zero() {
+            self.int_regs[r.index() as usize] = v;
+        }
+    }
+
+    fn getf(&self, r: FpReg) -> f64 {
+        self.fp_regs[r.index() as usize]
+    }
+
+    fn setf(&mut self, r: FpReg, v: f64) {
+        self.fp_regs[r.index() as usize] = v;
+    }
+
+    fn effective_addr(&self, base: IntReg, offset: i64) -> u64 {
+        self.geti(base).wrapping_add(offset) as u64
+    }
+
+    fn jump_to(&mut self, target: u32, pc: u64) -> Result<(), VmError> {
+        if (target as usize) < self.program.text().len() {
+            self.pc = target;
+            Ok(())
+        } else {
+            Err(VmError::new(
+                pc,
+                VmErrorKind::BadJump {
+                    target: target as u64,
+                },
+            ))
+        }
+    }
+
+    /// Executes one instruction; `Ok(Some(reason))` if it ended the program.
+    fn step<F>(&mut self, sink: &mut F) -> Result<Option<HaltReason>, VmError>
+    where
+        F: FnMut(&TraceRecord),
+    {
+        let pc = self.pc as u64;
+        let inst = *self
+            .program
+            .text()
+            .get(self.pc as usize)
+            .ok_or(VmError::new(pc, VmErrorKind::BadJump { target: pc }))?;
+        self.executed += 1;
+        let next_pc = self.pc + 1;
+        self.pc = next_pc;
+
+        use Inst::*;
+        let fault = |e: VmError| VmError::new(pc, e.kind());
+
+        macro_rules! binop {
+            ($rd:expr, $rs:expr, $rt:expr, $op:expr) => {{
+                let v = $op(self.geti($rs), self.geti($rt));
+                self.seti($rd, v);
+                sink(&TraceRecord::compute(
+                    pc,
+                    inst.class(),
+                    &[Loc::from($rs), Loc::from($rt)],
+                    Loc::from($rd),
+                ));
+            }};
+        }
+        macro_rules! fbinop {
+            ($fd:expr, $fs:expr, $ft:expr, $op:expr) => {{
+                let v = $op(self.getf($fs), self.getf($ft));
+                self.setf($fd, v);
+                sink(&TraceRecord::compute(
+                    pc,
+                    inst.class(),
+                    &[Loc::from($fs), Loc::from($ft)],
+                    Loc::from($fd),
+                ));
+            }};
+        }
+        macro_rules! funop {
+            ($fd:expr, $fs:expr, $op:expr) => {{
+                let v = $op(self.getf($fs));
+                self.setf($fd, v);
+                sink(&TraceRecord::compute(
+                    pc,
+                    inst.class(),
+                    &[Loc::from($fs)],
+                    Loc::from($fd),
+                ));
+            }};
+        }
+        macro_rules! immop {
+            ($rt:expr, $rs:expr, $imm:expr, $op:expr) => {{
+                let v = $op(self.geti($rs), $imm);
+                self.seti($rt, v);
+                sink(&TraceRecord::compute(
+                    pc,
+                    inst.class(),
+                    &[Loc::from($rs)],
+                    Loc::from($rt),
+                ));
+            }};
+        }
+        macro_rules! branch {
+            ($rs:expr, $rt:expr, $target:expr, $cond:expr) => {{
+                let taken = $cond(self.geti($rs), self.geti($rt));
+                sink(&TraceRecord::branch_outcome(
+                    pc,
+                    &[Loc::from($rs), Loc::from($rt)],
+                    taken,
+                    u64::from($target),
+                ));
+                if taken {
+                    self.jump_to($target, pc)?;
+                }
+            }};
+        }
+
+        match inst {
+            Add { rd, rs, rt } => binop!(rd, rs, rt, |a: i64, b: i64| a.wrapping_add(b)),
+            Sub { rd, rs, rt } => binop!(rd, rs, rt, |a: i64, b: i64| a.wrapping_sub(b)),
+            And { rd, rs, rt } => binop!(rd, rs, rt, |a, b| a & b),
+            Or { rd, rs, rt } => binop!(rd, rs, rt, |a, b| a | b),
+            Xor { rd, rs, rt } => binop!(rd, rs, rt, |a, b| a ^ b),
+            Nor { rd, rs, rt } => binop!(rd, rs, rt, |a: i64, b: i64| !(a | b)),
+            Slt { rd, rs, rt } => binop!(rd, rs, rt, |a, b| i64::from(a < b)),
+            Sltu { rd, rs, rt } => {
+                binop!(rd, rs, rt, |a: i64, b: i64| i64::from(
+                    (a as u64) < (b as u64)
+                ))
+            }
+            Sllv { rd, rs, rt } => {
+                binop!(rd, rs, rt, |a: i64, b: i64| a.wrapping_shl(b as u32 & 63))
+            }
+            Srlv { rd, rs, rt } => binop!(rd, rs, rt, |a: i64, b: i64| ((a as u64)
+                .wrapping_shr(b as u32 & 63))
+                as i64),
+            Mul { rd, rs, rt } => binop!(rd, rs, rt, |a: i64, b: i64| a.wrapping_mul(b)),
+            Div { rd, rs, rt } => {
+                let b = self.geti(rt);
+                if b == 0 {
+                    return Err(VmError::new(pc, VmErrorKind::DivideByZero));
+                }
+                binop!(rd, rs, rt, |a: i64, b: i64| a.wrapping_div(b));
+            }
+            Rem { rd, rs, rt } => {
+                let b = self.geti(rt);
+                if b == 0 {
+                    return Err(VmError::new(pc, VmErrorKind::DivideByZero));
+                }
+                binop!(rd, rs, rt, |a: i64, b: i64| a.wrapping_rem(b));
+            }
+            Sll { rd, rs, shamt } => {
+                immop!(rd, rs, shamt as i64, |a: i64, s: i64| a
+                    .wrapping_shl(s as u32))
+            }
+            Srl { rd, rs, shamt } => immop!(rd, rs, shamt as i64, |a: i64, s: i64| ((a as u64)
+                .wrapping_shr(s as u32))
+                as i64),
+            Sra { rd, rs, shamt } => {
+                immop!(rd, rs, shamt as i64, |a: i64, s: i64| a
+                    .wrapping_shr(s as u32))
+            }
+            Addi { rt, rs, imm } => immop!(rt, rs, imm, |a: i64, b: i64| a.wrapping_add(b)),
+            Andi { rt, rs, imm } => immop!(rt, rs, imm, |a, b| a & b),
+            Ori { rt, rs, imm } => immop!(rt, rs, imm, |a, b| a | b),
+            Xori { rt, rs, imm } => immop!(rt, rs, imm, |a, b| a ^ b),
+            Slti { rt, rs, imm } => immop!(rt, rs, imm, |a, b| i64::from(a < b)),
+            Li { rd, imm } => {
+                self.seti(rd, imm);
+                sink(&TraceRecord::compute(
+                    pc,
+                    OpClass::IntAlu,
+                    &[],
+                    Loc::from(rd),
+                ));
+            }
+            Lw { rt, base, offset } => {
+                let addr = self.effective_addr(base, offset);
+                let word = self.mem.read(addr).map_err(fault)?;
+                self.seti(rt, word as i64);
+                sink(&TraceRecord::load(
+                    pc,
+                    addr,
+                    Some(Loc::from(base)),
+                    Loc::from(rt),
+                ));
+            }
+            Sw { rt, base, offset } => {
+                let addr = self.effective_addr(base, offset);
+                self.mem.write(addr, self.geti(rt) as u64).map_err(fault)?;
+                sink(&TraceRecord::store(
+                    pc,
+                    addr,
+                    Loc::from(rt),
+                    Some(Loc::from(base)),
+                ));
+            }
+            Flw { ft, base, offset } => {
+                let addr = self.effective_addr(base, offset);
+                let word = self.mem.read(addr).map_err(fault)?;
+                self.setf(ft, f64::from_bits(word));
+                sink(&TraceRecord::load(
+                    pc,
+                    addr,
+                    Some(Loc::from(base)),
+                    Loc::from(ft),
+                ));
+            }
+            Fsw { ft, base, offset } => {
+                let addr = self.effective_addr(base, offset);
+                self.mem
+                    .write(addr, self.getf(ft).to_bits())
+                    .map_err(fault)?;
+                sink(&TraceRecord::store(
+                    pc,
+                    addr,
+                    Loc::from(ft),
+                    Some(Loc::from(base)),
+                ));
+            }
+            Fadd { fd, fs, ft } => fbinop!(fd, fs, ft, |a: f64, b: f64| a + b),
+            Fsub { fd, fs, ft } => fbinop!(fd, fs, ft, |a: f64, b: f64| a - b),
+            Fmul { fd, fs, ft } => fbinop!(fd, fs, ft, |a: f64, b: f64| a * b),
+            Fdiv { fd, fs, ft } => fbinop!(fd, fs, ft, |a: f64, b: f64| a / b),
+            Fsqrt { fd, fs } => funop!(fd, fs, f64::sqrt),
+            Fneg { fd, fs } => funop!(fd, fs, |a: f64| -a),
+            Fabs { fd, fs } => funop!(fd, fs, f64::abs),
+            Fmov { fd, fs } => funop!(fd, fs, |a| a),
+            Fclt { rd, fs, ft } => {
+                let v = i64::from(self.getf(fs) < self.getf(ft));
+                self.seti(rd, v);
+                sink(&TraceRecord::compute(
+                    pc,
+                    OpClass::FpAdd,
+                    &[Loc::from(fs), Loc::from(ft)],
+                    Loc::from(rd),
+                ));
+            }
+            Fcle { rd, fs, ft } => {
+                let v = i64::from(self.getf(fs) <= self.getf(ft));
+                self.seti(rd, v);
+                sink(&TraceRecord::compute(
+                    pc,
+                    OpClass::FpAdd,
+                    &[Loc::from(fs), Loc::from(ft)],
+                    Loc::from(rd),
+                ));
+            }
+            Fceq { rd, fs, ft } => {
+                let v = i64::from(self.getf(fs) == self.getf(ft));
+                self.seti(rd, v);
+                sink(&TraceRecord::compute(
+                    pc,
+                    OpClass::FpAdd,
+                    &[Loc::from(fs), Loc::from(ft)],
+                    Loc::from(rd),
+                ));
+            }
+            Cvtif { fd, rs } => {
+                let v = self.geti(rs) as f64;
+                self.setf(fd, v);
+                sink(&TraceRecord::compute(
+                    pc,
+                    OpClass::FpAdd,
+                    &[Loc::from(rs)],
+                    Loc::from(fd),
+                ));
+            }
+            Cvtfi { rd, fs } => {
+                let v = self.getf(fs) as i64;
+                self.seti(rd, v);
+                sink(&TraceRecord::compute(
+                    pc,
+                    OpClass::FpAdd,
+                    &[Loc::from(fs)],
+                    Loc::from(rd),
+                ));
+            }
+            Beq { rs, rt, target } => branch!(rs, rt, target, |a, b| a == b),
+            Bne { rs, rt, target } => branch!(rs, rt, target, |a, b| a != b),
+            Blt { rs, rt, target } => branch!(rs, rt, target, |a, b| a < b),
+            Bge { rs, rt, target } => branch!(rs, rt, target, |a, b| a >= b),
+            J { target } => {
+                sink(&TraceRecord::jump(pc, &[]));
+                self.jump_to(target, pc)?;
+            }
+            Jal { target } => {
+                // The link write happens but is not traced (jumps are never
+                // placed in the DDG); see the crate docs.
+                self.seti(abi::RA, next_pc as i64);
+                sink(&TraceRecord::jump(pc, &[]));
+                self.jump_to(target, pc)?;
+            }
+            Jr { rs } => {
+                let target = self.geti(rs);
+                sink(&TraceRecord::jump(pc, &[Loc::from(rs)]));
+                if target < 0 || target > u32::MAX as i64 {
+                    return Err(VmError::new(
+                        pc,
+                        VmErrorKind::BadJump {
+                            target: target as u64,
+                        },
+                    ));
+                }
+                self.jump_to(target as u32, pc)?;
+            }
+            Syscall => return self.do_syscall(pc, sink),
+            Nop => {
+                sink(&TraceRecord::new(pc, OpClass::Nop, &[], None));
+            }
+            Halt => {
+                // Ends the run; not part of the trace model.
+                return Ok(Some(HaltReason::Halt));
+            }
+        }
+        Ok(None)
+    }
+
+    fn do_syscall<F>(&mut self, pc: u64, sink: &mut F) -> Result<Option<HaltReason>, VmError>
+    where
+        F: FnMut(&TraceRecord),
+    {
+        let number = self.geti(abi::V0);
+        let call = Syscall::from_number(number)
+            .ok_or(VmError::new(pc, VmErrorKind::UnknownSyscall { number }))?;
+        let v0 = Loc::from(abi::V0);
+        let a0 = Loc::from(abi::A0);
+        let f0 = Loc::fp(0);
+        match call {
+            Syscall::PrintInt => {
+                let v = self.geti(abi::A0);
+                self.output.push_str(&v.to_string());
+                self.output.push('\n');
+                sink(&TraceRecord::syscall(pc, &[v0, a0], None));
+            }
+            Syscall::PrintFloat => {
+                let v = self.fp_regs[0];
+                self.output.push_str(&format!("{v}"));
+                self.output.push('\n');
+                sink(&TraceRecord::syscall(pc, &[v0, f0], None));
+            }
+            Syscall::PrintChar => {
+                let v = self.geti(abi::A0);
+                self.output
+                    .push(char::from_u32(v as u32).unwrap_or('\u{FFFD}'));
+                sink(&TraceRecord::syscall(pc, &[v0, a0], None));
+            }
+            Syscall::ReadInt => {
+                let v = self
+                    .input
+                    .pop_front()
+                    .ok_or(VmError::new(pc, VmErrorKind::InputExhausted))?;
+                self.seti(abi::V0, v);
+                sink(&TraceRecord::syscall(pc, &[v0], Some(v0)));
+            }
+            Syscall::Sbrk => {
+                let words = self.geti(abi::A0).max(0) as u64;
+                let old = self.brk;
+                self.brk += words;
+                self.seti(abi::V0, old as i64);
+                sink(&TraceRecord::syscall(pc, &[v0, a0], Some(v0)));
+            }
+            Syscall::Exit => {
+                let code = self.geti(abi::A0);
+                sink(&TraceRecord::syscall(pc, &[v0, a0], None));
+                return Ok(Some(HaltReason::Exit(code)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragraph_asm::assemble;
+
+    fn run_program(src: &str) -> (Vm, RunOutcome) {
+        let program = assemble(src).expect("test program must assemble");
+        let mut vm = Vm::new(program);
+        let outcome = vm.run(1_000_000).expect("test program must not fault");
+        (vm, outcome)
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let (vm, outcome) = run_program(".text\nmain:\n li r4, 21\n add r5, r4, r4\n halt\n");
+        assert_eq!(outcome.reason(), HaltReason::Halt);
+        assert_eq!(vm.int_reg(IntReg::new(5).unwrap()), 42);
+        assert_eq!(outcome.executed(), 3);
+    }
+
+    #[test]
+    fn factorial_loop() {
+        let (vm, _) = run_program(
+            "
+            .text
+        main:
+            li r4, 6      # n
+            li r5, 1      # acc
+        loop:
+            mul r5, r5, r4
+            addi r4, r4, -1
+            bgt r4, r0, loop
+            halt
+        ",
+        );
+        assert_eq!(vm.int_reg(IntReg::new(5).unwrap()), 720);
+    }
+
+    #[test]
+    fn memory_and_data_segment() {
+        let (vm, _) = run_program(
+            "
+            .data
+        xs: .word 10, 20, 30
+            .text
+        main:
+            la r8, xs
+            lw r9, 1(r8)
+            addi r9, r9, 5
+            sw r9, 2(r8)
+            halt
+        ",
+        );
+        let base = vm.program().symbol("xs").unwrap();
+        assert_eq!(vm.mem_word(base + 2).unwrap(), 25);
+    }
+
+    #[test]
+    fn stack_push_pop() {
+        let (vm, _) = run_program(
+            "
+            .text
+        main:
+            li r8, 77
+            addi sp, sp, -1
+            sw r8, 0(sp)
+            lw r9, 0(sp)
+            addi sp, sp, 1
+            halt
+        ",
+        );
+        assert_eq!(vm.int_reg(IntReg::new(9).unwrap()), 77);
+        assert_eq!(vm.int_reg(abi::SP), STACK_TOP as i64);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let (vm, _) = run_program(
+            "
+            .text
+        main:
+            li r4, 5
+            jal double
+            mv r10, r2
+            halt
+        double:
+            add r2, r4, r4
+            jr ra
+        ",
+        );
+        assert_eq!(vm.int_reg(IntReg::new(10).unwrap()), 10);
+    }
+
+    #[test]
+    fn floating_point_pipeline() {
+        let (vm, _) = run_program(
+            "
+            .data
+        x:  .float 2.0
+            .text
+        main:
+            la r8, x
+            flw f1, 0(r8)
+            fmul f2, f1, f1
+            fsqrt f3, f2
+            fclt r9, f1, f2
+            halt
+        ",
+        );
+        assert_eq!(vm.fp_reg(FpReg::new(2).unwrap()), 4.0);
+        assert_eq!(vm.fp_reg(FpReg::new(3).unwrap()), 2.0);
+        assert_eq!(vm.int_reg(IntReg::new(9).unwrap()), 1);
+    }
+
+    #[test]
+    fn print_and_read_syscalls() {
+        let program = assemble(
+            "
+            .text
+        main:
+            li r2, 4      # read_int
+            syscall
+            mv r4, r2
+            li r2, 1      # print_int
+            syscall
+            li r2, 3      # print_char
+            li r4, 33
+            syscall
+            halt
+        ",
+        )
+        .unwrap();
+        let mut vm = Vm::new(program);
+        vm.push_input(123);
+        vm.run(100).unwrap();
+        assert_eq!(vm.output(), "123\n!");
+    }
+
+    #[test]
+    fn sbrk_grows_heap() {
+        let (vm, _) = run_program(
+            "
+            .data
+        x: .word 1
+            .text
+        main:
+            li r2, 5
+            li r4, 10
+            syscall
+            mv r8, r2     # old brk
+            li r2, 5
+            li r4, 0
+            syscall
+            mv r9, r2     # new brk
+            halt
+        ",
+        );
+        let r8 = vm.int_reg(IntReg::new(8).unwrap());
+        let r9 = vm.int_reg(IntReg::new(9).unwrap());
+        assert_eq!(r9 - r8, 10);
+        assert_eq!(r8 as u64, vm.program().data_end());
+    }
+
+    #[test]
+    fn exit_syscall_reports_code() {
+        let (_, outcome) = run_program(".text\nmain:\n li r2, 6\n li r4, 3\n syscall\n halt\n");
+        assert_eq!(outcome.reason(), HaltReason::Exit(3));
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_not_an_error() {
+        let program = assemble(".text\nmain:\n j main\n").unwrap();
+        let mut vm = Vm::new(program);
+        let outcome = vm.run(1000).unwrap();
+        assert_eq!(outcome.reason(), HaltReason::FuelExhausted);
+        assert_eq!(outcome.executed(), 1000);
+        // A second run continues from where it stopped.
+        let outcome = vm.run(500).unwrap();
+        assert_eq!(outcome.executed(), 500);
+        assert_eq!(vm.executed(), 1500);
+    }
+
+    #[test]
+    fn run_after_halt_is_a_no_op() {
+        let program = assemble(".text\nmain:\n halt\n").unwrap();
+        let mut vm = Vm::new(program);
+        assert!(vm.run(10).unwrap().halted());
+        let again = vm.run(10).unwrap();
+        assert_eq!(again.executed(), 0);
+        assert!(again.halted());
+    }
+
+    #[test]
+    fn divide_by_zero_faults_with_pc() {
+        let program = assemble(".text\nmain:\n li r4, 1\n div r5, r4, r0\n halt\n").unwrap();
+        let err = Vm::new(program).run(10).unwrap_err();
+        assert_eq!(err.kind(), VmErrorKind::DivideByZero);
+        assert_eq!(err.pc(), 1);
+    }
+
+    #[test]
+    fn null_pointer_faults() {
+        let program = assemble(".text\nmain:\n lw r4, 0(r0)\n halt\n").unwrap();
+        let err = Vm::new(program).run(10).unwrap_err();
+        assert!(matches!(err.kind(), VmErrorKind::MemoryFault { addr: 0 }));
+    }
+
+    #[test]
+    fn falling_off_the_end_faults() {
+        let program = assemble(".text\nmain:\n nop\n").unwrap();
+        let err = Vm::new(program).run(10).unwrap_err();
+        assert!(matches!(err.kind(), VmErrorKind::BadJump { .. }));
+    }
+
+    #[test]
+    fn jr_to_garbage_faults() {
+        let program = assemble(".text\nmain:\n li r8, -5\n jr r8\n halt\n").unwrap();
+        let err = Vm::new(program).run(10).unwrap_err();
+        assert!(matches!(err.kind(), VmErrorKind::BadJump { .. }));
+    }
+
+    #[test]
+    fn unknown_syscall_faults() {
+        let program = assemble(".text\nmain:\n li r2, 99\n syscall\n halt\n").unwrap();
+        let err = Vm::new(program).run(10).unwrap_err();
+        assert!(matches!(
+            err.kind(),
+            VmErrorKind::UnknownSyscall { number: 99 }
+        ));
+    }
+
+    #[test]
+    fn read_without_input_faults() {
+        let program = assemble(".text\nmain:\n li r2, 4\n syscall\n halt\n").unwrap();
+        let err = Vm::new(program).run(10).unwrap_err();
+        assert_eq!(err.kind(), VmErrorKind::InputExhausted);
+    }
+
+    #[test]
+    fn trace_matches_execution() {
+        let program = assemble(
+            "
+            .data
+        xs: .word 5
+            .text
+        main:
+            la r8, xs
+            lw r9, 0(r8)
+            addi r9, r9, 1
+            sw r9, 0(r8)
+            beq r9, r9, done
+            nop
+        done:
+            halt
+        ",
+        )
+        .unwrap();
+        let mut vm = Vm::new(program);
+        let (records, outcome) = vm.run_collect(100).unwrap();
+        // la, lw, addi, sw, beq (taken; halt not traced).
+        assert_eq!(outcome.executed() as usize, records.len() + 1);
+        assert_eq!(records.len(), 5);
+        assert_eq!(records[1].class(), OpClass::Load);
+        let xs = vm.program().symbol("xs").unwrap();
+        assert_eq!(records[1].mem_addr(), Some(xs));
+        assert_eq!(records[3].class(), OpClass::Store);
+        assert_eq!(records[3].mem_addr(), Some(xs));
+        assert_eq!(records[4].class(), OpClass::Branch);
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let src = "
+            .text
+        main:
+            li r4, 100
+        loop:
+            addi r4, r4, -1
+            bne r4, r0, loop
+            halt
+        ";
+        let t1 = Vm::new(assemble(src).unwrap())
+            .run_collect(10_000)
+            .unwrap()
+            .0;
+        let t2 = Vm::new(assemble(src).unwrap())
+            .run_collect(10_000)
+            .unwrap()
+            .0;
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn segment_map_reflects_program_layout() {
+        let program = assemble(".data\nx: .word 1, 2\n.text\nmain:\n halt\n").unwrap();
+        let data_end = program.data_end();
+        let vm = Vm::new(program);
+        let map = vm.segment_map();
+        use paragraph_trace::Segment;
+        assert_eq!(map.classify(data_end - 1), Segment::Data);
+        assert_eq!(map.classify(data_end), Segment::Heap);
+        assert_eq!(map.classify(STACK_TOP - 4), Segment::Stack);
+    }
+
+    #[test]
+    fn reset_restores_the_initial_state() {
+        let program = assemble(
+            ".data\nx: .word 5\n.text\nmain:\n la r8, x\n lw r9, 0(r8)\n addi r9, r9, 1\n sw r9, 0(r8)\n halt\n",
+        )
+        .unwrap();
+        let mut vm = Vm::new(program);
+        vm.run(100).unwrap();
+        let x = vm.program().symbol("x").unwrap();
+        assert_eq!(vm.mem_word(x).unwrap(), 6);
+        vm.reset();
+        assert_eq!(vm.mem_word(x).unwrap(), 5);
+        assert_eq!(vm.executed(), 0);
+        assert_eq!(vm.int_reg(abi::SP), STACK_TOP as i64);
+        // And it runs again identically.
+        let outcome = vm.run(100).unwrap();
+        assert!(outcome.halted());
+        assert_eq!(vm.mem_word(x).unwrap(), 6);
+    }
+
+    #[test]
+    fn zero_register_stays_zero() {
+        let (vm, _) = run_program(".text\nmain:\n li r0, 99\n addi r0, r0, 5\n halt\n");
+        assert_eq!(vm.int_reg(IntReg::ZERO), 0);
+    }
+}

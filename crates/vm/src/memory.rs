@@ -1,0 +1,154 @@
+//! Sparse, word-addressed memory.
+
+use crate::error::{VmError, VmErrorKind};
+use paragraph_trace::SegmentMap;
+use std::collections::HashMap;
+
+/// Words per page of the sparse memory.
+const PAGE_WORDS: u64 = 1024;
+
+/// First valid word address: the null page below it always faults, so stray
+/// null/uninitialized pointers are caught instead of silently reading zeros.
+pub const NULL_PAGE_END: u64 = 0x1000;
+
+/// Initial stack pointer (one past the highest stack word).
+pub const STACK_TOP: u64 = 0x4000_0000;
+
+/// Lowest address classified as stack by the segment map. The region between
+/// the heap and this floor is unused guard space.
+pub const STACK_REGION_FLOOR: u64 = 0x3000_0000;
+
+/// Highest addressable word (exclusive).
+const ADDR_LIMIT: u64 = 1 << 44;
+
+/// Sparse, paged, word-addressed memory.
+///
+/// Each word holds 64 raw bits; integer instructions interpret them as
+/// `i64`, floating-point instructions as IEEE-754 `f64` bits. Reads of
+/// never-written words in the valid address range return 0 (the paper's
+/// model: DATA-segment values simply pre-exist).
+///
+/// # Examples
+///
+/// ```
+/// use paragraph_vm::Memory;
+///
+/// let mut mem = Memory::new();
+/// mem.write(0x2000, 7)?;
+/// assert_eq!(mem.read(0x2000)?, 7);
+/// assert_eq!(mem.read(0x2001)?, 0);
+/// assert!(mem.read(0).is_err()); // null page
+/// # Ok::<(), paragraph_vm::VmError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u64]>>,
+}
+
+impl Memory {
+    /// An empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    fn check(addr: u64) -> Result<(), VmError> {
+        if !(NULL_PAGE_END..ADDR_LIMIT).contains(&addr) {
+            // The faulting pc is filled in by the machine.
+            Err(VmError::new(0, VmErrorKind::MemoryFault { addr }))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads the word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults on the null page and beyond the address-space limit.
+    pub fn read(&self, addr: u64) -> Result<u64, VmError> {
+        Self::check(addr)?;
+        let page = addr / PAGE_WORDS;
+        Ok(self
+            .pages
+            .get(&page)
+            .map_or(0, |p| p[(addr % PAGE_WORDS) as usize]))
+    }
+
+    /// Writes the word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults on the null page and beyond the address-space limit.
+    pub fn write(&mut self, addr: u64, value: u64) -> Result<(), VmError> {
+        Self::check(addr)?;
+        let page = addr / PAGE_WORDS;
+        let page = self
+            .pages
+            .entry(page)
+            .or_insert_with(|| vec![0u64; PAGE_WORDS as usize].into_boxed_slice());
+        page[(addr % PAGE_WORDS) as usize] = value;
+        Ok(())
+    }
+
+    /// Number of pages currently materialized (a proxy for the VM's
+    /// footprint).
+    pub fn pages_touched(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Builds the segment map for a program whose heap starts at
+    /// `heap_base`: data below `heap_base`, stack at and above
+    /// [`STACK_REGION_FLOOR`].
+    pub fn segment_map(heap_base: u64) -> SegmentMap {
+        SegmentMap::new(heap_base.min(STACK_REGION_FLOOR), STACK_REGION_FLOOR)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragraph_trace::Segment;
+
+    #[test]
+    fn unwritten_words_read_zero() {
+        let mem = Memory::new();
+        assert_eq!(mem.read(0x2000).unwrap(), 0);
+    }
+
+    #[test]
+    fn writes_persist_across_pages() {
+        let mut mem = Memory::new();
+        for i in 0..5u64 {
+            mem.write(0x2000 + i * PAGE_WORDS, i).unwrap();
+        }
+        for i in 0..5u64 {
+            assert_eq!(mem.read(0x2000 + i * PAGE_WORDS).unwrap(), i);
+        }
+        assert_eq!(mem.pages_touched(), 5);
+    }
+
+    #[test]
+    fn null_page_faults() {
+        let mut mem = Memory::new();
+        assert!(mem.read(0).is_err());
+        assert!(mem.read(NULL_PAGE_END - 1).is_err());
+        assert!(mem.write(5, 1).is_err());
+        assert!(mem.read(NULL_PAGE_END).is_ok());
+    }
+
+    #[test]
+    fn address_limit_faults() {
+        let mem = Memory::new();
+        assert!(mem.read(ADDR_LIMIT).is_err());
+        assert!(mem.read(u64::MAX).is_err());
+    }
+
+    #[test]
+    fn segment_map_layout() {
+        let map = Memory::segment_map(0x5000);
+        assert_eq!(map.classify(0x2000), Segment::Data);
+        assert_eq!(map.classify(0x6000), Segment::Heap);
+        assert_eq!(map.classify(STACK_TOP - 1), Segment::Stack);
+        assert_eq!(map.classify(STACK_REGION_FLOOR), Segment::Stack);
+    }
+}

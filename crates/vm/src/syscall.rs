@@ -1,0 +1,102 @@
+//! The system-call menu.
+
+use std::fmt;
+
+/// System calls recognized by the VM.
+///
+/// The call number is taken from `r2` (`v0`), integer arguments from `r4`
+/// (`a0`), floating-point arguments from `f0`; integer results are returned
+/// in `r2`.
+///
+/// # Examples
+///
+/// ```
+/// use paragraph_vm::Syscall;
+///
+/// assert_eq!(Syscall::from_number(1), Some(Syscall::PrintInt));
+/// assert_eq!(Syscall::PrintInt.number(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Syscall {
+    /// `1`: print the integer in `r4`, followed by a newline.
+    PrintInt,
+    /// `2`: print the float in `f0`, followed by a newline.
+    PrintFloat,
+    /// `3`: print the character whose code point is in `r4`.
+    PrintChar,
+    /// `4`: pop the next integer from the input queue into `r2`.
+    ReadInt,
+    /// `5`: grow the heap by `r4` words; the old break is returned in `r2`.
+    Sbrk,
+    /// `6`: terminate the program with the exit code in `r4`.
+    Exit,
+}
+
+impl Syscall {
+    /// Decodes a call number.
+    pub fn from_number(number: i64) -> Option<Syscall> {
+        Some(match number {
+            1 => Syscall::PrintInt,
+            2 => Syscall::PrintFloat,
+            3 => Syscall::PrintChar,
+            4 => Syscall::ReadInt,
+            5 => Syscall::Sbrk,
+            6 => Syscall::Exit,
+            _ => return None,
+        })
+    }
+
+    /// The call number placed in `r2` to invoke this call.
+    pub fn number(self) -> i64 {
+        match self {
+            Syscall::PrintInt => 1,
+            Syscall::PrintFloat => 2,
+            Syscall::PrintChar => 3,
+            Syscall::ReadInt => 4,
+            Syscall::Sbrk => 5,
+            Syscall::Exit => 6,
+        }
+    }
+
+    /// Whether this call writes a result register (`r2`).
+    pub fn returns_value(self) -> bool {
+        matches!(self, Syscall::ReadInt | Syscall::Sbrk)
+    }
+}
+
+impl fmt::Display for Syscall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Syscall::PrintInt => "print_int",
+            Syscall::PrintFloat => "print_float",
+            Syscall::PrintChar => "print_char",
+            Syscall::ReadInt => "read_int",
+            Syscall::Sbrk => "sbrk",
+            Syscall::Exit => "exit",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_round_trip() {
+        for n in 1..=6 {
+            let call = Syscall::from_number(n).unwrap();
+            assert_eq!(call.number(), n);
+        }
+        assert_eq!(Syscall::from_number(0), None);
+        assert_eq!(Syscall::from_number(7), None);
+        assert_eq!(Syscall::from_number(-1), None);
+    }
+
+    #[test]
+    fn only_input_calls_return_values() {
+        assert!(Syscall::ReadInt.returns_value());
+        assert!(Syscall::Sbrk.returns_value());
+        assert!(!Syscall::PrintInt.returns_value());
+        assert!(!Syscall::Exit.returns_value());
+    }
+}

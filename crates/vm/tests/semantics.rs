@@ -1,0 +1,137 @@
+//! Differential and property tests of the interpreter: instruction
+//! semantics are checked against Rust's own arithmetic on arbitrary
+//! operands, and structural VM invariants are exercised with generated
+//! programs.
+
+use paragraph_asm::assemble;
+use paragraph_isa::IntReg;
+use paragraph_vm::Vm;
+use proptest::prelude::*;
+
+/// Runs a fragment with `r8 = a`, `r9 = b` prepared, returning `r10`.
+fn eval_binop(op: &str, a: i64, b: i64) -> i64 {
+    let source =
+        format!(".text\nmain:\n    li r8, {a}\n    li r9, {b}\n    {op} r10, r8, r9\n    halt\n");
+    let program = assemble(&source).expect("fragment assembles");
+    let mut vm = Vm::new(program);
+    vm.run(10).expect("fragment runs");
+    vm.int_reg(IntReg::new(10).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn add_matches_wrapping_add(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(eval_binop("add", a, b), a.wrapping_add(b));
+    }
+
+    #[test]
+    fn sub_matches_wrapping_sub(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(eval_binop("sub", a, b), a.wrapping_sub(b));
+    }
+
+    #[test]
+    fn mul_matches_wrapping_mul(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(eval_binop("mul", a, b), a.wrapping_mul(b));
+    }
+
+    #[test]
+    fn div_and_rem_match_rust(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |&b| b != 0)) {
+        prop_assert_eq!(eval_binop("div", a, b), a.wrapping_div(b));
+        prop_assert_eq!(eval_binop("rem", a, b), a.wrapping_rem(b));
+    }
+
+    #[test]
+    fn logic_ops_match(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(eval_binop("and", a, b), a & b);
+        prop_assert_eq!(eval_binop("or", a, b), a | b);
+        prop_assert_eq!(eval_binop("xor", a, b), a ^ b);
+        prop_assert_eq!(eval_binop("nor", a, b), !(a | b));
+    }
+
+    #[test]
+    fn comparisons_match(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(eval_binop("slt", a, b), i64::from(a < b));
+        prop_assert_eq!(eval_binop("sltu", a, b), i64::from((a as u64) < (b as u64)));
+    }
+
+    #[test]
+    fn variable_shifts_mask_the_amount(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(eval_binop("sllv", a, b), a.wrapping_shl(b as u32 & 63));
+        prop_assert_eq!(
+            eval_binop("srlv", a, b),
+            ((a as u64).wrapping_shr(b as u32 & 63)) as i64
+        );
+    }
+
+    #[test]
+    fn immediate_shifts_match(a in any::<i64>(), sh in 0u8..64) {
+        let source = format!(
+            ".text\nmain:\n    li r8, {a}\n    sll r10, r8, {sh}\n    srl r11, r8, {sh}\n    sra r12, r8, {sh}\n    halt\n"
+        );
+        let mut vm = Vm::new(assemble(&source).unwrap());
+        vm.run(10).unwrap();
+        prop_assert_eq!(vm.int_reg(IntReg::new(10).unwrap()), a.wrapping_shl(sh as u32));
+        prop_assert_eq!(
+            vm.int_reg(IntReg::new(11).unwrap()),
+            ((a as u64).wrapping_shr(sh as u32)) as i64
+        );
+        prop_assert_eq!(vm.int_reg(IntReg::new(12).unwrap()), a.wrapping_shr(sh as u32));
+    }
+
+    /// Memory is a function: the last store to an address wins, reads do
+    /// not disturb it, distinct addresses do not interfere.
+    #[test]
+    fn memory_is_last_writer_wins(
+        writes in proptest::collection::vec((0u64..64, any::<i64>()), 1..40)
+    ) {
+        let mut source = String::from(".text\nmain:\n    li r8, 0x2000\n");
+        for (offset, value) in &writes {
+            source.push_str(&format!("    li r9, {value}\n    sw r9, {offset}(r8)\n"));
+        }
+        source.push_str("    halt\n");
+        let mut vm = Vm::new(assemble(&source).unwrap());
+        vm.run(1_000).unwrap();
+        // Compute the expected final memory image.
+        let mut image = std::collections::HashMap::new();
+        for (offset, value) in &writes {
+            image.insert(*offset, *value);
+        }
+        for (offset, value) in image {
+            prop_assert_eq!(vm.mem_word(0x2000 + offset).unwrap(), value as u64);
+        }
+    }
+
+    /// Float round trips through memory bit-exactly.
+    #[test]
+    fn float_store_load_is_bit_exact(v in any::<f64>()) {
+        // Drive the value in through the data segment.
+        let source = format!(
+            ".data\nx: .float {v:?}\n.text\nmain:\n    la r8, x\n    flw f1, 0(r8)\n    fsw f1, 8(r8)\n    flw f2, 8(r8)\n    halt\n"
+        );
+        let mut vm = Vm::new(assemble(&source).unwrap());
+        vm.run(10).unwrap();
+        let got = vm.fp_reg(paragraph_isa::FpReg::new(2).unwrap());
+        if v.is_nan() {
+            prop_assert!(got.is_nan());
+        } else {
+            prop_assert_eq!(got, v);
+        }
+    }
+
+    /// The trace length always equals executed instructions minus the
+    /// untraced halt, for arbitrary straight-line programs.
+    #[test]
+    fn trace_length_matches_execution(n in 1usize..64) {
+        let mut source = String::from(".text\nmain:\n");
+        for i in 0..n {
+            source.push_str(&format!("    li r{}, {}\n", 1 + (i % 28), i));
+        }
+        source.push_str("    halt\n");
+        let mut vm = Vm::new(assemble(&source).unwrap());
+        let (trace, outcome) = vm.run_collect(10_000).unwrap();
+        prop_assert_eq!(trace.len() + 1, outcome.executed() as usize);
+        prop_assert_eq!(trace.len(), n);
+    }
+}

@@ -1,0 +1,171 @@
+//! `cc1` analogue: tokenizer and symbol interning.
+//!
+//! The original is the GNU C compiler front end. Its dynamic behaviour is
+//! integer-heavy scanning, hashing, and table traffic, with parallelism that
+//! register renaming already exposes almost completely (Table 4: 3.65 →
+//! 33.70 → 36.19 → 36.21) — storage reuse in memory barely matters because
+//! the hash-table updates are *true* read-modify-write chains.
+//!
+//! The analogue tokenizes several independent fragments of synthetic source
+//! text (identifiers, numbers, separators). Each token's hash is a serial
+//! multiply-add chain over its characters (the within-token recurrence);
+//! tokens are interned into a shared open-addressing hash table whose bucket
+//! counters are bumped with read-add-write sequences. Fragments are
+//! independent, bounding the scan-pointer recurrence at fragment length,
+//! like compiling independent functions.
+
+use crate::common::{emit_checksum_and_halt, emit_words, rng};
+use rand::Rng;
+use std::fmt::Write;
+
+/// Independent text fragments ("functions").
+const FRAGMENTS: u32 = 6;
+
+/// Hash-table buckets (power of two).
+const BUCKETS: u32 = 64;
+
+/// Generates the workload; each fragment is `40 * size` characters.
+pub(crate) fn source(size: u32, seed: u64) -> String {
+    let frag_len = (40 * size.max(1)) as usize;
+    let mut rng = rng(seed);
+    // Character classes: 1..=26 letters, 27..=36 digits, 0 separator.
+    let mut text = Vec::with_capacity(frag_len * FRAGMENTS as usize);
+    for _ in 0..FRAGMENTS {
+        let mut remaining = frag_len;
+        while remaining > 0 {
+            let token_len = rng.gen_range(1..=7).min(remaining);
+            let digit_token = rng.gen_bool(0.3);
+            for _ in 0..token_len {
+                let c: i64 = if digit_token {
+                    rng.gen_range(27..=36)
+                } else {
+                    rng.gen_range(1..=26)
+                };
+                text.push(c);
+            }
+            remaining -= token_len;
+            if remaining > 0 {
+                text.push(0);
+                remaining -= 1;
+            }
+        }
+    }
+    let total_len = text.len();
+    let frag_words = total_len / FRAGMENTS as usize;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# cc1 analogue: tokenize {FRAGMENTS} fragments of {frag_words} chars"
+    );
+    let _ = writeln!(out, "    .data");
+    emit_words(&mut out, "text", &text);
+    let _ = writeln!(out, "buckets:\n    .space {BUCKETS}");
+    let _ = writeln!(
+        out,
+        "    .text
+main:
+    li   r20, 0             # fragment index
+frag_loop:
+    li   r8, {frag_words}
+    mul  r9, r20, r8
+    la   r10, text
+    add  r9, r9, r10        # scan pointer
+    add  r11, r9, r8        # fragment end
+    li   r12, 0             # current token hash
+    li   r13, 0             # token count for this fragment
+scan_loop:
+    lw   r14, 0(r9)
+    beqz r14, token_end
+    # hash = hash*31 + c   (the within-token serial chain)
+    li   r15, 31
+    mul  r12, r12, r15
+    add  r12, r12, r14
+    j    scan_next
+token_end:
+    beqz r12, scan_next     # consecutive separators
+    # intern: buckets[hash mod BUCKETS] += hash (read-add-write)
+    andi r16, r12, {bucket_mask}
+    la   r17, buckets
+    add  r17, r17, r16
+    lw   r18, 0(r17)
+    add  r18, r18, r12
+    sw   r18, 0(r17)
+    addi r13, r13, 1
+    li   r12, 0
+scan_next:
+    addi r9, r9, 1
+    blt  r9, r11, scan_loop
+    # flush the final token of the fragment, if any
+    beqz r12, frag_done
+    andi r16, r12, {bucket_mask}
+    la   r17, buckets
+    add  r17, r17, r16
+    lw   r18, 0(r17)
+    add  r18, r18, r12
+    sw   r18, 0(r17)
+    addi r13, r13, 1
+    li   r12, 0
+frag_done:
+    addi r20, r20, 1
+    li   r21, {FRAGMENTS}
+    blt  r20, r21, frag_loop
+    # one progress syscall after all fragments (a per-fragment syscall
+    # would firewall the fragments against each other and serialize them)
+    mv   r4, r13
+    li   r2, 1
+    syscall
+    # checksum: fold the bucket table
+    li   r16, 0
+    la   r17, buckets
+    li   r12, 0
+fold_loop:
+    lw   r18, 0(r17)
+    xor  r16, r16, r18
+    addi r17, r17, 1
+    addi r12, r12, 1
+    li   r13, {BUCKETS}
+    blt  r12, r13, fold_loop
+    andi r16, r16, 0xffffff
+",
+        bucket_mask = BUCKETS - 1,
+    );
+    emit_checksum_and_halt(&mut out, "r16");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragraph_asm::assemble;
+    use paragraph_vm::Vm;
+
+    #[test]
+    fn token_count_matches_the_generated_text() {
+        let program = assemble(&source(2, 9)).unwrap();
+        // Count tokens per fragment in the generated character stream.
+        let words = program.data_words();
+        let frag_words = (words.len() - BUCKETS as usize) / FRAGMENTS as usize;
+        let text = &words[..frag_words * FRAGMENTS as usize];
+        let last_frag = &text[(FRAGMENTS as usize - 1) * frag_words..];
+        let mut tokens = 0u64;
+        let mut in_token = false;
+        for &c in last_frag {
+            if c == 0 {
+                if in_token {
+                    tokens += 1;
+                }
+                in_token = false;
+            } else {
+                in_token = true;
+            }
+        }
+        if in_token {
+            tokens += 1;
+        }
+        let mut vm = Vm::new(program);
+        vm.run(20_000_000).unwrap();
+        // The progress syscall prints the LAST fragment's token count.
+        let printed: u64 = vm.output().lines().next().unwrap().parse().unwrap();
+        assert_eq!(printed, tokens);
+    }
+}

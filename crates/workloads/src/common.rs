@@ -1,0 +1,77 @@
+//! Shared helpers for the workload generators.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write;
+
+/// Deterministic RNG for input-data generation.
+pub(crate) fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Emits a `.word` data block of `values`, 12 values per line.
+pub(crate) fn emit_words(out: &mut String, label: &str, values: &[i64]) {
+    let _ = writeln!(out, "{label}:");
+    for chunk in values.chunks(12) {
+        let row: Vec<String> = chunk.iter().map(|v| v.to_string()).collect();
+        let _ = writeln!(out, "    .word {}", row.join(", "));
+    }
+}
+
+/// Emits a `.float` data block of `values`, 8 values per line.
+pub(crate) fn emit_floats(out: &mut String, label: &str, values: &[f64]) {
+    let _ = writeln!(out, "{label}:");
+    for chunk in values.chunks(8) {
+        let row: Vec<String> = chunk.iter().map(|v| format!("{v:?}")).collect();
+        let _ = writeln!(out, "    .float {}", row.join(", "));
+    }
+}
+
+/// `n` random integers in `lo..hi`.
+pub(crate) fn random_ints(rng: &mut SmallRng, n: usize, lo: i64, hi: i64) -> Vec<i64> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// `n` random floats in `lo..hi`.
+pub(crate) fn random_floats(rng: &mut SmallRng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Emits the standard epilogue: print the checksum in the named register
+/// (as an integer) and halt.
+pub(crate) fn emit_checksum_and_halt(out: &mut String, checksum_reg: &str) {
+    let _ = writeln!(
+        out,
+        "    mv r4, {checksum_reg}
+    li r2, 1            # print_int
+    syscall
+    halt"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_words_formats_rows() {
+        let mut out = String::new();
+        emit_words(&mut out, "xs", &[1, 2, 3]);
+        assert!(out.starts_with("xs:\n"));
+        assert!(out.contains(".word 1, 2, 3"));
+    }
+
+    #[test]
+    fn emit_floats_uses_exact_debug_format() {
+        let mut out = String::new();
+        emit_floats(&mut out, "fs", &[0.5, 1.0]);
+        assert!(out.contains(".float 0.5, 1.0"));
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a = random_ints(&mut rng(7), 10, 0, 100);
+        let b = random_ints(&mut rng(7), 10, 0, 100);
+        assert_eq!(a, b);
+    }
+}

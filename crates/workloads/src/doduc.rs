@@ -1,0 +1,134 @@
+//! `doduc` analogue: branchy per-particle floating-point simulation.
+//!
+//! The original is a Monte Carlo simulation of a nuclear reactor component:
+//! many independent histories, each advancing through data-dependent
+//! branches and chained floating-point state updates. The paper measures
+//! mid-range parallelism (103) that register renaming alone fully exposes —
+//! the limits are each particle's serial state chain, while different
+//! particles overlap freely.
+//!
+//! The analogue integrates `P` independent particles for a fixed number of
+//! steps: each step updates velocity and position through multiply/add
+//! chains and reflects the particle off a wall when it crosses (the
+//! data-dependent branch). Particle state lives in registers during its own
+//! loop and in data-segment arrays between phases.
+
+use crate::common::{emit_checksum_and_halt, emit_floats, random_floats, rng};
+use std::fmt::Write;
+
+/// Integration steps per particle.
+const STEPS: u32 = 40;
+
+/// Generates the workload with `p` particles.
+pub(crate) fn source(p: u32, seed: u64) -> String {
+    let p = p.max(2);
+    let mut rng = rng(seed);
+    let mut out = String::new();
+    let _ = writeln!(out, "# doduc analogue: {p} particles x {STEPS} steps");
+    let _ = writeln!(out, "    .data");
+    emit_floats(
+        &mut out,
+        "px",
+        &random_floats(&mut rng, p as usize, 0.0, 1.0),
+    );
+    emit_floats(
+        &mut out,
+        "pv",
+        &random_floats(&mut rng, p as usize, -1.0, 1.0),
+    );
+    let _ = writeln!(out, "pout:\n    .space {p}");
+    let _ = writeln!(
+        out,
+        "    .text
+main:
+    # constants
+    li   r8, 99
+    cvtif f10, r8
+    li   r8, 100
+    cvtif f11, r8
+    fdiv f10, f10, f11      # damping 0.99
+    li   r8, 1
+    cvtif f12, r8
+    li   r8, 64
+    cvtif f13, r8
+    fdiv f12, f12, f13      # dt = 1/64
+    cvtif f14, r8           # wall at 1.0
+
+    li   r20, 0             # particle index
+particle_loop:
+    la   r9, px
+    add  r9, r9, r20
+    flw  f0, 0(r9)          # x
+    la   r10, pv
+    add  r10, r10, r20
+    flw  f1, 0(r10)         # v
+    li   r21, 0             # step
+step_loop:
+    fmul f1, f1, f10        # v *= damping
+    fmul f2, f0, f12        # force term ~ x*dt
+    fadd f1, f1, f2         # v += force
+    fmul f3, f1, f12
+    fadd f0, f0, f3         # x += v*dt
+    fclt r11, f0, f14       # x < wall ?
+    bne  r11, r0, no_bounce
+    fsub f0, f0, f14        # reflect: x -= wall
+    fneg f1, f1             #          v = -v
+no_bounce:
+    addi r21, r21, 1
+    li   r12, {STEPS}
+    blt  r21, r12, step_loop
+    la   r13, pout
+    add  r13, r13, r20
+    fsw  f0, 0(r13)
+    addi r20, r20, 1
+    li   r14, {p}
+    blt  r20, r14, particle_loop
+
+    # progress syscall: print scaled final position of the last particle
+    li   r15, 1000
+    cvtif f5, r15
+    fmul f6, f0, f5
+    cvtfi r4, f6
+    li   r2, 1
+    syscall
+    mv   r16, r4
+"
+    );
+    emit_checksum_and_halt(&mut out, "r16");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragraph_asm::assemble;
+    use paragraph_vm::Vm;
+
+    #[test]
+    fn particles_bounce_off_the_wall() {
+        // Final positions are stored to pout; all must be below the wall
+        // (reflection keeps x < 1 after any step that crossed it... the
+        // reflected x is x - 1, which is < 1 since x < 2).
+        let p = 16u32;
+        let program = assemble(&source(p, 11)).unwrap();
+        let pout = program.symbol("pout").unwrap();
+        let mut vm = Vm::new(program);
+        vm.run(5_000_000).unwrap();
+        for i in 0..p as u64 {
+            let x = f64::from_bits(vm.mem_word(pout + i).unwrap());
+            assert!(x.is_finite(), "particle {i} diverged");
+            assert!(x < 2.0, "particle {i} escaped: {x}");
+        }
+    }
+
+    #[test]
+    fn step_count_scales_instructions_linearly() {
+        let run = |p: u32| {
+            let mut vm = Vm::new(assemble(&source(p, 1)).unwrap());
+            vm.run(50_000_000).unwrap().executed()
+        };
+        let small = run(4);
+        let big = run(16);
+        assert!(big > 3 * small && big < 5 * small);
+    }
+}

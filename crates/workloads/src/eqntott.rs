@@ -1,0 +1,142 @@
+//! `eqntott` analogue: PLA term comparison.
+//!
+//! The original converts boolean equations to truth tables and spends its
+//! time in `cmppt`, comparing pairs of product terms represented as short
+//! vectors. The paper measures high parallelism (782): the pairwise
+//! comparisons are mutually independent, with a last factor unlocked by
+//! memory renaming (Table 4: 532 → 538 → 782) from reused result storage.
+//!
+//! The analogue compares every pair of `T` terms (each [`WORDS`] integer
+//! words), computing an order/equality verdict per pair with branch-free
+//! integer logic, tallying verdict counts, and writing each verdict into a
+//! small **data-segment result buffer reused by every pair** — the storage
+//! dependence that full memory renaming removes.
+
+use crate::common::{emit_checksum_and_halt, emit_words, random_ints, rng};
+use std::fmt::Write;
+
+/// Words per product term.
+const WORDS: u32 = 8;
+
+/// Slots in the shared verdict/tally buffers.
+const RES: u32 = 32;
+
+/// Generates the workload with `t` terms.
+pub(crate) fn source(t: u32, seed: u64) -> String {
+    let t = t.max(4);
+    let mut rng = rng(seed);
+    let len = (t * WORDS) as usize;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# eqntott analogue: {t} terms x {WORDS} words, all pairs"
+    );
+    let _ = writeln!(out, "    .data");
+    // Terms are ternary-ish patterns (0/1/2), as in PLA cubes.
+    emit_words(&mut out, "terms", &random_ints(&mut rng, len, 0, 3));
+    let _ = writeln!(out, "verdicts:\n    .space {RES}");
+    let _ = writeln!(out, "tallies:\n    .space {RES}");
+    let _ = writeln!(
+        out,
+        "    .text
+main:
+    li   r20, 0             # i
+    li   r21, {t}           # T
+i_loop:
+    addi r22, r20, 1        # j = i+1
+j_loop:
+    # compare term i and term j word by word, branch-free
+    li   r8, {WORDS}
+    mul  r9, r20, r8
+    la   r10, terms
+    add  r9, r9, r10        # &terms[i][0]
+    mul  r11, r22, r8
+    add  r11, r11, r10      # &terms[j][0]
+    li   r12, 0             # w
+    li   r13, 0             # difference accumulator
+cmp_loop:
+    lw   r14, 0(r9)
+    lw   r15, 0(r11)
+    sub  r16, r14, r15
+    xor  r17, r14, r15
+    or   r13, r13, r17      # any difference so far
+    add  r18, r16, r17      # mixes order info into the verdict
+    addi r9, r9, 1
+    addi r11, r11, 1
+    addi r12, r12, 1
+    blt  r12, r8, cmp_loop
+    # verdict slot (i+j) mod RES; the slot is reused by many pairs, a
+    # storage dependence only memory renaming removes
+    add  r24, r20, r22
+    andi r24, r24, {res_mask}
+    la   r19, verdicts
+    add  r19, r19, r24
+    sw   r18, 0(r19)
+    # equality tally: distributed read-add-write counters (true chains,
+    # RES-way parallel) instead of one serial register accumulator
+    sltu r25, r0, r13       # 1 if any difference
+    xori r25, r25, 1        # 1 if equal
+    la   r23, tallies
+    add  r23, r23, r24
+    lw   r28, 0(r23)
+    add  r28, r28, r25
+    sw   r28, 0(r23)
+    addi r22, r22, 1
+    blt  r22, r21, j_loop
+    addi r20, r20, 1
+    addi r28, r21, -1
+    blt  r20, r28, i_loop
+    # progress syscall, then checksum = number of identical pairs
+    li   r4, {t}
+    li   r2, 1
+    syscall
+    li   r26, 0
+    la   r23, tallies
+    li   r12, 0
+sum_loop:
+    lw   r25, 0(r23)
+    add  r26, r26, r25
+    addi r23, r23, 1
+    addi r12, r12, 1
+    li   r13, {RES}
+    blt  r12, r13, sum_loop
+",
+        res_mask = RES - 1,
+        t = t,
+        WORDS = WORDS,
+        RES = RES,
+    );
+    emit_checksum_and_halt(&mut out, "r26");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragraph_asm::assemble;
+    use paragraph_vm::Vm;
+
+    #[test]
+    fn counts_identical_pairs_correctly() {
+        // Independently recompute the number of identical term pairs from
+        // the generated data and compare with the printed checksum.
+        let t = 12;
+        let program = assemble(&source(t, 5)).unwrap();
+        let words = program.data_words();
+        let w = WORDS as usize;
+        let mut expect = 0i64;
+        for i in 0..t as usize {
+            for j in (i + 1)..t as usize {
+                let a = &words[i * w..(i + 1) * w];
+                let b = &words[j * w..(j + 1) * w];
+                if a == b {
+                    expect += 1;
+                }
+            }
+        }
+        let mut vm = Vm::new(program);
+        vm.run(20_000_000).unwrap();
+        let printed: i64 = vm.output().lines().last().unwrap().parse().unwrap();
+        assert_eq!(printed, expect);
+    }
+}

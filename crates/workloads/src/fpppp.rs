@@ -1,0 +1,154 @@
+//! `fpppp` analogue: huge straight-line floating-point blocks.
+//!
+//! The original computes two-electron integrals and is famous for enormous
+//! basic blocks of floating-point code. The paper measures very high
+//! parallelism (2,000) that appears only with full memory renaming
+//! (Table 4: 1.69 → 18 → 81 → 1,999): the blocks communicate through a
+//! small set of memory temporaries that are rewritten constantly.
+//!
+//! The analogue executes `blocks` iterations of a generated straight-line
+//! block of independent FP expressions over a sliding window of a large
+//! input array. Each block spills intermediate results into a small pool of
+//! **data-segment scratch words and stack slots that every block reuses** —
+//! so block overlap requires renaming that storage — and folds a result
+//! into an accumulator vector by read-add-write (a shallow true-dependence
+//! chain, as in the original's integral accumulation).
+
+use crate::common::{emit_checksum_and_halt, emit_floats, random_floats, rng};
+use std::fmt::Write;
+
+/// Independent expression steps generated per block. The real fpppp's
+/// claim to fame is basic blocks of thousands of instructions; per-block
+/// parallelism is bounded by this, so it is large.
+const EXPRS: u32 = 1600;
+
+/// Data-segment scratch words reused by every block.
+const SCRATCH: u32 = 24;
+
+/// Stack spill slots reused by every block.
+const SPILLS: u32 = 8;
+
+/// Input window step per block.
+const STRIDE: u32 = 7;
+
+/// Generates the workload; `size` scales the number of blocks (`3 * size`).
+pub(crate) fn source(size: u32, seed: u64) -> String {
+    let blocks = 3 * size.max(1);
+    let mut rng = rng(seed);
+    let input_len = (blocks * STRIDE + 16) as usize;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# fpppp analogue: {blocks} straight-line blocks of {EXPRS} FP exprs"
+    );
+    let _ = writeln!(out, "    .data");
+    emit_floats(
+        &mut out,
+        "finput",
+        &random_floats(&mut rng, input_len, 0.25, 2.0),
+    );
+    let _ = writeln!(out, "fscratch:");
+    let _ = writeln!(out, "    .space {SCRATCH}");
+    let _ = writeln!(out, "facc:");
+    let _ = writeln!(out, "    .space 4");
+    let _ = writeln!(
+        out,
+        "    .text
+main:
+    addi sp, sp, -{SPILLS}
+    li   r20, 0             # block counter
+    la   r17, finput
+block_loop:"
+    );
+    // Block body: load an 8-value window, then EXPRS mostly independent
+    // expressions cycling through a small fp register pool (heavy reuse,
+    // so register renaming matters), spilling every few results.
+    let _ = writeln!(
+        out,
+        "    flw f1, 0(r17)
+    flw f2, 1(r17)
+    flw f3, 2(r17)
+    flw f4, 3(r17)
+    flw f5, 4(r17)
+    flw f6, 5(r17)
+    flw f7, 6(r17)
+    flw f8, 7(r17)"
+    );
+    let mut spill = 0u32;
+    let mut scratch = 0u32;
+    for e in 0..EXPRS {
+        // Mostly-independent expressions over the loaded window: each reads
+        // two of f1..f8 and overwrites one of the pool registers f9..f28.
+        let a = 1 + (e * 5 + 1) % 8;
+        let b = 1 + (e * 3 + 2) % 8;
+        let d = 9 + e % 20;
+        let op = match e % 3 {
+            0 => "fadd",
+            1 => "fmul",
+            _ => "fsub",
+        };
+        let _ = writeln!(out, "    {op} f{d}, f{a}, f{b}");
+        if e % 20 == 19 {
+            // Spill to a stack slot that every block reuses.
+            let _ = writeln!(out, "    fsw f{d}, {spill}(sp)");
+            spill = (spill + 1) % SPILLS;
+        } else if e % 20 == 9 {
+            // Spill to a data-segment scratch word that every block reuses.
+            let _ = writeln!(out, "    la   r9, fscratch");
+            let _ = writeln!(out, "    fsw f{d}, {scratch}(r9)");
+            scratch = (scratch + 1) % SCRATCH;
+        }
+    }
+    // Publish the block result (overwrite: a storage dependency between
+    // blocks, removable by renaming — there is deliberately no global
+    // read-add-write chain, which would serialize every block).
+    let _ = writeln!(
+        out,
+        "    la   r10, facc
+    fsw  f28, 0(r10)
+    addi r17, r17, {STRIDE}
+    addi r20, r20, 1
+    li   r21, {blocks}
+    blt  r20, r21, block_loop
+    # one progress syscall at the end of the block sweep
+    la   r10, facc
+    flw  f30, 0(r10)
+    cvtfi r4, f30
+    li   r2, 1
+    syscall
+    mv   r16, r4
+"
+    );
+    emit_checksum_and_halt(&mut out, "r16");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragraph_asm::assemble;
+    use paragraph_vm::Vm;
+
+    #[test]
+    fn blocks_scale_with_size_and_finish_finite() {
+        let program = assemble(&source(2, 17)).unwrap();
+        let facc = program.symbol("facc").unwrap();
+        let mut vm = Vm::new(program);
+        let outcome = vm.run(10_000_000).unwrap();
+        assert!(outcome.halted());
+        let result = f64::from_bits(vm.mem_word(facc).unwrap());
+        assert!(result.is_finite());
+        // Inputs are in [0.25, 2]; fadd/fsub/fmul over them stay bounded
+        // within a generous envelope.
+        assert!(result.abs() < 1e9);
+    }
+
+    #[test]
+    fn scratch_slots_are_rewritten_by_every_block() {
+        let src = source(1, 17);
+        // Every 20th expression spills; with 1600 exprs there are spills to
+        // both the stack and the data scratch in each block.
+        assert!(src.contains("fscratch"));
+        assert!(src.matches("fsw").count() > 100);
+    }
+}

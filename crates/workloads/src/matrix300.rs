@@ -1,0 +1,135 @@
+//! `matrix300` analogue: dense matrix–matrix multiply on the stack.
+//!
+//! The original is a FORTRAN dense-matrix benchmark (repeated 300x300
+//! multiplies into the same result array) whose arrays the MIPS compiler
+//! keeps on the stack; the paper singles it out twice:
+//!
+//! * it has the **highest** available parallelism of the suite (23,302), and
+//! * register renaming alone exposes only a sliver of it — "the exception
+//!   being matrix300 and tomcatv where many of the values (vectors) used are
+//!   not allocated to registers" — the jump comes with *stack* renaming
+//!   (Table 4: 2.05 → 1,235 → 23,302).
+//!
+//! The analogue runs [`CALLS`] back-to-back multiplies of two DATA-segment
+//! input matrices into one **stack-resident** result matrix `c`, with the
+//! inner product accumulated *in memory* (`c[i][j]` is loaded, updated and
+//! stored every `k` step, like a memory-resident FORTRAN array element):
+//!
+//! * within one call, the `c[i][j]` load–add–store chain is a **true**
+//!   dependence — this is what bounds the register-renamed parallelism;
+//! * across calls, the first (overwriting) store of call `t+1` to `c[i][j]`
+//!   has a **storage** dependence on call `t`'s deep accumulation chain, so
+//!   without stack renaming the calls serialize — stack renaming is what
+//!   lets all [`CALLS`] multiplies overlap, reproducing the paper's jump.
+
+use crate::common::{emit_checksum_and_halt, emit_floats, random_floats, rng};
+use std::fmt::Write;
+
+/// Number of repeated multiply "calls" reusing the stack-resident result.
+const CALLS: u32 = 6;
+
+/// Generates the workload at matrix dimension `n`.
+pub(crate) fn source(n: u32, seed: u64) -> String {
+    let n = n.max(2);
+    let mut rng = rng(seed);
+    let nn = (n * n) as usize;
+    let mut out = String::new();
+    let _ = writeln!(out, "# matrix300 analogue: {n}x{n} multiply, {CALLS} calls");
+    let _ = writeln!(out, "    .data");
+    emit_floats(&mut out, "mat_a", &random_floats(&mut rng, nn, -1.0, 1.0));
+    emit_floats(&mut out, "mat_b", &random_floats(&mut rng, nn, -1.0, 1.0));
+    let _ = writeln!(
+        out,
+        "    .text
+main:
+    addi sp, sp, -{nn}      # c[{n}][{n}] on the stack
+    li   r21, {n}           # N
+    li   r20, 0             # call counter
+call_loop:
+    li   r8, 0              # i
+i_loop:
+    li   r9, 0              # j
+j_loop:
+    mul  r11, r8, r21       # i*N
+    la   r12, mat_a
+    add  r12, r12, r11      # &a[i][0]
+    la   r13, mat_b
+    add  r13, r13, r9       # &b[0][j]
+    add  r14, r11, r9
+    add  r14, r14, sp       # &c[i][j] (stack)
+    # k = 0: overwrite c[i][j] — the storage dependence between calls
+    flw  f0, 0(r12)
+    flw  f1, 0(r13)
+    fmul f3, f0, f1
+    fsw  f3, 0(r14)
+    addi r12, r12, 1
+    add  r13, r13, r21
+    li   r10, 1             # k
+k_loop:
+    flw  f0, 0(r12)
+    flw  f1, 0(r13)
+    fmul f3, f0, f1
+    flw  f2, 0(r14)         # memory-resident accumulation (true chain)
+    fadd f2, f2, f3
+    fsw  f2, 0(r14)
+    addi r12, r12, 1
+    add  r13, r13, r21
+    addi r10, r10, 1
+    blt  r10, r21, k_loop
+    addi r9, r9, 1
+    blt  r9, r21, j_loop
+    addi r8, r8, 1
+    blt  r8, r21, i_loop
+    addi r20, r20, 1
+    li   r22, {CALLS}
+    blt  r20, r22, call_loop
+    # report once at the end: a per-call syscall would firewall the calls
+    # against each other and mask the stack-renaming effect under study
+    flw  f4, 0(sp)
+    li   r16, 1000
+    cvtif f5, r16
+    fmul f4, f4, f5
+    cvtfi r4, f4            # checksum: 1000 * c[0][0]
+    li   r2, 1
+    syscall
+    mv   r16, r4
+"
+    );
+    emit_checksum_and_halt(&mut out, "r16");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragraph_asm::assemble;
+    use paragraph_vm::{HaltReason, Vm};
+
+    #[test]
+    fn computes_a_real_matrix_product() {
+        let n = 4;
+        let program = assemble(&source(n, 7)).unwrap();
+        let mut vm = Vm::new(program);
+        let outcome = vm.run(5_000_000).unwrap();
+        assert_eq!(outcome.reason(), HaltReason::Halt);
+        // c[0][0] = sum_k a[0][k] * b[k][0], recomputed from the DATA image.
+        let program = assemble(&source(n, 7)).unwrap();
+        let a0 = program.symbol("mat_a").unwrap();
+        let b0 = program.symbol("mat_b").unwrap();
+        let mut expect = 0.0f64;
+        for k in 0..n as u64 {
+            let a = f64::from_bits(program.data_words()[(a0 + k - program.data_base()) as usize]);
+            let b = f64::from_bits(
+                program.data_words()[(b0 + k * n as u64 - program.data_base()) as usize],
+            );
+            expect += a * b;
+        }
+        let printed: i64 = vm.output().lines().next().unwrap().parse().unwrap();
+        assert_eq!(printed, (expect * 1000.0) as i64);
+    }
+
+    #[test]
+    fn size_is_clamped() {
+        assert!(source(1, 0).contains("2x2"));
+    }
+}

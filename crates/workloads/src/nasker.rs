@@ -1,0 +1,154 @@
+//! `nasker` analogue: FP kernels pinned by true recurrences.
+//!
+//! The original (the NAS kernels) mixes vectorizable loops with kernels
+//! built around genuine loop-carried recurrences. The paper's signature for
+//! nasker is *renaming insensitivity*: its modest parallelism (51) is
+//! already exposed by register renaming alone (Table 4: 2.58 → 50.84 →
+//! 50.85 → 50.97), because what limits it are **true** data dependencies
+//! that no amount of renaming can remove.
+//!
+//! The analogue alternates three kernels over vectors of length `V`:
+//!
+//! 1. a first-order linear recurrence `x[i] = a*x[i-1] + b[i]` (fully
+//!    serial),
+//! 2. a dot-product reduction (serial accumulation chain), and
+//! 3. many accumulating SAXPY passes `y[i] += a * u[i]` whose cross-pass
+//!    dependence on `y[i]` is a *true* read-add-write chain — parallel
+//!    across `i`, serial across passes, and insensitive to renaming.
+
+use crate::common::{emit_checksum_and_halt, emit_floats, random_floats, rng};
+use std::fmt::Write;
+
+/// Accumulating SAXPY passes per repetition.
+const PASSES: u32 = 60;
+
+/// Outer repetitions.
+const REPS: u32 = 2;
+
+/// Generates the workload at vector length `v`.
+pub(crate) fn source(v: u32, seed: u64) -> String {
+    let v = v.max(8);
+    let mut rng = rng(seed);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# nasker analogue: recurrence + reduction + {PASSES} saxpy passes over {v} elements"
+    );
+    let _ = writeln!(out, "    .data");
+    emit_floats(
+        &mut out,
+        "nb",
+        &random_floats(&mut rng, v as usize, 0.0, 1.0),
+    );
+    emit_floats(
+        &mut out,
+        "nu",
+        &random_floats(&mut rng, v as usize, 0.0, 1.0),
+    );
+    let _ = writeln!(out, "nx:\n    .space {v}");
+    let _ = writeln!(out, "ny:\n    .space {v}");
+    let _ = writeln!(
+        out,
+        "    .text
+main:
+    li   r20, 0             # repetition counter
+rep_loop:
+
+    # Kernel 1: x[i] = 0.9 * x[i-1] + b[i]   (true serial recurrence)
+    la   r8, nx
+    la   r9, nb
+    li   r10, 9
+    cvtif f1, r10
+    li   r10, 10
+    cvtif f2, r10
+    fdiv f1, f1, f2         # 0.9
+    flw  f3, 0(r9)          # x[0] = b[0]
+    fsw  f3, 0(r8)
+    li   r10, 1
+    li   r21, {v}
+k1_loop:
+    add  r12, r8, r10       # &x[i]
+    flw  f4, -1(r12)        # x[i-1]
+    fmul f4, f4, f1
+    add  r11, r9, r10
+    flw  f5, 0(r11)         # b[i]
+    fadd f4, f4, f5
+    fsw  f4, 0(r12)
+    addi r10, r10, 1
+    blt  r10, r21, k1_loop
+
+    # Kernel 2: dot = sum x[i]*b[i]          (serial reduction chain)
+    la   r8, nx
+    la   r9, nb
+    cvtif f6, r0            # dot = 0
+    li   r10, 0
+k2_loop:
+    flw  f4, 0(r8)
+    flw  f5, 0(r9)
+    fmul f4, f4, f5
+    fadd f6, f6, f4
+    addi r8, r8, 1
+    addi r9, r9, 1
+    addi r10, r10, 1
+    blt  r10, r21, k2_loop
+
+    # Kernel 3: PASSES accumulating saxpy passes: y[i] += 0.9 * u[i]
+    li   r13, 0             # pass counter
+k3_pass:
+    la   r8, ny
+    la   r9, nu
+    li   r10, 0
+k3_loop:
+    flw  f4, 0(r9)
+    fmul f4, f4, f1
+    flw  f5, 0(r8)
+    fadd f5, f5, f4         # true chain through y[i] across passes
+    fsw  f5, 0(r8)
+    addi r8, r8, 1
+    addi r9, r9, 1
+    addi r10, r10, 1
+    blt  r10, r21, k3_loop
+    addi r13, r13, 1
+    li   r14, {PASSES}
+    blt  r13, r14, k3_pass
+
+    addi r20, r20, 1
+    li   r15, {REPS}
+    blt  r20, r15, rep_loop
+
+    # progress syscall after the repetitions (inside the loop it would
+    # firewall the repetitions against each other): print floor(dot)
+    cvtfi r4, f6
+    li   r2, 1
+    syscall
+
+    la   r8, ny
+    flw  f7, {mid}(r8)
+    li   r9, 1000
+    cvtif f8, r9
+    fmul f7, f7, f8
+    cvtfi r16, f7
+",
+        mid = v / 2,
+    );
+    emit_checksum_and_halt(&mut out, "r16");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragraph_asm::assemble;
+    use paragraph_vm::Vm;
+
+    #[test]
+    fn recurrence_and_reduction_produce_finite_values() {
+        let program = assemble(&source(16, 2)).unwrap();
+        let mut vm = Vm::new(program);
+        vm.run(20_000_000).unwrap();
+        for line in vm.output().lines() {
+            let v: i64 = line.parse().unwrap();
+            assert!(v.abs() < 1_000_000_000, "diverged: {v}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! `spice2g6` analogue: sparse linear algebra with indirect addressing.
+//!
+//! The original is an analog circuit simulator dominated by sparse-matrix
+//! solves: integer index-array chasing feeding floating-point updates. The
+//! paper classifies it "Int and FP" and measures mid-range parallelism
+//! (111) with visible contributions from both stack and memory renaming
+//! (Table 4: 1.85 → 39.67 → 57.36 → 111.45).
+//!
+//! The analogue builds a random sparse `R x R` matrix in compressed-row
+//! form (row pointers, column indices, values) and runs repeated
+//! Gauss-Seidel-flavoured sweeps: each row computes `y[i] = Σ a[i,k] x[col]`
+//! through the index arrays, then relaxes `x[i]` from `y[i]` — so sweeps
+//! chain through `x` with true dependencies, rows within a sweep are
+//! largely independent, and per-row scratch in both stack and data
+//! segments supplies the storage-dependence flavors.
+
+use crate::common::{emit_checksum_and_halt, emit_floats, emit_words, random_floats, rng};
+use rand::Rng;
+use std::fmt::Write;
+
+/// Nonzero entries per matrix row.
+const NNZ_PER_ROW: u32 = 8;
+
+/// Relaxation sweeps.
+const SWEEPS: u32 = 12;
+
+/// Generates the workload with an `r x r` sparse system.
+pub(crate) fn source(r: u32, seed: u64) -> String {
+    let rows = r.max(8);
+    let mut rng = rng(seed);
+    let nnz = (rows * NNZ_PER_ROW) as usize;
+    let col_idx: Vec<i64> = (0..nnz).map(|_| rng.gen_range(0..rows as i64)).collect();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# spice2g6 analogue: {rows}x{rows} sparse system, {SWEEPS} sweeps"
+    );
+    let _ = writeln!(out, "    .data");
+    emit_words(&mut out, "colidx", &col_idx);
+    emit_floats(&mut out, "vals", &random_floats(&mut rng, nnz, -0.1, 0.1));
+    emit_floats(
+        &mut out,
+        "rhs",
+        &random_floats(&mut rng, rows as usize, 0.5, 1.5),
+    );
+    let _ = writeln!(out, "xvec_a:\n    .space {rows}");
+    let _ = writeln!(out, "xvec_b:\n    .space {rows}");
+    let _ = writeln!(
+        out,
+        "    .text
+main:
+    addi sp, sp, -4         # per-row stack scratch, reused by every row
+    la   r24, xvec_a        # xold
+    la   r25, xvec_b        # xnew (Jacobi: rows of one sweep independent)
+    li   r20, 0             # sweep counter
+sweep_loop:
+    li   r8, 0              # row i
+row_loop:
+    li   r9, {NNZ_PER_ROW}
+    mul  r10, r8, r9
+    la   r11, colidx
+    add  r11, r11, r10      # &colidx[row start]
+    la   r12, vals
+    add  r12, r12, r10      # &vals[row start]
+    cvtif f2, r0            # dot = 0
+    li   r13, 0             # k
+nnz_loop:
+    lw   r14, 0(r11)        # column index (int load feeding FP load)
+    add  r15, r24, r14
+    flw  f0, 0(r15)         # xold[col]
+    flw  f1, 0(r12)         # a[i,k]
+    fmul f3, f0, f1
+    fadd f2, f2, f3
+    addi r11, r11, 1
+    addi r12, r12, 1
+    addi r13, r13, 1
+    blt  r13, r9, nnz_loop
+    # spill the row dot product to reused stack scratch, then relax
+    fsw  f2, 0(sp)
+    la   r16, rhs
+    add  r16, r16, r8
+    flw  f4, 0(r16)         # b[i]
+    flw  f5, 0(sp)
+    fsub f6, f4, f5         # residual
+    add  r17, r24, r8
+    flw  f7, 0(r17)         # xold[i]
+    fadd f7, f7, f6
+    add  r18, r25, r8
+    fsw  f7, 0(r18)         # xnew[i] = xold[i] + residual
+    addi r8, r8, 1
+    li   r19, {rows}
+    blt  r8, r19, row_loop
+    # swap xold/xnew, then a progress syscall every fourth sweep
+    mv   r23, r24
+    mv   r24, r25
+    mv   r25, r23
+    andi r23, r20, 3
+    bnez r23, no_report
+    flw  f8, 0(r24)
+    li   r21, 1000
+    cvtif f9, r21
+    fmul f8, f8, f9
+    cvtfi r4, f8
+    li   r2, 1
+    syscall
+no_report:
+    addi r20, r20, 1
+    li   r22, {SWEEPS}
+    blt  r20, r22, sweep_loop
+    mv   r16, r4
+"
+    );
+    emit_checksum_and_halt(&mut out, "r16");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragraph_asm::assemble;
+    use paragraph_vm::Vm;
+
+    #[test]
+    fn relaxation_stays_bounded() {
+        // Matrix entries are small (|a| <= 0.1) and b in [0.5, 1.5]: the
+        // damped Jacobi iteration must not blow up over the sweeps.
+        let program = assemble(&source(24, 19)).unwrap();
+        let xa = program.symbol("xvec_a").unwrap();
+        let xb = program.symbol("xvec_b").unwrap();
+        let mut vm = Vm::new(program);
+        vm.run(20_000_000).unwrap();
+        for base in [xa, xb] {
+            for i in 0..24u64 {
+                let x = f64::from_bits(vm.mem_word(base + i).unwrap());
+                assert!(x.is_finite() && x.abs() < 1e6, "x[{i}] = {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn column_indices_are_in_range() {
+        let program = assemble(&source(16, 19)).unwrap();
+        let colidx = program.symbol("colidx").unwrap() - program.data_base();
+        for k in 0..(16 * NNZ_PER_ROW) as usize {
+            let col = program.data_words()[colidx as usize + k] as i64;
+            assert!((0..16).contains(&col), "colidx[{k}] = {col}");
+        }
+    }
+}

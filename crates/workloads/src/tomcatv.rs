@@ -1,0 +1,207 @@
+//! `tomcatv` analogue: 2-D stencil relaxation on stack-allocated meshes.
+//!
+//! The original is a vectorized mesh-generation code whose arrays the
+//! FORTRAN compiler places on the stack. Like `matrix300`, the paper finds
+//! that its parallelism (5,806) appears only once stack storage is renamed
+//! (Table 4: 1.52 → 66 → 5,772).
+//!
+//! The analogue allocates two `G x G` grids on the stack and runs a
+//! five-point Jacobi relaxation for a fixed number of time steps, swapping
+//! the role of the two grids each step, followed each step by per-column
+//! serial "solve" recurrences (tomcatv's tridiagonal phase) whose loads sit
+//! deep in the graph because each row's address routes through the
+//! recurrence value. Each grid's storage is rewritten every other time
+//! step, so without stack renaming the rounds serialize against the deep
+//! solve reads; the true dependencies (stencil reads of the previous step)
+//! are much shallower. Boundary values come from pre-initialized DATA; the
+//! interior starts at the stack's pristine zeros, which the analyzer treats
+//! as preexisting values — exactly the paper's handling of never-written
+//! storage.
+
+use crate::common::{emit_checksum_and_halt, emit_floats, random_floats, rng};
+use std::fmt::Write;
+
+/// Relaxation time steps.
+const STEPS: u32 = 24;
+
+/// Generates the workload at grid dimension `g`.
+pub(crate) fn source(g: u32, seed: u64) -> String {
+    let g = g.max(4);
+    let mut rng = rng(seed);
+    let gg = (g * g) as usize;
+    let mut out = String::new();
+    let _ = writeln!(out, "# tomcatv analogue: {g}x{g} Jacobi, {STEPS} steps");
+    let _ = writeln!(out, "    .data");
+    emit_floats(
+        &mut out,
+        "boundary",
+        &random_floats(&mut rng, 4 * g as usize, 0.0, 8.0),
+    );
+    let _ = writeln!(
+        out,
+        "    .text
+main:
+    addi sp, sp, -{total}   # column buffer + two G*G grids on the stack
+    li   r21, {g}           # G
+    # layout: sp[0..G) column results, then the two grids
+    addi r18, sp, {g}       # old grid
+    addi r19, r18, {gg}     # new grid
+    li   r10, 1
+    cvtif f15, r10
+    li   r10, 2
+    cvtif f16, r10
+    fdiv f15, f15, f16      # 0.5 (solve coefficient)
+
+    # Write boundary values into all four edges of the old grid.
+    la   r16, boundary
+    li   r8, 0
+edge_loop:
+    flw  f0, 0(r16)         # top edge value
+    flw  f1, {g}(r16)       # bottom edge value
+    flw  f2, {g2}(r16)      # left edge value
+    flw  f3, {g3}(r16)      # right edge value
+    add  r9, r18, r8
+    fsw  f0, 0(r9)          # old[0][i]
+    mul  r10, r21, r21
+    sub  r10, r10, r21
+    add  r10, r10, r8
+    add  r10, r10, r18
+    fsw  f1, 0(r10)         # old[G-1][i]
+    mul  r11, r8, r21
+    add  r11, r11, r18
+    fsw  f2, 0(r11)         # old[i][0]
+    add  r12, r11, r21
+    addi r12, r12, -1
+    fsw  f3, 0(r12)         # old[i][G-1]
+    addi r16, r16, 1
+    addi r8, r8, 1
+    blt  r8, r21, edge_loop
+
+    li   r20, 0             # time step
+step_loop:
+    li   r8, 1              # i in 1..G-1
+si_loop:
+    mul  r13, r8, r21       # i*G
+    li   r9, 1              # j in 1..G-1
+sj_loop:
+    add  r14, r13, r9       # i*G + j
+    add  r15, r14, r18      # &old[i][j]
+    flw  f0, -{g}(r15)      # old[i-1][j]
+    flw  f1, {g}(r15)       # old[i+1][j]
+    flw  f2, -1(r15)        # old[i][j-1]
+    flw  f3, 1(r15)         # old[i][j+1]
+    fadd f4, f0, f1
+    fadd f5, f2, f3
+    fadd f4, f4, f5
+    li   r17, 4
+    cvtif f6, r17
+    fdiv f4, f4, f6         # average of the four neighbours
+    add  r16, r14, r19
+    fsw  f4, 0(r16)         # new[i][j] (stack storage reused every 2 steps)
+    addi r9, r9, 1
+    addi r22, r21, -1
+    blt  r9, r22, sj_loop
+    addi r8, r8, 1
+    blt  r8, r22, si_loop
+
+    # Per-column serial solves (tomcatv's tridiagonal phase): each column j
+    # is reduced through a multiply-add recurrence that READS the freshly
+    # written grid, with the next row's address routed through the
+    # recurrence value so the loads themselves sit deep in the graph.
+    # The traversal direction flips every two steps: a cell read at the
+    # *end* of this solve is the *first* cell the solve two steps later
+    # (same physical grid) touches, so the grid's storage reuse chains the
+    # full solve depth once per round instead of pipelining — this is what
+    # makes stack renaming matter for tomcatv (Table 4).
+    srl  r28, r20, 1
+    andi r28, r28, 1        # direction: (step/2) & 1
+    li   r9, 0              # j
+col_loop:
+    cvtif f9, r0            # r = 0
+    beqz r28, solve_down
+    mul  r25, r21, r21
+    sub  r25, r25, r21
+    add  r25, r25, r19
+    add  r25, r25, r9       # &new[G-1][j]
+    sub  r12, r0, r21       # stride -G
+    j    solve_go
+solve_down:
+    add  r25, r19, r9       # &new[0][j]
+    mv   r12, r21           # stride +G
+solve_go:
+    li   r8, 0              # i
+colr_loop:
+    flw  f0, 0(r25)
+    fmul f9, f9, f15        # r = 0.5*r + new[i][j]
+    fadd f9, f9, f0
+    cvtfi r27, f9
+    andi r27, r27, 1
+    add  r25, r25, r12      # advance (net stride is exact, but the
+    add  r25, r25, r27      # address depends on the recurrence value)
+    sub  r25, r25, r27
+    addi r8, r8, 1
+    blt  r8, r21, colr_loop
+    add  r26, sp, r9        # column-result buffer below the grids,
+    fsw  f9, 0(r26)         # reused each step (stack storage dependence)
+    addi r9, r9, 1
+    blt  r9, r21, col_loop
+
+    # swap grids
+    mv   r23, r18
+    mv   r18, r19
+    mv   r19, r23
+    addi r20, r20, 1
+    li   r24, {STEPS}
+    blt  r20, r24, step_loop
+
+    # report once at the end: a per-step syscall would firewall the time
+    # steps against each other and mask the renaming effect under study
+    mul  r10, r21, r21
+    srl  r10, r10, 1
+    add  r10, r10, r18
+    flw  f7, 0(r10)
+    li   r11, 100000
+    cvtif f8, r11
+    fmul f7, f7, f8
+    cvtfi r4, f7
+    li   r2, 1
+    syscall
+    mv   r16, r4
+",
+        total = 2 * gg + g as usize,
+        gg = gg,
+        g = g,
+        g2 = 2 * g,
+        g3 = 3 * g,
+    );
+    emit_checksum_and_halt(&mut out, "r16");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragraph_asm::assemble;
+    use paragraph_vm::Vm;
+
+    #[test]
+    fn relaxation_interior_stays_within_boundary_range() {
+        // Jacobi averaging of values in [0, 8] (with zero-start interior)
+        // can never leave [0, 8].
+        let g = 8u32;
+        let program = assemble(&source(g, 23)).unwrap();
+        let mut vm = Vm::new(program);
+        let outcome = vm.run(20_000_000).unwrap();
+        assert!(outcome.halted());
+        // Checksum is 100000 * center cell: bounded by 8e5.
+        let printed: i64 = vm.output().lines().next().unwrap().parse().unwrap();
+        assert!((0..=800_000).contains(&printed), "center = {printed}");
+    }
+
+    #[test]
+    fn solve_direction_alternates() {
+        let src = source(8, 23);
+        assert!(src.contains("solve_down"));
+        assert!(src.contains("srl  r28, r20, 1"));
+    }
+}

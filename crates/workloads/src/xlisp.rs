@@ -1,0 +1,126 @@
+//! `xlisp` analogue: a list-machine interpreter.
+//!
+//! The original runs a Lisp interpreter, and the paper's analysis of why it
+//! has the *least* parallelism of the suite (13.28) is specific: the input
+//! program lives in a `prog` construct, so "the Lisp interpreter implements
+//! an abstract serial machine ... The control dependencies show up as
+//! recurrences in the updating of the prog structure program counter."
+//!
+//! The analogue reproduces that exact mechanism: a program is encoded as a
+//! chain of cons cells `[opcode, argument, next-cell]` in the data segment,
+//! and a tiny interpreter loop fetches each cell, dispatches on the opcode,
+//! updates an accumulator and a small scratch store, and then follows the
+//! `next` pointer — a load-to-load recurrence that serializes every
+//! iteration no matter how much storage is renamed.
+
+use crate::common::{emit_checksum_and_halt, emit_words, rng};
+use rand::Rng;
+use std::fmt::Write;
+
+/// Scratch cells addressable by the interpreted program.
+const SCRATCH: u32 = 16;
+
+/// Generates the workload; the interpreted program has `300 * size` cells.
+pub(crate) fn source(size: u32, seed: u64) -> String {
+    let cells = (300 * size.max(1)) as usize;
+    let mut rng = rng(seed);
+    // Cell layout: 3 words [op, arg, next]; next = absolute address or 0.
+    // Ops: 0 add-imm, 1 xor-imm, 2 store-acc, 3 load-xor, 4 shift-mix.
+    let base = paragraph_asm::DEFAULT_DATA_BASE;
+    let mut prog = Vec::with_capacity(cells * 3);
+    for i in 0..cells {
+        let op: i64 = rng.gen_range(0..5);
+        let arg: i64 = match op {
+            2 | 3 => rng.gen_range(0..SCRATCH as i64),
+            _ => rng.gen_range(1..1000),
+        };
+        let next: i64 = if i + 1 == cells {
+            0
+        } else {
+            (base + (i as u64 + 1) * 3) as i64
+        };
+        prog.push(op);
+        prog.push(arg);
+        prog.push(next);
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "# xlisp analogue: {cells}-cell list program");
+    let _ = writeln!(out, "    .data");
+    emit_words(&mut out, "prog", &prog);
+    let _ = writeln!(out, "scratch:\n    .space {SCRATCH}");
+    let _ = writeln!(
+        out,
+        "    .text
+main:
+    la   r8, prog           # interpreter program counter (cell address)
+    li   r9, 0              # accumulator
+    li   r10, 0             # executed-cell count
+interp_loop:
+    lw   r11, 0(r8)         # opcode
+    lw   r12, 1(r8)         # argument
+    addi r10, r10, 1
+    beqz r11, op_add
+    li   r13, 1
+    beq  r11, r13, op_xor
+    li   r13, 2
+    beq  r11, r13, op_store
+    li   r13, 3
+    beq  r11, r13, op_load
+    # op 4: shift-mix
+    sll  r14, r9, 1
+    xor  r9, r14, r12
+    j    interp_next
+op_add:
+    add  r9, r9, r12
+    j    interp_next
+op_xor:
+    xor  r9, r9, r12
+    j    interp_next
+op_store:
+    la   r15, scratch
+    add  r15, r15, r12
+    sw   r9, 0(r15)
+    j    interp_next
+op_load:
+    la   r15, scratch
+    add  r15, r15, r12
+    lw   r16, 0(r15)
+    xor  r9, r9, r16
+interp_next:
+    lw   r8, 2(r8)          # follow the next pointer (the prog recurrence)
+    bnez r8, interp_loop
+    # one syscall when the program ends: cells executed
+    mv   r4, r10
+    li   r2, 1
+    syscall
+    andi r16, r9, 0xffffff
+"
+    );
+    emit_checksum_and_halt(&mut out, "r16");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragraph_asm::assemble;
+    use paragraph_vm::Vm;
+
+    #[test]
+    fn interpreter_visits_every_cell_exactly_once() {
+        let size = 2;
+        let program = assemble(&source(size, 3)).unwrap();
+        let mut vm = Vm::new(program);
+        vm.run(20_000_000).unwrap();
+        // The first printed number is the executed-cell count.
+        let cells: usize = vm.output().lines().next().unwrap().parse().unwrap();
+        assert_eq!(cells, 300 * size as usize);
+    }
+
+    #[test]
+    fn program_cells_are_linked_in_order() {
+        let src = source(1, 3);
+        // Every cell's next pointer is base + 3*(i+1) except the last (0).
+        assert!(src.contains("prog:"));
+    }
+}

@@ -1,0 +1,44 @@
+//! A miniature Table 4: how much parallelism each renaming condition
+//! exposes, for three workloads with very different storage behaviour.
+//!
+//! ```sh
+//! cargo run --release --example renaming_study
+//! ```
+
+use paragraph::core::{analyze_refs, AnalysisConfig, RenameSet};
+use paragraph::workloads::{Workload, WorkloadId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<11} {:>12} {:>12} {:>12} {:>12}",
+        "workload", "none", "regs", "regs+stack", "reg/mem"
+    );
+    println!("{:-<64}", "");
+    // matrix300: stack-resident arrays — the stack column is the story.
+    // espresso: shared data-segment buffers — the memory column matters.
+    // nasker: true recurrences — renaming-insensitive beyond registers.
+    for (id, size) in [
+        (WorkloadId::Matrix300, 16),
+        (WorkloadId::Espresso, 24),
+        (WorkloadId::Nasker, 64),
+    ] {
+        let workload = Workload::new(id).with_size(size);
+        let (trace, segments) = workload.collect_trace(20_000_000)?;
+        print!("{:<11}", id.name());
+        for renames in RenameSet::table4_conditions() {
+            let config = AnalysisConfig::dataflow_limit()
+                .with_segments(segments)
+                .with_renames(renames);
+            let report = analyze_refs(&trace, &config);
+            print!(" {:>12.2}", report.available_parallelism());
+        }
+        println!();
+    }
+    println!(
+        "\nReading the rows: without renaming nothing is parallel; registers\n\
+         recover most workloads; matrix300 needs its stack arrays renamed;\n\
+         espresso needs full memory renaming; nasker's true recurrences can't\n\
+         be renamed away at all."
+    );
+    Ok(())
+}

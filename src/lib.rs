@@ -1,0 +1,45 @@
+//! # Paragraph — dynamic dependency analysis of ordinary programs
+//!
+//! A reproduction of Austin & Sohi, *Dynamic Dependency Analysis of Ordinary
+//! Programs* (ISCA 1992). This umbrella crate re-exports the whole toolkit:
+//!
+//! * [`isa`] — the MIPS-like instruction set (registers, operation classes,
+//!   the Table 1 latency model).
+//! * [`asm`] — a two-pass assembler for the toolkit's assembly language.
+//! * [`vm`] — the interpreting virtual machine and tracer (the Pixie
+//!   substitute).
+//! * [`trace`] — dynamic trace records, sources/sinks, the binary trace
+//!   format and trace statistics.
+//! * [`core`] — **the paper's contribution**: the live-well streaming
+//!   analyzer, analysis configuration (renaming switches, syscall policy,
+//!   instruction window), parallelism profiles, and the explicit DDG with
+//!   lifetime/sharing/scheduling analyses.
+//! * [`workloads`] — the ten SPEC89 benchmark analogues used by the
+//!   reproduction study.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use paragraph::core::{AnalysisConfig, LiveWell};
+//! use paragraph::trace::{Loc, TraceRecord};
+//! use paragraph::isa::OpClass;
+//!
+//! // Analyze a tiny hand-built trace at the dataflow limit.
+//! let mut analyzer = LiveWell::new(AnalysisConfig::dataflow_limit());
+//! analyzer.process(&TraceRecord::compute(0, OpClass::IntAlu, &[], Loc::int(4)));
+//! analyzer.process(&TraceRecord::compute(1, OpClass::IntAlu, &[Loc::int(4)], Loc::int(5)));
+//! let report = analyzer.finish();
+//! assert_eq!(report.critical_path_length(), 2);
+//! assert_eq!(report.placed_ops(), 2);
+//! ```
+//!
+//! See `examples/quickstart.rs` for the full pipeline: assemble a program,
+//! run it on the VM, and analyze the captured trace under several machine
+//! models.
+
+pub use paragraph_asm as asm;
+pub use paragraph_core as core;
+pub use paragraph_isa as isa;
+pub use paragraph_trace as trace;
+pub use paragraph_vm as vm;
+pub use paragraph_workloads as workloads;

@@ -1,0 +1,135 @@
+//! Integration tests pinning the paper's worked examples (Figures 1-5)
+//! across the crate boundary, end to end: the numbers asserted here are
+//! printed in the paper's text.
+
+use paragraph::core::schedule::{schedule, ResourceModel};
+use paragraph::core::{
+    analyze, AnalysisConfig, Ddg, DepKind, LatencyModel, LiveWell, RenameSet, SyscallPolicy,
+};
+use paragraph::isa::OpClass;
+use paragraph::trace::{synthetic, Loc, TraceRecord};
+
+fn unit_config() -> AnalysisConfig {
+    AnalysisConfig::dataflow_limit().with_latency(LatencyModel::unit())
+}
+
+#[test]
+fn figure1_profile_and_critical_path() {
+    // "the DDG in Figure 1 has a critical path length of four" and "the
+    // parallelism profile for Figure 1 has four operations in level one, two
+    // operations in level two, and one operation in levels three and four".
+    let report = analyze(synthetic::figure1(), &unit_config());
+    assert_eq!(report.critical_path_length(), 4);
+    assert_eq!(report.profile().exact_counts().unwrap(), vec![4, 2, 1, 1]);
+    assert_eq!(report.placed_ops(), 8);
+    assert_eq!(report.available_parallelism(), 2.0);
+}
+
+#[test]
+fn figure2_profile_and_critical_path() {
+    // "the DDG of Figure 2 has a critical path length of six" and "the
+    // parallelism profile for Figure 2 has two, one, two, one, one and one
+    // operations in levels one..six".
+    let config = unit_config().with_renames(RenameSet::none());
+    let report = analyze(synthetic::figure2(), &config);
+    assert_eq!(report.critical_path_length(), 6);
+    assert_eq!(
+        report.profile().exact_counts().unwrap(),
+        vec![2, 1, 2, 1, 1, 1]
+    );
+}
+
+#[test]
+fn renaming_restores_figure1_from_figure2() {
+    // "Storage dependencies can always be removed by ... renaming."
+    let config = unit_config().with_renames(RenameSet::registers_only());
+    let report = analyze(synthetic::figure2(), &config);
+    assert_eq!(report.critical_path_length(), 4);
+    assert_eq!(report.profile().exact_counts().unwrap(), vec![4, 2, 1, 1]);
+}
+
+#[test]
+fn figure2_ddg_has_gray_bubble_edges() {
+    // The storage dependencies drawn with "a small, gray bubble" exist as
+    // typed edges in the explicit graph, and only without renaming.
+    let no_rename = unit_config().with_renames(RenameSet::none());
+    let trace = synthetic::figure2();
+    let ddg = Ddg::from_records(&trace, &no_rename);
+    let (_, storage, _) = ddg.edge_counts();
+    assert!(storage > 0);
+    let renamed = Ddg::from_records(&trace, &unit_config());
+    assert_eq!(renamed.edge_counts().1, 0);
+}
+
+#[test]
+fn figure3_firewall_gates_independent_computation() {
+    // Figure 3: C + D is delayed until the read r1 system call completes
+    // under the conservative assumption, and not under the optimistic one.
+    let trace = vec![
+        TraceRecord::load(0, 0, None, Loc::int(10)),
+        TraceRecord::compute(1, OpClass::IntDiv, &[Loc::int(10)], Loc::int(9)),
+        TraceRecord::syscall(2, &[Loc::int(9)], Some(Loc::int(11))),
+        TraceRecord::compute(
+            3,
+            OpClass::IntAlu,
+            &[Loc::int(10), Loc::int(11)],
+            Loc::int(12),
+        ),
+        TraceRecord::store(4, 4, Loc::int(12), None),
+        TraceRecord::load(5, 2, None, Loc::int(13)),
+        TraceRecord::load(6, 3, None, Loc::int(14)),
+        TraceRecord::compute(
+            7,
+            OpClass::IntAlu,
+            &[Loc::int(13), Loc::int(14)],
+            Loc::int(15),
+        ),
+    ];
+    let paper = AnalysisConfig::dataflow_limit();
+    let conservative = analyze(trace.clone(), &paper);
+    let optimistic = analyze(
+        trace.clone(),
+        &paper.clone().with_syscall_policy(SyscallPolicy::Optimistic),
+    );
+    assert!(conservative.critical_path_length() > optimistic.critical_path_length());
+    assert_eq!(conservative.firewalls(), 1);
+    assert_eq!(optimistic.firewalls(), 0);
+    // The explicit graph carries the dashed control edge.
+    let ddg = Ddg::from_records(&trace, &paper);
+    assert!(ddg.edges().iter().any(|e| e.kind == DepKind::Control));
+}
+
+#[test]
+fn figure4_two_functional_units() {
+    // Figure 4: the Figure 1 computation on two generic functional units
+    // spans five levels with at most two operations per level.
+    let trace = synthetic::figure1();
+    let ddg = Ddg::from_records(&trace, &unit_config());
+    let result = schedule(&ddg, ResourceModel::units(2), &LatencyModel::unit());
+    assert_eq!(result.cycles(), 5);
+    assert!(result.issue_profile().iter().all(|&n| n <= 2));
+    assert_eq!(result.ops(), 8);
+}
+
+#[test]
+fn figure5_live_well_state() {
+    // Figure 5: after the Figure 1 trace the live well holds the 8 created
+    // values plus the 4 preexisting DATA values, with the deepest level 3
+    // (0-based; the paper draws S in the fourth level).
+    let mut well = LiveWell::new(unit_config());
+    for record in synthetic::figure1() {
+        well.process(&record);
+    }
+    assert_eq!(well.live_well_size(), 12);
+    assert_eq!(well.deepest_level(), Some(3));
+}
+
+#[test]
+fn preexisting_values_sit_above_the_graph() {
+    // "the value is placed in the live well such that it was created in the
+    // level immediately preceding the topologically highest level" — so a
+    // computation using only preexisting values lands in the first level.
+    let trace = vec![TraceRecord::load(0, 99, None, Loc::int(8))];
+    let report = analyze(trace, &unit_config());
+    assert_eq!(report.critical_path_length(), 1);
+}

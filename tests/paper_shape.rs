@@ -1,0 +1,254 @@
+//! Integration tests asserting the *shape* of the paper's evaluation
+//! results at reduced problem sizes: who wins, by roughly what factor, and
+//! which renaming switch matters where. These are the claims EXPERIMENTS.md
+//! records at full scale.
+
+use paragraph::core::{analyze_refs, AnalysisConfig, RenameSet, SyscallPolicy, WindowSize};
+use paragraph::trace::{SegmentMap, TraceRecord};
+use paragraph::workloads::{Workload, WorkloadId};
+
+fn capture(id: WorkloadId, size: u32) -> (Vec<TraceRecord>, SegmentMap) {
+    Workload::new(id)
+        .with_size(size)
+        .collect_trace(30_000_000)
+        .unwrap()
+}
+
+fn parallelism(records: &[TraceRecord], config: &AnalysisConfig) -> f64 {
+    analyze_refs(records, config).available_parallelism()
+}
+
+fn dataflow(segments: SegmentMap) -> AnalysisConfig {
+    AnalysisConfig::dataflow_limit().with_segments(segments)
+}
+
+#[test]
+fn xlisp_is_the_least_parallel_benchmark() {
+    // Table 3: xlisp's interpreter recurrence pins it at the bottom
+    // (13.28 in the paper) while every array/compare workload is far above.
+    let (xlisp, seg_x) = capture(WorkloadId::Xlisp, 8);
+    let x_par = parallelism(&xlisp, &dataflow(seg_x));
+    assert!(x_par < 20.0, "xlisp should be low, got {x_par}");
+    for id in [
+        WorkloadId::Eqntott,
+        WorkloadId::Matrix300,
+        WorkloadId::Fpppp,
+    ] {
+        let (trace, seg) = capture(id, 10);
+        let par = parallelism(&trace, &dataflow(seg));
+        assert!(
+            par > 3.0 * x_par,
+            "{id} ({par:.1}) should dwarf xlisp ({x_par:.1})"
+        );
+    }
+}
+
+#[test]
+fn no_renaming_collapses_every_workload() {
+    // Table 4, column 1: "Without register renaming, very little
+    // parallelism is detected" — single digits for every benchmark.
+    for id in [
+        WorkloadId::Cc1,
+        WorkloadId::Matrix300,
+        WorkloadId::Eqntott,
+        WorkloadId::Tomcatv,
+    ] {
+        let (trace, seg) = capture(id, 6);
+        let none = parallelism(&trace, &dataflow(seg).with_renames(RenameSet::none()));
+        assert!(
+            none < 8.0,
+            "{id} without renaming should be tiny, got {none}"
+        );
+        let full = parallelism(&trace, &dataflow(seg));
+        assert!(
+            full > 4.0 * none,
+            "{id}: renaming should multiply parallelism ({none} -> {full})"
+        );
+    }
+}
+
+#[test]
+fn register_renaming_alone_recovers_most_workloads() {
+    // "In most cases, renaming registers is enough to expose a sizable
+    // fraction of the parallelism in the trace."
+    for id in [WorkloadId::Cc1, WorkloadId::Nasker, WorkloadId::Eqntott] {
+        let (trace, seg) = capture(id, 6);
+        let regs = parallelism(
+            &trace,
+            &dataflow(seg).with_renames(RenameSet::registers_only()),
+        );
+        let full = parallelism(&trace, &dataflow(seg));
+        assert!(
+            regs > 0.8 * full,
+            "{id}: registers alone should land within 20% of the limit ({regs} vs {full})"
+        );
+    }
+}
+
+#[test]
+fn matrix300_needs_stack_renaming() {
+    // "The exception being matrix300 and tomcatv where many of the values
+    // (vectors) used are not allocated to registers."
+    let (trace, seg) = capture(WorkloadId::Matrix300, 16);
+    let regs = parallelism(
+        &trace,
+        &dataflow(seg).with_renames(RenameSet::registers_only()),
+    );
+    let stack = parallelism(
+        &trace,
+        &dataflow(seg).with_renames(RenameSet::registers_and_stack()),
+    );
+    assert!(
+        stack > 2.0 * regs,
+        "stack renaming must unlock matrix300 ({regs:.1} -> {stack:.1})"
+    );
+}
+
+#[test]
+fn tomcatv_needs_stack_renaming() {
+    let (trace, seg) = capture(WorkloadId::Tomcatv, 24);
+    let regs = parallelism(
+        &trace,
+        &dataflow(seg).with_renames(RenameSet::registers_only()),
+    );
+    let stack = parallelism(
+        &trace,
+        &dataflow(seg).with_renames(RenameSet::registers_and_stack()),
+    );
+    assert!(
+        stack > 2.0 * regs,
+        "stack renaming must unlock tomcatv ({regs:.1} -> {stack:.1})"
+    );
+}
+
+#[test]
+fn espresso_and_fpppp_need_memory_renaming() {
+    for (id, size) in [(WorkloadId::Espresso, 24), (WorkloadId::Fpppp, 12)] {
+        let (trace, seg) = capture(id, size);
+        let stack = parallelism(
+            &trace,
+            &dataflow(seg).with_renames(RenameSet::registers_and_stack()),
+        );
+        let full = parallelism(&trace, &dataflow(seg));
+        assert!(
+            full > 1.2 * stack,
+            "{id}: memory renaming must add parallelism ({stack:.1} -> {full:.1})"
+        );
+    }
+}
+
+#[test]
+fn nasker_is_renaming_insensitive_beyond_registers() {
+    // Table 4: nasker 50.84 / 50.85 / 50.97 — true recurrences dominate.
+    let (trace, seg) = capture(WorkloadId::Nasker, 48);
+    let regs = parallelism(
+        &trace,
+        &dataflow(seg).with_renames(RenameSet::registers_only()),
+    );
+    let full = parallelism(&trace, &dataflow(seg));
+    assert!(
+        (full - regs).abs() / full < 0.05,
+        "nasker should barely move past register renaming ({regs:.2} vs {full:.2})"
+    );
+}
+
+#[test]
+fn window_size_gates_exposed_parallelism() {
+    // Figure 8: monotone growth; small windows expose only a few ops/cycle;
+    // high-ILP workloads need huge windows.
+    let (trace, seg) = capture(WorkloadId::Eqntott, 24);
+    let base = dataflow(seg);
+    let full = parallelism(&trace, &base);
+    let mut last = 0.0;
+    for exp in [0u32, 2, 4, 6, 8, 10, 12] {
+        let par = parallelism(
+            &trace,
+            &base.clone().with_window(WindowSize::bounded(1 << exp)),
+        );
+        assert!(par >= last - 1e-9, "window growth must be monotone");
+        last = par;
+    }
+    let w32 = parallelism(&trace, &base.clone().with_window(WindowSize::bounded(32)));
+    assert!(
+        w32 < 0.2 * full,
+        "a 32-instruction window must expose only a sliver of eqntott ({w32:.1} of {full:.1})"
+    );
+    // xlisp, by contrast, saturates with a small window.
+    let (xtrace, xseg) = capture(WorkloadId::Xlisp, 6);
+    let xbase = dataflow(xseg);
+    let xfull = parallelism(&xtrace, &xbase);
+    let xw256 = parallelism(
+        &xtrace,
+        &xbase.clone().with_window(WindowSize::bounded(256)),
+    );
+    assert!(
+        xw256 > 0.9 * xfull,
+        "xlisp should saturate by window 256 ({xw256:.1} of {xfull:.1})"
+    );
+}
+
+#[test]
+fn issue_width_caps_and_releases() {
+    // Resource dependencies (Figure 4, streaming): K units cap the rate at
+    // K; enough units recover the dataflow limit.
+    let (trace, seg) = capture(WorkloadId::Eqntott, 12);
+    let full = parallelism(&trace, &dataflow(seg));
+    let narrow = parallelism(&trace, &dataflow(seg).with_issue_limit(2));
+    assert!(narrow <= 2.0 + 1e-9);
+    let wide = parallelism(&trace, &dataflow(seg).with_issue_limit(1 << 14));
+    assert!(wide > 0.9 * full);
+}
+
+#[test]
+fn machine_ladder_is_sane_on_real_traces() {
+    use paragraph::core::machine::Machine;
+    let (trace, seg) = capture(WorkloadId::Cc1, 6);
+    let scalar = analyze_refs(&trace, &Machine::scalar().configure().with_segments(seg));
+    let dataflow_report = analyze_refs(&trace, &Machine::dataflow().configure().with_segments(seg));
+    // The scalar pipeline sustains at most 1 op/cycle; the dataflow machine
+    // is far above it.
+    assert!(scalar.available_parallelism() <= 1.0 + 1e-9);
+    assert!(dataflow_report.available_parallelism() > 10.0 * scalar.available_parallelism());
+}
+
+#[test]
+fn misprediction_firewalls_bound_real_workloads() {
+    use paragraph::core::branch::{BranchPolicy, PredictorKind};
+    let (trace, seg) = capture(WorkloadId::Eqntott, 10);
+    let perfect = parallelism(&trace, &dataflow(seg));
+    let stall = parallelism(
+        &trace,
+        &dataflow(seg).with_branch_policy(BranchPolicy::StallAlways),
+    );
+    let predicted = parallelism(
+        &trace,
+        &dataflow(seg).with_branch_policy(BranchPolicy::Predict(PredictorKind::Gshare {
+            index_bits: 12,
+        })),
+    );
+    assert!(stall < predicted, "prediction must beat serial fetch");
+    assert!(
+        predicted < 0.5 * perfect,
+        "even a good predictor must sit far below perfect control flow          ({predicted:.1} vs {perfect:.1})"
+    );
+}
+
+#[test]
+fn conservative_syscalls_do_not_hide_much_parallelism() {
+    // Table 3's conclusion: the firewall assumption costs little for most
+    // benchmarks because system calls are rare.
+    for id in [WorkloadId::Cc1, WorkloadId::Eqntott, WorkloadId::Xlisp] {
+        let (trace, seg) = capture(id, 6);
+        let cons = parallelism(&trace, &dataflow(seg));
+        let opt = parallelism(
+            &trace,
+            &dataflow(seg).with_syscall_policy(SyscallPolicy::Optimistic),
+        );
+        let error = (opt - cons).abs() / opt.max(1e-9);
+        assert!(
+            error < 0.35,
+            "{id}: measurement error should be small, got {error:.2}"
+        );
+        assert!(opt + 1e-9 >= cons, "{id}: optimistic can only help");
+    }
+}

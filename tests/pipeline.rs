@@ -1,0 +1,135 @@
+//! End-to-end integration tests across the whole toolkit: assembler → VM →
+//! trace format → analyzers.
+
+use paragraph::asm::assemble;
+use paragraph::core::{analyze_refs, AnalysisConfig, Ddg, LiveWell};
+use paragraph::trace::binary::{TraceReader, TraceWriter};
+use paragraph::vm::Vm;
+use paragraph::workloads::{Workload, WorkloadId};
+
+#[test]
+fn assemble_run_analyze_round_trip() {
+    let program = assemble(
+        "
+        .data
+    xs: .word 3, 1, 4, 1, 5, 9, 2, 6
+        .text
+    main:
+        li   r8, 0          # i
+        li   r9, 8          # n
+        li   r10, 0         # max
+        la   r11, xs
+    loop:
+        add  r12, r11, r8
+        lw   r13, 0(r12)
+        slt  r14, r10, r13
+        beqz r14, skip
+        mv   r10, r13
+    skip:
+        addi r8, r8, 1
+        blt  r8, r9, loop
+        mv   r4, r10
+        li   r2, 1
+        syscall
+        halt
+    ",
+    )
+    .expect("program assembles");
+    let mut vm = Vm::new(program);
+    let (trace, outcome) = vm.run_collect(10_000).expect("program runs");
+    assert!(outcome.halted());
+    assert_eq!(vm.output(), "9\n"); // max of the data
+
+    let config = AnalysisConfig::dataflow_limit().with_segments(vm.segment_map());
+    let report = analyze_refs(&trace, &config);
+    assert_eq!(report.total_records() + 1, outcome.executed()); // halt untraced
+    assert!(report.available_parallelism() > 1.0);
+    assert_eq!(report.syscalls(), 1);
+}
+
+#[test]
+fn trace_survives_binary_format() {
+    // Capture a real workload trace, write it through the binary format,
+    // read it back, and check the analysis is bit-identical.
+    let workload = Workload::new(WorkloadId::Cc1).with_size(3);
+    let (trace, segments) = workload.collect_trace(5_000_000).unwrap();
+
+    let mut buf = Vec::new();
+    let mut writer = TraceWriter::new(&mut buf, segments).unwrap();
+    for r in &trace {
+        writer.write_record(r).unwrap();
+    }
+    let written = writer.finish().unwrap();
+    assert_eq!(written as usize, trace.len());
+
+    let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+    assert_eq!(reader.segment_map(), segments);
+    let decoded: Vec<_> = reader.by_ref().map(|r| r.unwrap()).collect();
+    assert_eq!(decoded, trace);
+
+    let config = AnalysisConfig::dataflow_limit().with_segments(segments);
+    let direct = analyze_refs(&trace, &config);
+    let via_file = analyze_refs(&decoded, &config);
+    assert_eq!(
+        direct.critical_path_length(),
+        via_file.critical_path_length()
+    );
+    assert_eq!(direct.placed_ops(), via_file.placed_ops());
+
+    // And the binary format earns its keep: notably smaller than the
+    // in-memory record size.
+    assert!(buf.len() < trace.len() * std::mem::size_of::<paragraph::trace::TraceRecord>() / 4);
+}
+
+#[test]
+fn streaming_and_explicit_analyzers_agree_on_real_traces() {
+    // The live well and the explicit graph builder are two implementations
+    // of the same placement rule; they must agree on every workload.
+    for id in [WorkloadId::Xlisp, WorkloadId::Espresso, WorkloadId::Doduc] {
+        let workload = Workload::new(id).with_size(3);
+        let (trace, segments) = workload.collect_trace(2_000_000).unwrap();
+        let config = AnalysisConfig::dataflow_limit().with_segments(segments);
+        let mut well = LiveWell::new(config.clone());
+        well.process_all(&trace);
+        let report = well.finish();
+        let ddg = Ddg::from_records(&trace, &config);
+        assert_eq!(
+            ddg.height(),
+            report.critical_path_length(),
+            "critical paths diverge on {id}"
+        );
+        assert_eq!(ddg.len() as u64, report.placed_ops());
+        assert_eq!(
+            ddg.parallelism_profile().exact_counts(),
+            report.profile().exact_counts(),
+            "profiles diverge on {id}"
+        );
+    }
+}
+
+#[test]
+fn workload_disassembly_reassembles_identically() {
+    // Program -> disassemble -> assemble is a fixed point (label names are
+    // rewritten but instructions must survive exactly).
+    for id in [WorkloadId::Eqntott, WorkloadId::Nasker] {
+        let program = Workload::new(id).with_size(2).program().unwrap();
+        let second = assemble(&program.disassemble()).unwrap();
+        assert_eq!(program.text(), second.text(), "{id} text drifts");
+    }
+}
+
+#[test]
+fn vm_checksums_are_stable_across_runs() {
+    // Guards against nondeterminism anywhere in the pipeline: the printed
+    // output of every workload must be identical run to run.
+    for id in WorkloadId::ALL {
+        let workload = Workload::new(id).with_size(2);
+        let mut out = Vec::new();
+        for _ in 0..2 {
+            let mut vm = workload.vm();
+            vm.run(20_000_000).unwrap();
+            out.push(vm.output().to_owned());
+        }
+        assert_eq!(out[0], out[1], "{id} output is nondeterministic");
+    }
+}
