@@ -7,6 +7,10 @@
 //! is printed — enough to see the paper's headline observation that
 //! "parallelism is bursty, with periods of lots of parallelism followed by
 //! periods of much less parallelism".
+//!
+//! The sweep is restartable: analyzer state is checkpointed periodically
+//! under `$PARAGRAPH_OUT/checkpoints/`, and a rerun after an interrupt
+//! resumes mid-workload instead of starting the analysis over.
 
 use paragraph_bench::{parallelism, Study};
 use paragraph_core::AnalysisConfig;
@@ -20,7 +24,7 @@ fn main() -> std::io::Result<()> {
     fs::create_dir_all(&dir)?;
     println!("Figure 7: Parallelism Profiles for the SPEC Benchmarks");
     for id in WorkloadId::ALL {
-        let (report, _) = study.measure(id, &AnalysisConfig::dataflow_limit());
+        let (report, _) = study.measure_restartable("fig7", id, &AnalysisConfig::dataflow_limit());
         let path = dir.join(format!("{id}.csv"));
         report
             .profile()

@@ -8,6 +8,11 @@
 //! renaming enabled, as in the paper.
 //!
 //! A CSV matrix is written to `$PARAGRAPH_OUT/fig8.csv`.
+//!
+//! The sweep is restartable at workload granularity: each completed
+//! workload's row is stored under `$PARAGRAPH_OUT/checkpoints/`, a rerun
+//! after an interrupt skips finished workloads, and the markers are cleared
+//! once the full sweep lands.
 
 use paragraph_bench::{analyze_many, Study};
 use paragraph_core::{analyze_refs, AnalysisConfig, WindowSize};
@@ -41,10 +46,27 @@ fn main() -> std::io::Result<()> {
     println!();
     println!("{:-<108}", "");
 
-    // Capture each workload's trace once; sweep windows over it.
+    // Capture each workload's trace once; sweep windows over it. Each
+    // finished workload's column is stored as a stage marker so a rerun
+    // after an interrupt skips it.
     let mut percents = vec![Vec::new(); WorkloadId::ALL.len()];
     let mut absolutes = vec![Vec::new(); WorkloadId::ALL.len()];
     for (w_idx, id) in WorkloadId::ALL.into_iter().enumerate() {
+        if let Some(row) = study.load_stage("fig8", id.name()) {
+            let values: Vec<f64> = row
+                .split(',')
+                .filter_map(|v| v.trim().parse().ok())
+                .collect();
+            // One absolute parallelism per window plus the unbounded limit.
+            if values.len() == WINDOWS.len() + 1 {
+                let full = values[values.len() - 1];
+                absolutes[w_idx] = values.clone();
+                percents[w_idx] = values.iter().map(|&p| 100.0 * p / full).collect();
+                eprintln!("fig8/{id}: restored from a previous run");
+                continue;
+            }
+            eprintln!("fig8/{id}: stale stage marker ignored");
+        }
         let (records, segments) = study.collect(id);
         let base = AnalysisConfig::dataflow_limit().with_segments(segments);
         let full = analyze_refs(&records, &base).available_parallelism();
@@ -59,7 +81,13 @@ fn main() -> std::io::Result<()> {
         }
         percents[w_idx].push(100.0);
         absolutes[w_idx].push(full);
+        let row: Vec<String> = absolutes[w_idx]
+            .iter()
+            .map(|p| format!("{p:.12}"))
+            .collect();
+        study.store_stage("fig8", id.name(), &row.join(","))?;
     }
+    study.clear_stages("fig8");
 
     for (row, &window) in WINDOWS.iter().enumerate() {
         print!("{window:>8}");

@@ -39,7 +39,12 @@ use paragraph_core::{analyze_refs, AnalysisConfig, AnalysisReport, LiveWell};
 use paragraph_trace::{SegmentMap, TraceRecord};
 use paragraph_vm::RunOutcome;
 use paragraph_workloads::{Workload, WorkloadId};
+use std::fs;
+use std::io::{BufReader, BufWriter, Write as _};
 use std::path::PathBuf;
+
+/// Records between harness checkpoints in [`Study::measure_restartable`].
+pub const CHECKPOINT_EVERY: u64 = 1_000_000;
 
 /// Study-wide settings, read from the environment.
 #[derive(Debug, Clone)]
@@ -119,6 +124,137 @@ impl Study {
             .collect_trace(self.fuel)
             .unwrap_or_else(|e| panic!("{id}: {e}"))
     }
+
+    fn checkpoint_file(&self, study: &str, id: WorkloadId) -> PathBuf {
+        self.out_dir
+            .join("checkpoints")
+            .join(format!("{study}-{id}.pgcp"))
+    }
+
+    /// Like [`Study::measure`], but restartable: analyzer state is
+    /// checkpointed every [`CHECKPOINT_EVERY`] records under
+    /// `<out_dir>/checkpoints/`, and a run that finds a matching checkpoint
+    /// resumes from it instead of re-analyzing from the start (the workload
+    /// replays deterministically; already-analyzed records are skipped).
+    /// The checkpoint is deleted on successful completion. A checkpoint that
+    /// fails to load — e.g. taken under a different configuration — is
+    /// ignored and the analysis starts over.
+    ///
+    /// # Panics
+    ///
+    /// Panics on VM faults, as for [`Study::measure`].
+    pub fn measure_restartable(
+        &self,
+        study: &str,
+        id: WorkloadId,
+        config: &AnalysisConfig,
+    ) -> (AnalysisReport, RunOutcome) {
+        let workload = self.workload(id);
+        let mut vm = workload.vm();
+        let config = config.clone().with_segments(vm.segment_map());
+        let path = self.checkpoint_file(study, id);
+
+        let mut analyzer = None;
+        if let Ok(file) = fs::File::open(&path) {
+            match LiveWell::resume_from(BufReader::new(file), config.clone()) {
+                Ok(resumed) => {
+                    eprintln!(
+                        "{study}/{id}: resuming from {} at record {}",
+                        path.display(),
+                        resumed.records_processed()
+                    );
+                    analyzer = Some(resumed);
+                }
+                Err(e) => {
+                    eprintln!("{study}/{id}: ignoring checkpoint {}: {e}", path.display());
+                }
+            }
+        }
+        let mut analyzer = analyzer.unwrap_or_else(|| LiveWell::new(config));
+        let skip = analyzer.records_processed();
+
+        let mut seen = 0u64;
+        let mut save_failed = false;
+        let outcome = vm
+            .run_traced(self.fuel, |record| {
+                seen += 1;
+                if seen <= skip {
+                    return;
+                }
+                analyzer.process(record);
+                if !save_failed && analyzer.records_processed() % CHECKPOINT_EVERY == 0 {
+                    if let Err(e) = write_checkpoint_atomic(&analyzer, &path) {
+                        // Checkpointing is best-effort; the analysis itself
+                        // must not die because the disk did.
+                        eprintln!("{study}/{id}: checkpoint failed, continuing without: {e}");
+                        save_failed = true;
+                    }
+                }
+            })
+            .unwrap_or_else(|e| panic!("{id}: {e}"));
+        let _ = fs::remove_file(&path);
+        (analyzer.finish(), outcome)
+    }
+
+    /// Path of a completed-stage marker for `study`/`key` (used to make
+    /// multi-workload sweeps restartable at workload granularity).
+    fn stage_file(&self, study: &str, key: &str) -> PathBuf {
+        self.out_dir
+            .join("checkpoints")
+            .join(format!("{study}-{key}.row"))
+    }
+
+    /// Loads a previously stored stage result, if one exists.
+    pub fn load_stage(&self, study: &str, key: &str) -> Option<String> {
+        fs::read_to_string(self.stage_file(study, key)).ok()
+    }
+
+    /// Stores a completed stage result so an interrupted sweep can skip the
+    /// stage on restart. Written atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn store_stage(&self, study: &str, key: &str, data: &str) -> std::io::Result<()> {
+        let path = self.stage_file(study, key);
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let tmp = path.with_extension("row.tmp");
+        fs::write(&tmp, data)?;
+        fs::rename(&tmp, &path)
+    }
+
+    /// Deletes every stage marker of `study` after a sweep completes, so the
+    /// next full run starts fresh.
+    pub fn clear_stages(&self, study: &str) {
+        let Ok(entries) = fs::read_dir(self.out_dir.join("checkpoints")) else {
+            return;
+        };
+        let prefix = format!("{study}-");
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with(&prefix) && name.ends_with(".row") {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+/// Writes a checkpoint to `path` via a temp file and rename, so an
+/// interrupt mid-write never destroys the previous checkpoint.
+fn write_checkpoint_atomic(analyzer: &LiveWell, path: &PathBuf) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let tmp = path.with_extension("pgcp.tmp");
+    let mut out = BufWriter::new(fs::File::create(&tmp)?);
+    analyzer
+        .save_checkpoint(&mut out)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e.to_string()))?;
+    out.flush()?;
+    fs::rename(&tmp, path)
 }
 
 impl Default for Study {
@@ -207,6 +343,69 @@ mod tests {
         assert_eq!(parallelism(23302.6), "23,302.60");
         assert_eq!(parallelism(0.5), "0.50");
         assert_eq!(parallelism(0.999), "1.00");
+    }
+
+    fn temp_study(tag: &str) -> Study {
+        let out =
+            std::env::temp_dir().join(format!("paragraph-bench-test-{tag}-{}", std::process::id()));
+        Study {
+            fuel: 200_000,
+            scale_percent: 5,
+            out_dir: out,
+        }
+    }
+
+    #[test]
+    fn restartable_measure_matches_plain_measure() {
+        let study = temp_study("match");
+        let config = AnalysisConfig::dataflow_limit();
+        let (plain, _) = study.measure(WorkloadId::Xlisp, &config);
+        let (restartable, _) = study.measure_restartable("t", WorkloadId::Xlisp, &config);
+        assert_eq!(plain.to_json(), restartable.to_json());
+        // The checkpoint is cleaned up after completion.
+        assert!(!study.checkpoint_file("t", WorkloadId::Xlisp).exists());
+        let _ = fs::remove_dir_all(study.out_dir());
+    }
+
+    #[test]
+    fn restartable_measure_resumes_from_a_mid_run_checkpoint() {
+        let study = temp_study("resume");
+        let config = AnalysisConfig::dataflow_limit();
+        let (full, _) = study.measure(WorkloadId::Eqntott, &config);
+
+        // Simulate an interrupted run: analyze the first half, checkpoint,
+        // then let measure_restartable pick it up.
+        let workload = study.workload(WorkloadId::Eqntott);
+        let mut vm = workload.vm();
+        let segmented = config.clone().with_segments(vm.segment_map());
+        let mut half = LiveWell::new(segmented);
+        let mut seen = 0u64;
+        let target = full.total_records() / 2;
+        vm.run_traced(study.fuel(), |record| {
+            if seen < target {
+                half.process(record);
+                seen += 1;
+            }
+        })
+        .unwrap();
+        let path = study.checkpoint_file("t", WorkloadId::Eqntott);
+        write_checkpoint_atomic(&half, &path).unwrap();
+
+        let (resumed, _) = study.measure_restartable("t", WorkloadId::Eqntott, &config);
+        assert_eq!(full.to_json(), resumed.to_json());
+        assert!(!path.exists());
+        let _ = fs::remove_dir_all(study.out_dir());
+    }
+
+    #[test]
+    fn stages_store_and_clear() {
+        let study = temp_study("stage");
+        assert!(study.load_stage("s", "a").is_none());
+        study.store_stage("s", "a", "1,2,3").unwrap();
+        assert_eq!(study.load_stage("s", "a").as_deref(), Some("1,2,3"));
+        study.clear_stages("s");
+        assert!(study.load_stage("s", "a").is_none());
+        let _ = fs::remove_dir_all(study.out_dir());
     }
 
     #[test]

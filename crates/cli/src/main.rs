@@ -15,34 +15,89 @@
 
 use paragraph_core::branch::{BranchPolicy, PredictorKind};
 use paragraph_core::{
-    analyze_refs, AnalysisConfig, AnalysisReport, MemoryModel, RenameSet, SyscallPolicy, WindowSize,
+    analyze_refs, AnalysisConfig, AnalysisReport, LiveWell, MemoryModel, RenameSet, SyscallPolicy,
+    WindowSize,
 };
 use paragraph_isa::LatencyModel;
-use paragraph_trace::binary::{TraceReader, TraceWriter};
-use paragraph_trace::{SegmentMap, TraceRecord};
+use paragraph_trace::binary::{RecoveryStats, TraceReader, TraceWriter};
+use paragraph_trace::{SegmentMap, TraceError, TraceErrorKind, TraceRecord};
 use paragraph_vm::Vm;
 use paragraph_workloads::{Workload, WorkloadId};
+use std::fmt;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
+
+/// A CLI failure, classified so scripts can dispatch on the exit code:
+/// 2 usage, 3 I/O, 4 corrupt trace/checkpoint input, 5 analysis failure.
+#[derive(Debug)]
+enum CliError {
+    /// Bad command line: unknown flag, missing argument, invalid value.
+    Usage(String),
+    /// The filesystem failed (open, create, read, write).
+    Io(String),
+    /// A trace or checkpoint file exists but its contents are damaged.
+    CorruptTrace(String),
+    /// The workload or VM run itself failed.
+    Analysis(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> ExitCode {
+        ExitCode::from(match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::CorruptTrace(_) => 4,
+            CliError::Analysis(_) => 5,
+        })
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m)
+            | CliError::Io(m)
+            | CliError::CorruptTrace(m)
+            | CliError::Analysis(m) => f.write_str(m),
+        }
+    }
+}
+
+fn usage_err(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn io_err(path: &str, e: impl fmt::Display) -> CliError {
+    CliError::Io(format!("{path}: {e}"))
+}
+
+/// Classifies a trace-format error: damaged bytes are distinct from a
+/// failing disk.
+fn trace_err(path: &str, e: TraceError) -> CliError {
+    match e.kind() {
+        TraceErrorKind::Io(_) => CliError::Io(format!("{path}: {e}")),
+        _ => CliError::CorruptTrace(format!("{path}: {e}")),
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("paragraph: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("paragraph: {e}");
+            e.exit_code()
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let Some(command) = args.first() else {
         print_usage();
         return Ok(());
     };
-    let opts = Options::parse(&args[1..])?;
+    let opts = Options::parse(&args[1..]).map_err(CliError::Usage)?;
     match command.as_str() {
         "list" => cmd_list(),
         "analyze" => cmd_analyze(&opts),
@@ -58,7 +113,9 @@ fn run(args: &[String]) -> Result<(), String> {
             print_usage();
             Ok(())
         }
-        other => Err(format!("unknown command `{other}` (try `paragraph help`)")),
+        other => Err(usage_err(format!(
+            "unknown command `{other}` (try `paragraph help`)"
+        ))),
     }
 }
 
@@ -104,7 +161,18 @@ common options:
   --profile FILE    write the parallelism profile as CSV
   --json FILE       write the analysis report as JSON
   --plot            print an ASCII parallelism profile
-  --windows A,B,C   window sizes for `sweep`"
+  --windows A,B,C   window sizes for `sweep`
+
+fault tolerance (analyze):
+  --recover             read a damaged trace: resynchronize past corrupt
+                        chunks and report how many records were lost
+  --checkpoint-every N  save analyzer state every N records
+  --checkpoint FILE     checkpoint path (default: <trace>.pgcp)
+  --resume FILE         resume an interrupted analysis from a checkpoint
+  --live-well-cap N     bound the live-well table to N memory locations,
+                        evicting the coldest (reported as a caveat)
+
+exit codes: 0 ok, 2 usage, 3 I/O, 4 corrupt trace, 5 analysis failure"
     );
 }
 
@@ -133,6 +201,11 @@ struct Options {
     plot: bool,
     inputs: Vec<i64>,
     windows: Vec<usize>,
+    recover: bool,
+    checkpoint_every: Option<u64>,
+    checkpoint: Option<String>,
+    resume: Option<String>,
+    live_well_cap: Option<usize>,
 }
 
 impl Options {
@@ -194,6 +267,23 @@ impl Options {
                         .map(|v| v as usize)
                         .collect();
                 }
+                "--recover" => opts.recover = true,
+                "--checkpoint-every" => {
+                    let n: u64 = parse_num(&value()?)?;
+                    if n == 0 {
+                        return Err("--checkpoint-every requires a positive count".into());
+                    }
+                    opts.checkpoint_every = Some(n);
+                }
+                "--checkpoint" => opts.checkpoint = Some(value()?),
+                "--resume" => opts.resume = Some(value()?),
+                "--live-well-cap" => {
+                    let n: usize = parse_num(&value()?)?;
+                    if n == 0 {
+                        return Err("--live-well-cap requires a positive size".into());
+                    }
+                    opts.live_well_cap = Some(n);
+                }
                 other => return Err(format!("unknown option `{other}`")),
             }
         }
@@ -225,6 +315,9 @@ impl Options {
         }
         if self.unit_latency {
             config = config.with_latency(LatencyModel::unit());
+        }
+        if let Some(cap) = self.live_well_cap {
+            config = config.with_live_well_cap(cap);
         }
         config
     }
@@ -285,7 +378,7 @@ fn parse_list(s: &str) -> Result<Vec<i64>, String> {
         .collect()
 }
 
-fn cmd_list() -> Result<(), String> {
+fn cmd_list() -> Result<(), CliError> {
     println!(
         "{:<12} {:<9} {:<11} {:>6}  description",
         "name", "language", "type", "size"
@@ -304,20 +397,32 @@ fn cmd_list() -> Result<(), String> {
 }
 
 /// Loads the records to analyze: either a binary trace or a workload run,
-/// then applies the `--skip`/`--take` phase window.
-fn load_records(opts: &Options) -> Result<(Vec<TraceRecord>, SegmentMap), String> {
-    let (mut records, segments) = if let Some(path) = &opts.trace {
-        let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
-        let mut reader =
-            TraceReader::new(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+/// then applies the `--skip`/`--take` phase window. Under `--recover` a
+/// damaged trace is read in recovery mode; the returned stats say what was
+/// lost.
+fn load_records(
+    opts: &Options,
+) -> Result<(Vec<TraceRecord>, SegmentMap, Option<RecoveryStats>), CliError> {
+    let (mut records, segments, stats) = if let Some(path) = &opts.trace {
+        let file = File::open(path).map_err(|e| io_err(path, e))?;
+        let input = BufReader::new(file);
+        let mut reader = if opts.recover {
+            TraceReader::with_recovery(input)
+        } else {
+            TraceReader::new(input)
+        }
+        .map_err(|e| trace_err(path, e))?;
         let segments = reader.segment_map();
         let records: Result<Vec<_>, _> = reader.by_ref().collect();
-        (records.map_err(|e| format!("{path}: {e}"))?, segments)
+        let records = records.map_err(|e| trace_err(path, e))?;
+        let stats = opts.recover.then(|| reader.recovery_stats());
+        (records, segments, stats)
     } else {
-        let workload = opts.build_workload()?;
-        workload
+        let workload = opts.build_workload().map_err(usage_err)?;
+        let (records, segments) = workload
             .collect_trace(opts.fuel())
-            .map_err(|e| format!("{}: {e}", workload.id()))?
+            .map_err(|e| CliError::Analysis(format!("{}: {e}", workload.id())))?;
+        (records, segments, None)
     };
     if let Some(skip) = opts.skip {
         records.drain(..skip.min(records.len()));
@@ -325,10 +430,28 @@ fn load_records(opts: &Options) -> Result<(Vec<TraceRecord>, SegmentMap), String
     if let Some(take) = opts.take {
         records.truncate(take);
     }
-    Ok((records, segments))
+    Ok((records, segments, stats))
 }
 
-fn print_report(report: &AnalysisReport, opts: &Options) -> Result<(), String> {
+/// Prints what recovery-mode reading had to discard, if anything.
+fn print_recovery_stats(stats: &RecoveryStats) {
+    if stats.records_skipped == 0 && stats.resyncs == 0 {
+        return;
+    }
+    eprintln!(
+        "warning: trace damage — {} records lost, {} corrupt chunks skipped, \
+         {} duplicate chunks dropped, {} resyncs over {} bytes; \
+         {} records recovered",
+        stats.records_skipped,
+        stats.chunks_skipped,
+        stats.duplicate_chunks,
+        stats.resyncs,
+        stats.bytes_skipped,
+        stats.records_read,
+    );
+}
+
+fn print_report(report: &AnalysisReport, opts: &Options) -> Result<(), CliError> {
     print!("{report}");
     if let Some(lifetimes) = report.value_lifetimes() {
         println!(
@@ -348,15 +471,15 @@ fn print_report(report: &AnalysisReport, opts: &Options) -> Result<(), String> {
         );
     }
     if let Some(path) = &opts.profile {
-        let file = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        let file = File::create(path).map_err(|e| io_err(path, e))?;
         report
             .profile()
             .write_csv(BufWriter::new(file))
-            .map_err(|e| format!("{path}: {e}"))?;
+            .map_err(|e| io_err(path, e))?;
         println!("  profile written to    : {path}");
     }
     if let Some(path) = &opts.json {
-        std::fs::write(path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        std::fs::write(path, report.to_json()).map_err(|e| io_err(path, e))?;
         println!("  report written to     : {path}");
     }
     if opts.plot {
@@ -365,22 +488,96 @@ fn print_report(report: &AnalysisReport, opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_analyze(opts: &Options) -> Result<(), String> {
-    let (records, segments) = load_records(opts)?;
+/// The checkpoint path for this run: `--checkpoint FILE`, or derived from
+/// the trace file name.
+fn checkpoint_path(opts: &Options) -> String {
+    opts.checkpoint.clone().unwrap_or_else(|| {
+        opts.trace
+            .as_deref()
+            .map(|t| format!("{t}.pgcp"))
+            .unwrap_or_else(|| "paragraph.pgcp".to_owned())
+    })
+}
+
+/// Saves a checkpoint atomically: write to a temp file, then rename, so an
+/// interrupt mid-save never destroys the previous checkpoint.
+fn save_checkpoint_atomic(analyzer: &LiveWell, path: &str) -> Result<(), CliError> {
+    let tmp = format!("{path}.tmp");
+    let file = File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+    let mut out = BufWriter::new(file);
+    analyzer
+        .save_checkpoint(&mut out)
+        .map_err(|e| io_err(path, e))?;
+    use std::io::Write as _;
+    out.flush().map_err(|e| io_err(&tmp, e))?;
+    std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+    Ok(())
+}
+
+fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
+    let (records, segments, stats) = load_records(opts)?;
+    if let Some(stats) = &stats {
+        print_recovery_stats(stats);
+    }
     let config = opts.config(segments);
-    let report = analyze_refs(&records, &config);
+
+    // The plain path: no checkpointing requested.
+    if opts.checkpoint_every.is_none() && opts.resume.is_none() {
+        let report = analyze_refs(&records, &config);
+        return print_report(&report, opts);
+    }
+
+    let mut analyzer = match &opts.resume {
+        Some(path) => {
+            let file = File::open(path).map_err(|e| io_err(path, e))?;
+            let analyzer = LiveWell::resume_from(BufReader::new(file), config)
+                .map_err(|e| CliError::CorruptTrace(format!("{path}: {e}")))?;
+            eprintln!(
+                "resumed from {path} at record {}",
+                analyzer.records_processed()
+            );
+            analyzer
+        }
+        None => LiveWell::new(config),
+    };
+    let done = usize::try_from(analyzer.records_processed()).unwrap_or(usize::MAX);
+    if done > records.len() {
+        return Err(CliError::CorruptTrace(format!(
+            "checkpoint is ahead of the input: {} records processed, {} available",
+            done,
+            records.len()
+        )));
+    }
+
+    let ckpt_path = checkpoint_path(opts);
+    for (index, record) in records.iter().enumerate().skip(done) {
+        analyzer.process(record);
+        if let Some(every) = opts.checkpoint_every {
+            if (index as u64 + 1) % every == 0 {
+                save_checkpoint_atomic(&analyzer, &ckpt_path)?;
+            }
+        }
+    }
+    if opts.checkpoint_every.is_some() {
+        save_checkpoint_atomic(&analyzer, &ckpt_path)?;
+        eprintln!("checkpoint written to {ckpt_path}");
+    }
+    let report = analyzer.finish();
     print_report(&report, opts)
 }
 
-fn cmd_trace(opts: &Options) -> Result<(), String> {
-    let workload = opts.build_workload()?;
-    let path = opts.out.as_deref().ok_or("trace needs --out FILE")?;
-    let file = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+fn cmd_trace(opts: &Options) -> Result<(), CliError> {
+    let workload = opts.build_workload().map_err(usage_err)?;
+    let path = opts
+        .out
+        .as_deref()
+        .ok_or_else(|| usage_err("trace needs --out FILE"))?;
+    let file = File::create(path).map_err(|e| io_err(path, e))?;
     let mut vm = workload.vm();
     match opts.format.as_deref().unwrap_or("binary") {
         "binary" => {
             let mut writer = TraceWriter::new(BufWriter::new(file), vm.segment_map())
-                .map_err(|e| format!("{path}: {e}"))?;
+                .map_err(|e| io_err(path, e))?;
             let mut write_error = None;
             let outcome = vm
                 .run_traced(opts.fuel(), |record| {
@@ -390,11 +587,11 @@ fn cmd_trace(opts: &Options) -> Result<(), String> {
                         }
                     }
                 })
-                .map_err(|e| format!("{}: {e}", workload.id()))?;
+                .map_err(|e| CliError::Analysis(format!("{}: {e}", workload.id())))?;
             if let Some(e) = write_error {
-                return Err(format!("{path}: {e}"));
+                return Err(io_err(path, e));
             }
-            let written = writer.finish().map_err(|e| format!("{path}: {e}"))?;
+            let written = writer.finish().map_err(|e| io_err(path, e))?;
             println!(
                 "{}: {} records written to {path} ({:?})",
                 workload.id(),
@@ -408,7 +605,7 @@ fn cmd_trace(opts: &Options) -> Result<(), String> {
             use std::io::Write as _;
             let mut out = BufWriter::new(file);
             let mut write_error: Option<std::io::Error> = None;
-            writeln!(out, "pc,class,srcs,dest,taken,target").map_err(|e| format!("{path}: {e}"))?;
+            writeln!(out, "pc,class,srcs,dest,taken,target").map_err(|e| io_err(path, e))?;
             let mut written = 0u64;
             let outcome = vm
                 .run_traced(opts.fuel(), |record| {
@@ -435,11 +632,11 @@ fn cmd_trace(opts: &Options) -> Result<(), String> {
                     }
                     written += 1;
                 })
-                .map_err(|e| format!("{}: {e}", workload.id()))?;
+                .map_err(|e| CliError::Analysis(format!("{}: {e}", workload.id())))?;
             if let Some(e) = write_error {
-                return Err(format!("{path}: {e}"));
+                return Err(io_err(path, e));
             }
-            out.flush().map_err(|e| format!("{path}: {e}"))?;
+            out.flush().map_err(|e| io_err(path, e))?;
             println!(
                 "{}: {} records written to {path} as CSV ({:?})",
                 workload.id(),
@@ -447,18 +644,24 @@ fn cmd_trace(opts: &Options) -> Result<(), String> {
                 outcome.reason()
             );
         }
-        other => return Err(format!("unknown trace format `{other}`")),
+        other => return Err(usage_err(format!("unknown trace format `{other}`"))),
     }
     Ok(())
 }
 
-fn cmd_run(opts: &Options) -> Result<(), String> {
-    let path = opts.asm.as_deref().ok_or("run needs --asm FILE")?;
-    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let program = paragraph_asm::assemble(&source).map_err(|e| format!("{path}: {e}"))?;
+fn cmd_run(opts: &Options) -> Result<(), CliError> {
+    let path = opts
+        .asm
+        .as_deref()
+        .ok_or_else(|| usage_err("run needs --asm FILE"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+    let program =
+        paragraph_asm::assemble(&source).map_err(|e| CliError::Analysis(format!("{path}: {e}")))?;
     let mut vm = Vm::new(program);
     vm.extend_input(opts.inputs.iter().copied());
-    let outcome = vm.run(opts.fuel()).map_err(|e| format!("{path}: {e}"))?;
+    let outcome = vm
+        .run(opts.fuel())
+        .map_err(|e| CliError::Analysis(format!("{path}: {e}")))?;
     print!("{}", vm.output());
     println!(
         "[{} instructions, {:?}]",
@@ -468,26 +671,26 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_disasm(opts: &Options) -> Result<(), String> {
-    let workload = opts.build_workload()?;
+fn cmd_disasm(opts: &Options) -> Result<(), CliError> {
+    let workload = opts.build_workload().map_err(usage_err)?;
     print!("{}", workload.source());
     Ok(())
 }
 
-fn cmd_dot(opts: &Options) -> Result<(), String> {
-    let (records, segments) = load_records(opts)?;
+fn cmd_dot(opts: &Options) -> Result<(), CliError> {
+    let (records, segments, _) = load_records(opts)?;
     if records.len() > 200_000 {
-        return Err(format!(
+        return Err(usage_err(format!(
             "{} records is too many for an explicit DDG export; lower --size/--fuel",
             records.len()
-        ));
+        )));
     }
     let config = opts.config(segments);
     let ddg = paragraph_core::Ddg::from_records(&records, &config);
     let dot = ddg.to_dot();
     match &opts.out {
         Some(path) => {
-            std::fs::write(path, dot).map_err(|e| format!("{path}: {e}"))?;
+            std::fs::write(path, dot).map_err(|e| io_err(path, e))?;
             println!(
                 "{} nodes, {} edges written to {path}",
                 ddg.len(),
@@ -499,8 +702,11 @@ fn cmd_dot(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(opts: &Options) -> Result<(), String> {
-    let (records, _) = load_records(opts)?;
+fn cmd_stats(opts: &Options) -> Result<(), CliError> {
+    let (records, _, stats) = load_records(opts)?;
+    if let Some(stats) = &stats {
+        print_recovery_stats(stats);
+    }
     let stats = paragraph_trace::TraceStats::from_records(&records);
     print!("{stats}");
     println!(
@@ -511,13 +717,13 @@ fn cmd_stats(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_report(opts: &Options) -> Result<(), String> {
-    let (records, segments) = load_records(opts)?;
+fn cmd_report(opts: &Options) -> Result<(), CliError> {
+    let (records, segments, _) = load_records(opts)?;
     if records.len() > 500_000 {
-        return Err(format!(
+        return Err(usage_err(format!(
             "{} records is too many to materialize; lower --size/--fuel or use --take",
             records.len()
-        ));
+        )));
     }
     let config = opts.config(segments);
     let ddg = paragraph_core::Ddg::from_records(&records, &config);
@@ -565,9 +771,9 @@ fn cmd_report(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_compare(opts: &Options) -> Result<(), String> {
+fn cmd_compare(opts: &Options) -> Result<(), CliError> {
     use paragraph_core::machine::Machine;
-    let (records, segments) = load_records(opts)?;
+    let (records, segments, _) = load_records(opts)?;
     println!(
         "{:<9} {:>12} {:>14} {:>12}  configuration",
         "machine", "ops/cycle", "crit path", "% of limit"
@@ -592,8 +798,8 @@ fn cmd_compare(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sweep(opts: &Options) -> Result<(), String> {
-    let (records, segments) = load_records(opts)?;
+fn cmd_sweep(opts: &Options) -> Result<(), CliError> {
+    let (records, segments, _) = load_records(opts)?;
     let windows = if opts.windows.is_empty() {
         vec![1, 10, 100, 1000, 10_000, 100_000]
     } else {
@@ -735,5 +941,61 @@ mod tests {
     fn workload_requires_flag() {
         let opts = parse(&[]).unwrap();
         assert!(opts.build_workload().is_err());
+    }
+
+    #[test]
+    fn fault_tolerance_flags_parse() {
+        let opts = parse(&[
+            "--recover",
+            "--checkpoint-every",
+            "10_000",
+            "--checkpoint",
+            "state.pgcp",
+            "--resume",
+            "old.pgcp",
+            "--live-well-cap",
+            "4096",
+        ])
+        .unwrap();
+        assert!(opts.recover);
+        assert_eq!(opts.checkpoint_every, Some(10_000));
+        assert_eq!(opts.checkpoint.as_deref(), Some("state.pgcp"));
+        assert_eq!(opts.resume.as_deref(), Some("old.pgcp"));
+        assert_eq!(opts.live_well_cap, Some(4096));
+        let config = opts.config(SegmentMap::all_data());
+        assert_eq!(config.live_well_cap(), Some(4096));
+    }
+
+    #[test]
+    fn zero_counts_are_rejected() {
+        assert!(parse(&["--checkpoint-every", "0"]).is_err());
+        assert!(parse(&["--live-well-cap", "0"]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_path_derives_from_the_trace() {
+        let opts = parse(&["--trace", "run.pgtr"]).unwrap();
+        assert_eq!(checkpoint_path(&opts), "run.pgtr.pgcp");
+        let opts = parse(&["--checkpoint", "x.pgcp"]).unwrap();
+        assert_eq!(checkpoint_path(&opts), "x.pgcp");
+        let opts = parse(&[]).unwrap();
+        assert_eq!(checkpoint_path(&opts), "paragraph.pgcp");
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_by_class() {
+        assert_eq!(
+            CliError::Usage(String::new()).exit_code(),
+            ExitCode::from(2)
+        );
+        assert_eq!(CliError::Io(String::new()).exit_code(), ExitCode::from(3));
+        assert_eq!(
+            CliError::CorruptTrace(String::new()).exit_code(),
+            ExitCode::from(4)
+        );
+        assert_eq!(
+            CliError::Analysis(String::new()).exit_code(),
+            ExitCode::from(5)
+        );
     }
 }

@@ -197,6 +197,39 @@ impl Predictor {
             1.0 - self.mispredictions as f64 / self.predictions as f64
         }
     }
+
+    /// Mutable state for checkpointing: `(counters, history, predictions,
+    /// mispredictions)`. The kind comes from the analysis configuration.
+    pub(crate) fn raw_state(&self) -> (&[u8], u64, u64, u64) {
+        (
+            &self.counters,
+            self.history,
+            self.predictions,
+            self.mispredictions,
+        )
+    }
+
+    /// Rebuilds a predictor from checkpointed state; `None` if the counter
+    /// table does not match the kind's table size.
+    pub(crate) fn from_raw_state(
+        kind: PredictorKind,
+        counters: Vec<u8>,
+        history: u64,
+        predictions: u64,
+        mispredictions: u64,
+    ) -> Option<Predictor> {
+        let fresh = Predictor::new(kind);
+        if counters.len() != fresh.counters.len() || counters.iter().any(|&c| c > 3) {
+            return None;
+        }
+        Some(Predictor {
+            kind,
+            counters,
+            history,
+            predictions,
+            mispredictions,
+        })
+    }
 }
 
 #[cfg(test)]

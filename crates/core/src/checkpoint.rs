@@ -1,0 +1,151 @@
+//! Analyzer checkpoint files: suspend a streaming analysis and resume it
+//! later, byte-for-byte equivalent to an uninterrupted run.
+//!
+//! The paper's runs chewed through billions of trace records ("the analysis
+//! of one trace would take from one-half to tens of hours"); a crash near
+//! the end of such a pass should not cost the whole pass. A checkpoint
+//! captures the complete [`LiveWell`](crate::LiveWell) state — the live-well
+//! table, placement floors, parallelism-profile accumulator, window,
+//! predictor, and every counter — so `resume + remaining records` produces
+//! exactly the report `all records` would have.
+//!
+//! # File format
+//!
+//! ```text
+//! magic   "PGCP" (4 bytes)
+//! version 1      (1 byte)
+//! body    varint-encoded LiveWell state, beginning with a fingerprint of
+//!         the analysis configuration (a checkpoint resumes only under the
+//!         configuration that produced it)
+//! crc32   over the body (4 bytes, LE)
+//! ```
+//!
+//! Varints, zig-zag, and CRC32 are shared with the trace format
+//! ([`paragraph_trace::wire`], [`paragraph_trace::crc32`]). All maps are
+//! serialized in sorted key order, so identical analyzer states produce
+//! identical checkpoint bytes.
+
+use crate::config::AnalysisConfig;
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Magic bytes opening a checkpoint file.
+pub const MAGIC: &[u8; 4] = b"PGCP";
+/// Current checkpoint format version.
+pub const VERSION: u8 = 1;
+
+/// Why a checkpoint could not be saved or loaded.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// The underlying reader or writer failed.
+    Io(io::Error),
+    /// The file does not start with the `PGCP` magic.
+    BadMagic,
+    /// The file declares a format version this build does not know.
+    UnsupportedVersion(u8),
+    /// The file ended before the state did.
+    Truncated,
+    /// The body failed its CRC32 check.
+    ChecksumMismatch {
+        /// CRC stored in the file.
+        stored: u32,
+        /// CRC computed over the received bytes.
+        computed: u32,
+    },
+    /// The checkpoint was produced under a different analysis
+    /// configuration; resuming it would silently change the result.
+    ConfigMismatch {
+        /// Fingerprint stored in the checkpoint.
+        saved: u64,
+        /// Fingerprint of the configuration offered for resumption.
+        current: u64,
+    },
+    /// The bytes decoded but describe an impossible analyzer state.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            CheckpointError::BadMagic => f.write_str("not a Paragraph checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            CheckpointError::Truncated => f.write_str("checkpoint truncated"),
+            CheckpointError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+            CheckpointError::ConfigMismatch { saved, current } => write!(
+                f,
+                "checkpoint was written under a different analysis configuration \
+                 (saved fingerprint {saved:#018x}, current {current:#018x})"
+            ),
+            CheckpointError::Corrupt(why) => write!(f, "corrupt checkpoint: {why}"),
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> CheckpointError {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            CheckpointError::Truncated
+        } else {
+            CheckpointError::Io(e)
+        }
+    }
+}
+
+/// A stable fingerprint of an analysis configuration (FNV-1a over its
+/// debug representation). Checkpoints embed it so a resume under a
+/// different configuration is rejected instead of silently producing a
+/// mixed-configuration report.
+pub fn config_fingerprint(config: &AnalysisConfig) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in format!("{config:?}").bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WindowSize;
+
+    #[test]
+    fn fingerprint_distinguishes_configurations() {
+        let base = AnalysisConfig::dataflow_limit();
+        let windowed = AnalysisConfig::dataflow_limit().with_window(WindowSize::bounded(64));
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&base.clone()));
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&windowed));
+    }
+
+    #[test]
+    fn error_display_names_the_failure() {
+        let text = CheckpointError::ConfigMismatch {
+            saved: 1,
+            current: 2,
+        }
+        .to_string();
+        assert!(text.contains("different analysis configuration"));
+        assert!(
+            CheckpointError::from(io::Error::new(io::ErrorKind::UnexpectedEof, "eof"))
+                .to_string()
+                .contains("truncated")
+        );
+    }
+}

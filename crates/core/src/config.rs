@@ -260,6 +260,7 @@ pub struct AnalysisConfig {
     issue_limit: Option<usize>,
     value_stats: bool,
     memory: MemoryModel,
+    live_well_cap: Option<usize>,
 }
 
 /// Default number of parallelism-profile bins before coarsening.
@@ -281,6 +282,7 @@ impl AnalysisConfig {
             issue_limit: None,
             value_stats: false,
             memory: MemoryModel::Perfect,
+            live_well_cap: None,
         }
     }
 
@@ -336,6 +338,16 @@ impl AnalysisConfig {
     /// The memory disambiguation model.
     pub fn memory_model(&self) -> MemoryModel {
         self.memory
+    }
+
+    /// Maximum number of memory entries the live well may hold, or `None`
+    /// for unbounded. This is the paper's working-set concern ("a very
+    /// large memory (32 MBytes) was required to hold the working set of
+    /// Paragraph") turned into a knob: under a cap the analyzer evicts the
+    /// coldest values, trading exactness for bounded memory — evictions are
+    /// counted as an accuracy caveat in the report.
+    pub fn live_well_cap(&self) -> Option<usize> {
+        self.live_well_cap
     }
 
     /// Overrides the rename switches.
@@ -407,6 +419,18 @@ impl AnalysisConfig {
         self.memory = model;
         self
     }
+
+    /// Caps the live well's memory table at `cap` entries; the coldest
+    /// entries are evicted when the cap is exceeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn with_live_well_cap(mut self, cap: usize) -> AnalysisConfig {
+        assert!(cap > 0, "live-well cap must be positive");
+        self.live_well_cap = Some(cap);
+        self
+    }
 }
 
 impl Default for AnalysisConfig {
@@ -431,6 +455,9 @@ impl fmt::Display for AnalysisConfig {
         }
         if self.memory.is_conservative() {
             write!(f, ", {}", self.memory)?;
+        }
+        if let Some(cap) = self.live_well_cap {
+            write!(f, ", live well capped at {cap}")?;
         }
         Ok(())
     }

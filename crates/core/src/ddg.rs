@@ -368,12 +368,11 @@ impl DdgBuilder {
         let mispredicted = match self.config.branch_policy() {
             BranchPolicy::Perfect => false,
             BranchPolicy::StallAlways => true,
-            BranchPolicy::Predict(_) => match record.branch_info() {
-                Some(info) => {
-                    let predictor = self.predictor.as_mut().expect("predictor");
+            BranchPolicy::Predict(_) => match (record.branch_info(), self.predictor.as_mut()) {
+                (Some(info), Some(predictor)) => {
                     !predictor.predict_and_train(record.pc(), info.taken, info.target)
                 }
-                None => false,
+                _ => false,
             },
         };
         if mispredicted {
@@ -539,12 +538,14 @@ impl Ddg {
             preds[e.to].push(e.from);
         }
         // Start from the deepest node (earliest among ties).
-        let mut current = self
+        let Some(mut current) = self
             .nodes
             .iter()
             .max_by_key(|n| (n.level, std::cmp::Reverse(n.id)))
             .map(|n| n.id)
-            .unwrap();
+        else {
+            return Vec::new();
+        };
         let mut path = vec![current];
         loop {
             // Deepest predecessor, earliest among ties.

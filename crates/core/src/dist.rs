@@ -34,9 +34,17 @@ impl Distribution {
 
     /// Records one observation.
     pub fn record(&mut self, value: u64) {
-        *self.counts.entry(value).or_insert(0) += 1;
-        self.total += 1;
-        self.sum += u128::from(value);
+        self.record_many(value, 1);
+    }
+
+    /// Records `n` observations of `value` at once.
+    pub fn record_many(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(value).or_insert(0) += n;
+        self.total += n;
+        self.sum += u128::from(value) * u128::from(n);
     }
 
     /// Number of observations.

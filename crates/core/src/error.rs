@@ -1,0 +1,75 @@
+//! Typed analysis errors.
+//!
+//! The analyzer itself is total — any well-formed record stream produces a
+//! report — so analysis errors come from the edges: reading a trace,
+//! loading or saving a checkpoint, plain I/O. This enum unifies them so
+//! drivers (the CLI, the benchmark sweeps) can propagate one error type and
+//! still dispatch on the failure class for exit codes.
+
+use crate::checkpoint::CheckpointError;
+use paragraph_trace::TraceError;
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Any failure while driving an analysis end to end.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// The input trace stream failed (corrupt, truncated, unreadable).
+    Trace(TraceError),
+    /// A checkpoint file failed to load or save.
+    Checkpoint(CheckpointError),
+    /// Plain I/O outside the trace and checkpoint formats.
+    Io(io::Error),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Trace(e) => write!(f, "{e}"),
+            AnalysisError::Checkpoint(e) => write!(f, "{e}"),
+            AnalysisError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AnalysisError::Trace(e) => Some(e),
+            AnalysisError::Checkpoint(e) => Some(e),
+            AnalysisError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<TraceError> for AnalysisError {
+    fn from(e: TraceError) -> AnalysisError {
+        AnalysisError::Trace(e)
+    }
+}
+
+impl From<CheckpointError> for AnalysisError {
+    fn from(e: CheckpointError) -> AnalysisError {
+        AnalysisError::Checkpoint(e)
+    }
+}
+
+impl From<io::Error> for AnalysisError {
+    fn from(e: io::Error) -> AnalysisError {
+        AnalysisError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_delegate_to_the_inner_error() {
+        let err = AnalysisError::from(io::Error::new(io::ErrorKind::Other, "disk on fire"));
+        assert!(err.to_string().contains("disk on fire"));
+        assert!(err.source().is_some());
+    }
+}

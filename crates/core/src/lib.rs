@@ -88,9 +88,11 @@
 
 mod analyze;
 pub mod branch;
+pub mod checkpoint;
 mod config;
 mod ddg;
 mod dist;
+mod error;
 mod fasthash;
 mod livewell;
 pub mod machine;
@@ -101,9 +103,11 @@ pub mod schedule;
 mod window;
 
 pub use analyze::{analyze, analyze_refs, analyze_with_stats};
+pub use checkpoint::CheckpointError;
 pub use config::{AnalysisConfig, RenameSet, SyscallPolicy, WindowSize};
 pub use ddg::{Ddg, DdgBuilder, DdgNode, DepKind, Edge, NodeId};
 pub use dist::Distribution;
+pub use error::AnalysisError;
 pub use livewell::LiveWell;
 pub use memmodel::MemoryModel;
 pub use profile::{ParallelismProfile, ProfileBin};

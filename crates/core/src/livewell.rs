@@ -1,6 +1,7 @@
 //! The live well: the paper's streaming DDG placement algorithm.
 
 use crate::branch::{BranchPolicy, Predictor};
+use crate::checkpoint::{self, CheckpointError};
 use crate::config::{AnalysisConfig, SyscallPolicy};
 use crate::dist::Distribution;
 use crate::fasthash::FastMap;
@@ -9,7 +10,90 @@ use crate::profile::ParallelismProfile;
 use crate::report::AnalysisReport;
 use crate::window::WindowLimiter;
 use paragraph_isa::OpClass;
+use paragraph_trace::crc32::crc32;
+use paragraph_trace::wire;
 use paragraph_trace::{Loc, TraceRecord};
+use std::io::{Read, Write};
+
+// Checkpoint body primitives. Writes go to a `Vec<u8>` (infallible); reads
+// surface `Truncated` / `Io` through `CheckpointError`.
+
+fn w_u64(buf: &mut Vec<u8>, v: u64) {
+    // io::Write for Vec<u8> cannot fail.
+    let _ = wire::write_varint(buf, v);
+}
+
+fn w_i64(buf: &mut Vec<u8>, v: i64) {
+    w_u64(buf, wire::zigzag(v));
+}
+
+fn r_u64<R: Read>(r: &mut R) -> Result<u64, CheckpointError> {
+    wire::read_varint(r).map_err(CheckpointError::from)
+}
+
+fn r_i64<R: Read>(r: &mut R) -> Result<i64, CheckpointError> {
+    Ok(wire::unzigzag(r_u64(r)?))
+}
+
+fn r_usize<R: Read>(r: &mut R) -> Result<usize, CheckpointError> {
+    usize::try_from(r_u64(r)?).map_err(|_| CheckpointError::Corrupt("count overflows usize"))
+}
+
+fn r_flag<R: Read>(r: &mut R) -> Result<bool, CheckpointError> {
+    match r_u64(r)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(CheckpointError::Corrupt("flag byte is neither 0 nor 1")),
+    }
+}
+
+fn w_value_record(buf: &mut Vec<u8>, record: &ValueRecord) {
+    w_u64(buf, u64::from(record.readers));
+    w_i64(buf, record.avail);
+    w_i64(buf, record.deepest_use);
+}
+
+fn r_value_record<R: Read>(r: &mut R) -> Result<ValueRecord, CheckpointError> {
+    let readers = u32::try_from(r_u64(r)?)
+        .map_err(|_| CheckpointError::Corrupt("reader count overflows u32"))?;
+    let avail = r_i64(r)?;
+    let deepest_use = r_i64(r)?;
+    if deepest_use < avail {
+        return Err(CheckpointError::Corrupt("value used before it was created"));
+    }
+    Ok(ValueRecord {
+        readers,
+        avail,
+        deepest_use,
+    })
+}
+
+fn w_dist(buf: &mut Vec<u8>, dist: &Distribution) {
+    w_u64(buf, dist.distinct_values() as u64);
+    for (value, count) in dist.iter() {
+        w_u64(buf, value);
+        w_u64(buf, count);
+    }
+}
+
+fn r_dist<R: Read>(r: &mut R) -> Result<Distribution, CheckpointError> {
+    let distinct = r_usize(r)?;
+    let mut dist = Distribution::new();
+    let mut prev: Option<u64> = None;
+    for _ in 0..distinct {
+        let value = r_u64(r)?;
+        if prev.is_some_and(|p| p >= value) {
+            return Err(CheckpointError::Corrupt("distribution values not sorted"));
+        }
+        prev = Some(value);
+        let count = r_u64(r)?;
+        if count == 0 {
+            return Err(CheckpointError::Corrupt("distribution entry with count 0"));
+        }
+        dist.record_many(value, count);
+    }
+    Ok(dist)
+}
 
 /// A live-well entry: where a value became available, and the deepest level
 /// at which it has been used.
@@ -98,6 +182,10 @@ pub struct LiveWell {
     syscalls: u64,
     firewalls: u64,
     branch_firewalls: u64,
+    /// Memory locations dropped from the live well under
+    /// [`AnalysisConfig::live_well_cap`]; non-zero counts are an accuracy
+    /// caveat (a read of an evicted location looks preexisting).
+    evictions: u64,
     peak_live_values: usize,
     class_placed: [u64; OpClass::ALL.len()],
 }
@@ -145,6 +233,7 @@ impl LiveWell {
             syscalls: 0,
             firewalls: 0,
             branch_firewalls: 0,
+            evictions: 0,
             peak_live_values: 0,
             class_placed: [0; OpClass::ALL.len()],
         }
@@ -239,7 +328,7 @@ impl LiveWell {
         let ldest = if let Some(limit) = self.config.issue_limit() {
             // Resource dependency: at most `limit` operations may start in
             // any level; slide the start level down to the first free slot.
-            let starts = self.level_starts.as_mut().expect("issue table");
+            let starts = self.level_starts.get_or_insert_with(FastMap::default);
             let mut start = base + 1;
             while starts.get(&start).is_some_and(|&n| n as usize >= limit) {
                 start += 1;
@@ -295,8 +384,42 @@ impl LiveWell {
         // so reports can size the live well. Memory entries dominate; the
         // register files are a constant 64.
         self.peak_live_values = self.peak_live_values.max(self.mem.len() + 64);
+        self.enforce_live_well_cap();
 
         Some(ldest as u64)
+    }
+
+    /// Bounded live-well mode: when the memory table exceeds the configured
+    /// cap, evict the coldest locations (smallest `deepest_use`, address as
+    /// tie-break, so eviction is deterministic). An evicted location that is
+    /// read again looks preexisting (level -1), which can only shorten
+    /// dependences — the eviction count is reported as an accuracy caveat.
+    /// Eviction runs in batches (down to 7/8 of the cap) so a table sitting
+    /// at the cap does not pay a full scan per record.
+    fn enforce_live_well_cap(&mut self) {
+        let Some(cap) = self.config.live_well_cap() else {
+            return;
+        };
+        if self.mem.len() <= cap {
+            return;
+        }
+        let target = cap - cap / 8;
+        let excess = self.mem.len() - target;
+        let mut coldest: Vec<(i64, u64)> = self
+            .mem
+            .iter()
+            .map(|(&addr, record)| (record.deepest_use, addr))
+            .collect();
+        coldest.sort_unstable();
+        coldest.truncate(excess);
+        for &(_, addr) in &coldest {
+            if let Some(old) = self.mem.remove(&addr) {
+                if let Some(stats) = self.value_stats.as_mut() {
+                    stats.retire(&old);
+                }
+                self.evictions += 1;
+            }
+        }
     }
 
     /// Processes every record of an iterator.
@@ -329,13 +452,12 @@ impl LiveWell {
         let mispredicted = match self.config.branch_policy() {
             BranchPolicy::Perfect => false,
             BranchPolicy::StallAlways => true,
-            BranchPolicy::Predict(_) => match record.branch_info() {
-                Some(info) => {
-                    let predictor = self.predictor.as_mut().expect("predictor");
+            BranchPolicy::Predict(_) => match (record.branch_info(), self.predictor.as_mut()) {
+                (Some(info), Some(predictor)) => {
                     !predictor.predict_and_train(record.pc(), info.taken, info.target)
                 }
                 // No recorded outcome: treated as correctly predicted.
-                None => false,
+                _ => false,
             },
         };
         if mispredicted {
@@ -391,14 +513,400 @@ impl LiveWell {
         (self.total_records, self.placed, cp, par)
     }
 
+    /// Number of trace records this analyzer has processed. After a
+    /// [`resume_from`](LiveWell::resume_from), this is the number of records
+    /// the driver must skip in the trace before feeding new ones.
+    pub fn records_processed(&self) -> u64 {
+        self.total_records
+    }
+
+    /// Memory locations evicted so far under
+    /// [`AnalysisConfig::live_well_cap`]. Non-zero counts mean reported
+    /// parallelism is an *upper bound*: a read of an evicted location looks
+    /// like a preexisting value and drops the true dependence.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Serializes the complete analyzer state as a checkpoint file
+    /// (see [`checkpoint`](crate::checkpoint) for the format).
+    ///
+    /// Identical states produce identical bytes: every map is written in
+    /// sorted key order, so a checkpoint can be compared or content-hashed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] if the writer fails.
+    pub fn save_checkpoint<W: Write>(&self, mut out: W) -> Result<(), CheckpointError> {
+        let mut body = Vec::new();
+        w_u64(&mut body, checkpoint::config_fingerprint(&self.config));
+
+        w_u64(&mut body, self.total_records);
+        w_u64(&mut body, self.placed);
+        w_u64(&mut body, self.syscalls);
+        w_u64(&mut body, self.firewalls);
+        w_u64(&mut body, self.branch_firewalls);
+        w_u64(&mut body, self.evictions);
+        w_u64(&mut body, self.peak_live_values as u64);
+        w_i64(&mut body, self.floor);
+        w_i64(&mut body, self.deepest);
+
+        w_u64(&mut body, self.class_placed.len() as u64);
+        for &count in &self.class_placed {
+            w_u64(&mut body, count);
+        }
+
+        for slot in self.int_regs.iter().chain(self.fp_regs.iter()) {
+            match slot {
+                Some(record) => {
+                    w_u64(&mut body, 1);
+                    w_value_record(&mut body, record);
+                }
+                None => w_u64(&mut body, 0),
+            }
+        }
+
+        let mut addrs: Vec<u64> = self.mem.keys().copied().collect();
+        addrs.sort_unstable();
+        w_u64(&mut body, addrs.len() as u64);
+        for addr in addrs {
+            w_u64(&mut body, addr);
+            if let Some(record) = self.mem.get(&addr) {
+                w_value_record(&mut body, record);
+            }
+        }
+
+        let slots: Vec<Option<i64>> = self.window.slot_levels().collect();
+        w_u64(&mut body, slots.len() as u64);
+        for slot in slots {
+            match slot {
+                Some(level) => {
+                    w_u64(&mut body, 1);
+                    w_i64(&mut body, level);
+                }
+                None => w_u64(&mut body, 0),
+            }
+        }
+
+        let (counts, bin_width, total_ops, max_level) = self.profile.raw_parts();
+        w_u64(&mut body, counts.len() as u64);
+        for &count in counts {
+            w_u64(&mut body, count);
+        }
+        w_u64(&mut body, bin_width);
+        w_u64(&mut body, total_ops);
+        match max_level {
+            Some(level) => {
+                w_u64(&mut body, 1);
+                w_u64(&mut body, level);
+            }
+            None => w_u64(&mut body, 0),
+        }
+
+        match &self.predictor {
+            Some(predictor) => {
+                let (counters, history, predictions, mispredictions) = predictor.raw_state();
+                w_u64(&mut body, 1);
+                w_u64(&mut body, counters.len() as u64);
+                body.extend_from_slice(counters);
+                w_u64(&mut body, history);
+                w_u64(&mut body, predictions);
+                w_u64(&mut body, mispredictions);
+            }
+            None => w_u64(&mut body, 0),
+        }
+
+        match &self.level_starts {
+            Some(starts) => {
+                w_u64(&mut body, 1);
+                let mut levels: Vec<i64> = starts.keys().copied().collect();
+                levels.sort_unstable();
+                w_u64(&mut body, levels.len() as u64);
+                for level in levels {
+                    w_i64(&mut body, level);
+                    w_u64(
+                        &mut body,
+                        u64::from(starts.get(&level).copied().unwrap_or(0)),
+                    );
+                }
+            }
+            None => w_u64(&mut body, 0),
+        }
+
+        match &self.value_stats {
+            Some(stats) => {
+                w_u64(&mut body, 1);
+                w_dist(&mut body, &stats.lifetimes);
+                w_dist(&mut body, &stats.sharing);
+            }
+            None => w_u64(&mut body, 0),
+        }
+
+        // Node ids are only meaningful to the explicit-graph builder; the
+        // streaming analyzer stores usize::MAX, so only levels persist.
+        for bound in [
+            self.mem_ordering.deepest_store,
+            self.mem_ordering.deepest_load,
+        ] {
+            match bound {
+                Some((level, _)) => {
+                    w_u64(&mut body, 1);
+                    w_i64(&mut body, level);
+                }
+                None => w_u64(&mut body, 0),
+            }
+        }
+
+        out.write_all(checkpoint::MAGIC)
+            .map_err(CheckpointError::Io)?;
+        out.write_all(&[checkpoint::VERSION])
+            .map_err(CheckpointError::Io)?;
+        out.write_all(&body).map_err(CheckpointError::Io)?;
+        out.write_all(&crc32(&body).to_le_bytes())
+            .map_err(CheckpointError::Io)?;
+        Ok(())
+    }
+
+    /// Reconstructs an analyzer from a checkpoint written by
+    /// [`save_checkpoint`](LiveWell::save_checkpoint). The supplied `config`
+    /// must be the one the checkpoint was taken under (verified by
+    /// fingerprint); feeding the resumed analyzer the remaining trace
+    /// records produces a report identical to an uninterrupted pass.
+    ///
+    /// # Errors
+    ///
+    /// * [`CheckpointError::BadMagic`] / [`CheckpointError::UnsupportedVersion`]
+    ///   — not a checkpoint this build can read.
+    /// * [`CheckpointError::Truncated`] / [`CheckpointError::ChecksumMismatch`]
+    ///   — the file was damaged in storage or transit.
+    /// * [`CheckpointError::ConfigMismatch`] — `config` differs from the
+    ///   checkpointed configuration.
+    /// * [`CheckpointError::Corrupt`] — the bytes decode to an impossible
+    ///   analyzer state.
+    pub fn resume_from<R: Read>(
+        mut input: R,
+        config: AnalysisConfig,
+    ) -> Result<LiveWell, CheckpointError> {
+        let mut magic = [0u8; 4];
+        input.read_exact(&mut magic)?;
+        if &magic != checkpoint::MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let mut version = [0u8; 1];
+        input.read_exact(&mut version)?;
+        if version[0] != checkpoint::VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version[0]));
+        }
+        let mut rest = Vec::new();
+        input
+            .read_to_end(&mut rest)
+            .map_err(CheckpointError::from)?;
+        if rest.len() < 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let (body, crc_bytes) = rest.split_at(rest.len() - 4);
+        let stored = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(CheckpointError::ChecksumMismatch { stored, computed });
+        }
+
+        let mut r = body;
+        let saved = r_u64(&mut r)?;
+        let current = checkpoint::config_fingerprint(&config);
+        if saved != current {
+            return Err(CheckpointError::ConfigMismatch { saved, current });
+        }
+
+        let total_records = r_u64(&mut r)?;
+        let placed = r_u64(&mut r)?;
+        let syscalls = r_u64(&mut r)?;
+        let firewalls = r_u64(&mut r)?;
+        let branch_firewalls = r_u64(&mut r)?;
+        let evictions = r_u64(&mut r)?;
+        let peak_live_values = r_usize(&mut r)?;
+        let floor = r_i64(&mut r)?;
+        let deepest = r_i64(&mut r)?;
+
+        let class_count = r_usize(&mut r)?;
+        if class_count != OpClass::ALL.len() {
+            return Err(CheckpointError::Corrupt(
+                "operation-class table has the wrong arity",
+            ));
+        }
+        let mut class_placed = [0u64; OpClass::ALL.len()];
+        for slot in &mut class_placed {
+            *slot = r_u64(&mut r)?;
+        }
+
+        let mut int_regs = [None; 32];
+        let mut fp_regs = [None; 32];
+        for slot in int_regs.iter_mut().chain(fp_regs.iter_mut()) {
+            if r_flag(&mut r)? {
+                *slot = Some(r_value_record(&mut r)?);
+            }
+        }
+
+        let mem_len = r_usize(&mut r)?;
+        let mut mem = FastMap::default();
+        let mut prev_addr: Option<u64> = None;
+        for _ in 0..mem_len {
+            let addr = r_u64(&mut r)?;
+            if prev_addr.is_some_and(|p| p >= addr) {
+                return Err(CheckpointError::Corrupt("memory table not sorted"));
+            }
+            prev_addr = Some(addr);
+            mem.insert(addr, r_value_record(&mut r)?);
+        }
+
+        let slot_count = r_usize(&mut r)?;
+        let mut levels = Vec::with_capacity(slot_count.min(1 << 20));
+        for _ in 0..slot_count {
+            levels.push(if r_flag(&mut r)? {
+                Some(r_i64(&mut r)?)
+            } else {
+                None
+            });
+        }
+        let window = WindowLimiter::from_slot_levels(config.window(), levels)
+            .ok_or(CheckpointError::Corrupt("window slots exceed window size"))?;
+
+        let bin_count = r_usize(&mut r)?;
+        let mut counts = Vec::with_capacity(bin_count.min(1 << 20));
+        for _ in 0..bin_count {
+            counts.push(r_u64(&mut r)?);
+        }
+        let bin_width = r_u64(&mut r)?;
+        let total_ops = r_u64(&mut r)?;
+        let max_level = if r_flag(&mut r)? {
+            Some(r_u64(&mut r)?)
+        } else {
+            None
+        };
+        let profile = ParallelismProfile::from_raw_parts(
+            config.profile_bins(),
+            counts,
+            bin_width,
+            total_ops,
+            max_level,
+        )
+        .ok_or(CheckpointError::Corrupt(
+            "parallelism profile is inconsistent",
+        ))?;
+
+        let predictor = if r_flag(&mut r)? {
+            let BranchPolicy::Predict(kind) = config.branch_policy() else {
+                return Err(CheckpointError::Corrupt(
+                    "checkpoint has a predictor but the policy uses none",
+                ));
+            };
+            let counter_len = r_usize(&mut r)?;
+            if counter_len > body.len() {
+                return Err(CheckpointError::Truncated);
+            }
+            let mut counters = vec![0u8; counter_len];
+            r.read_exact(&mut counters)?;
+            let history = r_u64(&mut r)?;
+            let predictions = r_u64(&mut r)?;
+            let mispredictions = r_u64(&mut r)?;
+            Some(
+                Predictor::from_raw_state(kind, counters, history, predictions, mispredictions)
+                    .ok_or(CheckpointError::Corrupt("predictor state is inconsistent"))?,
+            )
+        } else {
+            if matches!(config.branch_policy(), BranchPolicy::Predict(_)) {
+                return Err(CheckpointError::Corrupt(
+                    "policy predicts branches but the checkpoint has no predictor",
+                ));
+            }
+            None
+        };
+
+        let level_starts = if r_flag(&mut r)? {
+            if config.issue_limit().is_none() {
+                return Err(CheckpointError::Corrupt(
+                    "checkpoint has issue counters but no issue limit is configured",
+                ));
+            }
+            let entries = r_usize(&mut r)?;
+            let mut starts = FastMap::default();
+            let mut prev: Option<i64> = None;
+            for _ in 0..entries {
+                let level = r_i64(&mut r)?;
+                if prev.is_some_and(|p| p >= level) {
+                    return Err(CheckpointError::Corrupt("issue counters not sorted"));
+                }
+                prev = Some(level);
+                let count = u32::try_from(r_u64(&mut r)?)
+                    .map_err(|_| CheckpointError::Corrupt("issue counter overflows u32"))?;
+                starts.insert(level, count);
+            }
+            Some(starts)
+        } else {
+            None
+        };
+
+        let value_stats = if r_flag(&mut r)? {
+            if !config.value_stats() {
+                return Err(CheckpointError::Corrupt(
+                    "checkpoint has value statistics but they are not configured",
+                ));
+            }
+            Some(ValueStats {
+                lifetimes: r_dist(&mut r)?,
+                sharing: r_dist(&mut r)?,
+            })
+        } else {
+            if config.value_stats() {
+                return Err(CheckpointError::Corrupt(
+                    "value statistics configured but missing from the checkpoint",
+                ));
+            }
+            None
+        };
+
+        let mut mem_ordering = MemOrdering::default();
+        if r_flag(&mut r)? {
+            mem_ordering.deepest_store = Some((r_i64(&mut r)?, usize::MAX));
+        }
+        if r_flag(&mut r)? {
+            mem_ordering.deepest_load = Some((r_i64(&mut r)?, usize::MAX));
+        }
+
+        if !r.is_empty() {
+            return Err(CheckpointError::Corrupt("trailing bytes after the state"));
+        }
+
+        Ok(LiveWell {
+            config,
+            int_regs,
+            fp_regs,
+            mem,
+            floor,
+            deepest,
+            window,
+            profile,
+            predictor,
+            level_starts,
+            value_stats,
+            mem_ordering,
+            total_records,
+            placed,
+            syscalls,
+            firewalls,
+            branch_firewalls,
+            evictions,
+            peak_live_values,
+            class_placed,
+        })
+    }
+
     /// Finishes the pass and produces the report.
     pub fn finish(mut self) -> AnalysisReport {
         // Retire every value still live so the distributions are complete.
         if let Some(mut stats) = self.value_stats.take() {
-            for slot in self.int_regs.iter().chain(self.fp_regs.iter()) {
-                if let Some(record) = slot {
-                    stats.retire(record);
-                }
+            for record in self.int_regs.iter().chain(self.fp_regs.iter()).flatten() {
+                stats.retire(record);
             }
             for record in self.mem.values() {
                 stats.retire(record);
@@ -414,6 +922,7 @@ impl LiveWell {
             self.syscalls,
             self.firewalls,
             self.branch_firewalls,
+            self.evictions,
             self.peak_live_values,
             self.predictor,
             value_stats,
@@ -945,6 +1454,169 @@ mod tests {
         assert_eq!(par, 4.0);
         let report = lw.finish();
         assert_eq!(report.critical_path_length(), cp);
+    }
+
+    /// Checkpoint at `split`, resume, finish both ways: the reports (and the
+    /// checkpoint bytes themselves) must be bit-identical.
+    fn assert_checkpoint_transparent(
+        records: &[TraceRecord],
+        config: AnalysisConfig,
+        split: usize,
+    ) {
+        let mut uninterrupted = LiveWell::new(config.clone());
+        uninterrupted.process_all(records);
+
+        let mut first = LiveWell::new(config.clone());
+        first.process_all(&records[..split]);
+        let mut bytes = Vec::new();
+        first.save_checkpoint(&mut bytes).unwrap();
+        let mut again = Vec::new();
+        first.save_checkpoint(&mut again).unwrap();
+        assert_eq!(bytes, again, "checkpointing must be deterministic");
+
+        let mut resumed = LiveWell::resume_from(&bytes[..], config).unwrap();
+        assert_eq!(resumed.records_processed(), split as u64);
+        resumed.process_all(&records[split..]);
+
+        let mut resumed_bytes = Vec::new();
+        resumed.save_checkpoint(&mut resumed_bytes).unwrap();
+        let mut direct_bytes = Vec::new();
+        uninterrupted.save_checkpoint(&mut direct_bytes).unwrap();
+        assert_eq!(
+            resumed_bytes, direct_bytes,
+            "resumed state must equal the uninterrupted state"
+        );
+        assert_eq!(resumed.finish().to_json(), uninterrupted.finish().to_json());
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_at_the_dataflow_limit() {
+        let trace = synthetic::random_trace(1200, 41);
+        assert_checkpoint_transparent(&trace, AnalysisConfig::dataflow_limit(), 700);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_under_every_feature() {
+        use crate::branch::{BranchPolicy, PredictorKind};
+        use crate::memmodel::MemoryModel;
+        let trace = synthetic::random_trace(900, 7);
+        let config = AnalysisConfig::dataflow_limit()
+            .with_window(WindowSize::bounded(48))
+            .with_issue_limit(4)
+            .with_branch_policy(BranchPolicy::Predict(PredictorKind::Gshare {
+                index_bits: 8,
+            }))
+            .with_value_stats(true)
+            .with_memory_model(MemoryModel::NoDisambiguation)
+            .with_renames(RenameSet::none());
+        for split in [1, 450, 899] {
+            assert_checkpoint_transparent(&trace, config.clone(), split);
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_a_different_configuration() {
+        let mut lw = LiveWell::new(AnalysisConfig::dataflow_limit());
+        lw.process_all(&synthetic::chain(20));
+        let mut bytes = Vec::new();
+        lw.save_checkpoint(&mut bytes).unwrap();
+        let other = AnalysisConfig::dataflow_limit().with_window(WindowSize::bounded(8));
+        assert!(matches!(
+            LiveWell::resume_from(&bytes[..], other),
+            Err(CheckpointError::ConfigMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_rejects_damage() {
+        let mut lw = LiveWell::new(AnalysisConfig::dataflow_limit());
+        lw.process_all(&synthetic::random_trace(100, 3));
+        let mut bytes = Vec::new();
+        lw.save_checkpoint(&mut bytes).unwrap();
+
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert!(matches!(
+            LiveWell::resume_from(&flipped[..], AnalysisConfig::dataflow_limit()),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+
+        assert!(matches!(
+            LiveWell::resume_from(&bytes[..bytes.len() - 9], AnalysisConfig::dataflow_limit()),
+            Err(CheckpointError::ChecksumMismatch { .. } | CheckpointError::Truncated)
+        ));
+
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(
+            LiveWell::resume_from(&wrong_magic[..], AnalysisConfig::dataflow_limit()),
+            Err(CheckpointError::BadMagic)
+        ));
+
+        let mut wrong_version = bytes;
+        wrong_version[4] = 9;
+        assert!(matches!(
+            LiveWell::resume_from(&wrong_version[..], AnalysisConfig::dataflow_limit()),
+            Err(CheckpointError::UnsupportedVersion(9))
+        ));
+    }
+
+    #[test]
+    fn live_well_cap_bounds_memory_and_reports_evictions() {
+        // Stores to 500 distinct addresses under a cap of 64: the table must
+        // stay bounded and the loss must be reported.
+        let records: Vec<TraceRecord> = (0..500)
+            .map(|i| TraceRecord::store(i, 8 * i, Loc::int(1), None))
+            .collect();
+        let config = AnalysisConfig::dataflow_limit().with_live_well_cap(64);
+        let mut lw = LiveWell::new(config);
+        lw.process_all(&records);
+        assert!(
+            lw.mem.len() <= 64,
+            "table exceeded the cap: {}",
+            lw.mem.len()
+        );
+        assert!(lw.evictions() > 0);
+        let report = lw.finish();
+        assert!(report.live_well_evictions() > 0);
+        assert!(report.to_string().contains("CAVEAT"));
+        assert!(report.to_json().contains("\"live_well_evictions\":"));
+    }
+
+    #[test]
+    fn uncapped_runs_report_zero_evictions() {
+        let report = run(
+            &synthetic::random_trace(500, 9),
+            AnalysisConfig::dataflow_limit(),
+        );
+        assert_eq!(report.live_well_evictions(), 0);
+        assert!(!report.to_string().contains("CAVEAT"));
+    }
+
+    #[test]
+    fn capped_analysis_still_checkpoints_transparently() {
+        let records: Vec<TraceRecord> = (0..400)
+            .map(|i| TraceRecord::store(i, 16 * (i % 200), Loc::int(1), None))
+            .collect();
+        let config = AnalysisConfig::dataflow_limit().with_live_well_cap(32);
+        assert_checkpoint_transparent(&records, config, 250);
+    }
+
+    #[test]
+    fn eviction_order_is_deterministic() {
+        let records: Vec<TraceRecord> = (0..300)
+            .map(|i| TraceRecord::store(i, 4 * i, Loc::int(1), None))
+            .collect();
+        let config = AnalysisConfig::dataflow_limit().with_live_well_cap(50);
+        let run_once = || {
+            let mut lw = LiveWell::new(config.clone());
+            lw.process_all(&records);
+            let mut bytes = Vec::new();
+            lw.save_checkpoint(&mut bytes).unwrap();
+            bytes
+        };
+        assert_eq!(run_once(), run_once());
     }
 
     #[test]

@@ -92,10 +92,9 @@ impl ParallelismProfile {
     }
 
     fn coarsen(&mut self) {
-        self.bin_width = self
-            .bin_width
-            .checked_mul(2)
-            .expect("profile bin width overflow");
+        // Saturation is unreachable in practice (widths double from 1) and
+        // still terminates the caller's loop: level / u64::MAX is 0.
+        self.bin_width = self.bin_width.saturating_mul(2);
         let new_len = self.counts.len().div_ceil(2);
         for i in 0..new_len {
             let a = self.counts[2 * i];
@@ -166,6 +165,41 @@ impl ParallelismProfile {
         }
         let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
         var.sqrt() / mean
+    }
+
+    /// The raw accumulator, for checkpointing: `(counts, bin_width,
+    /// total_ops, max_level)`.
+    pub(crate) fn raw_parts(&self) -> (&[u64], u64, u64, Option<u64>) {
+        (&self.counts, self.bin_width, self.total_ops, self.max_level)
+    }
+
+    /// Rebuilds a profile from checkpointed parts; `None` if they are
+    /// internally inconsistent.
+    pub(crate) fn from_raw_parts(
+        max_bins: usize,
+        counts: Vec<u64>,
+        bin_width: u64,
+        total_ops: u64,
+        max_level: Option<u64>,
+    ) -> Option<ParallelismProfile> {
+        if max_bins == 0 || bin_width == 0 || counts.len() > max_bins {
+            return None;
+        }
+        if counts.iter().copied().try_fold(0u64, u64::checked_add) != Some(total_ops) {
+            return None;
+        }
+        match max_level {
+            Some(m) if m / bin_width >= counts.len() as u64 => return None,
+            None if total_ops != 0 => return None,
+            _ => {}
+        }
+        Some(ParallelismProfile {
+            counts,
+            max_bins,
+            bin_width,
+            total_ops,
+            max_level,
+        })
     }
 
     /// Iterates over the populated portion of the profile.

@@ -33,6 +33,7 @@ pub struct AnalysisReport {
     syscalls: u64,
     firewalls: u64,
     branch_firewalls: u64,
+    evictions: u64,
     peak_live_values: usize,
     predictor: Option<Predictor>,
     value_stats: Option<(Distribution, Distribution)>,
@@ -49,6 +50,7 @@ impl AnalysisReport {
         syscalls: u64,
         firewalls: u64,
         branch_firewalls: u64,
+        evictions: u64,
         peak_live_values: usize,
         predictor: Option<Predictor>,
         value_stats: Option<(Distribution, Distribution)>,
@@ -63,6 +65,7 @@ impl AnalysisReport {
             syscalls,
             firewalls,
             branch_firewalls,
+            evictions,
             peak_live_values,
             predictor,
             value_stats,
@@ -118,6 +121,14 @@ impl AnalysisReport {
     /// branch policy).
     pub fn branch_firewalls(&self) -> u64 {
         self.branch_firewalls
+    }
+
+    /// Memory locations evicted from the live well under
+    /// [`AnalysisConfig::live_well_cap`]. When non-zero, the reported
+    /// parallelism is an upper bound: an evicted location read again looks
+    /// preexisting, so some true dependences were dropped.
+    pub fn live_well_evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Peak number of live-well entries during the pass — the analyzer's
@@ -179,6 +190,7 @@ impl AnalysisReport {
         out.push_str(&format!("\"syscalls\":{},", self.syscalls));
         out.push_str(&format!("\"firewalls\":{},", self.firewalls));
         out.push_str(&format!("\"branch_firewalls\":{},", self.branch_firewalls));
+        out.push_str(&format!("\"live_well_evictions\":{},", self.evictions));
         out.push_str(&format!("\"peak_live_values\":{},", self.peak_live_values));
         if let Some(p) = &self.predictor {
             out.push_str(&format!(
@@ -244,6 +256,14 @@ impl fmt::Display for AnalysisReport {
             "  available parallelism : {:>14.2}",
             self.available_parallelism()
         )?;
+        if self.evictions > 0 {
+            writeln!(
+                f,
+                "  CAVEAT: {} live-well evictions under the memory cap; \
+                 parallelism is an upper bound",
+                self.evictions
+            )?;
+        }
         Ok(())
     }
 }

@@ -94,6 +94,30 @@ impl<T> WindowLimiter<T> {
     }
 }
 
+impl WindowLimiter<()> {
+    /// The completion levels of the resident slots, oldest first (`None`
+    /// for unplaced instructions), for checkpointing.
+    pub(crate) fn slot_levels(&self) -> impl Iterator<Item = Option<i64>> + '_ {
+        self.slots.iter().map(|s| s.as_ref().map(|&(l, ())| l))
+    }
+
+    /// Rebuilds a limiter from checkpointed slots; `None` if the slots
+    /// overflow the configured window.
+    pub(crate) fn from_slot_levels(
+        size: WindowSize,
+        levels: Vec<Option<i64>>,
+    ) -> Option<WindowLimiter<()>> {
+        let mut window = WindowLimiter::new(size);
+        match window.size {
+            Some(limit) if levels.len() > limit => return None,
+            None if !levels.is_empty() => return None,
+            _ => {}
+        }
+        window.slots = levels.into_iter().map(|l| l.map(|l| (l, ()))).collect();
+        Some(window)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,15 +1,43 @@
-//! A compact binary on-disk trace format.
+//! A compact, fault-tolerant binary on-disk trace format.
 //!
 //! Traces can be captured once (e.g. with `paragraph trace`) and re-analyzed
 //! under many machine models, exactly as the paper re-ran Paragraph over
-//! Pixie trace files with different switch settings.
+//! Pixie trace files with different switch settings. Those re-runs cover
+//! very long streams, so the format is built to survive what long capture
+//! pipelines actually produce: truncated files and corrupt bytes.
 //!
-//! The format is a small streaming encoding:
+//! # Format
 //!
-//! * header: magic `PGTR`, format version, the [`SegmentMap`] boundaries;
-//! * one record per dynamic instruction: class byte, operand-count byte,
-//!   zig-zag varint pc delta, then each operand as a tag byte plus varint
-//!   payload.
+//! The header is shared by both versions: magic `PGTR`, a format version
+//! byte, then the [`SegmentMap`] boundaries as varints.
+//!
+//! **Version 2** (written by [`TraceWriter::new`]) frames records into
+//! self-delimited chunks:
+//!
+//! ```text
+//! chunk   := SYNC_MARKER (8 bytes)
+//!            varint first_record_index
+//!            varint record_count        (> 0)
+//!            varint payload_len
+//!            crc32 (4 bytes, LE)        over the three varints + payload
+//!            payload                    (record_count encoded records)
+//! trailer := SYNC_MARKER, varint total_records, varint 0, varint 0, crc32
+//! ```
+//!
+//! The pc-delta chain restarts at every chunk, so each chunk decodes
+//! independently. A reader opened with [`TraceReader::with_recovery`] that
+//! hits a corrupt or truncated chunk scans forward to the next sync marker,
+//! counts the records it lost (chunk headers carry absolute record indexes,
+//! so the loss is exact as long as a later chunk survives), and keeps
+//! going; [`TraceReader::recovery_stats`] reports the damage.
+//!
+//! **Version 1** streams records back-to-back with no framing; v1 streams
+//! remain fully readable, and [`TraceWriter::v1`] still writes them for
+//! compatibility testing.
+//!
+//! Each record is encoded as: class byte; flag byte (source count, dest
+//! flag, branch flag); zig-zag varint pc delta; each operand as a tag byte
+//! plus payload; and, for resolved branches, the outcome and target.
 //!
 //! # Examples
 //!
@@ -31,58 +59,41 @@
 //! # }
 //! ```
 
+use crate::crc32::Crc32;
+use crate::error::{TraceError, TraceErrorKind};
 use crate::loc::Loc;
 use crate::record::TraceRecord;
 use crate::segment::SegmentMap;
+use crate::wire::{read_varint, unzigzag, write_varint, zigzag};
 use paragraph_isa::OpClass;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"PGTR";
-const VERSION: u8 = 1;
+const VERSION_V1: u8 = 1;
+const VERSION_V2: u8 = 2;
+
+/// Marker opening every v2 chunk; recovery mode scans for it.
+///
+/// Eight bytes chosen to never occur in a well-formed encoded record
+/// stream by construction alone is impossible, but eight bytes make
+/// accidental occurrences vanishingly rare, and the CRC rejects false
+/// positives.
+pub const SYNC_MARKER: [u8; 8] = [0xa5, 0x9d, b'P', b'G', b'C', b'K', 0x5a, 0xc3];
+
+/// Records per chunk written by [`TraceWriter::new`].
+pub const DEFAULT_CHUNK_RECORDS: u64 = 4096;
+
+/// Upper bound accepted for a chunk payload (a sanity check against
+/// corrupt length fields).
+const MAX_PAYLOAD_LEN: u64 = 1 << 28;
+
+/// Marker + three max-size varints + CRC: the most bytes a chunk header
+/// can occupy.
+const MAX_HEADER_LEN: usize = 8 + 3 * 10 + 4;
 
 const TAG_INT: u8 = 0;
 const TAG_FP: u8 = 1;
 const TAG_MEM: u8 = 2;
-
-fn write_varint<W: Write>(mut w: W, mut v: u64) -> io::Result<()> {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            return w.write_all(&[byte]);
-        }
-        w.write_all(&[byte | 0x80])?;
-    }
-}
-
-fn read_varint<R: Read>(mut r: R) -> io::Result<u64> {
-    let mut v = 0u64;
-    let mut shift = 0u32;
-    loop {
-        let mut byte = [0u8; 1];
-        r.read_exact(&mut byte)?;
-        let b = byte[0];
-        if shift >= 64 || (shift == 63 && b > 1) {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "varint overflows u64",
-            ));
-        }
-        v |= u64::from(b & 0x7f) << shift;
-        if b & 0x80 == 0 {
-            return Ok(v);
-        }
-        shift += 7;
-    }
-}
-
-fn zigzag(v: i64) -> u64 {
-    ((v << 1) ^ (v >> 63)) as u64
-}
-
-fn unzigzag(v: u64) -> i64 {
-    ((v >> 1) as i64) ^ -((v & 1) as i64)
-}
 
 fn write_loc<W: Write>(mut w: W, loc: Loc) -> io::Result<()> {
     match loc {
@@ -119,33 +130,168 @@ fn read_loc<R: Read>(mut r: R) -> io::Result<Loc> {
     }
 }
 
+/// Encodes one record (pc encoded as a delta against `last_pc`).
+///
+/// Writing to a `Vec` cannot fail, so this is infallible.
+fn encode_record(buf: &mut Vec<u8>, record: &TraceRecord, last_pc: &mut u64) {
+    let nsrc = record.srcs().len() as u8;
+    let flags = nsrc
+        | if record.dest().is_some() { 0x80 } else { 0 }
+        | if record.branch_info().is_some() {
+            0x40
+        } else {
+            0
+        };
+    buf.push(record.class().id());
+    buf.push(flags);
+    let delta = zigzag(record.pc() as i64 - *last_pc as i64);
+    // Vec writes are infallible.
+    let _ = write_varint(&mut *buf, delta);
+    *last_pc = record.pc();
+    for &s in record.srcs() {
+        let _ = write_loc(&mut *buf, s);
+    }
+    if let Some(d) = record.dest() {
+        let _ = write_loc(&mut *buf, d);
+    }
+    if let Some(info) = record.branch_info() {
+        buf.push(u8::from(info.taken));
+        let _ = write_varint(&mut *buf, info.target);
+    }
+}
+
+/// Decodes one record, or `None` at a clean end-of-stream boundary.
+fn decode_record<R: Read>(mut input: R, last_pc: &mut u64) -> io::Result<Option<TraceRecord>> {
+    let mut head = [0u8; 2];
+    match input.read_exact(&mut head) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let class = OpClass::from_id(head[0])
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unknown opcode class"))?;
+    let nsrc = (head[1] & 0x3f) as usize;
+    if nsrc > 3 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "record has too many sources",
+        ));
+    }
+    let has_dest = head[1] & 0x80 != 0;
+    let has_branch = head[1] & 0x40 != 0;
+    let delta = unzigzag(read_varint(&mut input)?);
+    let pc = last_pc.wrapping_add(delta as u64);
+    *last_pc = pc;
+    let mut srcs = [Loc::mem(0); 3];
+    for slot in srcs.iter_mut().take(nsrc) {
+        *slot = read_loc(&mut input)?;
+    }
+    let dest = if has_dest {
+        Some(read_loc(&mut input)?)
+    } else {
+        None
+    };
+    if has_branch {
+        let mut taken = [0u8; 1];
+        input.read_exact(&mut taken)?;
+        let target = read_varint(&mut input)?;
+        if class != OpClass::Branch {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "branch outcome on a non-branch record",
+            ));
+        }
+        return Ok(Some(TraceRecord::branch_outcome(
+            pc,
+            &srcs[..nsrc],
+            taken[0] != 0,
+            target,
+        )));
+    }
+    Ok(Some(TraceRecord::new(pc, class, &srcs[..nsrc], dest)))
+}
+
 /// Streaming writer for the binary trace format.
 ///
-/// Callers that need buffering should wrap the writer in a
-/// [`std::io::BufWriter`]; a `&mut W` can be passed wherever a `W: Write` is
-/// expected.
+/// [`TraceWriter::new`] writes the chunked, checksummed v2 format;
+/// [`TraceWriter::v1`] writes the legacy unframed stream. Callers that need
+/// buffering should wrap the writer in a [`std::io::BufWriter`]; a `&mut W`
+/// can be passed wherever a `W: Write` is expected.
 #[derive(Debug)]
 pub struct TraceWriter<W: Write> {
     out: W,
+    version: u8,
+    chunk_records: u64,
+    chunk_buf: Vec<u8>,
+    chunk_len: u64,
     last_pc: u64,
     records: u64,
+    scratch: Vec<u8>,
 }
 
 impl<W: Write> TraceWriter<W> {
-    /// Writes the header and returns a writer ready for records.
+    /// Writes a v2 header and returns a writer framing records into chunks
+    /// of [`DEFAULT_CHUNK_RECORDS`].
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the underlying writer.
-    pub fn new(mut out: W, segments: SegmentMap) -> io::Result<TraceWriter<W>> {
+    pub fn new(out: W, segments: SegmentMap) -> io::Result<TraceWriter<W>> {
+        TraceWriter::with_chunk_records(out, segments, DEFAULT_CHUNK_RECORDS)
+    }
+
+    /// Like [`TraceWriter::new`] with an explicit chunk size (records per
+    /// chunk). Smaller chunks bound the loss from a corrupt region more
+    /// tightly at a little more framing overhead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_records` is zero.
+    pub fn with_chunk_records(
+        mut out: W,
+        segments: SegmentMap,
+        chunk_records: u64,
+    ) -> io::Result<TraceWriter<W>> {
+        assert!(chunk_records > 0, "chunk size must be positive");
         out.write_all(MAGIC)?;
-        out.write_all(&[VERSION])?;
+        out.write_all(&[VERSION_V2])?;
         write_varint(&mut out, segments.heap_base())?;
         write_varint(&mut out, segments.stack_floor())?;
         Ok(TraceWriter {
             out,
+            version: VERSION_V2,
+            chunk_records,
+            chunk_buf: Vec::new(),
+            chunk_len: 0,
             last_pc: 0,
             records: 0,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Writes a legacy v1 (unframed) header and returns a v1 writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn v1(mut out: W, segments: SegmentMap) -> io::Result<TraceWriter<W>> {
+        out.write_all(MAGIC)?;
+        out.write_all(&[VERSION_V1])?;
+        write_varint(&mut out, segments.heap_base())?;
+        write_varint(&mut out, segments.stack_floor())?;
+        Ok(TraceWriter {
+            out,
+            version: VERSION_V1,
+            chunk_records: 0,
+            chunk_buf: Vec::new(),
+            chunk_len: 0,
+            last_pc: 0,
+            records: 0,
+            scratch: Vec::new(),
         })
     }
 
@@ -155,85 +301,311 @@ impl<W: Write> TraceWriter<W> {
     ///
     /// Propagates I/O errors from the underlying writer.
     pub fn write_record(&mut self, record: &TraceRecord) -> io::Result<()> {
-        let nsrc = record.srcs().len() as u8;
-        let flags = nsrc
-            | if record.dest().is_some() { 0x80 } else { 0 }
-            | if record.branch_info().is_some() {
-                0x40
-            } else {
-                0
-            };
-        self.out.write_all(&[record.class().id(), flags])?;
-        write_varint(
-            &mut self.out,
-            zigzag(record.pc() as i64 - self.last_pc as i64),
-        )?;
-        self.last_pc = record.pc();
-        for &s in record.srcs() {
-            write_loc(&mut self.out, s)?;
+        if self.version == VERSION_V1 {
+            self.scratch.clear();
+            encode_record(&mut self.scratch, record, &mut self.last_pc);
+            self.out.write_all(&self.scratch)?;
+            self.records += 1;
+            return Ok(());
         }
-        if let Some(d) = record.dest() {
-            write_loc(&mut self.out, d)?;
-        }
-        if let Some(info) = record.branch_info() {
-            self.out.write_all(&[u8::from(info.taken)])?;
-            write_varint(&mut self.out, info.target)?;
-        }
+        encode_record(&mut self.chunk_buf, record, &mut self.last_pc);
+        self.chunk_len += 1;
         self.records += 1;
+        if self.chunk_len == self.chunk_records {
+            self.flush_chunk()?;
+        }
         Ok(())
     }
 
-    /// Flushes and returns the number of records written.
+    /// Writes the buffered chunk (if any) with its framing.
+    fn flush_chunk(&mut self) -> io::Result<()> {
+        if self.chunk_len == 0 {
+            return Ok(());
+        }
+        let first_index = self.records - self.chunk_len;
+        write_chunk_frame(&mut self.out, first_index, self.chunk_len, &self.chunk_buf)?;
+        self.chunk_buf.clear();
+        self.chunk_len = 0;
+        // Each chunk decodes independently: restart the pc-delta chain.
+        self.last_pc = 0;
+        Ok(())
+    }
+
+    /// Flushes (writing the final chunk and end-of-stream trailer for v2)
+    /// and returns the number of records written.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the underlying writer.
     pub fn finish(mut self) -> io::Result<u64> {
+        if self.version == VERSION_V2 {
+            self.flush_chunk()?;
+            // Trailer: total record count, zero records, empty payload.
+            write_chunk_frame(&mut self.out, self.records, 0, &[])?;
+        }
         self.out.flush()?;
         Ok(self.records)
     }
 }
 
-/// Streaming reader for the binary trace format.
+/// Writes one framed chunk: sync marker, header varints, CRC, payload.
+fn write_chunk_frame<W: Write>(
+    mut out: W,
+    first_index: u64,
+    count: u64,
+    payload: &[u8],
+) -> io::Result<()> {
+    let mut header = Vec::with_capacity(3 * 10);
+    // Vec writes are infallible.
+    let _ = write_varint(&mut header, first_index);
+    let _ = write_varint(&mut header, count);
+    let _ = write_varint(&mut header, payload.len() as u64);
+    let mut crc = Crc32::new();
+    crc.update(&header);
+    crc.update(payload);
+    out.write_all(&SYNC_MARKER)?;
+    out.write_all(&header)?;
+    out.write_all(&crc.finish().to_le_bytes())?;
+    out.write_all(payload)
+}
+
+/// Damage tallies from a [`TraceReader`] (all zero for a clean stream).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Records successfully decoded and yielded.
+    pub records_read: u64,
+    /// Records known to be lost to corruption or truncation. Exact
+    /// whenever a later chunk (or the trailer) survives to re-anchor the
+    /// record index; a destroyed tail with no trailer is not counted
+    /// because its size is unknowable.
+    pub records_skipped: u64,
+    /// Chunks whose CRC check failed.
+    pub chunks_skipped: u64,
+    /// Chunks dropped because their records were already delivered
+    /// (duplicated frames).
+    pub duplicate_chunks: u64,
+    /// Times the reader had to scan forward for a sync marker.
+    pub resyncs: u64,
+    /// Bytes discarded while scanning.
+    pub bytes_skipped: u64,
+}
+
+/// Buffered byte source for chunk parsing: supports peeking at unconsumed
+/// bytes (so a failed parse can rescan them) while tracking the absolute
+/// stream offset.
+#[derive(Debug)]
+struct ByteStream<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+    start: usize,
+    offset: u64,
+    eof: bool,
+}
+
+impl<R: Read> ByteStream<R> {
+    fn new(inner: R) -> ByteStream<R> {
+        ByteStream {
+            inner,
+            buf: Vec::new(),
+            start: 0,
+            offset: 0,
+            eof: false,
+        }
+    }
+
+    fn available(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    fn buffered(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    /// Tries to buffer at least `want` unconsumed bytes; stops early at
+    /// end-of-input. Returns the bytes now available.
+    fn fill_to(&mut self, want: usize) -> io::Result<usize> {
+        while self.available() < want && !self.eof {
+            self.compact();
+            let old_len = self.buf.len();
+            self.buf.resize(old_len + 8192, 0);
+            let n = self.inner.read(&mut self.buf[old_len..])?;
+            self.buf.truncate(old_len + n);
+            if n == 0 {
+                self.eof = true;
+            }
+        }
+        Ok(self.available())
+    }
+
+    fn consume(&mut self, n: usize) {
+        debug_assert!(n <= self.available());
+        self.start += n;
+        self.offset += n as u64;
+    }
+
+    fn compact(&mut self) {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+impl<R: Read> Read for ByteStream<R> {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if self.available() == 0 {
+            if self.eof {
+                return Ok(0);
+            }
+            let n = self.inner.read(out)?;
+            if n == 0 {
+                self.eof = true;
+            }
+            self.offset += n as u64;
+            return Ok(n);
+        }
+        let n = out.len().min(self.available());
+        out[..n].copy_from_slice(&self.buffered()[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+/// Outcome of attempting to parse one chunk at the current position.
+enum ChunkParse {
+    /// A CRC-valid data chunk.
+    Chunk {
+        first_index: u64,
+        count: u64,
+        payload: Vec<u8>,
+    },
+    /// The CRC-valid end-of-stream trailer.
+    Trailer { total: u64 },
+    /// Clean end of input at a chunk boundary.
+    End,
+    /// The input ended before the chunk did.
+    Truncated,
+    /// The next bytes are not a sync marker.
+    BadSync,
+    /// Marker found but the header fields are nonsense.
+    BadHeader(&'static str),
+    /// Frame intact but the checksum disagrees.
+    BadCrc { stored: u32, computed: u32 },
+}
+
+/// Streaming reader for the binary trace format (v1 and v2).
 ///
-/// Iterates over `io::Result<TraceRecord>`; iteration ends at end-of-file.
+/// Iterates over `Result<TraceRecord, TraceError>`; iteration ends at a
+/// clean end-of-stream. A reader opened with [`TraceReader::new`] stops at
+/// the first fault with a context-carrying [`TraceError`]; one opened with
+/// [`TraceReader::with_recovery`] resynchronizes past damage in v2 streams
+/// and tallies the loss in [`TraceReader::recovery_stats`].
 #[derive(Debug)]
 pub struct TraceReader<R: Read> {
-    input: R,
+    input: ByteStream<R>,
     segments: SegmentMap,
-    last_pc: u64,
+    version: u8,
+    recover: bool,
     done: bool,
+    /// v1 decode state.
+    last_pc: u64,
+    /// Records delivered so far (also: index of the next record).
+    delivered: u64,
+    /// v2: payload of the chunk currently being decoded.
+    payload: io::Cursor<Vec<u8>>,
+    payload_last_pc: u64,
+    /// v2: records remaining in the current chunk.
+    payload_remaining: u64,
+    /// v2: records at the head of the current chunk to decode and drop
+    /// (already delivered from an earlier copy of an overlapping frame).
+    payload_discard: u64,
+    /// v2: ordinal of the chunk being read.
+    chunk_ordinal: u64,
+    /// v2: next expected record index (delivered + known-skipped).
+    pos: u64,
+    stats: RecoveryStats,
+    total_written: Option<u64>,
 }
 
 impl<R: Read> TraceReader<R> {
-    /// Reads and validates the header.
+    /// Reads and validates the header; faults fail the iteration at the
+    /// first error.
     ///
     /// # Errors
     ///
-    /// Returns `InvalidData` if the magic or version does not match, and
-    /// propagates I/O errors.
-    pub fn new(mut input: R) -> io::Result<TraceReader<R>> {
+    /// Returns a [`TraceError`] if the magic or version is wrong or the
+    /// header is unreadable.
+    pub fn new(input: R) -> Result<TraceReader<R>, TraceError> {
+        TraceReader::open(input, false)
+    }
+
+    /// Like [`TraceReader::new`], but damage in a v2 stream is skipped by
+    /// scanning to the next sync marker instead of failing. The loss is
+    /// tallied in [`TraceReader::recovery_stats`]. (v1 streams have no
+    /// sync markers, so recovery cannot resume them; their faults still
+    /// end the iteration with an error.)
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] if the magic or version is wrong or the
+    /// header is unreadable; recovery starts only after a valid header.
+    pub fn with_recovery(input: R) -> Result<TraceReader<R>, TraceError> {
+        TraceReader::open(input, true)
+    }
+
+    fn open(input: R, recover: bool) -> Result<TraceReader<R>, TraceError> {
+        let mut input = ByteStream::new(input);
         let mut magic = [0u8; 5];
-        input.read_exact(&mut magic)?;
+        input.read_exact(&mut magic).map_err(|e| {
+            let kind = if e.kind() == io::ErrorKind::UnexpectedEof {
+                TraceErrorKind::Truncated
+            } else {
+                TraceErrorKind::Io(e)
+            };
+            TraceError::new(kind, 0, 0)
+        })?;
         if &magic[..4] != MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "not a Paragraph trace (bad magic)",
+            let mut found = [0u8; 4];
+            found.copy_from_slice(&magic[..4]);
+            return Err(TraceError::new(TraceErrorKind::BadMagic(found), 0, 0));
+        }
+        let version = magic[4];
+        if version != VERSION_V1 && version != VERSION_V2 {
+            return Err(TraceError::new(
+                TraceErrorKind::UnsupportedVersion(version),
+                4,
+                0,
             ));
         }
-        if magic[4] != VERSION {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unsupported trace version {}", magic[4]),
+        let heap_base =
+            read_varint(&mut input).map_err(|e| TraceError::new(io_to_kind(e), input.offset, 0))?;
+        let stack_floor =
+            read_varint(&mut input).map_err(|e| TraceError::new(io_to_kind(e), input.offset, 0))?;
+        // A flipped bit in the header can invert the segment boundaries;
+        // that is corruption, not a programming error.
+        if heap_base > stack_floor {
+            return Err(TraceError::new(
+                TraceErrorKind::Corrupt("segment boundaries are inverted".into()),
+                input.offset,
+                0,
             ));
         }
-        let heap_base = read_varint(&mut input)?;
-        let stack_floor = read_varint(&mut input)?;
         Ok(TraceReader {
             input,
             segments: SegmentMap::new(heap_base, stack_floor),
-            last_pc: 0,
+            version,
+            recover,
             done: false,
+            last_pc: 0,
+            delivered: 0,
+            payload: io::Cursor::new(Vec::new()),
+            payload_last_pc: 0,
+            payload_remaining: 0,
+            payload_discard: 0,
+            chunk_ordinal: 0,
+            pos: 0,
+            stats: RecoveryStats::default(),
+            total_written: None,
         })
     }
 
@@ -242,65 +614,337 @@ impl<R: Read> TraceReader<R> {
         self.segments
     }
 
-    fn read_record(&mut self) -> io::Result<Option<TraceRecord>> {
-        let mut head = [0u8; 2];
-        match self.input.read_exact(&mut head) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-            Err(e) => return Err(e),
-        }
-        let class = OpClass::from_id(head[0])
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unknown opcode class"))?;
-        let nsrc = (head[1] & 0x3f) as usize;
-        if nsrc > 3 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "record has too many sources",
-            ));
-        }
-        let has_dest = head[1] & 0x80 != 0;
-        let has_branch = head[1] & 0x40 != 0;
-        let delta = unzigzag(read_varint(&mut self.input)?);
-        let pc = self.last_pc.wrapping_add(delta as u64);
-        self.last_pc = pc;
-        let mut srcs = [Loc::mem(0); 3];
-        for slot in srcs.iter_mut().take(nsrc) {
-            *slot = read_loc(&mut self.input)?;
-        }
-        let dest = if has_dest {
-            Some(read_loc(&mut self.input)?)
+    /// The format version declared by the stream (1 or 2).
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// Damage tallies so far (all zero for a clean stream).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.stats
+    }
+
+    /// Total records the writer claims to have written, once the
+    /// end-of-stream trailer has been reached (v2 only).
+    pub fn records_written(&self) -> Option<u64> {
+        self.total_written
+    }
+
+    fn error(&self, kind: TraceErrorKind) -> TraceError {
+        let err = TraceError::new(kind, self.input.offset, self.delivered);
+        if self.version == VERSION_V2 {
+            err.in_chunk(self.chunk_ordinal)
         } else {
-            None
-        };
-        if has_branch {
-            let mut taken = [0u8; 1];
-            self.input.read_exact(&mut taken)?;
-            let target = read_varint(&mut self.input)?;
-            if class != OpClass::Branch {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "branch outcome on a non-branch record",
-                ));
-            }
-            return Ok(Some(TraceRecord::branch_outcome(
-                pc,
-                &srcs[..nsrc],
-                taken[0] != 0,
-                target,
-            )));
+            err
         }
-        Ok(Some(TraceRecord::new(pc, class, &srcs[..nsrc], dest)))
+    }
+
+    /// v1: decode the next record straight off the stream.
+    fn next_v1(&mut self) -> Result<Option<TraceRecord>, TraceError> {
+        match decode_record(&mut self.input, &mut self.last_pc) {
+            Ok(Some(record)) => {
+                self.delivered += 1;
+                self.stats.records_read += 1;
+                Ok(Some(record))
+            }
+            Ok(None) => Ok(None),
+            Err(e) => Err(self.error(io_to_kind(e))),
+        }
+    }
+
+    /// Attempts to parse one chunk frame at the current stream position.
+    /// Consumes input only on success.
+    fn try_parse_chunk(&mut self) -> io::Result<ChunkParse> {
+        let available = self.input.fill_to(SYNC_MARKER.len())?;
+        if available == 0 {
+            return Ok(ChunkParse::End);
+        }
+        if available < SYNC_MARKER.len() {
+            return Ok(ChunkParse::Truncated);
+        }
+        if self.input.buffered()[..SYNC_MARKER.len()] != SYNC_MARKER {
+            return Ok(ChunkParse::BadSync);
+        }
+        self.input.fill_to(MAX_HEADER_LEN)?;
+        let header = &self.input.buffered()[SYNC_MARKER.len()..];
+        let mut cursor = header;
+        let Ok(first_index) = read_varint(&mut cursor) else {
+            return Ok(if header.len() < 10 {
+                ChunkParse::Truncated
+            } else {
+                ChunkParse::BadHeader("record index varint")
+            });
+        };
+        let Ok(count) = read_varint(&mut cursor) else {
+            return Ok(if cursor.len() < 10 {
+                ChunkParse::Truncated
+            } else {
+                ChunkParse::BadHeader("record count varint")
+            });
+        };
+        let Ok(payload_len) = read_varint(&mut cursor) else {
+            return Ok(if cursor.len() < 10 {
+                ChunkParse::Truncated
+            } else {
+                ChunkParse::BadHeader("payload length varint")
+            });
+        };
+        let varint_len = header.len() - cursor.len();
+        if payload_len > MAX_PAYLOAD_LEN {
+            return Ok(ChunkParse::BadHeader("payload length out of range"));
+        }
+        if count == 0 && payload_len != 0 {
+            return Ok(ChunkParse::BadHeader("trailer with payload"));
+        }
+        // Every record costs at least 3 bytes (class, flags, pc delta).
+        if count > 0 && count.saturating_mul(3) > payload_len {
+            return Ok(ChunkParse::BadHeader("record count exceeds payload"));
+        }
+        if cursor.len() < 4 {
+            return Ok(ChunkParse::Truncated);
+        }
+        let mut stored = [0u8; 4];
+        stored.copy_from_slice(&cursor[..4]);
+        let stored = u32::from_le_bytes(stored);
+        let header_len = SYNC_MARKER.len() + varint_len + 4;
+        let frame_len = header_len + payload_len as usize;
+        if self.input.fill_to(frame_len)? < frame_len {
+            return Ok(ChunkParse::Truncated);
+        }
+        let bytes = self.input.buffered();
+        let mut crc = Crc32::new();
+        crc.update(&bytes[SYNC_MARKER.len()..SYNC_MARKER.len() + varint_len]);
+        crc.update(&bytes[header_len..frame_len]);
+        let computed = crc.finish();
+        if computed != stored {
+            return Ok(ChunkParse::BadCrc { stored, computed });
+        }
+        if count == 0 {
+            self.input.consume(frame_len);
+            return Ok(ChunkParse::Trailer { total: first_index });
+        }
+        let payload = bytes[header_len..frame_len].to_vec();
+        self.input.consume(frame_len);
+        Ok(ChunkParse::Chunk {
+            first_index,
+            count,
+            payload,
+        })
+    }
+
+    /// Recovery: drop one byte, then scan forward to the next candidate
+    /// sync marker (or end of input).
+    fn resync(&mut self) -> io::Result<()> {
+        self.stats.resyncs += 1;
+        self.input.consume(1);
+        self.stats.bytes_skipped += 1;
+        loop {
+            let bytes = self.input.buffered();
+            if let Some(at) = find_marker(bytes) {
+                self.input.consume(at);
+                self.stats.bytes_skipped += at as u64;
+                return Ok(());
+            }
+            // No marker: all but the last 7 bytes (a possible marker
+            // prefix) are garbage.
+            let keep = bytes.len().min(SYNC_MARKER.len() - 1);
+            let drop = bytes.len() - keep;
+            self.input.consume(drop);
+            self.stats.bytes_skipped += drop as u64;
+            let before = self.input.available();
+            if self.input.fill_to(before + 8192)? == before {
+                // End of input: nothing left to scan.
+                let rest = self.input.available();
+                self.input.consume(rest);
+                self.stats.bytes_skipped += rest as u64;
+                return Ok(());
+            }
+        }
+    }
+
+    /// Installs a freshly parsed chunk for decoding, reconciling its
+    /// record-index range against what has already been delivered.
+    fn install_chunk(&mut self, first_index: u64, count: u64, payload: Vec<u8>) {
+        self.chunk_ordinal += 1;
+        if first_index >= self.pos {
+            // A gap means the records in between were destroyed.
+            self.stats.records_skipped += first_index - self.pos;
+            self.pos = first_index;
+            self.payload_discard = 0;
+        } else {
+            let overlap = self.pos - first_index;
+            if overlap >= count {
+                // Every record in this frame was already delivered.
+                self.stats.duplicate_chunks += 1;
+                return;
+            }
+            self.stats.duplicate_chunks += 1;
+            self.payload_discard = overlap;
+        }
+        self.payload = io::Cursor::new(payload);
+        self.payload_last_pc = 0;
+        self.payload_remaining = count;
+    }
+
+    /// v2: decode the next record, advancing through chunks as needed.
+    fn next_v2(&mut self) -> Result<Option<TraceRecord>, TraceError> {
+        loop {
+            while self.payload_remaining > 0 {
+                match decode_record(&mut self.payload, &mut self.payload_last_pc) {
+                    Ok(Some(record)) => {
+                        self.payload_remaining -= 1;
+                        if self.payload_discard > 0 {
+                            self.payload_discard -= 1;
+                            continue;
+                        }
+                        self.delivered += 1;
+                        self.pos += 1;
+                        self.stats.records_read += 1;
+                        return Ok(Some(record));
+                    }
+                    // A CRC-valid chunk that does not decode (possible
+                    // only under checksum collision): count the declared
+                    // remainder as lost.
+                    Ok(None) => {
+                        let why = TraceErrorKind::Corrupt(
+                            "chunk payload shorter than its record count".into(),
+                        );
+                        if !self.recover {
+                            return Err(self.error(why));
+                        }
+                        let lost = self.payload_remaining
+                            - self.payload_discard.min(self.payload_remaining);
+                        self.stats.records_skipped += lost;
+                        self.pos += lost;
+                        self.payload_remaining = 0;
+                        self.payload_discard = 0;
+                    }
+                    Err(e) => {
+                        if !self.recover {
+                            return Err(self.error(io_to_kind(e)));
+                        }
+                        let lost = self.payload_remaining
+                            - self.payload_discard.min(self.payload_remaining);
+                        self.stats.records_skipped += lost;
+                        self.pos += lost;
+                        self.payload_remaining = 0;
+                        self.payload_discard = 0;
+                    }
+                }
+            }
+            let parsed = match self.try_parse_chunk() {
+                Ok(parsed) => parsed,
+                Err(e) => return Err(self.error(TraceErrorKind::Io(e))),
+            };
+            match parsed {
+                ChunkParse::Chunk {
+                    first_index,
+                    count,
+                    payload,
+                } => self.install_chunk(first_index, count, payload),
+                ChunkParse::Trailer { total } => {
+                    self.total_written = Some(total);
+                    if total > self.pos {
+                        // The tail before the trailer was destroyed.
+                        self.stats.records_skipped += total - self.pos;
+                        self.pos = total;
+                    }
+                    return Ok(None);
+                }
+                ChunkParse::End => {
+                    if self.recover {
+                        // Truncated before the trailer: the tail loss is
+                        // unknowable, so it is not counted.
+                        return Ok(None);
+                    }
+                    return Err(self.error(TraceErrorKind::Truncated));
+                }
+                ChunkParse::Truncated => {
+                    if self.recover {
+                        self.resync_or_fail()?;
+                        continue;
+                    }
+                    return Err(self.error(TraceErrorKind::Truncated));
+                }
+                ChunkParse::BadSync => {
+                    if self.recover {
+                        self.resync_or_fail()?;
+                        continue;
+                    }
+                    return Err(
+                        self.error(TraceErrorKind::Corrupt("expected chunk sync marker".into()))
+                    );
+                }
+                ChunkParse::BadHeader(what) => {
+                    if self.recover {
+                        self.resync_or_fail()?;
+                        continue;
+                    }
+                    return Err(
+                        self.error(TraceErrorKind::Corrupt(format!("bad chunk header: {what}")))
+                    );
+                }
+                ChunkParse::BadCrc { stored, computed } => {
+                    self.stats.chunks_skipped += 1;
+                    if self.recover {
+                        self.resync_or_fail()?;
+                        continue;
+                    }
+                    return Err(self.error(TraceErrorKind::ChecksumMismatch { stored, computed }));
+                }
+            }
+        }
+    }
+
+    fn resync_or_fail(&mut self) -> Result<(), TraceError> {
+        self.resync().map_err(|e| self.error(TraceErrorKind::Io(e)))
     }
 }
 
-impl<R: Read> Iterator for TraceReader<R> {
-    type Item = io::Result<TraceRecord>;
+/// Maps low-level decode errors to trace error kinds.
+fn io_to_kind(e: io::Error) -> TraceErrorKind {
+    match e.kind() {
+        io::ErrorKind::UnexpectedEof => TraceErrorKind::Truncated,
+        io::ErrorKind::InvalidData => TraceErrorKind::Corrupt(e.to_string()),
+        _ => TraceErrorKind::Io(e),
+    }
+}
 
-    fn next(&mut self) -> Option<io::Result<TraceRecord>> {
+/// Position of the first [`SYNC_MARKER`] in `bytes`, if any.
+fn find_marker(bytes: &[u8]) -> Option<usize> {
+    if bytes.len() < SYNC_MARKER.len() {
+        return None;
+    }
+    let mut at = 0;
+    while at + SYNC_MARKER.len() <= bytes.len() {
+        match bytes[at..].iter().position(|&b| b == SYNC_MARKER[0]) {
+            Some(i) => at += i,
+            None => return None,
+        }
+        if at + SYNC_MARKER.len() > bytes.len() {
+            return None;
+        }
+        if bytes[at..at + SYNC_MARKER.len()] == SYNC_MARKER {
+            return Some(at);
+        }
+        at += 1;
+    }
+    None
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<TraceRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Result<TraceRecord, TraceError>> {
         if self.done {
             return None;
         }
-        match self.read_record() {
+        let next = if self.version == VERSION_V1 {
+            self.next_v1()
+        } else {
+            self.next_v2()
+        };
+        match next {
             Ok(Some(record)) => Some(Ok(record)),
             Ok(None) => {
                 self.done = true;
@@ -317,9 +961,10 @@ impl<R: Read> Iterator for TraceReader<R> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::TraceErrorKind;
     use crate::synthetic;
 
-    fn round_trip(records: &[TraceRecord], segments: SegmentMap) -> Vec<TraceRecord> {
+    fn encode(records: &[TraceRecord], segments: SegmentMap) -> Vec<u8> {
         let mut buf = Vec::new();
         let mut writer = TraceWriter::new(&mut buf, segments).unwrap();
         for r in records {
@@ -327,6 +972,11 @@ mod tests {
         }
         let written = writer.finish().unwrap();
         assert_eq!(written, records.len() as u64);
+        buf
+    }
+
+    fn round_trip(records: &[TraceRecord], segments: SegmentMap) -> Vec<TraceRecord> {
+        let buf = encode(records, segments);
         let reader = TraceReader::new(buf.as_slice()).unwrap();
         assert_eq!(reader.segment_map(), segments);
         reader.map(|r| r.unwrap()).collect()
@@ -351,9 +1001,44 @@ mod tests {
     }
 
     #[test]
+    fn multi_chunk_trace_round_trips() {
+        let records = synthetic::random_trace(1000, 7);
+        let mut buf = Vec::new();
+        let mut writer =
+            TraceWriter::with_chunk_records(&mut buf, SegmentMap::all_data(), 64).unwrap();
+        for r in &records {
+            writer.write_record(r).unwrap();
+        }
+        writer.finish().unwrap();
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        let got: Vec<_> = reader.by_ref().map(|r| r.unwrap()).collect();
+        assert_eq!(got, records);
+        assert_eq!(reader.records_written(), Some(1000));
+        assert_eq!(reader.recovery_stats().records_read, 1000);
+        assert_eq!(reader.recovery_stats().records_skipped, 0);
+    }
+
+    #[test]
+    fn v1_streams_remain_readable() {
+        let records = synthetic::random_trace(300, 9);
+        let segments = SegmentMap::new(64, 1 << 20);
+        let mut buf = Vec::new();
+        let mut writer = TraceWriter::v1(&mut buf, segments).unwrap();
+        for r in &records {
+            writer.write_record(r).unwrap();
+        }
+        assert_eq!(writer.finish().unwrap(), 300);
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        assert_eq!(reader.version(), 1);
+        assert_eq!(reader.segment_map(), segments);
+        let got: Vec<_> = reader.by_ref().map(|r| r.unwrap()).collect();
+        assert_eq!(got, records);
+    }
+
+    #[test]
     fn bad_magic_is_rejected() {
         let err = TraceReader::new(&b"NOPE\x01xxxx"[..]).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err.kind(), TraceErrorKind::BadMagic(m) if m == b"NOPE"));
     }
 
     #[test]
@@ -363,7 +1048,7 @@ mod tests {
         buf.push(99);
         buf.extend_from_slice(&[0, 0]);
         let err = TraceReader::new(buf.as_slice()).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err.kind(), TraceErrorKind::UnsupportedVersion(99)));
     }
 
     #[test]
@@ -379,32 +1064,183 @@ mod tests {
             ))
             .unwrap();
         writer.finish().unwrap();
-        buf.truncate(buf.len() - 1);
+        // Cut into the middle of the (only) data chunk.
+        buf.truncate(buf.len() - 18);
         let reader = TraceReader::new(buf.as_slice()).unwrap();
         let results: Vec<_> = reader.collect();
         assert_eq!(results.len(), 1);
-        assert!(results[0].is_err());
+        let err = results[0].as_ref().unwrap_err();
+        assert!(
+            matches!(err.kind(), TraceErrorKind::Truncated),
+            "kind: {err}"
+        );
+        // The error names the position: past the 7-byte header, no records
+        // decoded yet, inside the first chunk.
+        assert!(err.byte_offset() >= 7, "offset {}", err.byte_offset());
+        assert_eq!(err.record_index(), 0);
+        assert_eq!(err.chunk(), Some(0));
     }
 
     #[test]
-    fn varint_round_trips_edge_values() {
-        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
-            let mut buf = Vec::new();
-            write_varint(&mut buf, v).unwrap();
-            assert_eq!(read_varint(buf.as_slice()).unwrap(), v);
+    fn corrupt_chunk_fails_strict_reads_with_checksum_context() {
+        let records = synthetic::random_trace(200, 3);
+        let mut buf = Vec::new();
+        let mut writer =
+            TraceWriter::with_chunk_records(&mut buf, SegmentMap::all_data(), 64).unwrap();
+        for r in &records {
+            writer.write_record(r).unwrap();
         }
+        writer.finish().unwrap();
+        // Flip a byte inside the second chunk's payload.
+        let marker_positions: Vec<usize> = (0..buf.len())
+            .filter(|&i| buf[i..].starts_with(&SYNC_MARKER))
+            .collect();
+        assert!(marker_positions.len() >= 3);
+        buf[marker_positions[1] + 40] ^= 0x10;
+        let reader = TraceReader::new(buf.as_slice()).unwrap();
+        let results: Vec<_> = reader.collect();
+        let err = results.last().unwrap().as_ref().unwrap_err();
+        assert!(
+            matches!(err.kind(), TraceErrorKind::ChecksumMismatch { .. }),
+            "kind: {err}"
+        );
+        assert_eq!(err.record_index(), 64);
+        assert_eq!(err.chunk(), Some(1));
+        // 64 good records were delivered before the fault.
+        assert_eq!(results.len(), 65);
+        assert!(results[..64].iter().all(|r| r.is_ok()));
     }
 
     #[test]
-    fn zigzag_round_trips() {
-        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
-            assert_eq!(unzigzag(zigzag(v)), v);
+    fn recovery_skips_a_corrupt_chunk_and_counts_the_loss() {
+        let records = synthetic::random_trace(256, 5);
+        let mut buf = Vec::new();
+        let mut writer =
+            TraceWriter::with_chunk_records(&mut buf, SegmentMap::all_data(), 64).unwrap();
+        for r in &records {
+            writer.write_record(r).unwrap();
         }
+        writer.finish().unwrap();
+        let marker_positions: Vec<usize> = (0..buf.len())
+            .filter(|&i| buf[i..].starts_with(&SYNC_MARKER))
+            .collect();
+        // Corrupt the second of four data chunks.
+        buf[marker_positions[1] + 30] ^= 0xff;
+        let mut reader = TraceReader::with_recovery(buf.as_slice()).unwrap();
+        let got: Vec<_> = reader.by_ref().map(|r| r.unwrap()).collect();
+        let stats = reader.recovery_stats();
+        assert_eq!(stats.records_read, 192);
+        assert_eq!(stats.records_skipped, 64);
+        assert_eq!(stats.chunks_skipped, 1);
+        assert!(stats.resyncs >= 1);
+        // The surviving records are exactly the other three chunks.
+        let expected: Vec<_> = records[..64]
+            .iter()
+            .chain(&records[128..])
+            .cloned()
+            .collect();
+        assert_eq!(got, expected);
+        assert_eq!(reader.records_written(), Some(256));
     }
 
     #[test]
-    fn varint_overflow_is_rejected() {
-        let buf = [0xffu8; 11];
-        assert!(read_varint(&buf[..]).is_err());
+    fn recovery_counts_a_destroyed_tail_via_the_trailer() {
+        let records = synthetic::random_trace(128, 11);
+        let mut buf = Vec::new();
+        let mut writer =
+            TraceWriter::with_chunk_records(&mut buf, SegmentMap::all_data(), 64).unwrap();
+        for r in &records {
+            writer.write_record(r).unwrap();
+        }
+        writer.finish().unwrap();
+        let marker_positions: Vec<usize> = (0..buf.len())
+            .filter(|&i| buf[i..].starts_with(&SYNC_MARKER))
+            .collect();
+        // Destroy the last data chunk (between the last two markers).
+        for b in &mut buf[marker_positions[1]..marker_positions[2]] {
+            *b = 0x00;
+        }
+        let mut reader = TraceReader::with_recovery(buf.as_slice()).unwrap();
+        let got: Vec<_> = reader.by_ref().map(|r| r.unwrap()).collect();
+        assert_eq!(got, records[..64]);
+        let stats = reader.recovery_stats();
+        assert_eq!(stats.records_read, 64);
+        assert_eq!(stats.records_skipped, 64);
+    }
+
+    #[test]
+    fn recovery_drops_duplicated_chunks() {
+        let records = synthetic::random_trace(128, 13);
+        let mut buf = Vec::new();
+        let mut writer =
+            TraceWriter::with_chunk_records(&mut buf, SegmentMap::all_data(), 64).unwrap();
+        for r in &records {
+            writer.write_record(r).unwrap();
+        }
+        writer.finish().unwrap();
+        let marker_positions: Vec<usize> = (0..buf.len())
+            .filter(|&i| buf[i..].starts_with(&SYNC_MARKER))
+            .collect();
+        // Duplicate the first data chunk in place.
+        let first_chunk = buf[marker_positions[0]..marker_positions[1]].to_vec();
+        let mut mutated = buf[..marker_positions[1]].to_vec();
+        mutated.extend_from_slice(&first_chunk);
+        mutated.extend_from_slice(&buf[marker_positions[1]..]);
+        let mut reader = TraceReader::with_recovery(mutated.as_slice()).unwrap();
+        let got: Vec<_> = reader.by_ref().map(|r| r.unwrap()).collect();
+        assert_eq!(got, records);
+        let stats = reader.recovery_stats();
+        assert_eq!(stats.duplicate_chunks, 1);
+        assert_eq!(stats.records_skipped, 0);
+    }
+
+    #[test]
+    fn recovery_of_a_clean_stream_is_lossless() {
+        let records = synthetic::random_trace(500, 17);
+        let buf = encode(&records, SegmentMap::all_data());
+        let mut reader = TraceReader::with_recovery(buf.as_slice()).unwrap();
+        let got: Vec<_> = reader.by_ref().map(|r| r.unwrap()).collect();
+        assert_eq!(got, records);
+        assert_eq!(
+            reader.recovery_stats(),
+            RecoveryStats {
+                records_read: 500,
+                ..RecoveryStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn strict_reader_reports_missing_trailer() {
+        let records = synthetic::random_trace(64, 19);
+        let mut buf = Vec::new();
+        let mut writer =
+            TraceWriter::with_chunk_records(&mut buf, SegmentMap::all_data(), 64).unwrap();
+        for r in &records {
+            writer.write_record(r).unwrap();
+        }
+        writer.finish().unwrap();
+        let marker_positions: Vec<usize> = (0..buf.len())
+            .filter(|&i| buf[i..].starts_with(&SYNC_MARKER))
+            .collect();
+        // Drop the trailer entirely.
+        buf.truncate(*marker_positions.last().unwrap());
+        let reader = TraceReader::new(buf.as_slice()).unwrap();
+        let results: Vec<_> = reader.collect();
+        assert_eq!(results.len(), 65);
+        assert!(matches!(
+            results[64].as_ref().unwrap_err().kind(),
+            TraceErrorKind::Truncated
+        ));
+    }
+
+    #[test]
+    fn find_marker_locates_embedded_markers() {
+        let mut bytes = vec![0xa5u8; 20];
+        assert_eq!(find_marker(&bytes), None);
+        bytes.extend_from_slice(&SYNC_MARKER);
+        assert_eq!(find_marker(&bytes), Some(20));
+        assert_eq!(find_marker(&SYNC_MARKER), Some(0));
+        assert_eq!(find_marker(&SYNC_MARKER[..7]), None);
     }
 }

@@ -1,0 +1,99 @@
+//! CRC32 (IEEE 802.3 polynomial), table-driven, dependency-free.
+//!
+//! Guards v2 trace chunks and analyzer checkpoint files. The table is built
+//! at compile time; throughput is ample for framing checks (the payloads it
+//! covers are a few tens of kilobytes).
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Incremental CRC32 state.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh checksum.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Crc32 {
+        Crc32 { state: !0 }
+    }
+
+    /// Feeds bytes into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let index = ((self.state ^ u32::from(b)) & 0xff) as usize;
+            self.state = (self.state >> 8) ^ TABLE[index];
+        }
+    }
+
+    /// The checksum over everything fed so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"chunked trace payload bytes";
+        let mut crc = Crc32::new();
+        crc.update(&data[..7]);
+        crc.update(&data[7..]);
+        assert_eq!(crc.finish(), crc32(data));
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let reference = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut mutated = data.clone();
+                mutated[byte] ^= 1 << bit;
+                assert_ne!(crc32(&mutated), reference, "byte {byte} bit {bit}");
+            }
+        }
+    }
+}

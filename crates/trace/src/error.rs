@@ -1,0 +1,186 @@
+//! Typed trace-format errors carrying stream context.
+//!
+//! Every reader error names *where* the stream went bad: the absolute byte
+//! offset, the index of the record being decoded, and (for the chunked v2
+//! format) the ordinal of the enclosing chunk. Long captures make "invalid
+//! data" useless without a position — the whole point of the fault-tolerant
+//! reader is to tell the operator what was lost and where.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// What went wrong while reading a trace stream.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceErrorKind {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// The stream does not start with the `PGTR` magic.
+    BadMagic([u8; 4]),
+    /// The stream declares a format version this reader does not know.
+    UnsupportedVersion(u8),
+    /// The stream ended in the middle of a record, chunk, or header.
+    Truncated,
+    /// A v2 chunk failed its CRC32 check.
+    ChecksumMismatch {
+        /// CRC stored in the chunk header.
+        stored: u32,
+        /// CRC computed over the received bytes.
+        computed: u32,
+    },
+    /// The bytes decoded but violate the format (bad tag, overflowing
+    /// varint, impossible field...).
+    Corrupt(String),
+}
+
+/// A trace-format error with stream context.
+///
+/// Produced by [`TraceReader`](crate::binary::TraceReader); the writer side
+/// only performs I/O and keeps plain [`io::Result`]s.
+#[derive(Debug)]
+pub struct TraceError {
+    kind: TraceErrorKind,
+    byte_offset: u64,
+    record_index: u64,
+    chunk: Option<u64>,
+}
+
+impl TraceError {
+    /// Builds an error at the given stream position.
+    pub(crate) fn new(kind: TraceErrorKind, byte_offset: u64, record_index: u64) -> TraceError {
+        TraceError {
+            kind,
+            byte_offset,
+            record_index,
+            chunk: None,
+        }
+    }
+
+    /// Attaches the ordinal of the enclosing v2 chunk.
+    pub(crate) fn in_chunk(mut self, chunk: u64) -> TraceError {
+        self.chunk = Some(chunk);
+        self
+    }
+
+    /// What went wrong.
+    pub fn kind(&self) -> &TraceErrorKind {
+        &self.kind
+    }
+
+    /// Absolute byte offset into the stream where the error was detected.
+    pub fn byte_offset(&self) -> u64 {
+        self.byte_offset
+    }
+
+    /// Index of the record being decoded when the error was detected
+    /// (equivalently: how many records had been successfully read).
+    pub fn record_index(&self) -> u64 {
+        self.record_index
+    }
+
+    /// Ordinal of the enclosing chunk, for chunked (v2) streams.
+    pub fn chunk(&self) -> Option<u64> {
+        self.chunk
+    }
+
+    /// Whether this error indicates corrupt or truncated trace data (as
+    /// opposed to an underlying I/O failure).
+    pub fn is_corruption(&self) -> bool {
+        !matches!(self.kind, TraceErrorKind::Io(_))
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            TraceErrorKind::Io(e) => write!(f, "trace read failed: {e}")?,
+            TraceErrorKind::BadMagic(m) => {
+                write!(f, "not a Paragraph trace (magic {m:02x?})")?;
+            }
+            TraceErrorKind::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace version {v}")?;
+            }
+            TraceErrorKind::Truncated => write!(f, "trace truncated mid-record")?,
+            TraceErrorKind::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "chunk checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            )?,
+            TraceErrorKind::Corrupt(why) => write!(f, "corrupt trace: {why}")?,
+        }
+        write!(
+            f,
+            " at byte {}, record {}",
+            self.byte_offset, self.record_index
+        )?;
+        if let Some(chunk) = self.chunk {
+            write!(f, ", chunk {chunk}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match &self.kind {
+            TraceErrorKind::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Lets trace errors flow through `io::Result` call chains (doc examples,
+/// CLI plumbing) without losing the typed payload.
+impl From<TraceError> for io::Error {
+    fn from(e: TraceError) -> io::Error {
+        let kind = match &e.kind {
+            TraceErrorKind::Io(inner) => inner.kind(),
+            TraceErrorKind::Truncated => io::ErrorKind::UnexpectedEof,
+            _ => io::ErrorKind::InvalidData,
+        };
+        io::Error::new(kind, e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let err = TraceError::new(
+            TraceErrorKind::ChecksumMismatch {
+                stored: 0xdead_beef,
+                computed: 0x1234_5678,
+            },
+            96,
+            4096,
+        )
+        .in_chunk(2);
+        let text = err.to_string();
+        assert!(text.contains("byte 96"), "{text}");
+        assert!(text.contains("record 4096"), "{text}");
+        assert!(text.contains("chunk 2"), "{text}");
+        assert!(text.contains("0xdeadbeef"), "{text}");
+    }
+
+    #[test]
+    fn io_conversion_keeps_message_and_kind() {
+        let err = TraceError::new(TraceErrorKind::Truncated, 10, 3);
+        let io_err: io::Error = err.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(io_err.to_string().contains("byte 10"));
+    }
+
+    #[test]
+    fn corruption_predicate_excludes_io() {
+        let io_side = TraceError::new(
+            TraceErrorKind::Io(io::Error::new(io::ErrorKind::Other, "disk")),
+            0,
+            0,
+        );
+        assert!(!io_side.is_corruption());
+        let data_side = TraceError::new(TraceErrorKind::Corrupt("tag".into()), 0, 0);
+        assert!(data_side.is_corruption());
+    }
+}

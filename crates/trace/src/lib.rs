@@ -13,7 +13,10 @@
 //! * [`TraceStats`] — first-order metrics (operation frequencies) of a trace.
 //! * [`binary`] — a compact binary on-disk trace format with a streaming
 //!   reader and writer, so traces can be captured once and re-analyzed under
-//!   many machine models.
+//!   many machine models. Version 2 frames records into checksummed chunks
+//!   so a reader can survive (and account for) corruption; see
+//!   [`error::TraceError`] for the typed failures and [`faultinject`] for
+//!   the harness that exercises them.
 //! * [`synthetic`] — parametric trace generators with known dependency
 //!   structure (chains, wide independent blocks, diamonds), used heavily by
 //!   the analyzer's test suite.
@@ -34,12 +37,17 @@
 #![warn(missing_docs)]
 
 pub mod binary;
+pub mod crc32;
+pub mod error;
+pub mod faultinject;
 mod loc;
 mod record;
 mod segment;
 mod stats;
 pub mod synthetic;
+pub mod wire;
 
+pub use error::{TraceError, TraceErrorKind};
 pub use loc::Loc;
 pub use record::{BranchInfo, TraceRecord};
 pub use segment::{Segment, SegmentMap};

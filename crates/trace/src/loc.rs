@@ -38,7 +38,10 @@ impl Loc {
     ///
     /// Panics if `index` is not below 32.
     pub fn int(index: u8) -> Loc {
-        Loc::IntReg(IntReg::new(index).expect("integer register index out of range"))
+        match IntReg::new(index) {
+            Some(reg) => Loc::IntReg(reg),
+            None => panic!("integer register index {index} out of range"),
+        }
     }
 
     /// A floating-point register location.
@@ -47,7 +50,10 @@ impl Loc {
     ///
     /// Panics if `index` is not below 32.
     pub fn fp(index: u8) -> Loc {
-        Loc::FpReg(FpReg::new(index).expect("floating-point register index out of range"))
+        match FpReg::new(index) {
+            Some(reg) => Loc::FpReg(reg),
+            None => panic!("floating-point register index {index} out of range"),
+        }
     }
 
     /// A memory-word location.

@@ -1,0 +1,91 @@
+//! Varint / zig-zag wire primitives shared by the trace format and the
+//! analyzer checkpoint format.
+
+use std::io::{self, Read, Write};
+
+/// Writes `v` as an LEB128 varint.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_varint<W: Write>(mut w: W, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// Reads an LEB128 varint.
+///
+/// # Errors
+///
+/// Returns `InvalidData` if the encoding overflows a `u64`, and propagates
+/// I/O errors (including `UnexpectedEof` on truncation).
+pub fn read_varint<R: Read>(mut r: R) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        let b = byte[0];
+        if shift >= 64 || (shift == 63 && b > 1) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint overflows u64",
+            ));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Maps a signed value to an unsigned one with small magnitudes first.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            assert_eq!(read_varint(buf.as_slice()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_overflow_is_rejected() {
+        let buf = [0xffu8; 11];
+        assert!(read_varint(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_varint_reports_eof() {
+        let buf = [0x80u8];
+        let err = read_varint(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -27,6 +27,17 @@ pub enum VmErrorKind {
     },
     /// A `read_int` system call with no input left in the queue.
     InputExhausted,
+    /// The machine's hard fuel limit ([`Vm::set_fuel_limit`]) was reached.
+    /// Unlike [`HaltReason::FuelExhausted`] — an orderly trace truncation —
+    /// this is the typed failure for a workload that was expected to
+    /// terminate but did not.
+    ///
+    /// [`Vm::set_fuel_limit`]: crate::Vm::set_fuel_limit
+    /// [`HaltReason::FuelExhausted`]: crate::HaltReason::FuelExhausted
+    FuelExhausted {
+        /// The configured hard limit, in dynamic instructions.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for VmErrorKind {
@@ -41,6 +52,9 @@ impl fmt::Display for VmErrorKind {
                 write!(f, "unknown system call number {number}")
             }
             VmErrorKind::InputExhausted => write!(f, "read_int with empty input queue"),
+            VmErrorKind::FuelExhausted { limit } => {
+                write!(f, "hard fuel limit of {limit} instructions exhausted")
+            }
         }
     }
 }

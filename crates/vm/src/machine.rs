@@ -65,6 +65,9 @@ pub struct Vm {
     output: String,
     executed: u64,
     halted: Option<HaltReason>,
+    /// Hard cap on total executed instructions; exceeding it is a fault
+    /// ([`VmErrorKind::FuelExhausted`]), not an orderly truncation.
+    fuel_limit: Option<u64>,
 }
 
 impl Vm {
@@ -89,6 +92,7 @@ impl Vm {
             output: String::new(),
             executed: 0,
             halted: None,
+            fuel_limit: None,
         }
     }
 
@@ -112,6 +116,22 @@ impl Vm {
         self.output.clear();
         self.executed = 0;
         self.halted = None;
+    }
+
+    /// Sets (or clears) a hard limit on total executed instructions, across
+    /// all runs. A workload that reaches the limit returns a typed
+    /// [`VmErrorKind::FuelExhausted`] fault instead of looping forever —
+    /// use it to bound runaway workloads in batch sweeps, where the
+    /// per-[`run`](Vm::run) fuel is an *expected* truncation (the paper's
+    /// 100M-instruction trace cap) and must stay a success.
+    pub fn set_fuel_limit(&mut self, limit: Option<u64>) -> &mut Vm {
+        self.fuel_limit = limit;
+        self
+    }
+
+    /// The configured hard fuel limit, if any.
+    pub fn fuel_limit(&self) -> Option<u64> {
+        self.fuel_limit
     }
 
     /// Queues an integer for the `read_int` system call.
@@ -197,6 +217,14 @@ impl Vm {
             });
         }
         while executed_now < fuel {
+            if let Some(limit) = self.fuel_limit {
+                if self.executed >= limit {
+                    return Err(VmError::new(
+                        u64::from(self.pc),
+                        VmErrorKind::FuelExhausted { limit },
+                    ));
+                }
+            }
             match self.step(&mut sink)? {
                 None => executed_now += 1,
                 Some(reason) => {
@@ -779,6 +807,31 @@ mod tests {
         let outcome = vm.run(500).unwrap();
         assert_eq!(outcome.executed(), 500);
         assert_eq!(vm.executed(), 1500);
+    }
+
+    #[test]
+    fn hard_fuel_limit_is_a_typed_fault() {
+        let program = assemble(".text\nmain:\n j main\n").unwrap();
+        let mut vm = Vm::new(program);
+        vm.set_fuel_limit(Some(100));
+        let err = vm.run(DEFAULT_FUEL).unwrap_err();
+        assert_eq!(err.kind(), VmErrorKind::FuelExhausted { limit: 100 });
+        assert_eq!(vm.executed(), 100);
+        // The limit spans runs: another run faults immediately.
+        assert!(vm.run(10).is_err());
+        // Raising the limit lets execution continue.
+        vm.set_fuel_limit(Some(150));
+        assert_eq!(vm.run(DEFAULT_FUEL).unwrap_err().pc(), 0);
+        assert_eq!(vm.executed(), 150);
+    }
+
+    #[test]
+    fn fuel_limit_does_not_fault_terminating_programs() {
+        let program = assemble(".text\nmain:\n li r4, 1\n halt\n").unwrap();
+        let mut vm = Vm::new(program);
+        vm.set_fuel_limit(Some(1000));
+        assert!(vm.run(DEFAULT_FUEL).unwrap().halted());
+        assert_eq!(vm.fuel_limit(), Some(1000));
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no network access and no registry cache, so the
+//! real `proptest` cannot be fetched. This vendored crate implements the
+//! subset of the API used by this workspace's property tests: the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map` / `prop_filter`,
+//! range and tuple and `Vec` strategies, [`strategy::Just`], `any::<T>()`,
+//! `collection::vec`, `prop_oneof!`, the `proptest!` test macro, and the
+//! `prop_assert*` assertion macros.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed, and there is **no shrinking** — a failing case reports the
+//! panic from the offending input directly. `proptest-regressions` files are
+//! ignored.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in any::<i64>(), b in any::<i64>()) {
+///         prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng =
+                $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Picks one of several strategies uniformly at random per generated value.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        ::std::assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        ::std::assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        ::std::assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        ::std::assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        ::std::assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        ::std::assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_vecs_generate_in_bounds() {
+        let strat = (
+            1u8..5,
+            crate::collection::vec(0i64..=3, 2..=4),
+            any::<bool>(),
+        );
+        let mut rng = TestRng::for_test("bounds");
+        for _ in 0..200 {
+            let (a, v, _b) = strat.generate(&mut rng);
+            assert!((1..5).contains(&a));
+            assert!((2..=4).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..=3).contains(x)));
+        }
+    }
+
+    #[test]
+    fn map_filter_flat_map_compose() {
+        let strat = (0u64..10)
+            .prop_filter("nonzero", |&x| x != 0)
+            .prop_map(|x| x * 2)
+            .prop_flat_map(|x| crate::collection::vec(crate::strategy::Just(x), 1..3));
+        let mut rng = TestRng::for_test("compose");
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(!v.is_empty());
+            assert!(v.iter().all(|&x| x != 0 && x % 2 == 0));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_branches() {
+        let strat = prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut rng = TestRng::for_test("oneof");
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[strat.generate(&mut rng) as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn vec_of_strategies_is_a_strategy() {
+        let strat: Vec<_> = (0..5u64).map(crate::strategy::Just).collect();
+        let mut rng = TestRng::for_test("vecstrat");
+        assert_eq!(strat.generate(&mut rng), vec![0, 1, 2, 3, 4]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(a in any::<i64>(), b in 1i64..100) {
+            prop_assert!(b >= 1);
+            prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+            prop_assert_ne!(b, 0);
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! The [`Strategy`] trait and the combinators this workspace uses.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of a type.
+///
+/// Unlike upstream proptest there is no value tree and no shrinking: a
+/// strategy simply produces one value per call.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, map }
+    }
+
+    /// Generates a value, then generates from the strategy it maps to.
+    fn prop_flat_map<S, F>(self, map: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, map }
+    }
+
+    /// Rejects generated values failing `predicate`, retrying with fresh
+    /// values (upstream rejects whole cases instead; the effect is the
+    /// same for the filters used here).
+    fn prop_filter<F>(self, reason: impl Into<String>, predicate: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            reason: reason.into(),
+            predicate,
+        }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.map)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    source: S,
+    reason: String,
+    predicate: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let value = self.source.generate(rng);
+            if (self.predicate)(&value) {
+                return value;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1000 consecutive values",
+            self.reason
+        );
+    }
+}
+
+/// Uniform choice between boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let index = rng.below(self.options.len() as u64) as usize;
+        self.options[index].generate(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+/// An arbitrary value of `T` (edge cases mixed with uniform bits).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // 1-in-8: an edge case; otherwise uniform bits.
+                if rng.below(8) == 0 {
+                    // Near-extreme edges (exact MIN is measure-zero under
+                    // upstream's uniform strategy, and some consumers
+                    // format values as `-(magnitude)` literals that cannot
+                    // express it).
+                    match rng.below(5) {
+                        0 => 0,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN.wrapping_add(1),
+                        3 => 1 as $t,
+                        _ => (0 as $t).wrapping_sub(1),
+                    }
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_arbitrary {
+    ($($t:ident),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // 1-in-8: a special value (as upstream's default float
+                // strategy includes infinities and NaN); otherwise a finite
+                // value spanning many magnitudes.
+                if rng.below(8) == 0 {
+                    match rng.below(8) {
+                        0 => 0.0,
+                        1 => -0.0,
+                        2 => 1.0,
+                        3 => -1.0,
+                        4 => $t::MAX,
+                        5 => $t::MIN_POSITIVE,
+                        6 => $t::INFINITY,
+                        _ => $t::NAN,
+                    }
+                } else {
+                    let mantissa = (rng.next_u64() >> 11) as $t
+                        / (1u64 << 53) as $t * 2.0 - 1.0;
+                    let exp = rng.below(61) as i32 - 30;
+                    let scaled = mantissa * (2.0 as $t).powi(exp);
+                    if scaled.is_finite() { scaled } else { mantissa }
+                }
+            }
+        }
+    )*};
+}
+
+float_arbitrary!(f32, f64);
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                (self.start as u64).wrapping_add(rng.below(span)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                let offset = if span == u64::MAX {
+                    rng.next_u64()
+                } else {
+                    rng.below(span + 1)
+                };
+                (lo as u64).wrapping_add(offset) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// A `Vec` of strategies generates element-wise (used by
+/// `prop_flat_map` closures that build one strategy per slot).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
