@@ -10,7 +10,10 @@
 //!
 //! The sweep is restartable: analyzer state is checkpointed periodically
 //! under `$PARAGRAPH_OUT/checkpoints/`, and a rerun after an interrupt
-//! resumes mid-workload instead of starting the analysis over.
+//! resumes mid-workload instead of starting the analysis over. Each
+//! workload also leaves a telemetry manifest (wall time, throughput,
+//! checkpoint activity) under `$PARAGRAPH_OUT/fig7/telemetry/`, so sweep
+//! performance can be compared run over run.
 
 use paragraph_bench::{parallelism, Study};
 use paragraph_core::AnalysisConfig;
@@ -24,11 +27,20 @@ fn main() -> std::io::Result<()> {
     fs::create_dir_all(&dir)?;
     println!("Figure 7: Parallelism Profiles for the SPEC Benchmarks");
     for id in WorkloadId::ALL {
-        let (report, _) = study.measure_restartable("fig7", id, &AnalysisConfig::dataflow_limit());
+        let (report, _, telemetry) =
+            study.measure_restartable_instrumented("fig7", id, &AnalysisConfig::dataflow_limit());
         let path = dir.join(format!("{id}.csv"));
         report
             .profile()
             .write_csv(BufWriter::new(fs::File::create(&path)?))?;
+        let manifest = study.write_run_manifest("fig7", id, &report, &telemetry)?;
+        // Diagnostics (throughput, artifact paths) go to stderr; stdout is
+        // the figure itself.
+        eprintln!(
+            "fig7/{id}: {:.2}M records/s, telemetry manifest {}",
+            telemetry.records_per_sec / 1e6,
+            manifest.display()
+        );
         println!();
         println!(
             "{id} — {} levels, mean {} ops/level, burstiness (cv) {:.2}  [{}]",

@@ -12,13 +12,15 @@
 //! The sweep is restartable at workload granularity: each completed
 //! workload's row is stored under `$PARAGRAPH_OUT/checkpoints/`, a rerun
 //! after an interrupt skips finished workloads, and the markers are cleared
-//! once the full sweep lands.
+//! once the full sweep lands. Freshly computed workloads leave a telemetry
+//! manifest (wall time, throughput) under `$PARAGRAPH_OUT/fig8/telemetry/`.
 
-use paragraph_bench::{analyze_many, Study};
+use paragraph_bench::{analyze_many, RunTelemetry, Study};
 use paragraph_core::{analyze_refs, AnalysisConfig, WindowSize};
 use paragraph_workloads::WorkloadId;
 use std::fs;
 use std::io::Write as _;
+use std::time::Instant;
 
 /// Window sizes swept (powers of ten with intermediate points, as the
 /// paper's log-scale x axis).
@@ -67,9 +69,11 @@ fn main() -> std::io::Result<()> {
             }
             eprintln!("fig8/{id}: stale stage marker ignored");
         }
+        let started = Instant::now();
         let (records, segments) = study.collect(id);
         let base = AnalysisConfig::dataflow_limit().with_segments(segments);
-        let full = analyze_refs(&records, &base).available_parallelism();
+        let full_report = analyze_refs(&records, &base);
+        let full = full_report.available_parallelism();
         let configs: Vec<AnalysisConfig> = WINDOWS
             .iter()
             .map(|&w| base.clone().with_window(WindowSize::bounded(w)))
@@ -86,6 +90,29 @@ fn main() -> std::io::Result<()> {
             .map(|p| format!("{p:.12}"))
             .collect();
         study.store_stage("fig8", id.name(), &row.join(","))?;
+
+        // Telemetry manifest for this workload's full ladder: the records
+        // figure counts one analysis pass per window plus the unbounded one.
+        let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let analyzed = (records.len() as u64) * (WINDOWS.len() as u64 + 1);
+        let telemetry = RunTelemetry {
+            records_analyzed: analyzed,
+            wall_ns,
+            records_per_sec: if wall_ns == 0 {
+                0.0
+            } else {
+                analyzed as f64 / (wall_ns as f64 / 1e9)
+            },
+            checkpoints_written: 0,
+            resumed_at: None,
+            window_stalls: 0,
+        };
+        let manifest = study.write_run_manifest("fig8", id, &full_report, &telemetry)?;
+        eprintln!(
+            "fig8/{id}: {:.2}M records/s across the window ladder, telemetry manifest {}",
+            telemetry.records_per_sec / 1e6,
+            manifest.display()
+        );
     }
     study.clear_stages("fig8");
 
@@ -117,6 +144,7 @@ fn main() -> std::io::Result<()> {
         println!("  {:<11} {:>8.2}", id.name(), absolutes[w_idx][w128]);
     }
     println!();
-    println!("CSV matrix written to {}", csv_path.display());
+    // Artifact-path diagnostics go to stderr, keeping stdout as the figure.
+    eprintln!("CSV matrix written to {}", csv_path.display());
     Ok(())
 }

@@ -42,6 +42,7 @@ use paragraph_workloads::{Workload, WorkloadId};
 use std::fs;
 use std::io::{BufReader, BufWriter, Write as _};
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// Records between harness checkpoints in [`Study::measure_restartable`].
 pub const CHECKPOINT_EVERY: u64 = 1_000_000;
@@ -149,6 +150,23 @@ impl Study {
         id: WorkloadId,
         config: &AnalysisConfig,
     ) -> (AnalysisReport, RunOutcome) {
+        let (report, outcome, _) = self.measure_restartable_instrumented(study, id, config);
+        (report, outcome)
+    }
+
+    /// [`Study::measure_restartable`] plus a [`RunTelemetry`] record of how
+    /// the run itself went — wall time, throughput, checkpoint activity —
+    /// for the sweeps' per-workload telemetry manifests.
+    ///
+    /// # Panics
+    ///
+    /// Panics on VM faults, as for [`Study::measure`].
+    pub fn measure_restartable_instrumented(
+        &self,
+        study: &str,
+        id: WorkloadId,
+        config: &AnalysisConfig,
+    ) -> (AnalysisReport, RunOutcome, RunTelemetry) {
         let workload = self.workload(id);
         let mut vm = workload.vm();
         let config = config.clone().with_segments(vm.segment_map());
@@ -173,7 +191,9 @@ impl Study {
         let mut analyzer = analyzer.unwrap_or_else(|| LiveWell::new(config));
         let skip = analyzer.records_processed();
 
+        let started = Instant::now();
         let mut seen = 0u64;
+        let mut checkpoints_written = 0u64;
         let mut save_failed = false;
         let outcome = vm
             .run_traced(self.fuel, |record| {
@@ -188,12 +208,50 @@ impl Study {
                         // must not die because the disk did.
                         eprintln!("{study}/{id}: checkpoint failed, continuing without: {e}");
                         save_failed = true;
+                    } else {
+                        checkpoints_written += 1;
                     }
                 }
             })
             .unwrap_or_else(|e| panic!("{id}: {e}"));
         let _ = fs::remove_file(&path);
-        (analyzer.finish(), outcome)
+        let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let analyzed = analyzer.records_processed().saturating_sub(skip);
+        let telemetry = RunTelemetry {
+            records_analyzed: analyzed,
+            wall_ns,
+            records_per_sec: if wall_ns == 0 {
+                0.0
+            } else {
+                analyzed as f64 / (wall_ns as f64 / 1e9)
+            },
+            checkpoints_written,
+            resumed_at: (skip > 0).then_some(skip),
+            window_stalls: analyzer.window_stalls(),
+        };
+        (analyzer.finish(), outcome, telemetry)
+    }
+
+    /// Writes a per-workload telemetry manifest under
+    /// `<out_dir>/<study>/telemetry/<id>.json` and returns its path. The
+    /// manifest joins the run's [`RunTelemetry`] with the report's headline
+    /// figures, so sweep throughput can be compared run over run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_run_manifest(
+        &self,
+        study: &str,
+        id: WorkloadId,
+        report: &AnalysisReport,
+        telemetry: &RunTelemetry,
+    ) -> std::io::Result<PathBuf> {
+        let dir = self.out_dir.join(study).join("telemetry");
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{id}.json"));
+        fs::write(&path, run_manifest_json(id, report, telemetry))?;
+        Ok(path)
     }
 
     /// Path of a completed-stage marker for `study`/`key` (used to make
@@ -240,6 +298,59 @@ impl Study {
             }
         }
     }
+}
+
+/// How one instrumented harness run went: wall time, throughput, and
+/// checkpoint/resume activity. Produced by
+/// [`Study::measure_restartable_instrumented`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunTelemetry {
+    /// Records analyzed by *this* process (excludes records skipped after a
+    /// resume).
+    pub records_analyzed: u64,
+    /// Wall-clock nanoseconds of the trace-and-analyze loop.
+    pub wall_ns: u64,
+    /// Analysis throughput in records per second.
+    pub records_per_sec: f64,
+    /// Checkpoints successfully written during the run.
+    pub checkpoints_written: u64,
+    /// Record index a prior checkpoint resumed from, if any.
+    pub resumed_at: Option<u64>,
+    /// Times the instruction window constrained placement (since start or
+    /// resume; see [`LiveWell::window_stalls`]).
+    pub window_stalls: u64,
+}
+
+/// Renders a per-workload telemetry manifest as a single JSON object.
+pub fn run_manifest_json(
+    id: WorkloadId,
+    report: &AnalysisReport,
+    telemetry: &RunTelemetry,
+) -> String {
+    format!(
+        concat!(
+            "{{\"workload\":\"{}\",\"records\":{},\"placed\":{},",
+            "\"critical_path\":{},\"parallelism\":{:.6},",
+            "\"live_well_evictions\":{},\"records_analyzed\":{},",
+            "\"wall_ns\":{},\"records_per_sec\":{:.2},",
+            "\"checkpoints_written\":{},\"resumed_at\":{},",
+            "\"window_stalls\":{}}}\n"
+        ),
+        id.name(),
+        report.total_records(),
+        report.placed_ops(),
+        report.critical_path_length(),
+        report.available_parallelism(),
+        report.live_well_evictions(),
+        telemetry.records_analyzed,
+        telemetry.wall_ns,
+        telemetry.records_per_sec,
+        telemetry.checkpoints_written,
+        telemetry
+            .resumed_at
+            .map_or("null".to_owned(), |v| v.to_string()),
+        telemetry.window_stalls,
+    )
 }
 
 /// Writes a checkpoint to `path` via a temp file and rename, so an

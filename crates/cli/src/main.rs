@@ -14,6 +14,8 @@
 //! ```
 
 use paragraph_core::branch::{BranchPolicy, PredictorKind};
+use paragraph_core::telemetry::progress::ProgressReporter;
+use paragraph_core::telemetry::{self, Value};
 use paragraph_core::{
     analyze_refs, AnalysisConfig, AnalysisReport, LiveWell, MemoryModel, RenameSet, SyscallPolicy,
     WindowSize,
@@ -27,6 +29,7 @@ use std::fmt;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// A CLI failure, classified so scripts can dispatch on the exit code:
 /// 2 usage, 3 I/O, 4 corrupt trace/checkpoint input, 5 analysis failure.
@@ -172,6 +175,15 @@ fault tolerance (analyze):
   --live-well-cap N     bound the live-well table to N memory locations,
                         evicting the coldest (reported as a caveat)
 
+telemetry (analyze; see docs/telemetry.md):
+  --progress[=SECS]     heartbeat line to stderr every SECS seconds
+                        (default 2): records, %done, MB/s, critical path, ETA
+  --telemetry-out FILE  write a JSONL structured event log
+  --metrics-out FILE    write a Prometheus text snapshot at exit and at
+                        every checkpoint
+  stats --telemetry FILE   summarize a JSONL log (per-stage table)
+  stats --metrics FILE     validate a Prometheus snapshot
+
 exit codes: 0 ok, 2 usage, 3 I/O, 4 corrupt trace, 5 analysis failure"
     );
 }
@@ -206,6 +218,14 @@ struct Options {
     checkpoint: Option<String>,
     resume: Option<String>,
     live_well_cap: Option<usize>,
+    /// Heartbeat interval in seconds (`--progress[=N]`).
+    progress: Option<f64>,
+    telemetry_out: Option<String>,
+    metrics_out: Option<String>,
+    /// `stats --telemetry FILE`: summarize a JSONL telemetry log.
+    stats_telemetry: Option<String>,
+    /// `stats --metrics FILE`: validate a Prometheus snapshot.
+    stats_metrics: Option<String>,
 }
 
 impl Options {
@@ -283,6 +303,20 @@ impl Options {
                         return Err("--live-well-cap requires a positive size".into());
                     }
                     opts.live_well_cap = Some(n);
+                }
+                "--progress" => opts.progress = Some(2.0),
+                "--telemetry-out" => opts.telemetry_out = Some(value()?),
+                "--metrics-out" => opts.metrics_out = Some(value()?),
+                "--telemetry" => opts.stats_telemetry = Some(value()?),
+                "--metrics" => opts.stats_metrics = Some(value()?),
+                flag if flag.starts_with("--progress=") => {
+                    let secs: f64 = flag["--progress=".len()..]
+                        .parse()
+                        .map_err(|_| format!("invalid progress interval `{flag}`"))?;
+                    if !secs.is_finite() || secs < 0.0 {
+                        return Err("--progress interval must be a non-negative number".into());
+                    }
+                    opts.progress = Some(secs);
                 }
                 other => return Err(format!("unknown option `{other}`")),
             }
@@ -396,14 +430,23 @@ fn cmd_list() -> Result<(), CliError> {
     Ok(())
 }
 
+/// The decoded input of one analysis: records, segment map, recovery
+/// tallies (under `--recover`), and the bytes the trace occupied on disk
+/// (0 when the trace was generated in memory).
+struct LoadedTrace {
+    records: Vec<TraceRecord>,
+    segments: SegmentMap,
+    recovery: Option<RecoveryStats>,
+    bytes: u64,
+}
+
 /// Loads the records to analyze: either a binary trace or a workload run,
 /// then applies the `--skip`/`--take` phase window. Under `--recover` a
 /// damaged trace is read in recovery mode; the returned stats say what was
 /// lost.
-fn load_records(
-    opts: &Options,
-) -> Result<(Vec<TraceRecord>, SegmentMap, Option<RecoveryStats>), CliError> {
-    let (mut records, segments, stats) = if let Some(path) = &opts.trace {
+fn load_records(opts: &Options) -> Result<LoadedTrace, CliError> {
+    let mut loaded = if let Some(path) = &opts.trace {
+        let mut span = paragraph_core::span!("decode");
         let file = File::open(path).map_err(|e| io_err(path, e))?;
         let input = BufReader::new(file);
         let mut reader = if opts.recover {
@@ -415,22 +458,43 @@ fn load_records(
         let segments = reader.segment_map();
         let records: Result<Vec<_>, _> = reader.by_ref().collect();
         let records = records.map_err(|e| trace_err(path, e))?;
-        let stats = opts.recover.then(|| reader.recovery_stats());
-        (records, segments, stats)
+        let recovery = opts.recover.then(|| reader.recovery_stats());
+        span.field("records", reader.records_read());
+        span.field("bytes", reader.bytes_read());
+        paragraph_core::counter!("decode.records", reader.records_read());
+        paragraph_core::counter!("decode.bytes", reader.bytes_read());
+        if let Some(stats) = &recovery {
+            span.field("resyncs", stats.resyncs);
+            paragraph_core::counter!("decode.resyncs", stats.resyncs);
+            paragraph_core::counter!("decode.records_skipped", stats.records_skipped);
+        }
+        LoadedTrace {
+            records,
+            segments,
+            recovery,
+            bytes: reader.bytes_read(),
+        }
     } else {
+        let mut span = paragraph_core::span!("generate");
         let workload = opts.build_workload().map_err(usage_err)?;
         let (records, segments) = workload
             .collect_trace(opts.fuel())
             .map_err(|e| CliError::Analysis(format!("{}: {e}", workload.id())))?;
-        (records, segments, None)
+        span.field("records", records.len() as u64);
+        LoadedTrace {
+            records,
+            segments,
+            recovery: None,
+            bytes: 0,
+        }
     };
     if let Some(skip) = opts.skip {
-        records.drain(..skip.min(records.len()));
+        loaded.records.drain(..skip.min(loaded.records.len()));
     }
     if let Some(take) = opts.take {
-        records.truncate(take);
+        loaded.records.truncate(take);
     }
-    Ok((records, segments, stats))
+    Ok(loaded)
 }
 
 /// Prints what recovery-mode reading had to discard, if anything.
@@ -476,11 +540,13 @@ fn print_report(report: &AnalysisReport, opts: &Options) -> Result<(), CliError>
             .profile()
             .write_csv(BufWriter::new(file))
             .map_err(|e| io_err(path, e))?;
-        println!("  profile written to    : {path}");
+        // Diagnostics go to stderr; stdout carries only the report itself,
+        // so piping/redirecting it never picks up status noise.
+        eprintln!("profile written to {path}");
     }
     if let Some(path) = &opts.json {
         std::fs::write(path, report.to_json()).map_err(|e| io_err(path, e))?;
-        println!("  report written to     : {path}");
+        eprintln!("report written to {path}");
     }
     if opts.plot {
         println!("{}", report.profile().ascii_plot(72, 12));
@@ -514,24 +580,140 @@ fn save_checkpoint_atomic(analyzer: &LiveWell, path: &str) -> Result<(), CliErro
     Ok(())
 }
 
+/// The telemetry wiring of one `analyze` run: whether the global registry
+/// was enabled, and where to drop the Prometheus snapshot.
+struct TelemetrySetup {
+    enabled: bool,
+    metrics_out: Option<String>,
+}
+
+/// Turns telemetry on when any of `--progress`/`--telemetry-out`/
+/// `--metrics-out` asks for it; otherwise the global registry stays absent
+/// and the hot path pays only the macros' disabled check.
+fn init_telemetry(opts: &Options) -> Result<TelemetrySetup, CliError> {
+    let wanted =
+        opts.progress.is_some() || opts.telemetry_out.is_some() || opts.metrics_out.is_some();
+    if !wanted {
+        return Ok(TelemetrySetup {
+            enabled: false,
+            metrics_out: None,
+        });
+    }
+    let registry = telemetry::global();
+    registry.enable();
+    if let Some(path) = &opts.telemetry_out {
+        let file = File::create(path).map_err(|e| io_err(path, e))?;
+        registry.set_event_sink(Box::new(BufWriter::new(file)));
+    }
+    Ok(TelemetrySetup {
+        enabled: true,
+        metrics_out: opts.metrics_out.clone(),
+    })
+}
+
+/// Writes the current global metrics as a Prometheus text snapshot.
+fn write_metrics_snapshot(path: &str) -> Result<(), CliError> {
+    let text = telemetry::global().snapshot().to_prometheus();
+    std::fs::write(path, text).map_err(|e| io_err(path, e))
+}
+
+/// One periodic beat of the analysis loop: refresh gauges, and when a
+/// heartbeat is due, print it to stderr and log it as a `progress` event.
+fn progress_beat(
+    reporter: &mut Option<ProgressReporter>,
+    analyzer: &LiveWell,
+    total_bytes: u64,
+    total_records: usize,
+    force: bool,
+) {
+    let instrumented = telemetry::enabled();
+    if instrumented {
+        analyzer.publish_telemetry(telemetry::global());
+    }
+    let Some(reporter) = reporter.as_mut() else {
+        return;
+    };
+    if !force && !reporter.is_due() {
+        return;
+    }
+    let (seen, _, cp, _) = analyzer.snapshot();
+    // Records are decoded up front, so attribute bytes to the analysis
+    // proportionally: seen/total of the trace's on-disk size.
+    let bytes = if total_records == 0 {
+        0
+    } else {
+        total_bytes.saturating_mul(seen) / total_records as u64
+    };
+    let tick = reporter.force_tick(seen, bytes, cp);
+    eprintln!("{}", tick.line);
+    if instrumented {
+        telemetry::global().emit(
+            "progress",
+            &[
+                ("records", Value::U64(tick.records)),
+                ("records_per_sec", Value::F64(tick.records_per_sec)),
+                ("mb_per_sec", Value::F64(tick.mb_per_sec)),
+                ("critical_path", Value::U64(cp)),
+                ("eta_secs", Value::F64(tick.eta_secs.unwrap_or(-1.0))),
+            ],
+        );
+    }
+}
+
+/// Saves a checkpoint under a `checkpoint.save` span, then refreshes the
+/// Prometheus snapshot so an external watcher always sees state no older
+/// than the last checkpoint.
+fn save_checkpoint_instrumented(
+    analyzer: &LiveWell,
+    path: &str,
+    setup: &TelemetrySetup,
+) -> Result<(), CliError> {
+    {
+        let mut span = paragraph_core::span!("checkpoint.save");
+        span.field("records", analyzer.records_processed());
+        save_checkpoint_atomic(analyzer, path)?;
+    }
+    if setup.enabled {
+        analyzer.publish_telemetry(telemetry::global());
+        if let Some(metrics_path) = &setup.metrics_out {
+            write_metrics_snapshot(metrics_path)?;
+        }
+    }
+    Ok(())
+}
+
 fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
-    let (records, segments, stats) = load_records(opts)?;
-    if let Some(stats) = &stats {
+    let setup = init_telemetry(opts)?;
+    let loaded = load_records(opts)?;
+    if let Some(stats) = &loaded.recovery {
         print_recovery_stats(stats);
     }
-    let config = opts.config(segments);
-
-    // The plain path: no checkpointing requested.
-    if opts.checkpoint_every.is_none() && opts.resume.is_none() {
-        let report = analyze_refs(&records, &config);
-        return print_report(&report, opts);
+    let records = &loaded.records;
+    let config = opts.config(loaded.segments);
+    if setup.enabled {
+        let source = opts
+            .trace
+            .clone()
+            .or_else(|| opts.workload.map(|w| w.name().to_owned()))
+            .unwrap_or_default();
+        telemetry::global().emit(
+            "run_start",
+            &[
+                ("command", Value::Str("analyze")),
+                ("source", Value::Str(&source)),
+                ("records", Value::U64(records.len() as u64)),
+                ("bytes", Value::U64(loaded.bytes)),
+            ],
+        );
     }
 
     let mut analyzer = match &opts.resume {
         Some(path) => {
+            let mut span = paragraph_core::span!("checkpoint.load");
             let file = File::open(path).map_err(|e| io_err(path, e))?;
             let analyzer = LiveWell::resume_from(BufReader::new(file), config)
                 .map_err(|e| CliError::CorruptTrace(format!("{path}: {e}")))?;
+            span.field("records", analyzer.records_processed());
             eprintln!(
                 "resumed from {path} at record {}",
                 analyzer.records_processed()
@@ -549,21 +731,65 @@ fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
         )));
     }
 
+    let mut reporter = opts.progress.map(|secs| {
+        ProgressReporter::new(Duration::from_secs_f64(secs), Some(records.len() as u64))
+    });
     let ckpt_path = checkpoint_path(opts);
-    for (index, record) in records.iter().enumerate().skip(done) {
-        analyzer.process(record);
-        if let Some(every) = opts.checkpoint_every {
-            if (index as u64 + 1) % every == 0 {
-                save_checkpoint_atomic(&analyzer, &ckpt_path)?;
+    // Power-of-two stride between beat checks: one mask-and-branch per
+    // record when idle, so a plain run stays within the <2% overhead budget.
+    const BEAT_STRIDE: u64 = 1 << 16;
+    {
+        let mut span = paragraph_core::span!("analyze");
+        span.field("records", (records.len() - done) as u64);
+        for (index, record) in records.iter().enumerate().skip(done) {
+            analyzer.process(record);
+            let n = index as u64 + 1;
+            if let Some(every) = opts.checkpoint_every {
+                if n % every == 0 {
+                    save_checkpoint_instrumented(&analyzer, &ckpt_path, &setup)?;
+                }
+            }
+            if n & (BEAT_STRIDE - 1) == 0 {
+                progress_beat(&mut reporter, &analyzer, loaded.bytes, records.len(), false);
             }
         }
     }
     if opts.checkpoint_every.is_some() {
-        save_checkpoint_atomic(&analyzer, &ckpt_path)?;
+        save_checkpoint_instrumented(&analyzer, &ckpt_path, &setup)?;
         eprintln!("checkpoint written to {ckpt_path}");
     }
-    let report = analyzer.finish();
-    print_report(&report, opts)
+    // The final heartbeat is unconditional so short runs still show one.
+    progress_beat(&mut reporter, &analyzer, loaded.bytes, records.len(), true);
+
+    let report = {
+        let _span = paragraph_core::span!("report");
+        analyzer.finish()
+    };
+    print_report(&report, opts)?;
+
+    if setup.enabled {
+        let registry = telemetry::global();
+        registry.emit(
+            "run_end",
+            &[
+                ("records", Value::U64(report.total_records())),
+                ("placed", Value::U64(report.placed_ops())),
+                ("critical_path", Value::U64(report.critical_path_length())),
+            ],
+        );
+        registry.emit_final_dump();
+        if let Err(e) = registry.flush_sink() {
+            return Err(CliError::Io(format!("telemetry log: {e}")));
+        }
+        if let Some(path) = &setup.metrics_out {
+            write_metrics_snapshot(path)?;
+            eprintln!("metrics snapshot written to {path}");
+        }
+        if let Some(path) = &opts.telemetry_out {
+            eprintln!("telemetry log written to {path}");
+        }
+    }
+    Ok(())
 }
 
 fn cmd_trace(opts: &Options) -> Result<(), CliError> {
@@ -678,7 +904,9 @@ fn cmd_disasm(opts: &Options) -> Result<(), CliError> {
 }
 
 fn cmd_dot(opts: &Options) -> Result<(), CliError> {
-    let (records, segments, _) = load_records(opts)?;
+    let LoadedTrace {
+        records, segments, ..
+    } = load_records(opts)?;
     if records.len() > 200_000 {
         return Err(usage_err(format!(
             "{} records is too many for an explicit DDG export; lower --size/--fuel",
@@ -703,7 +931,30 @@ fn cmd_dot(opts: &Options) -> Result<(), CliError> {
 }
 
 fn cmd_stats(opts: &Options) -> Result<(), CliError> {
-    let (records, _, stats) = load_records(opts)?;
+    // Telemetry-artifact modes: summarize a JSONL event log, or validate a
+    // Prometheus snapshot. Both exit non-zero on malformed input, so the CI
+    // smoke job can use them as parsers.
+    if let Some(path) = &opts.stats_telemetry {
+        let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+        let events = telemetry::summary::parse_jsonl(&text)
+            .map_err(|e| CliError::CorruptTrace(format!("{path}: {e}")))?;
+        let summary = telemetry::summary::summarize(&events);
+        print!("{}", telemetry::summary::render_table(&summary));
+        return Ok(());
+    }
+    if let Some(path) = &opts.stats_metrics {
+        let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+        let samples = telemetry::prom::validate(&text)
+            .map_err(|e| CliError::CorruptTrace(format!("{path}: {e}")))?;
+        println!("{path}: valid Prometheus exposition, {samples} samples");
+        return Ok(());
+    }
+
+    let LoadedTrace {
+        records,
+        recovery: stats,
+        ..
+    } = load_records(opts)?;
     if let Some(stats) = &stats {
         print_recovery_stats(stats);
     }
@@ -718,7 +969,9 @@ fn cmd_stats(opts: &Options) -> Result<(), CliError> {
 }
 
 fn cmd_report(opts: &Options) -> Result<(), CliError> {
-    let (records, segments, _) = load_records(opts)?;
+    let LoadedTrace {
+        records, segments, ..
+    } = load_records(opts)?;
     if records.len() > 500_000 {
         return Err(usage_err(format!(
             "{} records is too many to materialize; lower --size/--fuel or use --take",
@@ -773,7 +1026,9 @@ fn cmd_report(opts: &Options) -> Result<(), CliError> {
 
 fn cmd_compare(opts: &Options) -> Result<(), CliError> {
     use paragraph_core::machine::Machine;
-    let (records, segments, _) = load_records(opts)?;
+    let LoadedTrace {
+        records, segments, ..
+    } = load_records(opts)?;
     println!(
         "{:<9} {:>12} {:>14} {:>12}  configuration",
         "machine", "ops/cycle", "crit path", "% of limit"
@@ -799,7 +1054,9 @@ fn cmd_compare(opts: &Options) -> Result<(), CliError> {
 }
 
 fn cmd_sweep(opts: &Options) -> Result<(), CliError> {
-    let (records, segments, _) = load_records(opts)?;
+    let LoadedTrace {
+        records, segments, ..
+    } = load_records(opts)?;
     let windows = if opts.windows.is_empty() {
         vec![1, 10, 100, 1000, 10_000, 100_000]
     } else {

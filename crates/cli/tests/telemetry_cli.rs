@@ -1,0 +1,145 @@
+//! End-to-end telemetry checks against the built `paragraph` binary.
+//!
+//! The key property (ISSUE satellite): instrumenting a run must not change
+//! the analysis. A run with telemetry disabled and a run with the full
+//! instrumentation enabled (`--progress`, `--telemetry-out`,
+//! `--metrics-out`) must produce byte-identical reports on stdout, and the
+//! artifacts the instrumented run leaves behind must parse through the
+//! `paragraph stats` validators.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn paragraph(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_paragraph"))
+        .args(args)
+        .output()
+        .expect("failed to spawn the paragraph binary")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("paragraph-telemetry-{}-{name}", std::process::id()));
+    path
+}
+
+#[test]
+fn instrumented_report_is_byte_identical_and_artifacts_parse() {
+    let jsonl = scratch("run.jsonl");
+    let prom = scratch("metrics.prom");
+
+    let plain = paragraph(&["analyze", "--workload", "matrix300", "--size", "4"]);
+    assert!(
+        plain.status.success(),
+        "plain analyze failed: {}",
+        String::from_utf8_lossy(&plain.stderr)
+    );
+
+    let instrumented = paragraph(&[
+        "analyze",
+        "--workload",
+        "matrix300",
+        "--size",
+        "4",
+        "--progress=0",
+        "--telemetry-out",
+        jsonl.to_str().expect("utf-8 temp path"),
+        "--metrics-out",
+        prom.to_str().expect("utf-8 temp path"),
+    ]);
+    assert!(
+        instrumented.status.success(),
+        "instrumented analyze failed: {}",
+        String::from_utf8_lossy(&instrumented.stderr)
+    );
+
+    // Telemetry must be invisible on stdout: the report bytes are identical
+    // whether or not the run was instrumented.
+    assert_eq!(
+        plain.stdout, instrumented.stdout,
+        "instrumentation changed the report on stdout"
+    );
+    // The heartbeat and artifact notices land on stderr only.
+    let stderr = String::from_utf8_lossy(&instrumented.stderr);
+    assert!(stderr.contains("progress:"), "missing heartbeat: {stderr}");
+
+    // Both artifacts must survive their own validators.
+    let stats = paragraph(&[
+        "stats",
+        "--telemetry",
+        jsonl.to_str().expect("utf-8 temp path"),
+    ]);
+    assert!(
+        stats.status.success(),
+        "stats --telemetry rejected the event log: {}",
+        String::from_utf8_lossy(&stats.stderr)
+    );
+    let table = String::from_utf8_lossy(&stats.stdout);
+    assert!(
+        table.contains("analyze"),
+        "stage table lacks analyze: {table}"
+    );
+
+    let metrics = paragraph(&[
+        "stats",
+        "--metrics",
+        prom.to_str().expect("utf-8 temp path"),
+    ]);
+    assert!(
+        metrics.status.success(),
+        "stats --metrics rejected the snapshot: {}",
+        String::from_utf8_lossy(&metrics.stderr)
+    );
+    let verdict = String::from_utf8_lossy(&metrics.stdout);
+    assert!(
+        verdict.contains("valid Prometheus exposition"),
+        "unexpected verdict: {verdict}"
+    );
+
+    let _ = std::fs::remove_file(&jsonl);
+    let _ = std::fs::remove_file(&prom);
+}
+
+#[test]
+fn malformed_artifacts_are_rejected() {
+    let bad = scratch("bad.jsonl");
+    std::fs::write(&bad, "{\"ts_ns\":1,\"event\":\"run_start\"\nnot json\n")
+        .expect("write scratch file");
+
+    let stats = paragraph(&[
+        "stats",
+        "--telemetry",
+        bad.to_str().expect("utf-8 temp path"),
+    ]);
+    assert!(!stats.status.success(), "truncated JSONL accepted");
+
+    std::fs::write(&bad, "paragraph_bad{le=\"nope\" 1\n").expect("write scratch file");
+    let metrics = paragraph(&["stats", "--metrics", bad.to_str().expect("utf-8 temp path")]);
+    assert!(!metrics.status.success(), "malformed exposition accepted");
+
+    let _ = std::fs::remove_file(&bad);
+}
+
+#[test]
+fn report_json_flags_bounded_live_well() {
+    let json_path = scratch("report.json");
+    let out = paragraph(&[
+        "analyze",
+        "--workload",
+        "matrix300",
+        "--size",
+        "4",
+        "--json",
+        json_path.to_str().expect("utf-8 temp path"),
+    ]);
+    assert!(
+        out.status.success(),
+        "analyze --json failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&json_path).expect("read report json");
+    assert!(json.contains("\"live_well_evictions\":0"));
+    assert!(json.contains("\"live_well_cap\":null"));
+    assert!(json.contains("\"parallelism_is_upper_bound\":false"));
+    let _ = std::fs::remove_file(&json_path);
+}

@@ -100,6 +100,7 @@ mod memmodel;
 mod profile;
 mod report;
 pub mod schedule;
+pub mod telemetry;
 mod window;
 
 pub use analyze::{analyze, analyze_refs, analyze_with_stats};

@@ -95,6 +95,17 @@ fn r_dist<R: Read>(r: &mut R) -> Result<Distribution, CheckpointError> {
     Ok(dist)
 }
 
+/// Raises a registry counter to `total` (the analyzer already counts these
+/// in plain fields; publishing just mirrors the running total). Counters are
+/// monotonic, so only the positive difference is added.
+fn set_counter(registry: &crate::telemetry::Registry, name: &'static str, total: u64) {
+    let counter = registry.counter(name);
+    let current = counter.get();
+    if total > current {
+        counter.add(total - current);
+    }
+}
+
 /// A live-well entry: where a value became available, and the deepest level
 /// at which it has been used.
 #[derive(Debug, Clone, Copy)]
@@ -188,6 +199,12 @@ pub struct LiveWell {
     evictions: u64,
     peak_live_values: usize,
     class_placed: [u64; OpClass::ALL.len()],
+    /// Times the instruction window displaced an instruction whose level was
+    /// above the floor, i.e. the window actually constrained placement.
+    /// Telemetry-only: deliberately *not* checkpointed (checkpoints are
+    /// bit-identical to pre-telemetry builds), so after a resume it counts
+    /// from the restart.
+    window_stalls: u64,
 }
 
 #[derive(Debug, Default)]
@@ -236,6 +253,7 @@ impl LiveWell {
             evictions: 0,
             peak_live_values: 0,
             class_placed: [0; OpClass::ALL.len()],
+            window_stalls: 0,
         }
     }
 
@@ -283,7 +301,10 @@ impl LiveWell {
         // instruction; the displaced level becomes a firewall below which
         // this (and every later) instruction must be placed.
         if let Some((displaced, ())) = self.window.make_room() {
-            self.floor = self.floor.max(displaced);
+            if displaced > self.floor {
+                self.floor = displaced;
+                self.window_stalls += 1;
+            }
         }
 
         let skip = !class.creates_value()
@@ -412,14 +433,20 @@ impl LiveWell {
             .collect();
         coldest.sort_unstable();
         coldest.truncate(excess);
+        let mut evicted = 0u64;
         for &(_, addr) in &coldest {
             if let Some(old) = self.mem.remove(&addr) {
                 if let Some(stats) = self.value_stats.as_mut() {
                     stats.retire(&old);
                 }
                 self.evictions += 1;
+                evicted += 1;
             }
         }
+        // Eviction is a cold path (at most once per record, usually far
+        // rarer), so the macros' enabled check is negligible here.
+        crate::counter!("livewell.evictions", evicted);
+        crate::histogram!("livewell.eviction_batch", evicted);
     }
 
     /// Processes every record of an iterator.
@@ -526,6 +553,50 @@ impl LiveWell {
     /// like a preexisting value and drops the true dependence.
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// Times the instruction window displaced an instruction above the
+    /// current floor (i.e. the window genuinely constrained placement).
+    /// Telemetry-only and not checkpointed: counts since this analyzer was
+    /// constructed or resumed.
+    pub fn window_stalls(&self) -> u64 {
+        self.window_stalls
+    }
+
+    /// Publishes the analyzer's current state into a telemetry registry:
+    /// gauges for floor/deepest/live-well size, counters brought up to the
+    /// analyzer's own totals, and an occupancy observation. Called
+    /// periodically by drivers (per progress tick or checkpoint), so the hot
+    /// loop itself carries no per-record instrumentation beyond its own
+    /// plain fields.
+    pub fn publish_telemetry(&self, registry: &crate::telemetry::Registry) {
+        let (total, placed, cp, _) = self.snapshot();
+        registry.gauge("livewell.records").set(total as i64);
+        registry.gauge("livewell.placed").set(placed as i64);
+        registry.gauge("livewell.critical_path").set(cp as i64);
+        registry.gauge("livewell.floor").set(self.floor);
+        registry
+            .gauge("livewell.size")
+            .set(self.live_well_size() as i64);
+        registry
+            .gauge("livewell.peak_size")
+            .set(self.peak_live_values as i64);
+        if let Some(cap) = self.config.live_well_cap() {
+            registry.gauge("livewell.cap").set(cap as i64);
+            // Occupancy in tenths of a percent: integer-valued, histogram
+            // buckets resolve the interesting 50%..100% range well.
+            let permille = (self.mem.len() as u64).saturating_mul(1000) / cap.max(1) as u64;
+            registry
+                .histogram("livewell.occupancy_permille")
+                .observe(permille);
+        }
+        registry
+            .histogram("livewell.occupancy")
+            .observe(self.live_well_size() as u64);
+        set_counter(registry, "livewell.window_stalls", self.window_stalls);
+        set_counter(registry, "livewell.firewalls", self.firewalls);
+        set_counter(registry, "livewell.branch_firewalls", self.branch_firewalls);
+        set_counter(registry, "livewell.syscalls", self.syscalls);
     }
 
     /// Serializes the complete analyzer state as a checkpoint file
@@ -898,6 +969,8 @@ impl LiveWell {
             evictions,
             peak_live_values,
             class_placed,
+            // Deliberately not restored: telemetry-only, counts since resume.
+            window_stalls: 0,
         })
     }
 

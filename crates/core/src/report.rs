@@ -191,6 +191,17 @@ impl AnalysisReport {
         out.push_str(&format!("\"firewalls\":{},", self.firewalls));
         out.push_str(&format!("\"branch_firewalls\":{},", self.branch_firewalls));
         out.push_str(&format!("\"live_well_evictions\":{},", self.evictions));
+        match self.config.live_well_cap() {
+            Some(cap) => out.push_str(&format!("\"live_well_cap\":{cap},")),
+            None => out.push_str("\"live_well_cap\":null,"),
+        }
+        // Evictions drop true dependences, so the parallelism figures become
+        // an upper bound; downstream tooling can branch on this flag instead
+        // of re-deriving the caveat from the eviction count.
+        out.push_str(&format!(
+            "\"parallelism_is_upper_bound\":{},",
+            self.evictions > 0
+        ));
         out.push_str(&format!("\"peak_live_values\":{},", self.peak_live_values));
         if let Some(p) = &self.predictor {
             out.push_str(&format!(
@@ -308,6 +319,24 @@ mod tests {
         let opens = json.matches(['{', '[']).count();
         let closes = json.matches(['}', ']']).count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn json_exposes_live_well_accuracy_fields() {
+        let exact = analyze(synthetic::figure1(), &AnalysisConfig::dataflow_limit());
+        let json = exact.to_json();
+        assert!(json.contains("\"live_well_evictions\":0"));
+        assert!(json.contains("\"live_well_cap\":null"));
+        assert!(json.contains("\"parallelism_is_upper_bound\":false"));
+
+        // A cap of 1 on a trace with more than one live location forces
+        // evictions, which must flip the upper-bound flag.
+        let capped_config = AnalysisConfig::dataflow_limit().with_live_well_cap(1);
+        let capped = analyze(synthetic::random_trace(1000, 3), &capped_config);
+        assert!(capped.live_well_evictions() > 0);
+        let json = capped.to_json();
+        assert!(json.contains("\"live_well_cap\":1"));
+        assert!(json.contains("\"parallelism_is_upper_bound\":true"));
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Periodic progress heartbeat for long analyses.
+//!
+//! [`ProgressReporter`] throttles heartbeats to a configurable wall-clock
+//! interval and formats each one as a single whole line — safe for CI logs
+//! and for interleaving with other stderr diagnostics (no carriage-return
+//! redraw tricks). The caller ticks it from the analysis loop; the reporter
+//! decides when a tick is due and what to print.
+
+use std::time::{Duration, Instant};
+
+/// Throttled formatter for analysis heartbeat lines.
+#[derive(Debug)]
+pub struct ProgressReporter {
+    interval: Duration,
+    started: Instant,
+    last_emit: Instant,
+    last_records: u64,
+    total_records: Option<u64>,
+}
+
+/// One rendered heartbeat, plus the raw numbers for event logging.
+#[derive(Debug, Clone)]
+pub struct ProgressTick {
+    /// Human-readable heartbeat line (no trailing newline).
+    pub line: String,
+    /// Records processed so far.
+    pub records: u64,
+    /// Instantaneous records/sec since the previous heartbeat.
+    pub records_per_sec: f64,
+    /// Instantaneous MB/s since the previous heartbeat (0 when byte
+    /// accounting is unavailable).
+    pub mb_per_sec: f64,
+    /// Seconds remaining at the current rate, when the total is known.
+    pub eta_secs: Option<f64>,
+}
+
+impl ProgressReporter {
+    /// A reporter emitting at most one heartbeat per `interval`.
+    /// `total_records` (when known) enables percent-done and ETA.
+    pub fn new(interval: Duration, total_records: Option<u64>) -> ProgressReporter {
+        let now = Instant::now();
+        ProgressReporter {
+            interval,
+            started: now,
+            last_emit: now,
+            last_records: 0,
+            total_records,
+        }
+    }
+
+    /// Whether enough wall-clock time has passed for another heartbeat.
+    pub fn is_due(&self) -> bool {
+        self.last_emit.elapsed() >= self.interval
+    }
+
+    /// Produces a heartbeat if one is due; otherwise `None`. `records` and
+    /// `bytes` are cumulative; `critical_path` is the current deepest level.
+    pub fn tick(&mut self, records: u64, bytes: u64, critical_path: u64) -> Option<ProgressTick> {
+        if !self.is_due() {
+            return None;
+        }
+        Some(self.force_tick(records, bytes, critical_path))
+    }
+
+    /// Produces a heartbeat unconditionally (used for the final line).
+    pub fn force_tick(&mut self, records: u64, bytes: u64, critical_path: u64) -> ProgressTick {
+        let now = Instant::now();
+        let window = now.duration_since(self.last_emit).as_secs_f64().max(1e-9);
+        let elapsed = now.duration_since(self.started).as_secs_f64().max(1e-9);
+        let delta = records.saturating_sub(self.last_records);
+        let inst_rate = delta as f64 / window;
+        let avg_rate = records as f64 / elapsed;
+        // ETA from the cumulative average: smoother than the instantaneous
+        // window and correct-on-average for resumed runs.
+        let eta_secs = self.total_records.and_then(|total| {
+            let remaining = total.saturating_sub(records);
+            (avg_rate > 0.0).then(|| remaining as f64 / avg_rate)
+        });
+        let mb_per_sec = if bytes > 0 {
+            (bytes as f64 / 1e6) / elapsed
+        } else {
+            0.0
+        };
+        let mut line = format!("progress: {records} records ({:.2}M/s)", inst_rate / 1e6);
+        if let Some(total) = self.total_records {
+            let pct = if total == 0 {
+                100.0
+            } else {
+                100.0 * records as f64 / total as f64
+            };
+            let _ = std::fmt::Write::write_fmt(&mut line, format_args!(" {pct:.1}%"));
+        }
+        if mb_per_sec > 0.0 {
+            let _ = std::fmt::Write::write_fmt(&mut line, format_args!(" {mb_per_sec:.1} MB/s"));
+        }
+        let _ = std::fmt::Write::write_fmt(&mut line, format_args!(" cp={critical_path}"));
+        if let Some(eta) = eta_secs {
+            let _ = std::fmt::Write::write_fmt(&mut line, format_args!(" eta={}", fmt_eta(eta)));
+        }
+        self.last_emit = now;
+        self.last_records = records;
+        ProgressTick {
+            line,
+            records,
+            records_per_sec: inst_rate,
+            mb_per_sec,
+            eta_secs,
+        }
+    }
+}
+
+/// Formats seconds as `37s`, `4m12s`, or `2h05m`.
+fn fmt_eta(secs: f64) -> String {
+    let s = secs.max(0.0).round() as u64;
+    if s < 60 {
+        format!("{s}s")
+    } else if s < 3600 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_interval_is_always_due() {
+        let mut reporter = ProgressReporter::new(Duration::ZERO, Some(100));
+        let tick = reporter.tick(50, 1000, 7).expect("due immediately");
+        assert_eq!(tick.records, 50);
+        assert!(tick.line.contains("50 records"));
+        assert!(tick.line.contains("50.0%"));
+        assert!(tick.line.contains("cp=7"));
+        assert!(tick.eta_secs.is_some());
+    }
+
+    #[test]
+    fn long_interval_suppresses_ticks() {
+        let mut reporter = ProgressReporter::new(Duration::from_secs(3600), None);
+        assert!(reporter.tick(1, 0, 0).is_none());
+        // force_tick bypasses the throttle.
+        let tick = reporter.force_tick(2, 0, 3);
+        assert_eq!(tick.records, 2);
+        assert!(tick.eta_secs.is_none(), "no total => no ETA");
+    }
+
+    #[test]
+    fn eta_formatting_covers_all_ranges() {
+        assert_eq!(fmt_eta(5.4), "5s");
+        assert_eq!(fmt_eta(72.0), "1m12s");
+        assert_eq!(fmt_eta(7_500.0), "2h05m");
+    }
+
+    #[test]
+    fn zero_total_reports_complete() {
+        let mut reporter = ProgressReporter::new(Duration::ZERO, Some(0));
+        let tick = reporter.force_tick(0, 0, 0);
+        assert!(tick.line.contains("100.0%"));
+    }
+}

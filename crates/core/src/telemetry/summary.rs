@@ -1,0 +1,446 @@
+//! JSONL telemetry log parsing and per-stage summarization.
+//!
+//! The event log written via [`Registry::emit`](super::Registry::emit) is a
+//! deliberately flat dialect of JSON — one object per line, scalar fields
+//! only. [`parse_jsonl`] reads exactly that dialect with no external
+//! dependencies, and [`summarize`]/[`render_table`] turn a log into the
+//! per-stage time/throughput table behind `paragraph stats --telemetry`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One scalar field value from a telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A JSON number (integers are representable exactly up to 2^53).
+    Num(f64),
+    /// A JSON string, unescaped.
+    Str(String),
+    /// `true`/`false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl FieldValue {
+    /// The value as `u64`, when it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            FieldValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, when numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            FieldValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, when a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            FieldValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// One parsed telemetry event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Nanoseconds since the run's registry was created.
+    pub ts_ns: u64,
+    /// Event kind (`span`, `progress`, `run_start`, ...).
+    pub event: String,
+    /// Remaining fields, in file order of first occurrence.
+    pub fields: BTreeMap<String, FieldValue>,
+}
+
+impl Event {
+    /// Field accessor.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.get(key)
+    }
+}
+
+/// Parses a flat JSON object: `{"key": scalar, ...}` with string, number,
+/// bool, or null values. Nested objects/arrays are rejected — the telemetry
+/// writer never produces them.
+fn parse_flat_object(line: &str) -> Result<BTreeMap<String, FieldValue>, String> {
+    let mut fields = BTreeMap::new();
+    let mut chars = line.char_indices().peekable();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) {
+        while matches!(chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+            chars.next();
+        }
+    }
+
+    fn parse_string(
+        chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    ) -> Result<String, String> {
+        match chars.next() {
+            Some((_, '"')) => {}
+            other => return Err(format!("expected string, found {other:?}")),
+        }
+        let mut out = String::new();
+        loop {
+            match chars.next() {
+                Some((_, '"')) => return Ok(out),
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'b')) => out.push('\u{8}'),
+                    Some((_, 'f')) => out.push('\u{c}'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = chars
+                                .next()
+                                .and_then(|(_, c)| c.to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some((_, c)) => out.push(c),
+                None => return Err("unterminated string".to_owned()),
+            }
+        }
+    }
+
+    skip_ws(&mut chars);
+    match chars.next() {
+        Some((_, '{')) => {}
+        _ => return Err("expected '{'".to_owned()),
+    }
+    skip_ws(&mut chars);
+    if matches!(chars.peek(), Some((_, '}'))) {
+        chars.next();
+        return Ok(fields);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some((_, ':')) => {}
+            other => return Err(format!("expected ':', found {other:?}")),
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some((_, '"')) => FieldValue::Str(parse_string(&mut chars)?),
+            Some(&(start, c)) if c == '-' || c.is_ascii_digit() => {
+                let mut end = start;
+                while let Some(&(i, c)) = chars.peek() {
+                    if c == '-'
+                        || c == '+'
+                        || c == '.'
+                        || c == 'e'
+                        || c == 'E'
+                        || c.is_ascii_digit()
+                    {
+                        end = i + c.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let text = &line[start..end];
+                FieldValue::Num(text.parse::<f64>().map_err(|e| format!("{text:?}: {e}"))?)
+            }
+            Some((_, 't' | 'f' | 'n')) => {
+                let mut word = String::new();
+                while matches!(chars.peek(), Some((_, c)) if c.is_ascii_alphabetic()) {
+                    word.push(chars.next().map(|(_, c)| c).unwrap_or('\0'));
+                }
+                match word.as_str() {
+                    "true" => FieldValue::Bool(true),
+                    "false" => FieldValue::Bool(false),
+                    "null" => FieldValue::Null,
+                    other => return Err(format!("bad literal {other:?}")),
+                }
+            }
+            other => return Err(format!("unsupported value start {other:?}")),
+        };
+        fields.insert(key, value);
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((_, '}')) => break,
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+    skip_ws(&mut chars);
+    if let Some((_, c)) = chars.next() {
+        return Err(format!("trailing content starting at {c:?}"));
+    }
+    Ok(fields)
+}
+
+/// Parses a JSONL telemetry log into events. Blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns `line-number: description` for the first malformed line, a line
+/// that is not a flat object, or a line missing `ts_ns`/`event`.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields =
+            parse_flat_object(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let ts_ns = fields
+            .remove("ts_ns")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("line {}: missing ts_ns", lineno + 1))?;
+        let event = match fields.remove("event") {
+            Some(FieldValue::Str(s)) => s,
+            _ => return Err(format!("line {}: missing event", lineno + 1)),
+        };
+        events.push(Event {
+            ts_ns,
+            event,
+            fields,
+        });
+    }
+    Ok(events)
+}
+
+/// Aggregated view of one span stage within a log.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageSummary {
+    /// Completed span executions.
+    pub count: u64,
+    /// Total time in the stage, nanoseconds.
+    pub total_ns: u64,
+    /// Longest single execution, nanoseconds.
+    pub max_ns: u64,
+    /// Sum of per-span `records` fields (0 when the stage carries none).
+    pub records: u64,
+}
+
+/// Whole-log summary produced by [`summarize`].
+#[derive(Debug, Clone, Default)]
+pub struct LogSummary {
+    /// Per-stage aggregates, by span name.
+    pub stages: BTreeMap<String, StageSummary>,
+    /// Final counter values from the closing dump, by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Final gauge values from the closing dump, by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Timestamp of the last event, nanoseconds.
+    pub last_ts_ns: u64,
+    /// Total events parsed.
+    pub events: usize,
+    /// Last `progress` event's records/sec, if any heartbeat was logged.
+    pub last_records_per_sec: Option<f64>,
+}
+
+/// Folds a parsed log into per-stage aggregates.
+///
+/// Individual `span` events accumulate into stages; a closing `span_total`
+/// dump (which repeats the same executions in aggregate) *replaces* the
+/// accumulated figures for its stage rather than double-counting them.
+pub fn summarize(events: &[Event]) -> LogSummary {
+    let mut summary = LogSummary {
+        events: events.len(),
+        ..LogSummary::default()
+    };
+    for event in events {
+        summary.last_ts_ns = summary.last_ts_ns.max(event.ts_ns);
+        let name = |e: &Event| e.field("name").and_then(|v| v.as_str().map(str::to_owned));
+        match event.event.as_str() {
+            "span" => {
+                let Some(name) = name(event) else { continue };
+                let dur = event.field("dur_ns").and_then(|v| v.as_u64()).unwrap_or(0);
+                let stage = summary.stages.entry(name).or_default();
+                stage.count = stage.count.saturating_add(1);
+                stage.total_ns = stage.total_ns.saturating_add(dur);
+                stage.max_ns = stage.max_ns.max(dur);
+                if let Some(records) = event.field("records").and_then(|v| v.as_u64()) {
+                    stage.records = stage.records.saturating_add(records);
+                }
+            }
+            "span_total" => {
+                let Some(name) = name(event) else { continue };
+                let stage = summary.stages.entry(name).or_default();
+                stage.count = event.field("count").and_then(|v| v.as_u64()).unwrap_or(0);
+                stage.total_ns = event
+                    .field("total_ns")
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or(0);
+                stage.max_ns = event.field("max_ns").and_then(|v| v.as_u64()).unwrap_or(0);
+            }
+            "counter" => {
+                if let (Some(name), Some(value)) =
+                    (name(event), event.field("value").and_then(|v| v.as_u64()))
+                {
+                    summary.counters.insert(name, value);
+                }
+            }
+            "gauge" => {
+                if let (Some(name), Some(value)) =
+                    (name(event), event.field("value").and_then(|v| v.as_f64()))
+                {
+                    summary.gauges.insert(name, value as i64);
+                }
+            }
+            "progress" => {
+                summary.last_records_per_sec =
+                    event.field("records_per_sec").and_then(|v| v.as_f64());
+            }
+            _ => {}
+        }
+    }
+    summary
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders the per-stage time/throughput table plus counter footers — the
+/// human output of `paragraph stats --telemetry`.
+pub fn render_table(summary: &LogSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "telemetry summary: {} events, last ts {}",
+        summary.events,
+        fmt_ns(summary.last_ts_ns)
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<24} {:>10} {:>12} {:>12} {:>12} {:>14}",
+        "stage", "calls", "total", "mean", "max", "records/s"
+    );
+    let wall = summary.last_ts_ns.max(1);
+    for (name, stage) in &summary.stages {
+        let mean = stage.total_ns.checked_div(stage.count).unwrap_or(0);
+        let throughput = if stage.records > 0 && stage.total_ns > 0 {
+            format!(
+                "{:.0}",
+                stage.records as f64 / (stage.total_ns as f64 / 1e9)
+            )
+        } else {
+            "-".to_owned()
+        };
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10} {:>12} {:>12} {:>12} {:>14}  ({:.1}% wall)",
+            name,
+            stage.count,
+            fmt_ns(stage.total_ns),
+            fmt_ns(mean),
+            fmt_ns(stage.max_ns),
+            throughput,
+            100.0 * stage.total_ns as f64 / wall as f64,
+        );
+    }
+    if summary.stages.is_empty() {
+        let _ = writeln!(out, "(no span events in log)");
+    }
+    if !summary.counters.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "final counters:");
+        for (name, value) in &summary.counters {
+            let _ = writeln!(out, "  {name:<30} {value}");
+        }
+    }
+    if !summary.gauges.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "final gauges:");
+        for (name, value) in &summary.gauges {
+            let _ = writeln!(out, "  {name:<30} {value}");
+        }
+    }
+    if let Some(rate) = summary.last_records_per_sec {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "last observed rate: {:.2}M records/s", rate / 1e6);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_objects_with_all_scalar_types() {
+        let events = parse_jsonl(
+            "{\"ts_ns\":1,\"event\":\"x\",\"s\":\"a\\nb\",\"n\":-2.5,\"t\":true,\"z\":null}\n\n",
+        )
+        .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].ts_ns, 1);
+        assert_eq!(events[0].field("s").unwrap().as_str(), Some("a\nb"));
+        assert_eq!(events[0].field("n").unwrap().as_f64(), Some(-2.5));
+        assert_eq!(events[0].field("t"), Some(&FieldValue::Bool(true)));
+        assert_eq!(events[0].field("z"), Some(&FieldValue::Null));
+    }
+
+    #[test]
+    fn rejects_nested_and_malformed_lines() {
+        assert!(parse_jsonl("{\"ts_ns\":1,\"event\":\"x\",\"o\":{}}").is_err());
+        assert!(parse_jsonl("not json").is_err());
+        assert!(parse_jsonl("{\"event\":\"x\"}").is_err(), "missing ts_ns");
+        assert!(parse_jsonl("{\"ts_ns\":1}").is_err(), "missing event");
+        assert!(parse_jsonl("{\"ts_ns\":1,\"event\":\"x\"} trailing").is_err());
+    }
+
+    #[test]
+    fn summarize_accumulates_spans_and_prefers_totals() {
+        let log = concat!(
+            "{\"ts_ns\":10,\"event\":\"span\",\"name\":\"decode\",\"dur_ns\":100,\"records\":5}\n",
+            "{\"ts_ns\":20,\"event\":\"span\",\"name\":\"decode\",\"dur_ns\":300,\"records\":7}\n",
+            "{\"ts_ns\":30,\"event\":\"span\",\"name\":\"analyze\",\"dur_ns\":50}\n",
+            "{\"ts_ns\":40,\"event\":\"counter\",\"name\":\"evictions\",\"value\":3}\n",
+            "{\"ts_ns\":50,\"event\":\"progress\",\"records_per_sec\":123.0}\n",
+            // Closing dump repeats decode in aggregate; must replace, not add.
+            "{\"ts_ns\":60,\"event\":\"span_total\",\"name\":\"decode\",\"count\":2,\"total_ns\":400,\"max_ns\":300}\n",
+        );
+        let summary = summarize(&parse_jsonl(log).unwrap());
+        let decode = summary.stages["decode"];
+        assert_eq!(decode.count, 2);
+        assert_eq!(decode.total_ns, 400);
+        assert_eq!(decode.max_ns, 300);
+        assert_eq!(decode.records, 12);
+        assert_eq!(summary.stages["analyze"].count, 1);
+        assert_eq!(summary.counters["evictions"], 3);
+        assert_eq!(summary.last_records_per_sec, Some(123.0));
+        assert_eq!(summary.last_ts_ns, 60);
+
+        let table = render_table(&summary);
+        assert!(table.contains("decode"));
+        assert!(table.contains("evictions"));
+        assert!(table.contains("last observed rate"));
+    }
+
+    #[test]
+    fn render_table_handles_empty_log() {
+        let table = render_table(&summarize(&[]));
+        assert!(table.contains("no span events"));
+    }
+}

@@ -630,6 +630,18 @@ impl<R: Read> TraceReader<R> {
         self.total_written
     }
 
+    /// Bytes consumed from the underlying stream so far (header included).
+    /// Lets drivers report decode throughput in MB/s without wrapping the
+    /// reader in a counting adapter.
+    pub fn bytes_read(&self) -> u64 {
+        self.input.offset
+    }
+
+    /// Records delivered to the caller so far.
+    pub fn records_read(&self) -> u64 {
+        self.delivered
+    }
+
     fn error(&self, kind: TraceErrorKind) -> TraceError {
         let err = TraceError::new(kind, self.input.offset, self.delivered);
         if self.version == VERSION_V2 {
