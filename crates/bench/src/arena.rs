@@ -1,0 +1,323 @@
+//! Decode-once trace arena for multi-configuration sweeps.
+//!
+//! The paper's headline figures re-analyze the *same* execution trace under
+//! many machine models. Generating (or decoding) a workload's trace is a
+//! serial, allocation-heavy stage; analyzing it under one configuration is
+//! an independent, read-only pass. The arena separates the two: each
+//! workload's records are materialized exactly once into a shared immutable
+//! allocation (`Arc<Vec<TraceRecord>>` — the generation buffer itself is
+//! moved behind the `Arc`, never copied; an exact-size `Arc<[TraceRecord]>`
+//! copy would re-touch every page of a multi-gigabyte sweep), and any
+//! number of concurrent analyzer passes walk that one allocation.
+//!
+//! Residency is bounded by an LRU byte budget so a ten-workload sweep does
+//! not need every trace in RAM at once. Eviction only drops the arena's own
+//! reference — passes still holding an [`ArenaTrace`] keep the allocation
+//! alive until they finish, so the budget is a steady-state target, not a
+//! hard cap. An evicted workload that is requested again is re-generated;
+//! the workloads are deterministic, so the recomputed trace is identical
+//! and results never depend on eviction timing.
+
+use crate::Study;
+use paragraph_trace::{SegmentMap, TraceRecord};
+use paragraph_workloads::WorkloadId;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// Default LRU byte budget: 2 GiB comfortably holds the full-scale paper
+/// workload set while still exercising eviction on constrained boxes.
+pub const DEFAULT_BUDGET_BYTES: usize = 2 << 30;
+
+/// One workload's resident trace. Cloning is cheap: clones share the same
+/// record allocation.
+#[derive(Clone)]
+pub struct ArenaTrace {
+    /// The decoded records; derefs to `&[TraceRecord]` for analysis.
+    pub records: Arc<Vec<TraceRecord>>,
+    /// Segment map the trace was generated under (configs need it for
+    /// stack/data rename decisions).
+    pub segments: SegmentMap,
+}
+
+impl ArenaTrace {
+    /// Estimated bytes this trace keeps resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.records.capacity() * std::mem::size_of::<TraceRecord>()
+    }
+}
+
+/// Arena traffic counters, reported in sweep manifests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Requests served from a resident trace (including waits on a decode
+    /// already in flight — the decode still happened once).
+    pub hits: u64,
+    /// Requests that had to generate the trace.
+    pub misses: u64,
+    /// Resident traces dropped to respect the byte budget.
+    pub evictions: u64,
+    /// High-water mark of resident bytes.
+    pub peak_resident_bytes: u64,
+}
+
+enum Slot {
+    /// A thread is generating this trace; waiters sleep on the condvar.
+    Loading,
+    Ready {
+        trace: ArenaTrace,
+        last_use: u64,
+    },
+}
+
+struct ArenaState {
+    slots: HashMap<WorkloadId, Slot>,
+    clock: u64,
+    resident_bytes: usize,
+    stats: ArenaStats,
+}
+
+/// Shared, thread-safe trace store keyed by workload. One arena serves one
+/// [`Study`] (its fuel/scale settings determine the traces), which callers
+/// pass to [`TraceArena::get`].
+pub struct TraceArena {
+    budget_bytes: usize,
+    state: Mutex<ArenaState>,
+    ready: Condvar,
+}
+
+impl TraceArena {
+    /// Creates an arena with an explicit LRU byte budget. A budget smaller
+    /// than a single trace still admits that trace (the budget bounds
+    /// *additional* residency, never forward progress).
+    pub fn new(budget_bytes: usize) -> TraceArena {
+        TraceArena {
+            budget_bytes: budget_bytes.max(1),
+            state: Mutex::new(ArenaState {
+                slots: HashMap::new(),
+                clock: 0,
+                resident_bytes: 0,
+                stats: ArenaStats::default(),
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Creates an arena with the budget from `PARAGRAPH_ARENA_BYTES`
+    /// (underscore separators allowed), defaulting to
+    /// [`DEFAULT_BUDGET_BYTES`].
+    pub fn from_env() -> TraceArena {
+        let budget = std::env::var("PARAGRAPH_ARENA_BYTES")
+            .ok()
+            .and_then(|v| v.replace('_', "").parse().ok())
+            .unwrap_or(DEFAULT_BUDGET_BYTES);
+        TraceArena::new(budget)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ArenaState> {
+        // A poisoned lock means another worker panicked mid-update; the
+        // state itself is only ever mutated to a consistent shape under
+        // the lock, so continuing is safe (and the panic is propagating
+        // through the scheduler anyway).
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Returns `id`'s trace, generating it exactly once no matter how many
+    /// threads ask concurrently: the first requester claims a loading slot
+    /// and generates outside the lock; the rest sleep until it is ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics on VM faults, as for [`Study::collect`]. A panicking load
+    /// releases its claim so waiting threads retry rather than deadlock.
+    pub fn get(&self, study: &Study, id: WorkloadId) -> ArenaTrace {
+        let mut state = self.lock();
+        loop {
+            let ArenaState {
+                slots,
+                clock,
+                stats,
+                ..
+            } = &mut *state;
+            match slots.get_mut(&id) {
+                Some(Slot::Ready { trace, last_use }) => {
+                    *clock += 1;
+                    *last_use = *clock;
+                    stats.hits += 1;
+                    return trace.clone();
+                }
+                Some(Slot::Loading) => {
+                    state = self
+                        .ready
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                None => {
+                    slots.insert(id, Slot::Loading);
+                    stats.misses += 1;
+                    break;
+                }
+            }
+        }
+        drop(state);
+
+        // Generate outside the lock; the guard clears the loading claim if
+        // the generator panics, so waiters wake and retry.
+        let mut guard = LoadGuard {
+            arena: self,
+            id,
+            armed: true,
+        };
+        let (records, segments) = study.collect(id);
+        let trace = ArenaTrace {
+            records: Arc::new(records),
+            segments,
+        };
+        self.install(id, trace.clone());
+        guard.armed = false;
+        trace
+    }
+
+    fn install(&self, id: WorkloadId, trace: ArenaTrace) {
+        let bytes = trace.resident_bytes();
+        let mut state = self.lock();
+        state.clock += 1;
+        let now = state.clock;
+        state.slots.insert(
+            id,
+            Slot::Ready {
+                trace,
+                last_use: now,
+            },
+        );
+        state.resident_bytes = state.resident_bytes.saturating_add(bytes);
+        let peak = state.resident_bytes as u64;
+        state.stats.peak_resident_bytes = state.stats.peak_resident_bytes.max(peak);
+        self.evict_to_budget(&mut state, id);
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// Drops least-recently-used resident traces until the budget holds.
+    /// The just-installed `keep` entry is never evicted, so one oversized
+    /// trace still makes progress.
+    fn evict_to_budget(&self, state: &mut ArenaState, keep: WorkloadId) {
+        while state.resident_bytes > self.budget_bytes {
+            let victim = state
+                .slots
+                .iter()
+                .filter_map(|(&id, slot)| match slot {
+                    Slot::Ready { trace, last_use } if id != keep => {
+                        Some((*last_use, id, trace.resident_bytes()))
+                    }
+                    _ => None,
+                })
+                .min();
+            let Some((_, id, bytes)) = victim else {
+                break;
+            };
+            state.slots.remove(&id);
+            state.resident_bytes = state.resident_bytes.saturating_sub(bytes);
+            state.stats.evictions += 1;
+        }
+    }
+
+    /// A snapshot of the arena's traffic counters.
+    pub fn stats(&self) -> ArenaStats {
+        self.lock().stats
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.lock().resident_bytes
+    }
+}
+
+struct LoadGuard<'a> {
+    arena: &'a TraceArena,
+    id: WorkloadId,
+    armed: bool,
+}
+
+impl Drop for LoadGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut state = self.arena.lock();
+            if matches!(state.slots.get(&self.id), Some(Slot::Loading)) {
+                state.slots.remove(&self.id);
+            }
+            drop(state);
+            self.arena.ready.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tiny_study() -> Study {
+        Study::new(50_000, 2, PathBuf::from("results"))
+    }
+
+    #[test]
+    fn decodes_each_workload_exactly_once() {
+        let study = tiny_study();
+        let arena = TraceArena::new(usize::MAX);
+        let a = arena.get(&study, WorkloadId::Xlisp);
+        let b = arena.get(&study, WorkloadId::Xlisp);
+        assert!(Arc::ptr_eq(&a.records, &b.records), "must share one decode");
+        let stats = arena.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn concurrent_requests_share_one_decode() {
+        let study = tiny_study();
+        let arena = TraceArena::new(usize::MAX);
+        let traces: Vec<ArenaTrace> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| arena.get(&study, WorkloadId::Eqntott)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(trace) => trace,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        for pair in traces.windows(2) {
+            assert!(Arc::ptr_eq(&pair[0].records, &pair[1].records));
+        }
+        assert_eq!(arena.stats().misses, 1, "decode must happen exactly once");
+    }
+
+    #[test]
+    fn lru_budget_evicts_cold_traces_but_keeps_results_correct() {
+        let study = tiny_study();
+        // Budget of one byte: every new trace evicts the previous one.
+        let arena = TraceArena::new(1);
+        let first = arena.get(&study, WorkloadId::Xlisp);
+        let _second = arena.get(&study, WorkloadId::Eqntott);
+        assert!(arena.stats().evictions >= 1);
+        // The evicted handle stays valid (Arc keeps the data alive)...
+        assert!(!first.records.is_empty());
+        // ...and a re-request regenerates identical records.
+        let again = arena.get(&study, WorkloadId::Xlisp);
+        assert_eq!(&again.records[..], &first.records[..]);
+        assert!(!Arc::ptr_eq(&again.records, &first.records));
+    }
+
+    #[test]
+    fn resident_bytes_track_the_store() {
+        let study = tiny_study();
+        let arena = TraceArena::new(usize::MAX);
+        assert_eq!(arena.resident_bytes(), 0);
+        let t = arena.get(&study, WorkloadId::Xlisp);
+        assert_eq!(arena.resident_bytes(), t.resident_bytes());
+        assert_eq!(arena.stats().peak_resident_bytes, t.resident_bytes() as u64);
+    }
+}

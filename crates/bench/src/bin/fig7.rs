@@ -8,14 +8,17 @@
 //! "parallelism is bursty, with periods of lots of parallelism followed by
 //! periods of much less parallelism".
 //!
-//! The sweep is restartable: analyzer state is checkpointed periodically
-//! under `$PARAGRAPH_OUT/checkpoints/`, and a rerun after an interrupt
-//! resumes mid-workload instead of starting the analysis over. Each
-//! workload also leaves a telemetry manifest (wall time, throughput,
-//! checkpoint activity) under `$PARAGRAPH_OUT/fig7/telemetry/`, so sweep
-//! performance can be compared run over run.
+//! The ten workloads run through the sweep engine: each trace is generated
+//! once into the shared arena and the per-workload analysis cells fan out
+//! across `PARAGRAPH_JOBS` worker threads (default: all cores). The sweep
+//! is restartable at cell granularity — each completed workload leaves a
+//! stage marker under `$PARAGRAPH_OUT/checkpoints/`, and a rerun after an
+//! interrupt reuses it byte-for-byte instead of re-analyzing. Telemetry
+//! manifests (per workload and for the sweep as a whole) land under
+//! `$PARAGRAPH_OUT/fig7/telemetry/`.
 
-use paragraph_bench::{parallelism, Study};
+use paragraph_bench::scheduler::{cell_manifest_json, sweep_manifest_json};
+use paragraph_bench::{parallelism, run_sweep, Study, SweepCell, SweepOptions};
 use paragraph_core::AnalysisConfig;
 use paragraph_workloads::WorkloadId;
 use std::fs;
@@ -24,32 +27,65 @@ use std::io::BufWriter;
 fn main() -> std::io::Result<()> {
     let study = Study::from_env();
     let dir = study.out_dir().join("fig7");
+    let telemetry_dir = dir.join("telemetry");
     fs::create_dir_all(&dir)?;
+    fs::create_dir_all(&telemetry_dir)?;
+
+    let cells: Vec<SweepCell> = WorkloadId::ALL
+        .into_iter()
+        .map(|id| SweepCell::new(id, "dataflow", AnalysisConfig::dataflow_limit()))
+        .collect();
+    let opts = SweepOptions {
+        jobs: paragraph_bench::jobs_from_env(),
+        ..SweepOptions::default()
+    };
+    let outcome = run_sweep(&study, "fig7", &cells, &opts);
+
     println!("Figure 7: Parallelism Profiles for the SPEC Benchmarks");
-    for id in WorkloadId::ALL {
-        let (report, _, telemetry) =
-            study.measure_restartable_instrumented("fig7", id, &AnalysisConfig::dataflow_limit());
+    for cell in &outcome.cells {
+        let id = cell.workload;
         let path = dir.join(format!("{id}.csv"));
-        report
-            .profile()
+        cell.profile
             .write_csv(BufWriter::new(fs::File::create(&path)?))?;
-        let manifest = study.write_run_manifest("fig7", id, &report, &telemetry)?;
+        let manifest = telemetry_dir.join(format!("{id}.json"));
+        fs::write(&manifest, cell_manifest_json(cell))?;
         // Diagnostics (throughput, artifact paths) go to stderr; stdout is
         // the figure itself.
         eprintln!(
-            "fig7/{id}: {:.2}M records/s, telemetry manifest {}",
-            telemetry.records_per_sec / 1e6,
+            "fig7/{id}: {:.2}M records/s{}, telemetry manifest {}",
+            records_per_sec(cell.metrics.records, cell.metrics.wall_ns) / 1e6,
+            if cell.from_stage { " (restored)" } else { "" },
             manifest.display()
         );
         println!();
         println!(
             "{id} — {} levels, mean {} ops/level, burstiness (cv) {:.2}  [{}]",
-            report.critical_path_length(),
-            parallelism(report.available_parallelism()),
-            report.profile().burstiness(),
+            cell.metrics.critical_path,
+            parallelism(cell.metrics.parallelism),
+            cell.profile.burstiness(),
             path.display()
         );
-        print!("{}", report.profile().ascii_plot(72, 10));
+        print!("{}", cell.profile.ascii_plot(72, 10));
     }
+    fs::write(
+        telemetry_dir.join("sweep.json"),
+        sweep_manifest_json("fig7", &outcome),
+    )?;
+    eprintln!(
+        "fig7: {} cells on {} worker(s) in {:.2}s (arena: {} decode(s), {} hit(s))",
+        outcome.cells.len(),
+        outcome.jobs,
+        outcome.wall_ns as f64 / 1e9,
+        outcome.arena.misses,
+        outcome.arena.hits,
+    );
     Ok(())
+}
+
+fn records_per_sec(records: u64, wall_ns: u64) -> f64 {
+    if wall_ns == 0 {
+        0.0
+    } else {
+        records as f64 / (wall_ns as f64 / 1e9)
+    }
 }

@@ -9,18 +9,20 @@
 //!
 //! A CSV matrix is written to `$PARAGRAPH_OUT/fig8.csv`.
 //!
-//! The sweep is restartable at workload granularity: each completed
-//! workload's row is stored under `$PARAGRAPH_OUT/checkpoints/`, a rerun
-//! after an interrupt skips finished workloads, and the markers are cleared
-//! once the full sweep lands. Freshly computed workloads leave a telemetry
-//! manifest (wall time, throughput) under `$PARAGRAPH_OUT/fig8/telemetry/`.
+//! The (workload × window) grid — ten workloads, thirteen windows plus the
+//! unbounded limit — runs through the sweep engine: each trace is decoded
+//! once into the shared arena and the 140 cells fan out across
+//! `PARAGRAPH_JOBS` worker threads. The sweep is restartable at cell
+//! granularity (stage markers under `$PARAGRAPH_OUT/checkpoints/`, cleared
+//! once the full sweep lands), and telemetry manifests go to
+//! `$PARAGRAPH_OUT/fig8/telemetry/`.
 
-use paragraph_bench::{analyze_many, RunTelemetry, Study};
-use paragraph_core::{analyze_refs, AnalysisConfig, WindowSize};
+use paragraph_bench::scheduler::{cell_manifest_json, sweep_manifest_json};
+use paragraph_bench::{run_sweep, Study, SweepCell, SweepOptions};
+use paragraph_core::{AnalysisConfig, WindowSize};
 use paragraph_workloads::WorkloadId;
 use std::fs;
 use std::io::Write as _;
-use std::time::Instant;
 
 /// Window sizes swept (powers of ten with intermediate points, as the
 /// paper's log-scale x axis).
@@ -28,9 +30,34 @@ const WINDOWS: [usize; 13] = [
     1, 2, 4, 8, 16, 32, 64, 128, 256, 1_024, 4_096, 16_384, 65_536,
 ];
 
+/// Cells per workload: the window ladder plus the unbounded limit.
+const LADDER: usize = WINDOWS.len() + 1;
+
 fn main() -> std::io::Result<()> {
     let study = Study::from_env();
     fs::create_dir_all(study.out_dir())?;
+    let telemetry_dir = study.out_dir().join("fig8").join("telemetry");
+    fs::create_dir_all(&telemetry_dir)?;
+
+    // Workload-major cell order: a worker chews through one workload's
+    // ladder against one arena-resident trace before moving on.
+    let mut cells = Vec::with_capacity(WorkloadId::ALL.len() * LADDER);
+    for id in WorkloadId::ALL {
+        for &w in &WINDOWS {
+            cells.push(SweepCell::new(
+                id,
+                format!("w{w}"),
+                AnalysisConfig::dataflow_limit().with_window(WindowSize::bounded(w)),
+            ));
+        }
+        cells.push(SweepCell::new(id, "full", AnalysisConfig::dataflow_limit()));
+    }
+    let opts = SweepOptions {
+        jobs: paragraph_bench::jobs_from_env(),
+        ..SweepOptions::default()
+    };
+    let outcome = run_sweep(&study, "fig8", &cells, &opts);
+
     let csv_path = study.out_dir().join("fig8.csv");
     let mut csv = fs::File::create(&csv_path)?;
     write!(csv, "window")?;
@@ -48,73 +75,33 @@ fn main() -> std::io::Result<()> {
     println!();
     println!("{:-<108}", "");
 
-    // Capture each workload's trace once; sweep windows over it. Each
-    // finished workload's column is stored as a stage marker so a rerun
-    // after an interrupt skips it.
     let mut percents = vec![Vec::new(); WorkloadId::ALL.len()];
     let mut absolutes = vec![Vec::new(); WorkloadId::ALL.len()];
     for (w_idx, id) in WorkloadId::ALL.into_iter().enumerate() {
-        if let Some(row) = study.load_stage("fig8", id.name()) {
-            let values: Vec<f64> = row
-                .split(',')
-                .filter_map(|v| v.trim().parse().ok())
-                .collect();
-            // One absolute parallelism per window plus the unbounded limit.
-            if values.len() == WINDOWS.len() + 1 {
-                let full = values[values.len() - 1];
-                absolutes[w_idx] = values.clone();
-                percents[w_idx] = values.iter().map(|&p| 100.0 * p / full).collect();
-                eprintln!("fig8/{id}: restored from a previous run");
-                continue;
-            }
-            eprintln!("fig8/{id}: stale stage marker ignored");
-        }
-        let started = Instant::now();
-        let (records, segments) = study.collect(id);
-        let base = AnalysisConfig::dataflow_limit().with_segments(segments);
-        let full_report = analyze_refs(&records, &base);
-        let full = full_report.available_parallelism();
-        let configs: Vec<AnalysisConfig> = WINDOWS
-            .iter()
-            .map(|&w| base.clone().with_window(WindowSize::bounded(w)))
-            .collect();
-        for report in analyze_many(&records, &configs) {
-            let par = report.available_parallelism();
-            percents[w_idx].push(100.0 * par / full);
+        let ladder = &outcome.cells[w_idx * LADDER..(w_idx + 1) * LADDER];
+        let full = ladder[LADDER - 1].metrics.parallelism;
+        for cell in ladder {
+            let par = cell.metrics.parallelism;
             absolutes[w_idx].push(par);
+            percents[w_idx].push(100.0 * par / full);
         }
-        percents[w_idx].push(100.0);
-        absolutes[w_idx].push(full);
-        let row: Vec<String> = absolutes[w_idx]
-            .iter()
-            .map(|p| format!("{p:.12}"))
-            .collect();
-        study.store_stage("fig8", id.name(), &row.join(","))?;
-
-        // Telemetry manifest for this workload's full ladder: the records
-        // figure counts one analysis pass per window plus the unbounded one.
-        let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        let analyzed = (records.len() as u64) * (WINDOWS.len() as u64 + 1);
-        let telemetry = RunTelemetry {
-            records_analyzed: analyzed,
-            wall_ns,
-            records_per_sec: if wall_ns == 0 {
-                0.0
-            } else {
-                analyzed as f64 / (wall_ns as f64 / 1e9)
-            },
-            checkpoints_written: 0,
-            resumed_at: None,
-            window_stalls: 0,
-        };
-        let manifest = study.write_run_manifest("fig8", id, &full_report, &telemetry)?;
+        // Per-workload telemetry: one manifest for the unbounded cell (the
+        // workload's headline numbers) — the sweep manifest carries every
+        // cell's timing.
+        let manifest = telemetry_dir.join(format!("{id}.json"));
+        fs::write(&manifest, cell_manifest_json(&ladder[LADDER - 1]))?;
+        let ladder_wall: u64 = ladder.iter().map(|c| c.metrics.wall_ns).sum();
+        let analyzed = ladder[LADDER - 1].metrics.records * LADDER as u64;
         eprintln!(
             "fig8/{id}: {:.2}M records/s across the window ladder, telemetry manifest {}",
-            telemetry.records_per_sec / 1e6,
+            if ladder_wall == 0 {
+                0.0
+            } else {
+                analyzed as f64 / (ladder_wall as f64 / 1e9) / 1e6
+            },
             manifest.display()
         );
     }
-    study.clear_stages("fig8");
 
     for (row, &window) in WINDOWS.iter().enumerate() {
         print!("{window:>8}");
@@ -134,6 +121,7 @@ fn main() -> std::io::Result<()> {
     }
     println!();
     writeln!(csv)?;
+    csv.flush()?;
 
     println!();
     println!("absolute operations/cycle at window 128 (the paper: \"modest levels of");
@@ -144,7 +132,19 @@ fn main() -> std::io::Result<()> {
         println!("  {:<11} {:>8.2}", id.name(), absolutes[w_idx][w128]);
     }
     println!();
+    fs::write(
+        telemetry_dir.join("sweep.json"),
+        sweep_manifest_json("fig8", &outcome),
+    )?;
     // Artifact-path diagnostics go to stderr, keeping stdout as the figure.
-    eprintln!("CSV matrix written to {}", csv_path.display());
+    eprintln!(
+        "fig8: {} cells on {} worker(s) in {:.2}s (arena: {} decode(s), {} hit(s)); CSV matrix {}",
+        outcome.cells.len(),
+        outcome.jobs,
+        outcome.wall_ns as f64 / 1e9,
+        outcome.arena.misses,
+        outcome.arena.hits,
+        csv_path.display()
+    );
     Ok(())
 }

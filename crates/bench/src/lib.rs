@@ -44,6 +44,12 @@ use std::io::{BufReader, BufWriter, Write as _};
 use std::path::PathBuf;
 use std::time::Instant;
 
+pub mod arena;
+pub mod scheduler;
+
+pub use arena::{ArenaStats, ArenaTrace, TraceArena};
+pub use scheduler::{run_sweep, CellMetrics, CellOutcome, SweepCell, SweepOptions, SweepOutcome};
+
 /// Records between harness checkpoints in [`Study::measure_restartable`].
 pub const CHECKPOINT_EVERY: u64 = 1_000_000;
 
@@ -53,6 +59,8 @@ pub struct Study {
     fuel: u64,
     scale_percent: u32,
     out_dir: PathBuf,
+    size_override: Option<u32>,
+    seed_override: Option<u64>,
 }
 
 impl Study {
@@ -70,11 +78,34 @@ impl Study {
         let out_dir = std::env::var("PARAGRAPH_OUT")
             .map(PathBuf::from)
             .unwrap_or_else(|_| PathBuf::from("results"));
+        Study::new(fuel, scale_percent, out_dir)
+    }
+
+    /// Builds a study with explicit settings (the CLI front end parses its
+    /// own flags instead of the environment).
+    pub fn new(fuel: u64, scale_percent: u32, out_dir: PathBuf) -> Study {
         Study {
             fuel,
-            scale_percent,
+            scale_percent: scale_percent.max(1),
             out_dir,
+            size_override: None,
+            seed_override: None,
         }
+    }
+
+    /// Forces every workload to problem size `size` (the CLI's `--size`),
+    /// instead of the scaled per-workload default.
+    #[must_use]
+    pub fn with_size_override(mut self, size: Option<u32>) -> Study {
+        self.size_override = size;
+        self
+    }
+
+    /// Forces every workload's input seed (the CLI's `--seed`).
+    #[must_use]
+    pub fn with_seed_override(mut self, seed: Option<u64>) -> Study {
+        self.seed_override = seed;
+        self
     }
 
     /// The dynamic-instruction cap per run.
@@ -89,8 +120,14 @@ impl Study {
 
     /// The workload instance this study uses for `id`.
     pub fn workload(&self, id: WorkloadId) -> Workload {
-        let size = (u64::from(id.default_size()) * u64::from(self.scale_percent) / 100).max(1);
-        Workload::new(id).with_size(size as u32)
+        let size = self.size_override.unwrap_or_else(|| {
+            (u64::from(id.default_size()) * u64::from(self.scale_percent) / 100).max(1) as u32
+        });
+        let workload = Workload::new(id).with_size(size);
+        match self.seed_override {
+            Some(seed) => workload.with_seed(seed),
+            None => workload,
+        }
     }
 
     /// Runs `id` once, streaming the trace through an analyzer configured by
@@ -363,7 +400,7 @@ fn write_checkpoint_atomic(analyzer: &LiveWell, path: &PathBuf) -> std::io::Resu
     let mut out = BufWriter::new(fs::File::create(&tmp)?);
     analyzer
         .save_checkpoint(&mut out)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e.to_string()))?;
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
     out.flush()?;
     fs::rename(&tmp, path)
 }
@@ -389,9 +426,23 @@ pub fn analyze_many(records: &[TraceRecord], configs: &[AnalysisConfig]) -> Vec<
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("analysis thread panicked"))
+            .map(|h| match h.join() {
+                Ok(report) => report,
+                // Surface the analysis panic on the caller's thread with
+                // its original payload instead of a generic message.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     })
+}
+
+/// Worker-thread count for the sweep drivers: `PARAGRAPH_JOBS`, or `0`
+/// (auto: all cores) when unset or unparsable.
+pub fn jobs_from_env() -> usize {
+    std::env::var("PARAGRAPH_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 /// Formats `n` with thousands separators, as the paper's tables do.
@@ -399,7 +450,7 @@ pub fn thousands(n: u64) -> String {
     let digits = n.to_string();
     let mut out = String::with_capacity(digits.len() + digits.len() / 3);
     for (i, c) in digits.chars().enumerate() {
-        if i > 0 && (digits.len() - i) % 3 == 0 {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);
@@ -459,11 +510,7 @@ mod tests {
     fn temp_study(tag: &str) -> Study {
         let out =
             std::env::temp_dir().join(format!("paragraph-bench-test-{tag}-{}", std::process::id()));
-        Study {
-            fuel: 200_000,
-            scale_percent: 5,
-            out_dir: out,
-        }
+        Study::new(200_000, 5, out)
     }
 
     #[test]
@@ -521,22 +568,17 @@ mod tests {
 
     #[test]
     fn study_workload_uses_default_size_at_full_scale() {
-        let study = Study {
-            fuel: 1000,
-            scale_percent: 100,
-            out_dir: PathBuf::from("results"),
-        };
+        let study = Study::new(1000, 100, PathBuf::from("results"));
         assert_eq!(
             study.workload(WorkloadId::Xlisp).size(),
             WorkloadId::Xlisp.default_size()
         );
-        let half = Study {
-            scale_percent: 50,
-            ..study
-        };
+        let half = Study::new(1000, 50, PathBuf::from("results"));
         assert_eq!(
             half.workload(WorkloadId::Xlisp).size(),
             WorkloadId::Xlisp.default_size() / 2
         );
+        let forced = study.with_size_override(Some(7));
+        assert_eq!(forced.workload(WorkloadId::Xlisp).size(), 7);
     }
 }

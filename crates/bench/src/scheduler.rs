@@ -1,0 +1,775 @@
+//! Bounded work-stealing scheduler for (workload × configuration) sweeps.
+//!
+//! A sweep is a grid of independent **cells**: one analysis pass of one
+//! workload's trace under one configuration. Cells sharing a workload share
+//! a single decode through the [`TraceArena`]; the scheduler fans the cells
+//! out across `jobs` worker threads and collects results **by cell index**,
+//! so the output is byte-identical no matter how many workers ran or how
+//! work was stolen.
+//!
+//! Each completed cell is persisted as a *stage marker* (an exact textual
+//! encoding of the cell's artifacts) via the study's checkpoint directory,
+//! so an interrupted sweep resumes at cell granularity: restored cells are
+//! not recomputed, and their artifacts are byte-identical to a fresh run's.
+
+use crate::arena::{ArenaStats, TraceArena};
+use crate::Study;
+use paragraph_core::telemetry::{self, Value};
+use paragraph_core::{AnalysisConfig, LiveWell, ParallelismProfile};
+use paragraph_workloads::WorkloadId;
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// One unit of sweep work: analyze `workload`'s trace under `config`.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Workload whose trace this cell analyzes.
+    pub workload: WorkloadId,
+    /// Short configuration label, unique within the workload (names the
+    /// stage marker and output artifacts; e.g. `w64` or `dataflow`).
+    pub label: String,
+    /// Analysis configuration; the workload's segment map is applied by
+    /// the scheduler, so build it segment-free.
+    pub config: AnalysisConfig,
+}
+
+impl SweepCell {
+    /// Creates a cell.
+    pub fn new(
+        workload: WorkloadId,
+        label: impl Into<String>,
+        config: AnalysisConfig,
+    ) -> SweepCell {
+        SweepCell {
+            workload,
+            label: label.into(),
+            config,
+        }
+    }
+
+    /// Stage-marker key: workload plus label, filename-safe.
+    fn stage_key(&self) -> String {
+        let mut key = format!("{}@{}", self.workload.name(), self.label);
+        key.retain(|c| c.is_ascii_alphanumeric() || matches!(c, '@' | '-' | '_' | '.'));
+        key
+    }
+}
+
+/// Headline numbers of one analyzed cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellMetrics {
+    /// Trace records processed.
+    pub records: u64,
+    /// Operations placed in the DDG.
+    pub placed: u64,
+    /// Critical path length (levels).
+    pub critical_path: u64,
+    /// Available parallelism (placed / critical path).
+    pub parallelism: f64,
+    /// Live-well evictions (accuracy caveat when non-zero).
+    pub live_well_evictions: u64,
+    /// Times the instruction window constrained placement.
+    pub window_stalls: u64,
+    /// Wall-clock nanoseconds of the analysis pass (from the original
+    /// computation, even when the cell was restored from a stage marker).
+    pub wall_ns: u64,
+}
+
+/// A completed cell: exact artifacts plus provenance.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The cell's workload.
+    pub workload: WorkloadId,
+    /// The cell's configuration label.
+    pub label: String,
+    /// Headline metrics.
+    pub metrics: CellMetrics,
+    /// The exact parallelism profile (drives CSVs and ASCII plots).
+    pub profile: ParallelismProfile,
+    /// The full report as JSON, byte-identical across runs.
+    pub report_json: String,
+    /// True if this cell was restored from a stage marker instead of
+    /// recomputed.
+    pub from_stage: bool,
+}
+
+/// Scheduler knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// Worker threads; `0` means [`std::thread::available_parallelism`].
+    pub jobs: usize,
+    /// Arena LRU budget in bytes; `0` means the environment default
+    /// ([`TraceArena::from_env`]).
+    pub arena_budget_bytes: usize,
+    /// Load completed cells from stage markers and store new ones, making
+    /// interrupted sweeps restartable at cell granularity.
+    pub reuse_stages: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> SweepOptions {
+        SweepOptions {
+            jobs: 0,
+            arena_budget_bytes: 0,
+            reuse_stages: true,
+        }
+    }
+}
+
+/// Everything a sweep produced, in the exact order of the input cells.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Per-cell results, index-aligned with the input cells.
+    pub cells: Vec<CellOutcome>,
+    /// Wall-clock nanoseconds for the whole sweep.
+    pub wall_ns: u64,
+    /// Worker threads actually used.
+    pub jobs: usize,
+    /// Arena traffic (misses count trace generations).
+    pub arena: ArenaStats,
+}
+
+/// Version tag of the stage-marker format; markers with any other first
+/// line are ignored and the cell is recomputed.
+const MARKER_MAGIC: &str = "PGSWEEP1";
+
+fn encode_marker(outcome: &CellOutcome) -> String {
+    let m = &outcome.metrics;
+    format!(
+        "{MARKER_MAGIC}\n{} {} {} {} {} {} {}\n{}\n{}",
+        m.records,
+        m.placed,
+        m.critical_path,
+        m.live_well_evictions,
+        m.window_stalls,
+        m.parallelism.to_bits(),
+        m.wall_ns,
+        outcome.profile.encode(),
+        outcome.report_json,
+    )
+}
+
+fn decode_marker(cell: &SweepCell, text: &str) -> Option<CellOutcome> {
+    let mut lines = text.splitn(4, '\n');
+    if lines.next()? != MARKER_MAGIC {
+        return None;
+    }
+    let mut fields = lines.next()?.split_ascii_whitespace();
+    let records = fields.next()?.parse().ok()?;
+    let placed = fields.next()?.parse().ok()?;
+    let critical_path = fields.next()?.parse().ok()?;
+    let live_well_evictions = fields.next()?.parse().ok()?;
+    let window_stalls = fields.next()?.parse().ok()?;
+    let parallelism = f64::from_bits(fields.next()?.parse().ok()?);
+    let wall_ns = fields.next()?.parse().ok()?;
+    if fields.next().is_some() {
+        return None;
+    }
+    let profile = ParallelismProfile::decode(lines.next()?)?;
+    let report_json = lines.next()?.to_owned();
+    if report_json.is_empty() {
+        return None;
+    }
+    Some(CellOutcome {
+        workload: cell.workload,
+        label: cell.label.clone(),
+        metrics: CellMetrics {
+            records,
+            placed,
+            critical_path,
+            parallelism,
+            live_well_evictions,
+            window_stalls,
+            wall_ns,
+        },
+        profile,
+        report_json,
+        from_stage: true,
+    })
+}
+
+fn analyze_cell(study: &Study, cell: &SweepCell, arena: &TraceArena) -> CellOutcome {
+    let trace = arena.get(study, cell.workload);
+    let config = cell.config.clone().with_segments(trace.segments);
+    let started = Instant::now();
+    let mut analyzer = LiveWell::new(config);
+    analyzer.process_slice(&trace.records);
+    let window_stalls = analyzer.window_stalls();
+    let report = analyzer.finish();
+    let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let metrics = CellMetrics {
+        records: report.total_records(),
+        placed: report.placed_ops(),
+        critical_path: report.critical_path_length(),
+        parallelism: report.available_parallelism(),
+        live_well_evictions: report.live_well_evictions(),
+        window_stalls,
+        wall_ns,
+    };
+    if let Some(registry) = telemetry::active() {
+        registry.record_span(
+            "sweep.cell",
+            wall_ns,
+            &[
+                ("workload", Value::Str(cell.workload.name())),
+                ("config", Value::Str(&cell.label)),
+                ("records", Value::U64(metrics.records)),
+                ("critical_path", Value::U64(metrics.critical_path)),
+            ],
+        );
+        registry.counter("sweep.cells_analyzed").add(1);
+    }
+    CellOutcome {
+        workload: cell.workload,
+        label: cell.label.clone(),
+        metrics,
+        profile: report.profile().clone(),
+        report_json: report.to_json(),
+        from_stage: false,
+    }
+}
+
+fn effective_jobs(requested: usize, cells: usize) -> usize {
+    let jobs = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    };
+    jobs.clamp(1, cells.max(1))
+}
+
+/// Runs `cells` under `study`, fanning them across worker threads, and
+/// returns the results in input order (deterministic for any job count).
+///
+/// `name` scopes the stage markers (and should match the driver: `fig7`,
+/// `fig8`, `sweep`, ...). On a fully completed sweep the markers are
+/// cleared, so the next run starts fresh; an interrupted sweep leaves the
+/// completed cells' markers behind for the next attempt to reuse.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (VM fault or analyzer bug) — the
+/// sweep's partial progress remains on disk as stage markers.
+pub fn run_sweep(
+    study: &Study,
+    name: &str,
+    cells: &[SweepCell],
+    opts: &SweepOptions,
+) -> SweepOutcome {
+    let started = Instant::now();
+    let jobs = effective_jobs(opts.jobs, cells.len());
+    let arena = if opts.arena_budget_bytes == 0 {
+        TraceArena::from_env()
+    } else {
+        TraceArena::new(opts.arena_budget_bytes)
+    };
+
+    // Restore stage-cached cells up front; only the rest are scheduled.
+    let results: Vec<Mutex<Option<CellOutcome>>> = cells
+        .iter()
+        .map(|cell| {
+            let restored = opts
+                .reuse_stages
+                .then(|| study.load_stage(name, &cell.stage_key()))
+                .flatten()
+                .and_then(|marker| decode_marker(cell, &marker));
+            Mutex::new(restored)
+        })
+        .collect();
+    let pending: Vec<usize> = (0..cells.len())
+        .filter(|&i| lock_poison_ok(&results[i]).is_none())
+        .collect();
+    if let Some(registry) = telemetry::active() {
+        let restored = cells.len() - pending.len();
+        registry
+            .counter("sweep.cells_restored")
+            .add(restored as u64);
+    }
+
+    // Deal contiguous chunks: cells are workload-major, so each worker
+    // starts on its own workload and arena traffic stays low; stealing
+    // rebalances from the back of a victim's chunk.
+    let queues: Vec<Mutex<VecDeque<usize>>> = {
+        let chunk = pending.len().div_ceil(jobs.max(1)).max(1);
+        let mut queues: Vec<VecDeque<usize>> = (0..jobs).map(|_| VecDeque::new()).collect();
+        for (slot, indices) in pending.chunks(chunk).enumerate() {
+            queues[slot % jobs].extend(indices.iter().copied());
+        }
+        queues.into_iter().map(Mutex::new).collect()
+    };
+
+    std::thread::scope(|scope| {
+        for me in 0..jobs {
+            let queues = &queues;
+            let results = &results;
+            let arena = &arena;
+            scope.spawn(move || loop {
+                let next = lock_poison_ok_deque(&queues[me]).pop_front().or_else(|| {
+                    (1..jobs)
+                        .map(|step| (me + step) % jobs)
+                        .find_map(|victim| lock_poison_ok_deque(&queues[victim]).pop_back())
+                });
+                let Some(index) = next else {
+                    break;
+                };
+                let cell = &cells[index];
+                let outcome = analyze_cell(study, cell, arena);
+                if opts.reuse_stages {
+                    if let Err(e) =
+                        study.store_stage(name, &cell.stage_key(), &encode_marker(&outcome))
+                    {
+                        // Stage persistence is best-effort, like harness
+                        // checkpoints: the sweep itself must not die
+                        // because the disk did.
+                        eprintln!("{name}: stage marker for {} failed: {e}", cell.stage_key());
+                    }
+                }
+                *lock_poison_ok(&results[index]) = Some(outcome);
+            });
+        }
+    });
+
+    let cells_out: Vec<CellOutcome> = results
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .unwrap_or_else(|| panic!("sweep cell {i} finished without a result"))
+        })
+        .collect();
+    if opts.reuse_stages {
+        study.clear_stages(name);
+    }
+    SweepOutcome {
+        cells: cells_out,
+        wall_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        jobs,
+        arena: arena.stats(),
+    }
+}
+
+fn lock_poison_ok<'a>(
+    slot: &'a Mutex<Option<CellOutcome>>,
+) -> std::sync::MutexGuard<'a, Option<CellOutcome>> {
+    slot.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn lock_poison_ok_deque<'a>(
+    queue: &'a Mutex<VecDeque<usize>>,
+) -> std::sync::MutexGuard<'a, VecDeque<usize>> {
+    queue.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Renders one cell's telemetry manifest, key-compatible with the
+/// per-workload manifests the pre-sweep harness wrote (plus the cell's
+/// configuration label and stage provenance).
+pub fn cell_manifest_json(cell: &CellOutcome) -> String {
+    let m = &cell.metrics;
+    format!(
+        concat!(
+            "{{\"workload\":\"{}\",\"config\":\"{}\",\"records\":{},",
+            "\"placed\":{},\"critical_path\":{},\"parallelism\":{:.6},",
+            "\"live_well_evictions\":{},\"records_analyzed\":{},",
+            "\"wall_ns\":{},\"records_per_sec\":{:.2},",
+            "\"window_stalls\":{},\"from_stage\":{}}}\n"
+        ),
+        cell.workload.name(),
+        cell.label,
+        m.records,
+        m.placed,
+        m.critical_path,
+        m.parallelism,
+        m.live_well_evictions,
+        m.records,
+        m.wall_ns,
+        if m.wall_ns == 0 {
+            0.0
+        } else {
+            m.records as f64 / (m.wall_ns as f64 / 1e9)
+        },
+        m.window_stalls,
+        cell.from_stage,
+    )
+}
+
+/// Renders a sweep-level telemetry manifest: grid shape, wall time,
+/// per-cell timings, and arena traffic. Written by the drivers next to
+/// their CSV artifacts.
+pub fn sweep_manifest_json(name: &str, outcome: &SweepOutcome) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"sweep\":\"{name}\",\"jobs\":{},\"cells\":{},\"wall_ns\":{},",
+        outcome.jobs,
+        outcome.cells.len(),
+        outcome.wall_ns,
+    ));
+    out.push_str(&format!(
+        "\"arena\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"peak_resident_bytes\":{}}},",
+        outcome.arena.hits,
+        outcome.arena.misses,
+        outcome.arena.evictions,
+        outcome.arena.peak_resident_bytes,
+    ));
+    out.push_str("\"cell_results\":[");
+    for (i, cell) in outcome.cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            concat!(
+                "{{\"workload\":\"{}\",\"config\":\"{}\",\"records\":{},",
+                "\"critical_path\":{},\"parallelism\":{:.6},\"wall_ns\":{},",
+                "\"from_stage\":{}}}"
+            ),
+            cell.workload.name(),
+            cell.label,
+            cell.metrics.records,
+            cell.metrics.critical_path,
+            cell.metrics.parallelism,
+            cell.metrics.wall_ns,
+            cell.from_stage,
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragraph_core::analyze_slice;
+    use std::fs;
+
+    fn temp_study(tag: &str) -> Study {
+        let out =
+            std::env::temp_dir().join(format!("paragraph-sched-test-{tag}-{}", std::process::id()));
+        Study::new(100_000, 2, out)
+    }
+
+    fn grid(workloads: &[WorkloadId]) -> Vec<SweepCell> {
+        use paragraph_core::WindowSize;
+        let mut cells = Vec::new();
+        for &id in workloads {
+            cells.push(SweepCell::new(
+                id,
+                "dataflow",
+                AnalysisConfig::dataflow_limit(),
+            ));
+            cells.push(SweepCell::new(
+                id,
+                "w64",
+                AnalysisConfig::dataflow_limit().with_window(WindowSize::bounded(64)),
+            ));
+            cells.push(SweepCell::new(
+                id,
+                "renone",
+                AnalysisConfig::dataflow_limit().with_renames(paragraph_core::RenameSet::none()),
+            ));
+        }
+        cells
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_sequential() {
+        let study = temp_study("det");
+        let cells = grid(&[
+            WorkloadId::Xlisp,
+            WorkloadId::Eqntott,
+            WorkloadId::Matrix300,
+        ]);
+        let opts_seq = SweepOptions {
+            jobs: 1,
+            reuse_stages: false,
+            ..SweepOptions::default()
+        };
+        let opts_par = SweepOptions {
+            jobs: 8,
+            reuse_stages: false,
+            ..SweepOptions::default()
+        };
+        let sequential = run_sweep(&study, "t-det", &cells, &opts_seq);
+        let parallel = run_sweep(&study, "t-det", &cells, &opts_par);
+        assert_eq!(sequential.jobs, 1);
+        for (a, b) in sequential.cells.iter().zip(&parallel.cells) {
+            assert_eq!(a.report_json, b.report_json, "{}@{}", a.workload, a.label);
+            assert_eq!(a.profile, b.profile);
+            let mut csv_a = Vec::new();
+            let mut csv_b = Vec::new();
+            a.profile.write_csv(&mut csv_a).unwrap();
+            b.profile.write_csv(&mut csv_b).unwrap();
+            assert_eq!(csv_a, csv_b);
+        }
+        let _ = fs::remove_dir_all(study.out_dir());
+    }
+
+    #[test]
+    fn sweep_matches_direct_analysis() {
+        let study = temp_study("direct");
+        let cells = grid(&[WorkloadId::Xlisp]);
+        let opts = SweepOptions {
+            jobs: 2,
+            reuse_stages: false,
+            ..SweepOptions::default()
+        };
+        let outcome = run_sweep(&study, "t-direct", &cells, &opts);
+        let (records, segments) = study.collect(WorkloadId::Xlisp);
+        for (cell, result) in cells.iter().zip(&outcome.cells) {
+            let config = cell.config.clone().with_segments(segments);
+            let direct = analyze_slice(&records, &config);
+            assert_eq!(result.report_json, direct.to_json());
+        }
+        assert_eq!(outcome.arena.misses, 1, "one workload, one decode");
+        let _ = fs::remove_dir_all(study.out_dir());
+    }
+
+    #[test]
+    fn stage_markers_resume_without_recomputation() {
+        let study = temp_study("stage");
+        let cells = grid(&[WorkloadId::Eqntott]);
+        let opts = SweepOptions {
+            jobs: 2,
+            ..SweepOptions::default()
+        };
+        let fresh = run_sweep(&study, "t-stage", &cells, &opts);
+        assert!(fresh.cells.iter().all(|c| !c.from_stage));
+
+        // Simulate an interrupted sweep: pre-store one cell's marker, then
+        // re-run. The restored cell must be byte-identical and flagged.
+        study
+            .store_stage(
+                "t-stage",
+                &cells[0].stage_key(),
+                &encode_marker(&fresh.cells[0]),
+            )
+            .unwrap();
+        let resumed = run_sweep(&study, "t-stage", &cells, &opts);
+        assert!(resumed.cells[0].from_stage);
+        assert!(!resumed.cells[1].from_stage);
+        for (a, b) in fresh.cells.iter().zip(&resumed.cells) {
+            assert_eq!(a.report_json, b.report_json);
+            assert_eq!(a.metrics.records, b.metrics.records);
+            assert_eq!(a.profile, b.profile);
+        }
+        // A completed sweep clears its markers.
+        assert!(study.load_stage("t-stage", &cells[0].stage_key()).is_none());
+        let _ = fs::remove_dir_all(study.out_dir());
+    }
+
+    #[test]
+    fn marker_round_trips_and_rejects_damage() {
+        let study = temp_study("marker");
+        let cells = grid(&[WorkloadId::Matrix300]);
+        let opts = SweepOptions {
+            jobs: 1,
+            reuse_stages: false,
+            ..SweepOptions::default()
+        };
+        let outcome = run_sweep(&study, "t-marker", &cells[..1], &opts);
+        let marker = encode_marker(&outcome.cells[0]);
+        let decoded = decode_marker(&cells[0], &marker).unwrap();
+        assert_eq!(decoded.report_json, outcome.cells[0].report_json);
+        assert_eq!(decoded.profile, outcome.cells[0].profile);
+        assert_eq!(decoded.metrics, {
+            let mut m = outcome.cells[0].metrics;
+            m.wall_ns = decoded.metrics.wall_ns;
+            m
+        });
+        assert!(decoded.from_stage);
+
+        assert!(decode_marker(&cells[0], "JUNK\n1 2 3").is_none());
+        assert!(decode_marker(&cells[0], &marker.replace(MARKER_MAGIC, "PGSWEEP9")).is_none());
+        let truncated = &marker[..marker.len() / 2];
+        // Truncation lands either in the profile or the json; both reject
+        // or round-trip to a prefix that fails validation.
+        if let Some(bad) = decode_marker(&cells[0], truncated) {
+            assert_ne!(bad.report_json, outcome.cells[0].report_json);
+        }
+        let _ = fs::remove_dir_all(study.out_dir());
+    }
+
+    #[test]
+    fn manifest_mentions_every_cell() {
+        let study = temp_study("manifest");
+        let cells = grid(&[WorkloadId::Xlisp]);
+        let opts = SweepOptions {
+            jobs: 3,
+            reuse_stages: false,
+            ..SweepOptions::default()
+        };
+        let outcome = run_sweep(&study, "t-manifest", &cells, &opts);
+        let manifest = sweep_manifest_json("t-manifest", &outcome);
+        assert!(manifest.contains("\"sweep\":\"t-manifest\""));
+        assert!(manifest.contains("\"misses\":1"));
+        for cell in &outcome.cells {
+            assert!(manifest.contains(&format!("\"config\":\"{}\"", cell.label)));
+        }
+        let _ = fs::remove_dir_all(study.out_dir());
+    }
+
+    #[test]
+    fn zero_jobs_defaults_to_available_parallelism() {
+        assert!(effective_jobs(0, 100) >= 1);
+        assert_eq!(effective_jobs(16, 4), 4, "jobs are bounded by cells");
+        assert_eq!(effective_jobs(3, 100), 3);
+        assert_eq!(effective_jobs(0, 0), 1);
+    }
+
+    /// Best-of-`reps` wall-clock of the pre-engine path (every cell
+    /// re-generating its workload's trace, strictly sequential) against
+    /// `run_sweep` over the same cells, asserting report equality on every
+    /// repetition. The two paths alternate and each keeps its minimum:
+    /// single-shot timings on a shared box swing by 2x.
+    struct SweepBench {
+        before_ns: u64,
+        after_ns: u64,
+        jobs: usize,
+        misses: u64,
+        hits: u64,
+    }
+
+    impl SweepBench {
+        fn speedup(&self) -> f64 {
+            self.before_ns as f64 / self.after_ns.max(1) as f64
+        }
+
+        fn json(&self, grid: &str, cpus: usize) -> String {
+            format!(
+                concat!(
+                    "{{\"bench\":\"sweep-decode-once\",\"grid\":\"{}\",\"cpus\":{},",
+                    "\"before_ns\":{},\"after_ns\":{},\"speedup\":{:.2},",
+                    "\"jobs\":{},\"arena_misses\":{},\"arena_hits\":{}}}"
+                ),
+                grid,
+                cpus,
+                self.before_ns,
+                self.after_ns,
+                self.speedup(),
+                self.jobs,
+                self.misses,
+                self.hits,
+            )
+        }
+    }
+
+    fn measure_sweep(study: &Study, name: &str, cells: &[SweepCell], reps: usize) -> SweepBench {
+        // The arena gets an unbounded budget: this measures decode-once
+        // against re-decode, so the whole grid must stay resident (the
+        // budget's eviction behavior is exercised by the arena tests).
+        let opts = SweepOptions {
+            jobs: crate::jobs_from_env(),
+            arena_budget_bytes: usize::MAX,
+            reuse_stages: false,
+        };
+        let mut bench = SweepBench {
+            before_ns: u64::MAX,
+            after_ns: u64::MAX,
+            jobs: 0,
+            misses: 0,
+            hits: 0,
+        };
+        for rep in 0..reps {
+            // Before: the old drivers' shape — one trace generation per
+            // cell, one cell at a time.
+            let start = Instant::now();
+            let mut before_reports = Vec::new();
+            for cell in cells {
+                let (records, segments) = study.collect(cell.workload);
+                let config = cell.config.clone().with_segments(segments);
+                before_reports.push(analyze_slice(&records, &config).to_json());
+            }
+            let b = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+            // After: decode-once arena + scheduler.
+            let outcome = run_sweep(study, name, cells, &opts);
+            for (old, new) in before_reports.iter().zip(&outcome.cells) {
+                assert_eq!(old, &new.report_json, "engine changed a report");
+            }
+            println!(
+                "{name} rep {rep}: before {:.2}s, after {:.2}s",
+                b as f64 / 1e9,
+                outcome.wall_ns as f64 / 1e9,
+            );
+            bench.before_ns = bench.before_ns.min(b);
+            bench.after_ns = bench.after_ns.min(outcome.wall_ns);
+            bench.jobs = outcome.jobs;
+            bench.misses = outcome.arena.misses;
+            bench.hits = outcome.arena.hits;
+        }
+        bench
+    }
+
+    /// Measures the sweep engine against the pre-engine path on two grids:
+    /// the acceptance grid (ten workloads × two configurations) and fig8's
+    /// real shape (ten workloads × the 13-window ladder + unbounded).
+    /// Ignored by default — it is a benchmark, not a correctness test; run
+    /// with `cargo test --release -p paragraph-bench -- --ignored
+    /// decode_once --nocapture` (PARAGRAPH_FUEL/SCALE/JOBS apply) and the
+    /// JSON lines it prints are what `BENCH.sweep.json` records.
+    #[test]
+    #[ignore = "benchmark: run explicitly with --ignored --nocapture"]
+    fn decode_once_speedup_on_ten_workload_grid() {
+        use paragraph_core::WindowSize;
+        let study = Study::from_env();
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+        let mut pair_cells = Vec::new();
+        for id in WorkloadId::ALL {
+            pair_cells.push(SweepCell::new(
+                id,
+                "dataflow",
+                AnalysisConfig::dataflow_limit(),
+            ));
+            pair_cells.push(SweepCell::new(
+                id,
+                "w1024",
+                AnalysisConfig::dataflow_limit().with_window(WindowSize::bounded(1024)),
+            ));
+        }
+        let pair = measure_sweep(&study, "t-bench2", &pair_cells, 3);
+
+        let mut ladder_cells = Vec::new();
+        for id in WorkloadId::ALL {
+            for w in [
+                1usize, 2, 4, 8, 16, 32, 64, 128, 256, 1_024, 4_096, 16_384, 65_536,
+            ] {
+                ladder_cells.push(SweepCell::new(
+                    id,
+                    format!("w{w}"),
+                    AnalysisConfig::dataflow_limit().with_window(WindowSize::bounded(w)),
+                ));
+            }
+            ladder_cells.push(SweepCell::new(id, "full", AnalysisConfig::dataflow_limit()));
+        }
+        let ladder = measure_sweep(&study, "t-bench14", &ladder_cells, 2);
+
+        println!("{}", pair.json("10x2", cpus));
+        println!("{}", ladder.json("10x14", cpus));
+
+        assert_eq!(pair.misses, 10, "each workload must decode exactly once");
+        let pair_speedup = pair.speedup();
+        let ladder_speedup = ladder.speedup();
+        // With only two configurations per workload, decode-once alone is
+        // bounded below 2x on one core — (2D + 2A) / (D + 2A) < 2 for any
+        // analysis cost A > 0 — so the 2x acceptance bound on this grid is
+        // a parallel-speedup claim; hold it wherever parallelism exists.
+        assert!(
+            pair_speedup > 1.0,
+            "decode-once must beat the re-decode path, got {pair_speedup:.2}x"
+        );
+        if cpus >= 4 {
+            assert!(
+                pair_speedup >= 2.0,
+                "expected >= 2x on the 10x2 grid with {cpus} cores, got {pair_speedup:.2}x"
+            );
+        }
+        // fig8's own grid re-decodes 14x per workload without the arena;
+        // decode-once must reclaim at least half that wall-clock even on a
+        // single core.
+        assert!(
+            ladder_speedup >= 2.0,
+            "expected >= 2x on the fig8-shaped grid, got {ladder_speedup:.2}x"
+        );
+    }
+}

@@ -135,7 +135,8 @@ commands:
   run       execute an assembly file on the VM
   disasm    print a workload's generated assembly
   dot       export a (small) workload's explicit DDG in Graphviz format
-  sweep     window-size sweep for one workload (Figure 8, one curve)
+  sweep     window-size sweep: one workload (Figure 8, one curve), or a
+            parallel (workload x window) grid with --workloads [--jobs N]
   compare   one workload under the standard ladder of machine conditions
   stats     first-order operation frequencies of a workload or trace file
   report    full Section-2.3 analysis: lifetimes, sharing, slack, storage
@@ -165,6 +166,13 @@ common options:
   --json FILE       write the analysis report as JSON
   --plot            print an ASCII parallelism profile
   --windows A,B,C   window sizes for `sweep`
+  --workloads LIST  grid sweep: comma-separated workloads, or `all`; each
+                    trace is decoded once into a shared arena and the
+                    (workload x window) cells run on --jobs workers
+  --jobs N          worker threads for the grid sweep (0 or absent: all
+                    cores; also PARAGRAPH_JOBS); results are byte-identical
+                    for any N. With --out DIR, per-cell report JSON and
+                    profile CSVs land in DIR (see docs/sweep.md)
 
 fault tolerance (analyze):
   --recover             read a damaged trace: resynchronize past corrupt
@@ -226,6 +234,11 @@ struct Options {
     stats_telemetry: Option<String>,
     /// `stats --metrics FILE`: validate a Prometheus snapshot.
     stats_metrics: Option<String>,
+    /// `sweep --workloads a,b,c|all`: multi-workload grid sweep through the
+    /// parallel sweep engine instead of the single-workload ladder.
+    workloads: Vec<WorkloadId>,
+    /// Worker threads for the grid sweep (`0`/absent = all cores).
+    jobs: Option<usize>,
 }
 
 impl Options {
@@ -287,6 +300,23 @@ impl Options {
                         .map(|v| v as usize)
                         .collect();
                 }
+                "--workloads" => {
+                    let list = value()?;
+                    if list == "all" {
+                        opts.workloads = WorkloadId::ALL.to_vec();
+                    } else {
+                        for name in list.split(',').filter(|s| !s.is_empty()) {
+                            opts.workloads.push(
+                                WorkloadId::by_name(name)
+                                    .ok_or_else(|| format!("unknown workload `{name}`"))?,
+                            );
+                        }
+                    }
+                    if opts.workloads.is_empty() {
+                        return Err("--workloads requires at least one workload".into());
+                    }
+                }
+                "--jobs" => opts.jobs = Some(parse_num(&value()?)?),
                 "--recover" => opts.recover = true,
                 "--checkpoint-every" => {
                     let n: u64 = parse_num(&value()?)?;
@@ -745,7 +775,7 @@ fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
             analyzer.process(record);
             let n = index as u64 + 1;
             if let Some(every) = opts.checkpoint_every {
-                if n % every == 0 {
+                if n.is_multiple_of(every) {
                     save_checkpoint_instrumented(&analyzer, &ckpt_path, &setup)?;
                 }
             }
@@ -1054,6 +1084,9 @@ fn cmd_compare(opts: &Options) -> Result<(), CliError> {
 }
 
 fn cmd_sweep(opts: &Options) -> Result<(), CliError> {
+    if !opts.workloads.is_empty() {
+        return cmd_sweep_grid(opts);
+    }
     let LoadedTrace {
         records, segments, ..
     } = load_records(opts)?;
@@ -1085,6 +1118,138 @@ fn cmd_sweep(opts: &Options) -> Result<(), CliError> {
         total,
         "100.00%"
     );
+    Ok(())
+}
+
+/// `sweep --workloads a,b,c`: the parallel (workload × window) grid on the
+/// sweep engine. Each workload's trace is generated once into the shared
+/// arena; the cells fan out across `--jobs` workers, and the results (and
+/// any `--out` artifacts) are byte-identical for every job count.
+fn cmd_sweep_grid(opts: &Options) -> Result<(), CliError> {
+    use paragraph_bench::scheduler::sweep_manifest_json;
+    use paragraph_bench::{run_sweep, Study, SweepCell, SweepOptions};
+    use std::path::PathBuf;
+
+    if opts.trace.is_some() {
+        return Err(usage_err(
+            "--trace cannot be combined with --workloads (the grid sweep \
+             regenerates each workload's trace into the arena)",
+        ));
+    }
+    if opts.window.is_some() {
+        return Err(usage_err(
+            "use --windows (the ladder) instead of --window with --workloads",
+        ));
+    }
+    let setup = init_telemetry(opts)?;
+    let windows = if opts.windows.is_empty() {
+        vec![1, 10, 100, 1000, 10_000, 100_000]
+    } else {
+        opts.windows.clone()
+    };
+    // The scheduler applies each workload's own segment map; the base
+    // config carries only the command-line machine model.
+    let base = opts.config(SegmentMap::default());
+    let mut cells = Vec::with_capacity(opts.workloads.len() * (windows.len() + 1));
+    for &id in &opts.workloads {
+        for &w in &windows {
+            cells.push(SweepCell::new(
+                id,
+                format!("w{w}"),
+                base.clone().with_window(WindowSize::bounded(w)),
+            ));
+        }
+        cells.push(SweepCell::new(id, "full", base.clone()));
+    }
+
+    let out_dir = opts.out.as_deref().map(PathBuf::from);
+    let study = Study::new(
+        opts.fuel(),
+        100,
+        out_dir.clone().unwrap_or_else(|| PathBuf::from("results")),
+    )
+    .with_size_override(opts.size)
+    .with_seed_override(opts.seed);
+    let sweep_opts = SweepOptions {
+        jobs: opts.jobs.unwrap_or_else(paragraph_bench::jobs_from_env),
+        arena_budget_bytes: 0,
+        // Stage markers key on (workload, label) only — safe for the fixed
+        // fig7/fig8 grids, but an interrupted CLI sweep rerun with
+        // different machine flags would alias. Each CLI sweep is
+        // self-contained instead.
+        reuse_stages: false,
+    };
+    // A VM fault or analyzer bug panics the worker; surface it as an
+    // analysis failure (exit 5) rather than an abort.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_sweep(&study, "sweep", &cells, &sweep_opts)
+    }))
+    .map_err(|panic| {
+        let msg = panic
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| panic.downcast_ref::<&str>().copied())
+            .unwrap_or("worker panicked");
+        CliError::Analysis(format!("sweep failed: {msg}"))
+    })?;
+
+    let ladder = windows.len() + 1;
+    println!(
+        "{:<11} {:>10}  {:>14}  {:>12}  {:>8}",
+        "workload", "window", "critical path", "parallelism", "% of max"
+    );
+    for (w_idx, &id) in opts.workloads.iter().enumerate() {
+        let row = &outcome.cells[w_idx * ladder..(w_idx + 1) * ladder];
+        let total = row[ladder - 1].metrics.parallelism;
+        for (cell, &w) in row.iter().zip(&windows) {
+            println!(
+                "{:<11} {w:>10}  {:>14}  {:>12.2}  {:>7.2}%",
+                id.name(),
+                cell.metrics.critical_path,
+                cell.metrics.parallelism,
+                100.0 * cell.metrics.parallelism / total
+            );
+        }
+        println!(
+            "{:<11} {:>10}  {:>14}  {:>12.2}  {:>8}",
+            id.name(),
+            "inf",
+            row[ladder - 1].metrics.critical_path,
+            total,
+            "100.00%"
+        );
+    }
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| io_err(&dir.display().to_string(), e))?;
+        for cell in &outcome.cells {
+            let stem = format!("{}@{}", cell.workload.name(), cell.label);
+            let json_path = dir.join(format!("{stem}.report.json"));
+            std::fs::write(&json_path, &cell.report_json)
+                .map_err(|e| io_err(&json_path.display().to_string(), e))?;
+            let csv_path = dir.join(format!("{stem}.profile.csv"));
+            let file =
+                File::create(&csv_path).map_err(|e| io_err(&csv_path.display().to_string(), e))?;
+            cell.profile
+                .write_csv(BufWriter::new(file))
+                .map_err(|e| io_err(&csv_path.display().to_string(), e))?;
+        }
+        let manifest = dir.join("sweep.json");
+        std::fs::write(&manifest, sweep_manifest_json("sweep", &outcome))
+            .map_err(|e| io_err(&manifest.display().to_string(), e))?;
+    }
+    eprintln!(
+        "sweep: {} cells on {} worker(s) in {:.2}s (arena: {} decode(s), {} hit(s), {} eviction(s))",
+        outcome.cells.len(),
+        outcome.jobs,
+        outcome.wall_ns as f64 / 1e9,
+        outcome.arena.misses,
+        outcome.arena.hits,
+        outcome.arena.evictions,
+    );
+    if let Some(path) = &setup.metrics_out {
+        write_metrics_snapshot(path)?;
+    }
     Ok(())
 }
 

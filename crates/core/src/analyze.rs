@@ -37,6 +37,15 @@ where
     analyzer.finish()
 }
 
+/// Analyzes a contiguous slice of records under `config` — the sweep
+/// engine's entry point: one arena-resident decode (`Arc<[TraceRecord]>`)
+/// feeds any number of analyzer passes without per-pass iterator plumbing.
+pub fn analyze_slice(records: &[TraceRecord], config: &AnalysisConfig) -> AnalysisReport {
+    let mut analyzer = LiveWell::new(config.clone());
+    analyzer.process_slice(records);
+    analyzer.finish()
+}
+
 /// Analyzes a trace while also collecting first-order statistics, in one
 /// pass.
 pub fn analyze_with_stats<'a, I>(

@@ -103,7 +103,7 @@ pub mod schedule;
 pub mod telemetry;
 mod window;
 
-pub use analyze::{analyze, analyze_refs, analyze_with_stats};
+pub use analyze::{analyze, analyze_refs, analyze_slice, analyze_with_stats};
 pub use checkpoint::CheckpointError;
 pub use config::{AnalysisConfig, RenameSet, SyscallPolicy, WindowSize};
 pub use ddg::{Ddg, DdgBuilder, DdgNode, DepKind, Edge, NodeId};

@@ -184,7 +184,7 @@ pub struct LiveWell {
     profile: ParallelismProfile,
     predictor: Option<Predictor>,
     /// Operations started per level, when an issue limit is configured.
-    level_starts: Option<FastMap<i64, u32>>,
+    issue: Option<IssueLedger>,
     value_stats: Option<ValueStats>,
     /// Conservative memory ordering, under `MemoryModel::NoDisambiguation`.
     mem_ordering: MemOrdering,
@@ -225,6 +225,93 @@ impl ValueStats {
     }
 }
 
+/// Per-level operation-start counters for issue-limited runs.
+///
+/// Every free-slot scan begins at `base + 1 > floor`, and the floor only
+/// rises, so counters at or below the floor can never be probed again —
+/// they are pruned whenever the floor rises, which bounds the ledger to
+/// the live band `(floor, deepest]` instead of the whole critical path.
+///
+/// `min_nonfull` is a scan cursor. Invariant: every level `L` with
+/// `pruned_floor < L < min_nonfull` holds exactly `limit` starts. Counters
+/// only increase, so the invariant is stable; scans starting below the
+/// cursor jump straight to it instead of re-walking known-full levels.
+#[derive(Debug)]
+struct IssueLedger {
+    starts: FastMap<i64, u32>,
+    /// Smallest level above `pruned_floor` not known to be full.
+    min_nonfull: i64,
+    /// Counters at or below this level have been discarded.
+    pruned_floor: i64,
+}
+
+impl Default for IssueLedger {
+    fn default() -> IssueLedger {
+        IssueLedger {
+            starts: FastMap::default(),
+            min_nonfull: 0,
+            pruned_floor: -1,
+        }
+    }
+}
+
+impl IssueLedger {
+    /// Finds the first level after `base` with a free start slot, claims
+    /// it, and returns it. Identical placement to a plain linear scan from
+    /// `base + 1`; the cursor only skips levels already proven full.
+    fn place(&mut self, base: i64, limit: usize) -> i64 {
+        let mut start = base + 1;
+        if start < self.min_nonfull {
+            start = self.min_nonfull;
+        }
+        while self.is_full(start, limit) {
+            start += 1;
+        }
+        let count = self.starts.entry(start).or_insert(0);
+        *count += 1;
+        if *count as usize >= limit && start == self.min_nonfull {
+            self.min_nonfull += 1;
+            while self.is_full(self.min_nonfull, limit) {
+                self.min_nonfull += 1;
+            }
+        }
+        start
+    }
+
+    fn is_full(&self, level: i64, limit: usize) -> bool {
+        self.starts
+            .get(&level)
+            .is_some_and(|&n| n as usize >= limit)
+    }
+
+    /// Discards counters at or below `floor`; they are unreachable because
+    /// scans always start above the (monotone) floor. Small floor steps
+    /// remove exact keys; large jumps fall back to one retain sweep.
+    fn prune_to(&mut self, floor: i64) {
+        if floor <= self.pruned_floor {
+            return;
+        }
+        let span = i128::from(floor) - i128::from(self.pruned_floor);
+        if span <= self.starts.len() as i128 {
+            for level in (self.pruned_floor + 1)..=floor {
+                self.starts.remove(&level);
+            }
+        } else {
+            self.starts.retain(|&level, _| level > floor);
+        }
+        self.pruned_floor = floor;
+        if self.min_nonfull <= floor {
+            self.min_nonfull = floor + 1;
+        }
+    }
+
+    /// Live counter count — the quantity the leak regression test bounds.
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.starts.len()
+    }
+}
+
 impl LiveWell {
     /// Creates an analyzer for one pass under `config`.
     pub fn new(config: AnalysisConfig) -> LiveWell {
@@ -236,7 +323,7 @@ impl LiveWell {
             window: WindowLimiter::new(config.window()),
             profile: ParallelismProfile::new(config.profile_bins()),
             predictor,
-            level_starts: config.issue_limit().map(|_| FastMap::default()),
+            issue: config.issue_limit().map(|_| IssueLedger::default()),
             value_stats: config.value_stats().then(ValueStats::default),
             mem_ordering: MemOrdering::default(),
             config,
@@ -302,7 +389,7 @@ impl LiveWell {
         // this (and every later) instruction must be placed.
         if let Some((displaced, ())) = self.window.make_room() {
             if displaced > self.floor {
-                self.floor = displaced;
+                self.raise_floor(displaced);
                 self.window_stalls += 1;
             }
         }
@@ -349,13 +436,8 @@ impl LiveWell {
         let ldest = if let Some(limit) = self.config.issue_limit() {
             // Resource dependency: at most `limit` operations may start in
             // any level; slide the start level down to the first free slot.
-            let starts = self.level_starts.get_or_insert_with(FastMap::default);
-            let mut start = base + 1;
-            while starts.get(&start).is_some_and(|&n| n as usize >= limit) {
-                start += 1;
-            }
-            *starts.entry(start).or_insert(0) += 1;
-            start + top - 1
+            let ledger = self.issue.get_or_insert_with(IssueLedger::default);
+            ledger.place(base, limit) + top - 1
         } else {
             base + top
         };
@@ -392,8 +474,9 @@ impl LiveWell {
             self.syscalls += 1;
             if self.config.syscall_policy() == SyscallPolicy::Conservative {
                 // Place a firewall immediately after the deepest computation:
-                // no later instruction may be placed higher.
-                self.floor = self.deepest;
+                // no later instruction may be placed higher. The syscall was
+                // just placed above the old floor, so this is always a raise.
+                self.raise_floor(self.deepest);
                 self.firewalls += 1;
             }
         }
@@ -449,11 +532,33 @@ impl LiveWell {
         crate::histogram!("livewell.eviction_batch", evicted);
     }
 
+    /// Raises the placement floor. Centralized so the issue ledger can
+    /// drop counters the scan can no longer reach — pruning eagerly (rather
+    /// than lazily at the next placement) keeps the serialized state a pure
+    /// function of the records processed, which checkpoint bit-transparency
+    /// depends on.
+    fn raise_floor(&mut self, level: i64) {
+        debug_assert!(level >= self.floor, "the floor only rises");
+        self.floor = level;
+        if let Some(ledger) = self.issue.as_mut() {
+            ledger.prune_to(level);
+        }
+    }
+
     /// Processes every record of an iterator.
     pub fn process_all<'a, I>(&mut self, records: I)
     where
         I: IntoIterator<Item = &'a TraceRecord>,
     {
+        for record in records {
+            self.process(record);
+        }
+    }
+
+    /// Processes a contiguous slice of records — the sweep engine's entry
+    /// point for arena-shared traces (`Arc<[TraceRecord]>` derefs straight
+    /// to a slice, so many analyzer passes can walk one decode).
+    pub fn process_slice(&mut self, records: &[TraceRecord]) {
         for record in records {
             self.process(record);
         }
@@ -503,7 +608,7 @@ impl LiveWell {
                 entry.deepest_use = entry.deepest_use.max(resolve);
             }
             if resolve > self.floor {
-                self.floor = resolve;
+                self.raise_floor(resolve);
                 self.branch_firewalls += 1;
             }
         }
@@ -584,8 +689,13 @@ impl LiveWell {
         if let Some(cap) = self.config.live_well_cap() {
             registry.gauge("livewell.cap").set(cap as i64);
             // Occupancy in tenths of a percent: integer-valued, histogram
-            // buckets resolve the interesting 50%..100% range well.
-            let permille = (self.mem.len() as u64).saturating_mul(1000) / cap.max(1) as u64;
+            // buckets resolve the interesting 50%..100% range well. The
+            // table may transiently exceed the cap between eviction beats
+            // (eviction triggers strictly above the cap, and embedders can
+            // publish mid-record), so clamp: occupancy is a fill fraction,
+            // not an overshoot gauge.
+            let permille =
+                ((self.mem.len() as u64).saturating_mul(1000) / cap.max(1) as u64).min(1000);
             registry
                 .histogram("livewell.occupancy_permille")
                 .observe(permille);
@@ -687,17 +797,17 @@ impl LiveWell {
             None => w_u64(&mut body, 0),
         }
 
-        match &self.level_starts {
-            Some(starts) => {
+        match &self.issue {
+            Some(ledger) => {
                 w_u64(&mut body, 1);
-                let mut levels: Vec<i64> = starts.keys().copied().collect();
+                let mut levels: Vec<i64> = ledger.starts.keys().copied().collect();
                 levels.sort_unstable();
                 w_u64(&mut body, levels.len() as u64);
                 for level in levels {
                     w_i64(&mut body, level);
                     w_u64(
                         &mut body,
-                        u64::from(starts.get(&level).copied().unwrap_or(0)),
+                        u64::from(ledger.starts.get(&level).copied().unwrap_or(0)),
                     );
                 }
             }
@@ -893,7 +1003,7 @@ impl LiveWell {
             None
         };
 
-        let level_starts = if r_flag(&mut r)? {
+        let issue = if r_flag(&mut r)? {
             if config.issue_limit().is_none() {
                 return Err(CheckpointError::Corrupt(
                     "checkpoint has issue counters but no issue limit is configured",
@@ -912,7 +1022,18 @@ impl LiveWell {
                     .map_err(|_| CheckpointError::Corrupt("issue counter overflows u32"))?;
                 starts.insert(level, count);
             }
-            Some(starts)
+            // Checkpoints from builds that predate ledger pruning may carry
+            // counters at or below the floor; drop them so resumed and
+            // uninterrupted runs converge to the same serialized state. On
+            // checkpoints from pruning builds this is a no-op.
+            starts.retain(|&level, _| level > floor);
+            Some(IssueLedger {
+                starts,
+                // Cursor knowledge is not checkpointed — it is rebuilt
+                // lazily and never changes placement results.
+                min_nonfull: floor + 1,
+                pruned_floor: floor,
+            })
         } else {
             None
         };
@@ -958,7 +1079,7 @@ impl LiveWell {
             window,
             profile,
             predictor,
-            level_starts,
+            issue,
             value_stats,
             mem_ordering,
             total_records,
@@ -1417,6 +1538,97 @@ mod tests {
         }
         let unlimited = run(&trace, AnalysisConfig::dataflow_limit()).critical_path_length();
         assert!(unlimited <= last);
+    }
+
+    #[test]
+    fn issue_ledger_stays_bounded_on_million_level_critical_paths() {
+        // Regression: the per-level start counters used to grow one entry
+        // per DDG level and were never pruned, so issue-limited runs leaked
+        // memory linearly in critical-path length. A serial chain under a
+        // bounded window drives the floor up right behind the frontier; the
+        // ledger must track only the live band above the floor, not all
+        // 10^6 levels.
+        let n = 1_000_000usize;
+        let window = 1024usize;
+        let config = AnalysisConfig::dataflow_limit()
+            .with_latency(LatencyModel::unit())
+            .with_issue_limit(1)
+            .with_window(WindowSize::bounded(window));
+        let mut lw = LiveWell::new(config);
+        let mut peak_entries = 0usize;
+        for (i, record) in synthetic::chain(n).iter().enumerate() {
+            lw.process(record);
+            if i % 4096 == 0 {
+                if let Some(ledger) = &lw.issue {
+                    peak_entries = peak_entries.max(ledger.len());
+                }
+            }
+        }
+        if let Some(ledger) = &lw.issue {
+            peak_entries = peak_entries.max(ledger.len());
+        }
+        // The live band is at most the window depth plus the in-flight
+        // frontier; 4x leaves slack without letting a leak sneak through
+        // (an unpruned ledger would hold ~10^6 entries here).
+        assert!(
+            peak_entries <= 4 * window,
+            "issue ledger leaked: peak {peak_entries} entries for window {window}"
+        );
+        let report = lw.finish();
+        assert_eq!(report.critical_path_length(), n as u64);
+    }
+
+    #[test]
+    fn issue_ledger_cursor_matches_linear_scan_semantics() {
+        // The cursor only skips levels already proven full, so placements
+        // (and therefore the whole profile) must be identical to the naive
+        // scan the tests above pin down. Mix firewalls (conservative
+        // syscalls) into an issue-limited run so pruning and scanning
+        // interleave, then cross-check against the explicit-graph-free
+        // expectations: every level holds at most `limit` starts and the
+        // op count is conserved.
+        let mut records = Vec::new();
+        for i in 0..600u64 {
+            if i % 97 == 0 {
+                records.push(TraceRecord::syscall(i, &[], None));
+            } else {
+                records.push(TraceRecord::compute(
+                    i,
+                    OpClass::IntAlu,
+                    &[],
+                    Loc::int((i % 30 + 1) as u8),
+                ));
+            }
+        }
+        let config = AnalysisConfig::dataflow_limit()
+            .with_latency(LatencyModel::unit())
+            .with_issue_limit(3)
+            .with_syscall_policy(SyscallPolicy::Conservative);
+        let report = run(&records, config);
+        let counts = report.profile().exact_counts().unwrap();
+        assert!(counts.iter().all(|&c| c <= 3), "issue limit violated");
+        assert_eq!(counts.iter().sum::<u64>(), report.placed_ops());
+    }
+
+    #[test]
+    fn occupancy_permille_is_clamped_to_1000() {
+        use crate::telemetry::Registry;
+        let config = AnalysisConfig::dataflow_limit().with_live_well_cap(64);
+        let mut lw = LiveWell::new(config);
+        // Force the table past its cap, as can happen transiently between
+        // eviction beats: occupancy must still read as a fill fraction.
+        for addr in 0..200u64 {
+            lw.mem.insert(addr, ValueRecord::preexisting());
+        }
+        let registry = Registry::new();
+        lw.publish_telemetry(&registry);
+        let hist = registry.histogram("livewell.occupancy_permille");
+        assert_eq!(hist.count(), 1);
+        assert!(
+            hist.sum() <= 1000,
+            "occupancy_permille exceeded 1000: {}",
+            hist.sum()
+        );
     }
 
     #[test]

@@ -225,15 +225,74 @@ impl ParallelismProfile {
     /// Writes the profile as CSV (`level,ops_per_level`), one row per bin —
     /// the data series behind Figure 7.
     ///
+    /// The writer is flushed before returning: callers routinely hand in a
+    /// by-value `BufWriter`, where an unflushed late write error (a full
+    /// disk, say) would otherwise be swallowed by `Drop` and a truncated
+    /// CSV would look like success.
+    ///
     /// # Errors
     ///
-    /// Propagates I/O errors from `out`.
+    /// Propagates I/O errors from `out`, including flush errors.
     pub fn write_csv<W: Write>(&self, mut out: W) -> io::Result<()> {
         writeln!(out, "level,ops_per_level")?;
         for bin in self.bins() {
             writeln!(out, "{},{:.4}", bin.first_level, bin.avg_ops_per_level)?;
         }
-        Ok(())
+        out.flush()
+    }
+
+    /// Serializes the exact accumulator state as a single line of text, for
+    /// embedding in sweep stage markers. Unlike the CSV (binned averages),
+    /// this round-trips losslessly through [`ParallelismProfile::decode`].
+    pub fn encode(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{} {} {}",
+            self.max_bins, self.bin_width, self.total_ops
+        );
+        match self.max_level {
+            Some(level) => {
+                let _ = write!(out, " {level}");
+            }
+            None => out.push_str(" -"),
+        }
+        out.push(';');
+        for (i, count) in self.counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{count}");
+        }
+        out
+    }
+
+    /// Rebuilds a profile from [`ParallelismProfile::encode`] output.
+    /// Returns `None` for malformed or internally inconsistent text.
+    pub fn decode(text: &str) -> Option<ParallelismProfile> {
+        let (head, tail) = text.split_once(';')?;
+        let mut fields = head.split_ascii_whitespace();
+        let max_bins: usize = fields.next()?.parse().ok()?;
+        let bin_width: u64 = fields.next()?.parse().ok()?;
+        let total_ops: u64 = fields.next()?.parse().ok()?;
+        let max_level = match fields.next()? {
+            "-" => None,
+            level => Some(level.parse().ok()?),
+        };
+        if fields.next().is_some() {
+            return None;
+        }
+        let counts: Vec<u64> = if tail.is_empty() {
+            Vec::new()
+        } else {
+            let mut counts = Vec::new();
+            for field in tail.split(',') {
+                counts.push(field.parse().ok()?);
+            }
+            counts
+        };
+        ParallelismProfile::from_raw_parts(max_bins, counts, bin_width, total_ops, max_level)
     }
 
     /// Renders a coarse ASCII plot of the profile, `height` rows tall.
@@ -400,6 +459,82 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(text.starts_with("level,ops_per_level\n"));
         assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn csv_flush_errors_are_propagated() {
+        // Regression: fig drivers pass a by-value BufWriter, so an error
+        // surfacing only at flush time (e.g. a full disk) used to be
+        // swallowed by Drop and a truncated CSV looked like success.
+        struct FlushFails {
+            flushed: bool,
+        }
+        impl Write for FlushFails {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                self.flushed = true;
+                Err(io::Error::new(io::ErrorKind::WriteZero, "disk full"))
+            }
+        }
+        let mut p = ParallelismProfile::new(8);
+        p.record(0);
+        let mut sink = FlushFails { flushed: false };
+        let err = p.write_csv(&mut sink).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        assert!(sink.flushed, "write_csv must flush before returning");
+    }
+
+    #[test]
+    fn csv_propagates_buffered_write_errors_through_flush() {
+        // A BufWriter over a failing device defers the error to flush; the
+        // whole point of flushing inside write_csv is that the caller's `?`
+        // sees it.
+        struct BrokenDevice;
+        impl Write for BrokenDevice {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("device gone"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut p = ParallelismProfile::new(8);
+        p.record(0);
+        let out = io::BufWriter::with_capacity(1 << 20, BrokenDevice);
+        assert!(p.write_csv(out).is_err(), "buffered error must surface");
+    }
+
+    #[test]
+    fn encode_decode_round_trips_exactly() {
+        let mut p = ParallelismProfile::new(8);
+        for level in [0u64, 0, 1, 5, 900, 1_000_000] {
+            p.record(level);
+        }
+        let text = p.encode();
+        let back = ParallelismProfile::decode(&text).unwrap();
+        assert_eq!(back, p);
+        // Empty profile round-trips too.
+        let empty = ParallelismProfile::new(4);
+        assert_eq!(ParallelismProfile::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_text() {
+        for bad in [
+            "",
+            "no-semicolon",
+            "1 1 0 -",
+            "0 1 0 -;",
+            "8 1 2 0;1,1,junk",
+            "8 1 5 0;1,1", // counts do not sum to total_ops
+        ] {
+            assert!(
+                ParallelismProfile::decode(bad).is_none(),
+                "decode accepted {bad:?}"
+            );
+        }
     }
 
     #[test]

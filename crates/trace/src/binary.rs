@@ -67,6 +67,7 @@ use crate::segment::SegmentMap;
 use crate::wire::{read_varint, unzigzag, write_varint, zigzag};
 use paragraph_isa::OpClass;
 use std::io::{self, Read, Write};
+use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"PGTR";
 const VERSION_V1: u8 = 1;
@@ -642,6 +643,28 @@ impl<R: Read> TraceReader<R> {
         self.delivered
     }
 
+    /// Decodes every remaining record into a shared immutable slice.
+    ///
+    /// This is the sweep engine's decode-once entry point: the returned
+    /// `Arc<[TraceRecord]>` derefs to `&[TraceRecord]`, so any number of
+    /// concurrent analyzer passes can walk one decode without copying or
+    /// re-reading the stream. The segment map rides along because every
+    /// analysis config derived from the trace needs it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first decode fault, exactly as iteration would (wrap
+    /// the reader via [`TraceReader::with_recovery`] first to skip damaged
+    /// chunks instead).
+    pub fn into_shared(mut self) -> Result<(Arc<[TraceRecord]>, SegmentMap), TraceError> {
+        let segments = self.segment_map();
+        let mut records = Vec::new();
+        for record in self.by_ref() {
+            records.push(record?);
+        }
+        Ok((Arc::from(records), segments))
+    }
+
     fn error(&self, kind: TraceErrorKind) -> TraceError {
         let err = TraceError::new(kind, self.input.offset, self.delivered);
         if self.version == VERSION_V2 {
@@ -1010,6 +1033,30 @@ mod tests {
     #[test]
     fn empty_trace_round_trips() {
         assert!(round_trip(&[], SegmentMap::all_data()).is_empty());
+    }
+
+    #[test]
+    fn into_shared_decodes_once_into_an_arena_slice() {
+        let records = synthetic::random_trace(300, 11);
+        let segments = SegmentMap::new(64, 1 << 20);
+        let buf = encode(&records, segments);
+        let reader = TraceReader::new(buf.as_slice()).unwrap();
+        let (shared, got_segments) = reader.into_shared().unwrap();
+        assert_eq!(got_segments, segments);
+        assert_eq!(&shared[..], &records[..]);
+        // Shared handles alias the same allocation — the arena contract.
+        let other = Arc::clone(&shared);
+        assert!(std::ptr::eq(other.as_ptr(), shared.as_ptr()));
+    }
+
+    #[test]
+    fn into_shared_surfaces_decode_faults() {
+        let records = synthetic::random_trace(200, 13);
+        let mut buf = encode(&records, SegmentMap::all_data());
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x20;
+        let reader = TraceReader::new(buf.as_slice()).unwrap();
+        assert!(reader.into_shared().is_err(), "corruption must surface");
     }
 
     #[test]

@@ -74,11 +74,7 @@ impl Vm {
     /// Creates a machine with `program` loaded: data segment in memory, the
     /// stack pointer at [`STACK_TOP`], and the pc at the program entry.
     pub fn new(program: Program) -> Vm {
-        let mut mem = Memory::new();
-        for (i, &word) in program.data_words().iter().enumerate() {
-            mem.write(program.data_base() + i as u64, word)
-                .expect("data segment must fit in valid memory");
-        }
+        let mem = Vm::image_data(&program);
         let mut int_regs = [0i64; 32];
         int_regs[abi::SP.index() as usize] = STACK_TOP as i64;
         Vm {
@@ -96,17 +92,26 @@ impl Vm {
         }
     }
 
+    /// Images the program's data segment into a fresh memory. The assembler
+    /// bounds data segments well under the address ceiling, so a write can
+    /// only fail on a corrupted `Program`.
+    fn image_data(program: &Program) -> Memory {
+        let mut mem = Memory::new();
+        for (i, &word) in program.data_words().iter().enumerate() {
+            let addr = program.data_base() + i as u64;
+            if let Err(e) = mem.write(addr, word) {
+                panic!("data segment must fit in valid memory: {e:?}");
+            }
+        }
+        mem
+    }
+
     /// Resets the machine to its post-load state: registers cleared (sp at
     /// [`STACK_TOP`]), memory re-imaged from the program's data segment, pc
     /// at the entry point, output and input queues emptied, executed count
     /// zeroed. Cheaper than re-cloning a large program for repeated runs.
     pub fn reset(&mut self) {
-        let mut mem = Memory::new();
-        for (i, &word) in self.program.data_words().iter().enumerate() {
-            mem.write(self.program.data_base() + i as u64, word)
-                .expect("data segment must fit in valid memory");
-        }
-        self.mem = mem;
+        self.mem = Vm::image_data(&self.program);
         self.int_regs = [0; 32];
         self.int_regs[abi::SP.index() as usize] = STACK_TOP as i64;
         self.fp_regs = [0.0; 32];
