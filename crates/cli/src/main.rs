@@ -486,8 +486,14 @@ fn load_records(opts: &Options) -> Result<LoadedTrace, CliError> {
         }
         .map_err(|e| trace_err(path, e))?;
         let segments = reader.segment_map();
-        let records: Result<Vec<_>, _> = reader.by_ref().collect();
-        let records = records.map_err(|e| trace_err(path, e))?;
+        // Block decode: whole chunk payloads at a time, no per-record
+        // iterator dispatch.
+        let mut records = Vec::new();
+        while reader
+            .read_block(&mut records)
+            .map_err(|e| trace_err(path, e))?
+            > 0
+        {}
         let recovery = opts.recover.then(|| reader.recovery_stats());
         span.field("records", reader.records_read());
         span.field("bytes", reader.bytes_read());
@@ -771,9 +777,19 @@ fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
     {
         let mut span = paragraph_core::span!("analyze");
         span.field("records", (records.len() - done) as u64);
-        for (index, record) in records.iter().enumerate().skip(done) {
-            analyzer.process(record);
-            let n = index as u64 + 1;
+        // Feed the analyzer whole slices, cut only where a checkpoint or
+        // heartbeat is due — the per-record loop body costs more than the
+        // placement math for cheap records.
+        let total = records.len() as u64;
+        let mut n = done as u64;
+        while n < total {
+            let mut next = total;
+            if let Some(every) = opts.checkpoint_every {
+                next = next.min((n / every + 1) * every);
+            }
+            next = next.min((n / BEAT_STRIDE + 1) * BEAT_STRIDE);
+            analyzer.process_slice(&records[n as usize..next as usize]);
+            n = next;
             if let Some(every) = opts.checkpoint_every {
                 if n.is_multiple_of(every) {
                     save_checkpoint_instrumented(&analyzer, &ckpt_path, &setup)?;

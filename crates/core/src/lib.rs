@@ -101,6 +101,7 @@ mod profile;
 mod report;
 pub mod schedule;
 pub mod telemetry;
+mod well;
 mod window;
 
 pub use analyze::{analyze, analyze_refs, analyze_slice, analyze_with_stats};
@@ -109,10 +110,11 @@ pub use config::{AnalysisConfig, RenameSet, SyscallPolicy, WindowSize};
 pub use ddg::{Ddg, DdgBuilder, DdgNode, DepKind, Edge, NodeId};
 pub use dist::Distribution;
 pub use error::AnalysisError;
-pub use livewell::LiveWell;
+pub use livewell::{FlatLiveWell, LiveWell, LiveWellImpl};
 pub use memmodel::MemoryModel;
 pub use profile::{ParallelismProfile, ProfileBin};
 pub use report::AnalysisReport;
+pub use well::{FlatWell, MemTable, PagedWell};
 pub use window::WindowLimiter;
 
 /// The paper's latency model, re-exported for convenience (Table 1).

@@ -8,6 +8,7 @@ use crate::fasthash::FastMap;
 use crate::memmodel::MemOrdering;
 use crate::profile::ParallelismProfile;
 use crate::report::AnalysisReport;
+use crate::well::{FlatWell, MemTable, PagedWell, ValueRecord};
 use crate::window::WindowLimiter;
 use paragraph_isa::OpClass;
 use paragraph_trace::crc32::crc32;
@@ -106,33 +107,6 @@ fn set_counter(registry: &crate::telemetry::Registry, name: &'static str, total:
     }
 }
 
-/// A live-well entry: where a value became available, and the deepest level
-/// at which it has been used.
-#[derive(Debug, Clone, Copy)]
-struct ValueRecord {
-    /// Number of operations that have read this value (degree of sharing).
-    readers: u32,
-    /// Completion level of the operation that created the value. Values that
-    /// existed when the program began (pre-initialized registers, DATA words)
-    /// are recorded at level -1, "the level immediately preceding the
-    /// topologically highest level in the DDG", so they delay nothing.
-    avail: i64,
-    /// Deepest completion level of any operation that has read this value
-    /// (at least `avail`). This is the paper's `Ddest`: the level a
-    /// non-renamed overwrite of the location must be placed below.
-    deepest_use: i64,
-}
-
-impl ValueRecord {
-    fn preexisting() -> ValueRecord {
-        ValueRecord {
-            readers: 0,
-            avail: -1,
-            deepest_use: -1,
-        }
-    }
-}
-
 /// The streaming DDG analyzer (the paper's *Paragraph* algorithm, §3.2).
 ///
 /// Processes a serial execution trace one record at a time, maintaining the
@@ -169,11 +143,11 @@ impl ValueRecord {
 /// assert_eq!(report.critical_path_length(), 4);
 /// ```
 #[derive(Debug)]
-pub struct LiveWell {
+pub struct LiveWellImpl<M: MemTable> {
     config: AnalysisConfig,
     int_regs: [Option<ValueRecord>; 32],
     fp_regs: [Option<ValueRecord>; 32],
-    mem: FastMap<u64, ValueRecord>,
+    mem: M,
     /// `highestLevel - 1` in the paper's terms: every newly placed operation
     /// completes at `floor + top` at the earliest.
     floor: i64,
@@ -206,6 +180,18 @@ pub struct LiveWell {
     /// from the restart.
     window_stalls: u64,
 }
+
+/// The default analyzer: the streaming algorithm over the paged memory
+/// table ([`PagedWell`]) — hot-page lookups are a shift/mask plus one
+/// pointer chase, and bounded-mode eviction is guided by per-page
+/// summaries. See `docs/hotpath.md` for layout and measurements.
+pub type LiveWell = LiveWellImpl<PagedWell>;
+
+/// The analyzer over the legacy flat hash table ([`FlatWell`]): one hashed
+/// probe per access. Kept as the executable reference for the equivalence
+/// suite and as the "before" leg of the hot-path benchmark; it produces
+/// bit-identical reports and checkpoints to [`LiveWell`].
+pub type FlatLiveWell = LiveWellImpl<FlatWell>;
 
 #[derive(Debug, Default)]
 struct ValueStats {
@@ -312,14 +298,14 @@ impl IssueLedger {
     }
 }
 
-impl LiveWell {
+impl<M: MemTable> LiveWellImpl<M> {
     /// Creates an analyzer for one pass under `config`.
-    pub fn new(config: AnalysisConfig) -> LiveWell {
+    pub fn new(config: AnalysisConfig) -> LiveWellImpl<M> {
         let predictor = match config.branch_policy() {
             BranchPolicy::Predict(kind) => Some(Predictor::new(kind)),
             _ => None,
         };
-        LiveWell {
+        LiveWellImpl {
             window: WindowLimiter::new(config.window()),
             profile: ParallelismProfile::new(config.profile_bins()),
             predictor,
@@ -329,7 +315,7 @@ impl LiveWell {
             config,
             int_regs: [None; 32],
             fp_regs: [None; 32],
-            mem: FastMap::default(),
+            mem: M::default(),
             floor: -1,
             deepest: -1,
             total_records: 0,
@@ -348,12 +334,7 @@ impl LiveWell {
         let slot = match loc {
             Loc::IntReg(r) => &mut self.int_regs[r.index() as usize],
             Loc::FpReg(r) => &mut self.fp_regs[r.index() as usize],
-            Loc::Mem(addr) => {
-                return self
-                    .mem
-                    .entry(addr)
-                    .or_insert_with(ValueRecord::preexisting)
-            }
+            Loc::Mem(addr) => return self.mem.get_or_insert_preexisting(addr),
         };
         slot.get_or_insert_with(ValueRecord::preexisting)
     }
@@ -362,7 +343,7 @@ impl LiveWell {
         match loc {
             Loc::IntReg(r) => self.int_regs[r.index() as usize],
             Loc::FpReg(r) => self.fp_regs[r.index() as usize],
-            Loc::Mem(addr) => self.mem.get(&addr).copied(),
+            Loc::Mem(addr) => self.mem.get(addr).copied(),
         }
     }
 
@@ -457,7 +438,9 @@ impl LiveWell {
         for &src in record.srcs() {
             let entry = self.entry(src);
             entry.deepest_use = entry.deepest_use.max(ldest);
-            entry.readers += 1;
+            // Saturating: a location read more than u32::MAX times pins at
+            // the ceiling instead of wrapping the sharing distribution.
+            entry.readers = entry.readers.saturating_add(1);
         }
         if let Some(dest) = record.dest() {
             self.put(
@@ -499,7 +482,10 @@ impl LiveWell {
     /// read again looks preexisting (level -1), which can only shorten
     /// dependences — the eviction count is reported as an accuracy caveat.
     /// Eviction runs in batches (down to 7/8 of the cap) so a table sitting
-    /// at the cap does not pay a full scan per record.
+    /// at the cap does not pay a full scan per record. The selection itself
+    /// is the table's [`MemTable::evict_coldest`]: summary-guided on the
+    /// paged layout, `select_nth_unstable` on the flat one — both evict the
+    /// exact same set the old full sort chose.
     fn enforce_live_well_cap(&mut self) {
         let Some(cap) = self.config.live_well_cap() else {
             return;
@@ -509,23 +495,15 @@ impl LiveWell {
         }
         let target = cap - cap / 8;
         let excess = self.mem.len() - target;
-        let mut coldest: Vec<(i64, u64)> = self
-            .mem
-            .iter()
-            .map(|(&addr, record)| (record.deepest_use, addr))
-            .collect();
-        coldest.sort_unstable();
-        coldest.truncate(excess);
-        let mut evicted = 0u64;
-        for &(_, addr) in &coldest {
-            if let Some(old) = self.mem.remove(&addr) {
-                if let Some(stats) = self.value_stats.as_mut() {
-                    stats.retire(&old);
-                }
-                self.evictions += 1;
-                evicted += 1;
+        let LiveWellImpl {
+            mem, value_stats, ..
+        } = self;
+        let evicted = mem.evict_coldest(excess, |old| {
+            if let Some(stats) = value_stats.as_mut() {
+                stats.retire(&old);
             }
-        }
+        });
+        self.evictions += evicted;
         // Eviction is a cold path (at most once per record, usually far
         // rarer), so the macros' enabled check is negligible here.
         crate::counter!("livewell.evictions", evicted);
@@ -747,15 +725,14 @@ impl LiveWell {
             }
         }
 
-        let mut addrs: Vec<u64> = self.mem.keys().copied().collect();
-        addrs.sort_unstable();
-        w_u64(&mut body, addrs.len() as u64);
-        for addr in addrs {
+        // Sorted-address order: the bytes are independent of the table's
+        // in-memory layout, which is what keeps PGCP stable across the
+        // paged and flat implementations.
+        w_u64(&mut body, self.mem.len() as u64);
+        self.mem.for_each_sorted(|addr, record| {
             w_u64(&mut body, addr);
-            if let Some(record) = self.mem.get(&addr) {
-                w_value_record(&mut body, record);
-            }
-        }
+            w_value_record(&mut body, record);
+        });
 
         let slots: Vec<Option<i64>> = self.window.slot_levels().collect();
         w_u64(&mut body, slots.len() as u64);
@@ -867,7 +844,7 @@ impl LiveWell {
     pub fn resume_from<R: Read>(
         mut input: R,
         config: AnalysisConfig,
-    ) -> Result<LiveWell, CheckpointError> {
+    ) -> Result<LiveWellImpl<M>, CheckpointError> {
         let mut magic = [0u8; 4];
         input.read_exact(&mut magic)?;
         if &magic != checkpoint::MAGIC {
@@ -929,7 +906,7 @@ impl LiveWell {
         }
 
         let mem_len = r_usize(&mut r)?;
-        let mut mem = FastMap::default();
+        let mut mem = M::default();
         let mut prev_addr: Option<u64> = None;
         for _ in 0..mem_len {
             let addr = r_u64(&mut r)?;
@@ -1069,7 +1046,7 @@ impl LiveWell {
             return Err(CheckpointError::Corrupt("trailing bytes after the state"));
         }
 
-        Ok(LiveWell {
+        Ok(LiveWellImpl {
             config,
             int_regs,
             fp_regs,
@@ -1102,9 +1079,7 @@ impl LiveWell {
             for record in self.int_regs.iter().chain(self.fp_regs.iter()).flatten() {
                 stats.retire(record);
             }
-            for record in self.mem.values() {
-                stats.retire(record);
-            }
+            self.mem.for_each_value(|record| stats.retire(record));
             self.value_stats = Some(stats);
         }
         let value_stats = self.value_stats.map(|s| (s.lifetimes, s.sharing));
@@ -1902,6 +1877,112 @@ mod tests {
             bytes
         };
         assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn reader_counts_saturate_at_the_u32_boundary() {
+        // Regression (satellite): a location read more than u32::MAX times
+        // used to wrap to 0 and corrupt the sharing distribution. Pin the
+        // counter one below the ceiling and read twice: the first read
+        // reaches u32::MAX, the second must stay there.
+        let config = AnalysisConfig::dataflow_limit().with_value_stats(true);
+        let mut lw = LiveWell::new(config);
+        lw.process(&TraceRecord::store(0, 40, Loc::int(1), None));
+        lw.mem.get_or_insert_preexisting(40).readers = u32::MAX - 1;
+        lw.process(&TraceRecord::load(1, 40, None, Loc::int(2)));
+        assert_eq!(lw.mem.get(40).map(|r| r.readers), Some(u32::MAX));
+        lw.process(&TraceRecord::load(2, 40, None, Loc::int(3)));
+        assert_eq!(
+            lw.mem.get(40).map(|r| r.readers),
+            Some(u32::MAX),
+            "reader count must saturate, not wrap"
+        );
+        let report = lw.finish();
+        let sharing = report.sharing_degrees().unwrap();
+        assert_eq!(
+            sharing.frequency(u64::from(u32::MAX)),
+            1,
+            "the saturated value must land in the top sharing bucket, not 0"
+        );
+    }
+
+    /// The paged (default) and flat (legacy) layouts must be externally
+    /// indistinguishable: identical reports and identical PGCP bytes.
+    fn assert_layouts_equivalent(records: &[TraceRecord], config: AnalysisConfig) {
+        let mut paged = LiveWell::new(config.clone());
+        let mut flat = FlatLiveWell::new(config.clone());
+        paged.process_all(records);
+        flat.process_all(records);
+        assert_eq!(paged.live_well_size(), flat.live_well_size());
+        assert_eq!(paged.evictions(), flat.evictions());
+
+        let mut paged_bytes = Vec::new();
+        paged.save_checkpoint(&mut paged_bytes).unwrap();
+        let mut flat_bytes = Vec::new();
+        flat.save_checkpoint(&mut flat_bytes).unwrap();
+        assert_eq!(
+            paged_bytes, flat_bytes,
+            "PGCP bytes must be layout-independent"
+        );
+        assert_eq!(paged.finish().to_json(), flat.finish().to_json());
+    }
+
+    #[test]
+    fn paged_and_flat_layouts_produce_identical_reports_and_checkpoints() {
+        let trace = synthetic::random_trace(1500, 29);
+        assert_layouts_equivalent(&trace, AnalysisConfig::dataflow_limit());
+        assert_layouts_equivalent(
+            &trace,
+            AnalysisConfig::dataflow_limit()
+                .with_renames(RenameSet::none())
+                .with_value_stats(true)
+                .with_window(WindowSize::bounded(64)),
+        );
+        // Bounded mode exercises eviction on both layouts.
+        assert_layouts_equivalent(
+            &trace,
+            AnalysisConfig::dataflow_limit().with_live_well_cap(48),
+        );
+    }
+
+    #[test]
+    fn checkpoints_resume_across_layouts() {
+        // A checkpoint written by one layout must resume under the other
+        // (the PR's compatibility story for in-flight analyses): old flat
+        // checkpoints resume into the paged analyzer and vice versa, and
+        // both converge to the uninterrupted serialized state.
+        let trace = synthetic::random_trace(1000, 31);
+        let config = AnalysisConfig::dataflow_limit().with_value_stats(true);
+        let split = 600;
+
+        let mut flat = FlatLiveWell::new(config.clone());
+        flat.process_all(&trace[..split]);
+        let mut flat_ckpt = Vec::new();
+        flat.save_checkpoint(&mut flat_ckpt).unwrap();
+
+        let mut paged = LiveWell::resume_from(&flat_ckpt[..], config.clone()).unwrap();
+        assert_eq!(paged.records_processed(), split as u64);
+        paged.process_all(&trace[split..]);
+
+        let mut uninterrupted = LiveWell::new(config.clone());
+        uninterrupted.process_all(&trace);
+        let mut resumed_bytes = Vec::new();
+        paged.save_checkpoint(&mut resumed_bytes).unwrap();
+        let mut direct_bytes = Vec::new();
+        uninterrupted.save_checkpoint(&mut direct_bytes).unwrap();
+        assert_eq!(resumed_bytes, direct_bytes);
+
+        // And the mirror direction: paged checkpoint, flat resume.
+        let mut paged_half = LiveWell::new(config.clone());
+        paged_half.process_all(&trace[..split]);
+        let mut paged_ckpt = Vec::new();
+        paged_half.save_checkpoint(&mut paged_ckpt).unwrap();
+        assert_eq!(paged_ckpt, flat_ckpt, "mid-run checkpoints must match too");
+        let mut flat_resumed = FlatLiveWell::resume_from(&paged_ckpt[..], config).unwrap();
+        flat_resumed.process_all(&trace[split..]);
+        let mut flat_final = Vec::new();
+        flat_resumed.save_checkpoint(&mut flat_final).unwrap();
+        assert_eq!(flat_final, direct_bytes);
     }
 
     #[test]

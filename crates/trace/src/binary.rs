@@ -39,6 +39,17 @@
 //! flag, branch flag); zig-zag varint pc delta; each operand as a tag byte
 //! plus payload; and, for resolved branches, the outcome and target.
 //!
+//! # Decoding
+//!
+//! The reader decodes in blocks: a whole CRC-validated chunk payload (or,
+//! for v1, a large buffered run) is decoded straight out of the stream
+//! buffer into a record batch — no per-record reads, no payload copy.
+//! [`TraceReader::read_block`] exposes the batches directly for hot loops;
+//! the record iterator drains the same batches one record at a time. The
+//! legacy per-record path is kept behind
+//! [`TraceReader::with_per_record_decode`] as a benchmark baseline and
+//! differential-testing oracle.
+//!
 //! # Examples
 //!
 //! ```
@@ -64,7 +75,7 @@ use crate::error::{TraceError, TraceErrorKind};
 use crate::loc::Loc;
 use crate::record::TraceRecord;
 use crate::segment::SegmentMap;
-use crate::wire::{read_varint, unzigzag, write_varint, zigzag};
+use crate::wire::{read_varint, read_varint_slice, unzigzag, write_varint, zigzag};
 use paragraph_isa::OpClass;
 use std::io::{self, Read, Write};
 use std::sync::Arc;
@@ -91,6 +102,21 @@ const MAX_PAYLOAD_LEN: u64 = 1 << 28;
 /// Marker + three max-size varints + CRC: the most bytes a chunk header
 /// can occupy.
 const MAX_HEADER_LEN: usize = 8 + 3 * 10 + 4;
+
+/// Conservative upper bound on one encoded record, valid even for corrupt
+/// input: class + flags (2 bytes), pc-delta varint (≤ 11 bytes before the
+/// decoder rejects it), three source locs and a dest (≤ 12 bytes each),
+/// branch outcome byte + target varint (≤ 12 bytes). The v1 block decoder
+/// stops this far short of the end of a non-final buffer so it never
+/// starts a record it cannot finish.
+const MAX_RECORD_LEN: usize = 80;
+
+/// Records per batch served by the block decoder (and per block returned
+/// by [`TraceReader::read_block`] on the legacy path).
+const BATCH_RECORDS: usize = DEFAULT_CHUNK_RECORDS as usize;
+
+/// Bytes the v1 block decoder buffers per refill.
+const V1_FILL_BYTES: usize = 64 * 1024;
 
 const TAG_INT: u8 = 0;
 const TAG_FP: u8 = 1;
@@ -210,6 +236,169 @@ fn decode_record<R: Read>(mut input: R, last_pc: &mut u64) -> io::Result<Option<
         )));
     }
     Ok(Some(TraceRecord::new(pc, class, &srcs[..nsrc], dest)))
+}
+
+fn eof_mid_record() -> io::Error {
+    io::Error::new(io::ErrorKind::UnexpectedEof, "record ends past the buffer")
+}
+
+/// Slice-based twin of [`read_loc`] for the block decoder.
+#[inline]
+fn read_loc_slice(buf: &[u8], pos: &mut usize) -> io::Result<Loc> {
+    let Some(&tag) = buf.get(*pos) else {
+        return Err(eof_mid_record());
+    };
+    *pos += 1;
+    match tag {
+        TAG_INT | TAG_FP => {
+            let Some(&idx) = buf.get(*pos) else {
+                return Err(eof_mid_record());
+            };
+            *pos += 1;
+            let loc = if tag == TAG_INT {
+                paragraph_isa::IntReg::new(idx).map(Loc::IntReg)
+            } else {
+                paragraph_isa::FpReg::new(idx).map(Loc::FpReg)
+            };
+            loc.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "register index out of range")
+            })
+        }
+        TAG_MEM => Ok(Loc::Mem(read_varint_slice(buf, pos)?)),
+        t => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown location tag {t}"),
+        )),
+    }
+}
+
+/// Slice-based twin of [`decode_record`] for the block decoder: decodes
+/// one record from `buf` at `*pos`, advancing `*pos` past it.
+///
+/// Returns `None` with fewer than two bytes left at a record start — the
+/// same condition the `Read`-based decoder treats as a clean end of
+/// stream. Running out of bytes mid-record is `UnexpectedEof`.
+#[inline]
+fn decode_record_slice(
+    buf: &[u8],
+    pos: &mut usize,
+    last_pc: &mut u64,
+) -> io::Result<Option<TraceRecord>> {
+    if buf.len().saturating_sub(*pos) < 2 {
+        return Ok(None);
+    }
+    let class_id = buf[*pos];
+    let flags = buf[*pos + 1];
+    *pos += 2;
+    let class = OpClass::from_id(class_id)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unknown opcode class"))?;
+    let nsrc = (flags & 0x3f) as usize;
+    if nsrc > 3 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "record has too many sources",
+        ));
+    }
+    let has_dest = flags & 0x80 != 0;
+    let has_branch = flags & 0x40 != 0;
+    let delta = unzigzag(read_varint_slice(buf, pos)?);
+    let pc = last_pc.wrapping_add(delta as u64);
+    *last_pc = pc;
+    let mut srcs = [Loc::mem(0); 3];
+    for slot in srcs.iter_mut().take(nsrc) {
+        *slot = read_loc_slice(buf, pos)?;
+    }
+    let dest = if has_dest {
+        Some(read_loc_slice(buf, pos)?)
+    } else {
+        None
+    };
+    if has_branch {
+        let Some(&taken) = buf.get(*pos) else {
+            return Err(eof_mid_record());
+        };
+        *pos += 1;
+        let target = read_varint_slice(buf, pos)?;
+        if class != OpClass::Branch {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "branch outcome on a non-branch record",
+            ));
+        }
+        return Ok(Some(TraceRecord::branch_outcome(
+            pc,
+            &srcs[..nsrc],
+            taken != 0,
+            target,
+        )));
+    }
+    Ok(Some(TraceRecord::new(pc, class, &srcs[..nsrc], dest)))
+}
+
+/// Why a CRC-valid chunk payload failed to decode (possible only under a
+/// checksum collision).
+enum ChunkFault {
+    /// The payload ended at a record boundary before `count` records.
+    Short,
+    /// A record failed to decode.
+    Bad(io::Error),
+}
+
+/// Outcome of batch-decoding one chunk payload.
+struct ChunkDecode {
+    /// Records appended to the batch.
+    delivered: u64,
+    /// Records decoded, including discarded duplicates.
+    decoded: u64,
+    /// Set when the payload did not yield `count` records.
+    fault: Option<ChunkFault>,
+}
+
+/// Decodes `count` records of a CRC-valid chunk payload into `out`,
+/// skipping the first `discard` (already delivered by an overlapping
+/// frame). Trailing payload bytes beyond `count` records are ignored,
+/// exactly as the per-record path ignores them.
+fn decode_chunk_payload(
+    payload: &[u8],
+    count: u64,
+    discard: u64,
+    out: &mut Vec<TraceRecord>,
+) -> ChunkDecode {
+    let mut pos = 0usize;
+    // The pc-delta chain restarts at every chunk.
+    let mut last_pc = 0u64;
+    let mut decoded = 0u64;
+    let mut delivered = 0u64;
+    while decoded < count {
+        match decode_record_slice(payload, &mut pos, &mut last_pc) {
+            Ok(Some(record)) => {
+                decoded += 1;
+                if decoded > discard {
+                    out.push(record);
+                    delivered += 1;
+                }
+            }
+            Ok(None) => {
+                return ChunkDecode {
+                    delivered,
+                    decoded,
+                    fault: Some(ChunkFault::Short),
+                }
+            }
+            Err(e) => {
+                return ChunkDecode {
+                    delivered,
+                    decoded,
+                    fault: Some(ChunkFault::Bad(e)),
+                }
+            }
+        }
+    }
+    ChunkDecode {
+        delivered,
+        decoded,
+        fault: None,
+    }
 }
 
 /// Streaming writer for the binary trace format.
@@ -474,11 +663,14 @@ impl<R: Read> Read for ByteStream<R> {
 
 /// Outcome of attempting to parse one chunk at the current position.
 enum ChunkParse {
-    /// A CRC-valid data chunk.
+    /// A CRC-valid data chunk, still unconsumed in the input buffer:
+    /// `buffered()[header_len..frame_len]` is the payload. The caller
+    /// decodes (or copies) it in place, then consumes `frame_len`.
     Chunk {
         first_index: u64,
         count: u64,
-        payload: Vec<u8>,
+        header_len: usize,
+        frame_len: usize,
     },
     /// The CRC-valid end-of-stream trailer.
     Trailer { total: u64 },
@@ -526,6 +718,15 @@ pub struct TraceReader<R: Read> {
     pos: u64,
     stats: RecoveryStats,
     total_written: Option<u64>,
+    /// Block-decode straight from the stream buffer (default); false
+    /// selects the legacy per-record pull path.
+    batched: bool,
+    /// Decoded records waiting to be served.
+    batch: Vec<TraceRecord>,
+    /// Cursor into `batch`.
+    batch_pos: usize,
+    /// Fault to surface once the records batched ahead of it are served.
+    pending_err: Option<TraceError>,
 }
 
 impl<R: Read> TraceReader<R> {
@@ -607,7 +808,23 @@ impl<R: Read> TraceReader<R> {
             pos: 0,
             stats: RecoveryStats::default(),
             total_written: None,
+            batched: true,
+            batch: Vec::new(),
+            batch_pos: 0,
+            pending_err: None,
         })
+    }
+
+    /// Switches this reader to the legacy per-record decode path (one
+    /// buffered read per field instead of block decodes straight from the
+    /// stream buffer). Both paths decode the same streams to the same
+    /// records with the same faults; this one is retained as the
+    /// benchmark baseline and as a differential-testing oracle for the
+    /// block decoder.
+    #[must_use]
+    pub fn with_per_record_decode(mut self) -> TraceReader<R> {
+        self.batched = false;
+        self
     }
 
     /// The segment map recorded in the trace header.
@@ -659,14 +876,104 @@ impl<R: Read> TraceReader<R> {
     pub fn into_shared(mut self) -> Result<(Arc<[TraceRecord]>, SegmentMap), TraceError> {
         let segments = self.segment_map();
         let mut records = Vec::new();
-        for record in self.by_ref() {
-            records.push(record?);
-        }
+        while self.read_block(&mut records)? > 0 {}
         Ok((Arc::from(records), segments))
     }
 
+    /// Decodes the next block of records, appending them to `out`.
+    /// Returns how many were appended; `Ok(0)` means a clean end of
+    /// stream.
+    ///
+    /// This is the hot-loop entry point: records arrive in chunk-sized
+    /// batches decoded straight from the stream buffer, ready to feed
+    /// slice-based consumers without per-record iterator dispatch.
+    /// Interleaving with iterator use is fine — both drain the same
+    /// internal batch in order.
+    ///
+    /// # Errors
+    ///
+    /// Faults surface exactly where iteration would surface them: the
+    /// records decoded ahead of a fault are appended (and counted in
+    /// [`TraceReader::records_read`]) before the error is returned.
+    pub fn read_block(&mut self, out: &mut Vec<TraceRecord>) -> Result<usize, TraceError> {
+        if self.done {
+            return Ok(0);
+        }
+        loop {
+            if self.batch_pos < self.batch.len() {
+                let n = self.batch.len() - self.batch_pos;
+                out.extend_from_slice(&self.batch[self.batch_pos..]);
+                self.batch_pos = self.batch.len();
+                self.delivered += n as u64;
+                self.stats.records_read += n as u64;
+                return Ok(n);
+            }
+            if let Some(e) = self.pending_err.take() {
+                self.done = true;
+                return Err(e);
+            }
+            if !self.batched {
+                return self.read_block_per_record(out);
+            }
+            // Decode straight into the caller's buffer — no intermediate
+            // batch, no copy.
+            let start = out.len();
+            match self.refill_into(out) {
+                Ok(true) => {
+                    let n = out.len() - start;
+                    if n > 0 {
+                        self.delivered += n as u64;
+                        self.stats.records_read += n as u64;
+                        return Ok(n);
+                    }
+                    // The refill produced only a pending fault; loop to
+                    // surface it.
+                }
+                Ok(false) => {
+                    self.done = true;
+                    return Ok(0);
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Legacy-path block fill: pulls records one at a time.
+    fn read_block_per_record(&mut self, out: &mut Vec<TraceRecord>) -> Result<usize, TraceError> {
+        let mut n = 0usize;
+        while n < BATCH_RECORDS {
+            let next = if self.version == VERSION_V1 {
+                self.next_v1()
+            } else {
+                self.next_v2()
+            };
+            match next {
+                Ok(Some(record)) => {
+                    out.push(record);
+                    n += 1;
+                }
+                Ok(None) => {
+                    self.done = true;
+                    break;
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(n)
+    }
+
     fn error(&self, kind: TraceErrorKind) -> TraceError {
-        let err = TraceError::new(kind, self.input.offset, self.delivered);
+        self.error_at(kind, self.delivered)
+    }
+
+    fn error_at(&self, kind: TraceErrorKind, record_index: u64) -> TraceError {
+        let err = TraceError::new(kind, self.input.offset, record_index);
         if self.version == VERSION_V2 {
             err.in_chunk(self.chunk_ordinal)
         } else {
@@ -688,7 +995,9 @@ impl<R: Read> TraceReader<R> {
     }
 
     /// Attempts to parse one chunk frame at the current stream position.
-    /// Consumes input only on success.
+    /// Failed parses consume nothing (so recovery can rescan the bytes);
+    /// trailers are consumed, and a data chunk's frame is left buffered
+    /// for the caller to decode in place and consume.
     fn try_parse_chunk(&mut self) -> io::Result<ChunkParse> {
         let available = self.input.fill_to(SYNC_MARKER.len())?;
         if available == 0 {
@@ -758,12 +1067,11 @@ impl<R: Read> TraceReader<R> {
             self.input.consume(frame_len);
             return Ok(ChunkParse::Trailer { total: first_index });
         }
-        let payload = bytes[header_len..frame_len].to_vec();
-        self.input.consume(frame_len);
         Ok(ChunkParse::Chunk {
             first_index,
             count,
-            payload,
+            header_len,
+            frame_len,
         })
     }
 
@@ -797,28 +1105,226 @@ impl<R: Read> TraceReader<R> {
         }
     }
 
-    /// Installs a freshly parsed chunk for decoding, reconciling its
-    /// record-index range against what has already been delivered.
-    fn install_chunk(&mut self, first_index: u64, count: u64, payload: Vec<u8>) {
+    /// Reconciles a parsed frame's record-index range against what has
+    /// already been delivered. Returns how many leading records to decode
+    /// and drop (already delivered by an overlapping frame), or `None`
+    /// when the whole frame is a duplicate.
+    fn reconcile_chunk(&mut self, first_index: u64, count: u64) -> Option<u64> {
         self.chunk_ordinal += 1;
         if first_index >= self.pos {
             // A gap means the records in between were destroyed.
             self.stats.records_skipped += first_index - self.pos;
             self.pos = first_index;
-            self.payload_discard = 0;
+            Some(0)
         } else {
             let overlap = self.pos - first_index;
+            self.stats.duplicate_chunks += 1;
             if overlap >= count {
                 // Every record in this frame was already delivered.
-                self.stats.duplicate_chunks += 1;
-                return;
+                return None;
             }
-            self.stats.duplicate_chunks += 1;
-            self.payload_discard = overlap;
+            Some(overlap)
         }
+    }
+
+    /// Installs a freshly parsed chunk for per-record decoding.
+    fn install_chunk(&mut self, first_index: u64, count: u64, payload: Vec<u8>) {
+        let Some(discard) = self.reconcile_chunk(first_index, count) else {
+            return;
+        };
+        self.payload_discard = discard;
         self.payload = io::Cursor::new(payload);
         self.payload_last_pc = 0;
         self.payload_remaining = count;
+    }
+
+    /// Refills the internal batch with the next decoded block.
+    ///
+    /// `Ok(true)` means there is something to serve — batched records, a
+    /// pending fault, or both; `Ok(false)` is a clean end of stream.
+    fn refill_batch(&mut self) -> Result<bool, TraceError> {
+        self.batch_pos = 0;
+        let mut batch = std::mem::take(&mut self.batch);
+        batch.clear();
+        let result = self.refill_into(&mut batch);
+        self.batch = batch;
+        result
+    }
+
+    /// Decodes the next block straight into `out`, the shared engine
+    /// behind both the iterator's internal batch and
+    /// [`TraceReader::read_block`]'s caller-owned buffer. The caller
+    /// accounts the appended records into `delivered`; a fault lands in
+    /// `pending_err`, indexed past whatever this refill appended.
+    fn refill_into(&mut self, out: &mut Vec<TraceRecord>) -> Result<bool, TraceError> {
+        let base = out.len();
+        if self.version == VERSION_V1 {
+            self.refill_v1(out, base)
+        } else {
+            self.refill_v2(out, base)
+        }
+    }
+
+    /// v1 block decode: buffer a large run of input and decode records
+    /// straight out of the slice until the batch fills or the safe region
+    /// runs out.
+    fn refill_v1(&mut self, out: &mut Vec<TraceRecord>, base: usize) -> Result<bool, TraceError> {
+        loop {
+            let avail = self
+                .input
+                .fill_to(V1_FILL_BYTES)
+                .map_err(|e| self.error(TraceErrorKind::Io(e)))?;
+            if avail == 0 {
+                return Ok(out.len() > base);
+            }
+            let at_eof = self.input.eof;
+            let bytes = self.input.buffered();
+            // Decode only records that provably fit in the buffer: stop
+            // MAX_RECORD_LEN short of the end of a non-final buffer, so
+            // a decode fault can only mean corruption, never a partial
+            // refill.
+            let stop = if at_eof {
+                bytes.len()
+            } else {
+                bytes.len() - MAX_RECORD_LEN
+            };
+            let mut pos = 0usize;
+            let mut fault = None;
+            let mut clean_end = false;
+            while out.len() - base < BATCH_RECORDS && pos < stop {
+                let before = pos;
+                match decode_record_slice(bytes, &mut pos, &mut self.last_pc) {
+                    Ok(Some(record)) => out.push(record),
+                    Ok(None) => {
+                        // At most one dangling byte at end of input: the
+                        // stream ends cleanly at a record boundary, as
+                        // the per-record decoder treats it.
+                        clean_end = true;
+                        pos = bytes.len();
+                        break;
+                    }
+                    Err(e) => {
+                        pos = before;
+                        fault = Some(e);
+                        break;
+                    }
+                }
+            }
+            self.input.consume(pos);
+            if let Some(e) = fault {
+                let index = self.delivered + (out.len() - base) as u64;
+                self.pending_err = Some(self.error_at(io_to_kind(e), index));
+                return Ok(true);
+            }
+            if out.len() - base >= BATCH_RECORDS || clean_end {
+                return Ok(out.len() > base);
+            }
+            // Everything safe to decode was decoded: buffer more input.
+        }
+    }
+
+    /// v2 block decode: parse the next CRC-valid chunk and decode its
+    /// whole payload in place — straight out of the stream buffer, no
+    /// copy — into the batch.
+    fn refill_v2(&mut self, out: &mut Vec<TraceRecord>, base: usize) -> Result<bool, TraceError> {
+        loop {
+            let parsed = match self.try_parse_chunk() {
+                Ok(parsed) => parsed,
+                Err(e) => return Err(self.error(TraceErrorKind::Io(e))),
+            };
+            match parsed {
+                ChunkParse::Chunk {
+                    first_index,
+                    count,
+                    header_len,
+                    frame_len,
+                } => {
+                    let Some(discard) = self.reconcile_chunk(first_index, count) else {
+                        self.input.consume(frame_len);
+                        continue;
+                    };
+                    let payload = &self.input.buffered()[header_len..frame_len];
+                    let outcome = decode_chunk_payload(payload, count, discard, out);
+                    self.input.consume(frame_len);
+                    self.pos += outcome.delivered;
+                    let Some(fault) = outcome.fault else {
+                        return Ok(true);
+                    };
+                    // A CRC-valid chunk that does not decode (possible
+                    // only under checksum collision): count the declared
+                    // remainder as lost.
+                    let kind = match fault {
+                        ChunkFault::Short => TraceErrorKind::Corrupt(
+                            "chunk payload shorter than its record count".into(),
+                        ),
+                        ChunkFault::Bad(e) => io_to_kind(e),
+                    };
+                    if !self.recover {
+                        let index = self.delivered + (out.len() - base) as u64;
+                        self.pending_err = Some(self.error_at(kind, index));
+                        return Ok(true);
+                    }
+                    let remaining = count - outcome.decoded;
+                    let discard_left = discard.saturating_sub(outcome.decoded);
+                    let lost = remaining - discard_left.min(remaining);
+                    self.stats.records_skipped += lost;
+                    self.pos += lost;
+                    if out.len() > base {
+                        return Ok(true);
+                    }
+                }
+                ChunkParse::Trailer { total } => {
+                    self.total_written = Some(total);
+                    if total > self.pos {
+                        // The tail before the trailer was destroyed.
+                        self.stats.records_skipped += total - self.pos;
+                        self.pos = total;
+                    }
+                    return Ok(false);
+                }
+                ChunkParse::End => {
+                    if self.recover {
+                        // Truncated before the trailer: the tail loss is
+                        // unknowable, so it is not counted.
+                        return Ok(false);
+                    }
+                    return Err(self.error(TraceErrorKind::Truncated));
+                }
+                ChunkParse::Truncated => {
+                    if self.recover {
+                        self.resync_or_fail()?;
+                        continue;
+                    }
+                    return Err(self.error(TraceErrorKind::Truncated));
+                }
+                ChunkParse::BadSync => {
+                    if self.recover {
+                        self.resync_or_fail()?;
+                        continue;
+                    }
+                    return Err(
+                        self.error(TraceErrorKind::Corrupt("expected chunk sync marker".into()))
+                    );
+                }
+                ChunkParse::BadHeader(what) => {
+                    if self.recover {
+                        self.resync_or_fail()?;
+                        continue;
+                    }
+                    return Err(
+                        self.error(TraceErrorKind::Corrupt(format!("bad chunk header: {what}")))
+                    );
+                }
+                ChunkParse::BadCrc { stored, computed } => {
+                    self.stats.chunks_skipped += 1;
+                    if self.recover {
+                        self.resync_or_fail()?;
+                        continue;
+                    }
+                    return Err(self.error(TraceErrorKind::ChecksumMismatch { stored, computed }));
+                }
+            }
+        }
     }
 
     /// v2: decode the next record, advancing through chunks as needed.
@@ -875,8 +1381,13 @@ impl<R: Read> TraceReader<R> {
                 ChunkParse::Chunk {
                     first_index,
                     count,
-                    payload,
-                } => self.install_chunk(first_index, count, payload),
+                    header_len,
+                    frame_len,
+                } => {
+                    let payload = self.input.buffered()[header_len..frame_len].to_vec();
+                    self.input.consume(frame_len);
+                    self.install_chunk(first_index, count, payload);
+                }
                 ChunkParse::Trailer { total } => {
                     self.total_written = Some(total);
                     if total > self.pos {
@@ -973,6 +1484,32 @@ impl<R: Read> Iterator for TraceReader<R> {
     fn next(&mut self) -> Option<Result<TraceRecord, TraceError>> {
         if self.done {
             return None;
+        }
+        if self.batched {
+            loop {
+                if self.batch_pos < self.batch.len() {
+                    let record = self.batch[self.batch_pos];
+                    self.batch_pos += 1;
+                    self.delivered += 1;
+                    self.stats.records_read += 1;
+                    return Some(Ok(record));
+                }
+                if let Some(e) = self.pending_err.take() {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+                match self.refill_batch() {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        self.done = true;
+                        return None;
+                    }
+                    Err(e) => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                }
+            }
         }
         let next = if self.version == VERSION_V1 {
             self.next_v1()
@@ -1291,6 +1828,185 @@ mod tests {
             results[64].as_ref().unwrap_err().kind(),
             TraceErrorKind::Truncated
         ));
+    }
+
+    /// Drains a reader in place, returning delivered records and the
+    /// terminal fault (if any). Stats stay readable on the reader.
+    fn drain<R: io::Read>(reader: &mut TraceReader<R>) -> (Vec<TraceRecord>, Option<TraceError>) {
+        let mut records = Vec::new();
+        for item in reader.by_ref() {
+            match item {
+                Ok(r) => records.push(r),
+                Err(e) => return (records, Some(e)),
+            }
+        }
+        (records, None)
+    }
+
+    /// The block decoder and the legacy per-record decoder must agree on
+    /// everything observable: records, fault kind/position, and stats.
+    fn assert_paths_agree(bytes: &[u8], recover: bool) {
+        let open = || {
+            if recover {
+                TraceReader::with_recovery(bytes)
+            } else {
+                TraceReader::new(bytes)
+            }
+        };
+        // Header validation runs before the decode paths diverge; a
+        // stream that does not open has nothing to compare.
+        let (Ok(mut batched), Ok(legacy)) = (open(), open()) else {
+            assert!(open().is_err(), "open must fail deterministically");
+            return;
+        };
+        let mut legacy = legacy.with_per_record_decode();
+        let (b_records, b_err) = drain(&mut batched);
+        let (l_records, l_err) = drain(&mut legacy);
+        assert_eq!(b_records, l_records, "decoded records diverge");
+        match (&b_err, &l_err) {
+            (None, None) => {}
+            (Some(b), Some(l)) => {
+                assert_eq!(b.byte_offset(), l.byte_offset(), "fault offsets diverge");
+                assert_eq!(b.record_index(), l.record_index());
+                assert_eq!(b.chunk(), l.chunk());
+                assert_eq!(
+                    std::mem::discriminant(b.kind()),
+                    std::mem::discriminant(l.kind())
+                );
+            }
+            _ => panic!("fault disagreement: batched {b_err:?} vs legacy {l_err:?}"),
+        }
+        assert_eq!(
+            batched.recovery_stats(),
+            legacy.recovery_stats(),
+            "recovery accounting diverges"
+        );
+        assert_eq!(batched.records_written(), legacy.records_written());
+    }
+
+    #[test]
+    fn block_and_per_record_decode_agree_on_clean_streams() {
+        let records = synthetic::random_trace(1000, 23);
+        let segments = SegmentMap::new(64, 1 << 20);
+        // v2 across chunk sizes (incl. ones that straddle batch edges).
+        for chunk in [1, 7, 64, 4096] {
+            let mut buf = Vec::new();
+            let mut writer = TraceWriter::with_chunk_records(&mut buf, segments, chunk).unwrap();
+            for r in &records {
+                writer.write_record(r).unwrap();
+            }
+            writer.finish().unwrap();
+            assert_paths_agree(&buf, false);
+            assert_paths_agree(&buf, true);
+        }
+        // v1.
+        let mut buf = Vec::new();
+        let mut writer = TraceWriter::v1(&mut buf, segments).unwrap();
+        for r in &records {
+            writer.write_record(r).unwrap();
+        }
+        writer.finish().unwrap();
+        assert_paths_agree(&buf, false);
+        assert_paths_agree(&buf, true);
+    }
+
+    #[test]
+    fn block_and_per_record_decode_agree_on_damaged_streams() {
+        let records = synthetic::random_trace(600, 29);
+        let mut clean = Vec::new();
+        let mut writer =
+            TraceWriter::with_chunk_records(&mut clean, SegmentMap::all_data(), 48).unwrap();
+        for r in &records {
+            writer.write_record(r).unwrap();
+        }
+        writer.finish().unwrap();
+        // A deterministic spread of single-byte corruptions and cuts.
+        for step in [3usize, 17, 41, 97, 211] {
+            let mut damaged = clean.clone();
+            for i in (step..damaged.len()).step_by(251) {
+                damaged[i] ^= 0x5a;
+            }
+            assert_paths_agree(&damaged, false);
+            assert_paths_agree(&damaged, true);
+            let cut = clean.len() * step % clean.len();
+            assert_paths_agree(&clean[..cut], false);
+            assert_paths_agree(&clean[..cut], true);
+        }
+    }
+
+    #[test]
+    fn block_and_per_record_decode_agree_on_truncated_v1() {
+        let records = synthetic::random_trace(400, 31);
+        let mut buf = Vec::new();
+        let mut writer = TraceWriter::v1(&mut buf, SegmentMap::all_data()).unwrap();
+        for r in &records {
+            writer.write_record(r).unwrap();
+        }
+        writer.finish().unwrap();
+        for keep in [buf.len() / 3, buf.len() / 2, buf.len() - 1] {
+            let cut = &buf[..keep];
+            let (b_records, b_err) = drain(&mut TraceReader::new(cut).unwrap());
+            let (l_records, l_err) =
+                drain(&mut TraceReader::new(cut).unwrap().with_per_record_decode());
+            assert_eq!(b_records, l_records);
+            // Both must fault mid-record (or both end cleanly at a
+            // record boundary); byte offsets may differ by at most the
+            // partially-consumed record on the legacy path.
+            assert_eq!(b_err.is_some(), l_err.is_some(), "cut at {keep}");
+            if let (Some(b), Some(l)) = (&b_err, &l_err) {
+                assert_eq!(b.record_index(), l.record_index());
+                assert!(l.byte_offset() - b.byte_offset() < MAX_RECORD_LEN as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn read_block_delivers_whole_chunks_and_then_the_fault() {
+        let records = synthetic::random_trace(200, 3);
+        let mut buf = Vec::new();
+        let mut writer =
+            TraceWriter::with_chunk_records(&mut buf, SegmentMap::all_data(), 64).unwrap();
+        for r in &records {
+            writer.write_record(r).unwrap();
+        }
+        writer.finish().unwrap();
+        let marker_positions: Vec<usize> = (0..buf.len())
+            .filter(|&i| buf[i..].starts_with(&SYNC_MARKER))
+            .collect();
+        buf[marker_positions[1] + 40] ^= 0x10;
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        let mut block = Vec::new();
+        let n = reader.read_block(&mut block).unwrap();
+        assert_eq!(n, 64, "first chunk delivered intact");
+        assert_eq!(block, records[..64]);
+        assert_eq!(reader.records_read(), 64);
+        let err = reader.read_block(&mut block).unwrap_err();
+        assert!(matches!(
+            err.kind(),
+            TraceErrorKind::ChecksumMismatch { .. }
+        ));
+        assert_eq!(err.record_index(), 64);
+        // The reader is finished after the fault.
+        assert_eq!(reader.read_block(&mut block).unwrap(), 0);
+    }
+
+    #[test]
+    fn read_block_and_iterator_share_one_cursor() {
+        let records = synthetic::random_trace(150, 37);
+        let mut buf = Vec::new();
+        let mut writer =
+            TraceWriter::with_chunk_records(&mut buf, SegmentMap::all_data(), 64).unwrap();
+        for r in &records {
+            writer.write_record(r).unwrap();
+        }
+        writer.finish().unwrap();
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        let first = reader.by_ref().next().unwrap().unwrap();
+        assert_eq!(first, records[0]);
+        let mut rest = Vec::new();
+        while reader.read_block(&mut rest).unwrap() > 0 {}
+        assert_eq!(rest, records[1..]);
+        assert_eq!(reader.records_read(), 150);
     }
 
     #[test]

@@ -46,6 +46,50 @@ pub fn read_varint<R: Read>(mut r: R) -> io::Result<u64> {
     }
 }
 
+/// Reads an LEB128 varint from `buf` starting at `*pos`, advancing `*pos`
+/// past the bytes consumed.
+///
+/// Slice-based twin of [`read_varint`] for the block decoder: same value
+/// space and the same error contract, but no `Read` plumbing in the hot
+/// loop.
+///
+/// # Errors
+///
+/// Returns `InvalidData` if the encoding overflows a `u64`, and
+/// `UnexpectedEof` if the slice ends mid-varint.
+#[inline]
+pub fn read_varint_slice(buf: &[u8], pos: &mut usize) -> io::Result<u64> {
+    // Fast path: the overwhelmingly common single-byte encoding.
+    if let Some(&b) = buf.get(*pos) {
+        if b < 0x80 {
+            *pos += 1;
+            return Ok(u64::from(b));
+        }
+    }
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let Some(&b) = buf.get(*pos) else {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "varint ends past the buffer",
+            ));
+        };
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && b > 1) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint overflows u64",
+            ));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
 /// Maps a signed value to an unsigned one with small magnitudes first.
 pub fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
@@ -86,6 +130,43 @@ mod tests {
     fn truncated_varint_reports_eof() {
         let buf = [0x80u8];
         let err = read_varint(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn slice_varint_matches_the_reader_on_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            let mut pos = 0;
+            assert_eq!(read_varint_slice(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len(), "must consume exactly the encoding");
+        }
+    }
+
+    #[test]
+    fn slice_varint_advances_through_consecutive_values() {
+        let mut buf = Vec::new();
+        for v in [5u64, 300, 0, u64::MAX] {
+            write_varint(&mut buf, v).unwrap();
+        }
+        let mut pos = 0;
+        for v in [5u64, 300, 0, u64::MAX] {
+            assert_eq!(read_varint_slice(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn slice_varint_rejects_overflow_and_truncation() {
+        let overflow = [0xffu8; 11];
+        let mut pos = 0;
+        let err = read_varint_slice(&overflow, &mut pos).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        let truncated = [0x80u8];
+        let mut pos = 0;
+        let err = read_varint_slice(&truncated, &mut pos).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
     }
 }
