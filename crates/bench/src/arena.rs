@@ -18,6 +18,7 @@
 //! the workloads are deterministic, so the recomputed trace is identical
 //! and results never depend on eviction timing.
 
+use crate::supervisor::CellError;
 use crate::Study;
 use paragraph_trace::{SegmentMap, TraceRecord};
 use paragraph_workloads::WorkloadId;
@@ -116,8 +117,8 @@ impl TraceArena {
     fn lock(&self) -> std::sync::MutexGuard<'_, ArenaState> {
         // A poisoned lock means another worker panicked mid-update; the
         // state itself is only ever mutated to a consistent shape under
-        // the lock, so continuing is safe (and the panic is propagating
-        // through the scheduler anyway).
+        // the lock, so continuing is safe (the panic is contained at the
+        // scheduler's catch_unwind boundary and supervised).
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -125,11 +126,29 @@ impl TraceArena {
     /// threads ask concurrently: the first requester claims a loading slot
     /// and generates outside the lock; the rest sleep until it is ready.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on VM faults, as for [`Study::collect`]. A panicking load
-    /// releases its claim so waiting threads retry rather than deadlock.
-    pub fn get(&self, study: &Study, id: WorkloadId) -> ArenaTrace {
+    /// Propagates [`Study::collect`]'s [`CellError`] (a VM fault). A failed
+    /// or panicking load releases its claim, so waiting threads wake and
+    /// retry the generation themselves rather than deadlock.
+    pub fn get(&self, study: &Study, id: WorkloadId) -> Result<ArenaTrace, CellError> {
+        self.get_with(id, || study.collect(id))
+    }
+
+    /// [`TraceArena::get`] with an explicit loader, so embedders (and the
+    /// fault-recovery tests) control how the trace is produced. The loader
+    /// runs outside the arena lock; only the thread holding the loading
+    /// claim invokes it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the loader's error; the loading claim is released first,
+    /// so a waiting thread retries with its own loader.
+    pub fn get_with(
+        &self,
+        id: WorkloadId,
+        loader: impl FnOnce() -> Result<(Vec<TraceRecord>, SegmentMap), CellError>,
+    ) -> Result<ArenaTrace, CellError> {
         let mut state = self.lock();
         loop {
             let ArenaState {
@@ -143,7 +162,7 @@ impl TraceArena {
                     *clock += 1;
                     *last_use = *clock;
                     stats.hits += 1;
-                    return trace.clone();
+                    return Ok(trace.clone());
                 }
                 Some(Slot::Loading) => {
                     state = self
@@ -161,20 +180,20 @@ impl TraceArena {
         drop(state);
 
         // Generate outside the lock; the guard clears the loading claim if
-        // the generator panics, so waiters wake and retry.
+        // the loader fails or panics, so waiters wake and retry.
         let mut guard = LoadGuard {
             arena: self,
             id,
             armed: true,
         };
-        let (records, segments) = study.collect(id);
+        let (records, segments) = loader()?;
         let trace = ArenaTrace {
             records: Arc::new(records),
             segments,
         };
         self.install(id, trace.clone());
         guard.armed = false;
-        trace
+        Ok(trace)
     }
 
     fn install(&self, id: WorkloadId, trace: ArenaTrace) {
@@ -264,8 +283,8 @@ mod tests {
     fn decodes_each_workload_exactly_once() {
         let study = tiny_study();
         let arena = TraceArena::new(usize::MAX);
-        let a = arena.get(&study, WorkloadId::Xlisp);
-        let b = arena.get(&study, WorkloadId::Xlisp);
+        let a = arena.get(&study, WorkloadId::Xlisp).unwrap();
+        let b = arena.get(&study, WorkloadId::Xlisp).unwrap();
         assert!(Arc::ptr_eq(&a.records, &b.records), "must share one decode");
         let stats = arena.stats();
         assert_eq!(stats.misses, 1);
@@ -284,7 +303,7 @@ mod tests {
             handles
                 .into_iter()
                 .map(|h| match h.join() {
-                    Ok(trace) => trace,
+                    Ok(trace) => trace.unwrap(),
                     Err(payload) => std::panic::resume_unwind(payload),
                 })
                 .collect()
@@ -300,13 +319,13 @@ mod tests {
         let study = tiny_study();
         // Budget of one byte: every new trace evicts the previous one.
         let arena = TraceArena::new(1);
-        let first = arena.get(&study, WorkloadId::Xlisp);
-        let _second = arena.get(&study, WorkloadId::Eqntott);
+        let first = arena.get(&study, WorkloadId::Xlisp).unwrap();
+        let _second = arena.get(&study, WorkloadId::Eqntott).unwrap();
         assert!(arena.stats().evictions >= 1);
         // The evicted handle stays valid (Arc keeps the data alive)...
         assert!(!first.records.is_empty());
         // ...and a re-request regenerates identical records.
-        let again = arena.get(&study, WorkloadId::Xlisp);
+        let again = arena.get(&study, WorkloadId::Xlisp).unwrap();
         assert_eq!(&again.records[..], &first.records[..]);
         assert!(!Arc::ptr_eq(&again.records, &first.records));
     }
@@ -316,8 +335,89 @@ mod tests {
         let study = tiny_study();
         let arena = TraceArena::new(usize::MAX);
         assert_eq!(arena.resident_bytes(), 0);
-        let t = arena.get(&study, WorkloadId::Xlisp);
+        let t = arena.get(&study, WorkloadId::Xlisp).unwrap();
         assert_eq!(arena.resident_bytes(), t.resident_bytes());
         assert_eq!(arena.stats().peak_resident_bytes, t.resident_bytes() as u64);
+    }
+
+    fn tiny_trace() -> (Vec<paragraph_trace::TraceRecord>, SegmentMap) {
+        (
+            paragraph_trace::synthetic::random_trace(50, 1),
+            SegmentMap::new(1 << 20, 1 << 24),
+        )
+    }
+
+    #[test]
+    fn failing_loader_releases_the_claim_for_the_next_caller() {
+        let arena = TraceArena::new(usize::MAX);
+        let err = arena.get_with(WorkloadId::Xlisp, || {
+            Err(CellError::Vm("injected".to_owned()))
+        });
+        assert!(matches!(err, Err(CellError::Vm(_))));
+        // The failed claim must be gone: a well-behaved loader succeeds.
+        let trace = arena
+            .get_with(WorkloadId::Xlisp, || Ok(tiny_trace()))
+            .unwrap();
+        assert_eq!(trace.records.len(), 50);
+        let stats = arena.stats();
+        assert_eq!(stats.misses, 2, "both claims count as misses");
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn panicking_loader_wakes_waiters_who_retry_and_succeed() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let arena = TraceArena::new(usize::MAX);
+        let attempts = AtomicUsize::new(0);
+
+        // Four threads race for the same workload. Whichever claims the
+        // loading slot first panics mid-generation (attempt 0); the claim
+        // must be released so a waiter can claim, regenerate, and feed the
+        // rest. The poisoned-lock path is exercised too: the panic unwinds
+        // while other threads are blocked on the arena's mutex/condvar.
+        let outcomes: Vec<Result<ArenaTrace, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let arena = &arena;
+                    let attempts = &attempts;
+                    scope.spawn(move || {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            arena.get_with(WorkloadId::Eqntott, || {
+                                if attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                                    panic!("injected generator panic");
+                                }
+                                Ok(tiny_trace())
+                            })
+                        }))
+                        .map_err(|_| "panicked".to_owned())
+                        .and_then(|r| r.map_err(|e| e.to_string()))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|_| Err("join failed".to_owned())))
+                .collect()
+        });
+
+        let ok: Vec<&ArenaTrace> = outcomes.iter().filter_map(|r| r.as_ref().ok()).collect();
+        let panicked = outcomes.iter().filter(|r| r.is_err()).count();
+        assert_eq!(panicked, 1, "exactly the first claimer panics");
+        let errors: Vec<&String> = outcomes.iter().filter_map(|r| r.as_ref().err()).collect();
+        assert_eq!(ok.len(), 3, "every waiter must recover: {errors:?}");
+        for pair in ok.windows(2) {
+            assert!(
+                Arc::ptr_eq(&pair[0].records, &pair[1].records),
+                "survivors share the retried decode"
+            );
+        }
+        assert_eq!(attempts.load(Ordering::SeqCst), 2, "panic, then one retry");
+        let stats = arena.stats();
+        assert_eq!(stats.misses, 2, "failed claim + successful retry");
+        // A later request is a plain hit on the recovered slot.
+        let again = arena
+            .get_with(WorkloadId::Eqntott, || Ok(tiny_trace()))
+            .unwrap();
+        assert!(Arc::ptr_eq(&again.records, &ok[0].records));
     }
 }

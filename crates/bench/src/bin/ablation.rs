@@ -28,7 +28,9 @@ fn main() {
     );
     println!("{:-<72}", "");
     for id in WorkloadId::ALL {
-        let (records, segments) = study.collect(id);
+        let (records, segments) = study
+            .collect(id)
+            .unwrap_or_else(|e| panic!("trace collection failed: {e}"));
         let base = AnalysisConfig::dataflow_limit().with_segments(segments);
         let table1 = analyze_refs(&records, &base);
         let unit = analyze_refs(&records, &base.clone().with_latency(LatencyModel::unit()));
@@ -51,7 +53,9 @@ fn main() {
     );
     println!("{:-<56}", "");
     for id in WorkloadId::ALL {
-        let (records, segments) = study.collect(id);
+        let (records, segments) = study
+            .collect(id)
+            .unwrap_or_else(|e| panic!("trace collection failed: {e}"));
         let base = AnalysisConfig::dataflow_limit()
             .with_segments(segments)
             .with_window(WindowSize::bounded(1024));

@@ -23,7 +23,9 @@ fn main() {
     );
     println!("{:-<84}", "");
     for id in WorkloadId::ALL {
-        let (records, segments) = study.collect(id);
+        let (records, segments) = study
+            .collect(id)
+            .unwrap_or_else(|e| panic!("trace collection failed: {e}"));
         let base = AnalysisConfig::dataflow_limit().with_segments(segments);
         let perfect = analyze_refs(&records, &base).available_parallelism();
         let conservative = analyze_refs(

@@ -51,7 +51,9 @@ fn main() {
     println!(" {:>10}", "accuracy*");
     println!("{:-<114}", "");
     for id in WorkloadId::ALL {
-        let (records, segments) = study.collect(id);
+        let (records, segments) = study
+            .collect(id)
+            .unwrap_or_else(|e| panic!("trace collection failed: {e}"));
         print!("{:<11}", id.name());
         let mut gshare_accuracy = None;
         for (name, policy) in policies() {

@@ -42,13 +42,27 @@ fn main() -> std::io::Result<()> {
     let outcome = run_sweep(&study, "fig7", &cells, &opts);
 
     println!("Figure 7: Parallelism Profiles for the SPEC Benchmarks");
-    for cell in &outcome.cells {
-        let id = cell.workload;
+    for result in &outcome.cells {
+        let id = result.workload;
+        // Quarantined cells are reported, not rendered: every healthy
+        // workload's figure still lands, and the exit code says the run
+        // was degraded.
+        let Some(cell) = result.outcome() else {
+            eprintln!(
+                "fig7/{id}: quarantined after {} attempt(s): {}",
+                result.attempts,
+                result.error.as_deref().unwrap_or("unknown error"),
+            );
+            continue;
+        };
         let path = dir.join(format!("{id}.csv"));
         cell.profile
             .write_csv(BufWriter::new(fs::File::create(&path)?))?;
         let manifest = telemetry_dir.join(format!("{id}.json"));
-        fs::write(&manifest, cell_manifest_json(cell))?;
+        paragraph_core::artifact::write_atomic_bytes(
+            &manifest,
+            cell_manifest_json(cell).as_bytes(),
+        )?;
         // Diagnostics (throughput, artifact paths) go to stderr; stdout is
         // the figure itself.
         eprintln!(
@@ -67,9 +81,9 @@ fn main() -> std::io::Result<()> {
         );
         print!("{}", cell.profile.ascii_plot(72, 10));
     }
-    fs::write(
-        telemetry_dir.join("sweep.json"),
-        sweep_manifest_json("fig7", &outcome),
+    paragraph_core::artifact::write_atomic_bytes(
+        &telemetry_dir.join("sweep.json"),
+        sweep_manifest_json("fig7", &outcome).as_bytes(),
     )?;
     eprintln!(
         "fig7: {} cells on {} worker(s) in {:.2}s (arena: {} decode(s), {} hit(s))",
@@ -79,6 +93,13 @@ fn main() -> std::io::Result<()> {
         outcome.arena.misses,
         outcome.arena.hits,
     );
+    if outcome.quarantined() > 0 {
+        eprintln!(
+            "fig7: {} cell(s) quarantined; the figure is incomplete",
+            outcome.quarantined()
+        );
+        std::process::exit(6);
+    }
     Ok(())
 }
 

@@ -79,19 +79,41 @@ fn main() -> std::io::Result<()> {
     let mut absolutes = vec![Vec::new(); WorkloadId::ALL.len()];
     for (w_idx, id) in WorkloadId::ALL.into_iter().enumerate() {
         let ladder = &outcome.cells[w_idx * LADDER..(w_idx + 1) * LADDER];
-        let full = ladder[LADDER - 1].metrics.parallelism;
-        for cell in ladder {
-            let par = cell.metrics.parallelism;
+        // Quarantined cells hole-punch the curve with NaN instead of
+        // sinking the whole figure; the exit code reports the degradation.
+        let full = ladder[LADDER - 1]
+            .outcome()
+            .map_or(f64::NAN, |c| c.metrics.parallelism);
+        for result in ladder {
+            let par = result.outcome().map_or(f64::NAN, |c| c.metrics.parallelism);
             absolutes[w_idx].push(par);
             percents[w_idx].push(100.0 * par / full);
+            if let Some(err) = &result.error {
+                eprintln!(
+                    "fig8/{id}@{}: quarantined after {} attempt(s): {err}",
+                    result.label, result.attempts,
+                );
+            }
         }
         // Per-workload telemetry: one manifest for the unbounded cell (the
         // workload's headline numbers) — the sweep manifest carries every
         // cell's timing.
         let manifest = telemetry_dir.join(format!("{id}.json"));
-        fs::write(&manifest, cell_manifest_json(&ladder[LADDER - 1]))?;
-        let ladder_wall: u64 = ladder.iter().map(|c| c.metrics.wall_ns).sum();
-        let analyzed = ladder[LADDER - 1].metrics.records * LADDER as u64;
+        if let Some(unbounded) = ladder[LADDER - 1].outcome() {
+            paragraph_core::artifact::write_atomic_bytes(
+                &manifest,
+                cell_manifest_json(unbounded).as_bytes(),
+            )?;
+        }
+        let ladder_wall: u64 = ladder
+            .iter()
+            .filter_map(|c| c.outcome())
+            .map(|c| c.metrics.wall_ns)
+            .sum();
+        let analyzed = ladder[LADDER - 1]
+            .outcome()
+            .map_or(0, |c| c.metrics.records)
+            * LADDER as u64;
         eprintln!(
             "fig8/{id}: {:.2}M records/s across the window ladder, telemetry manifest {}",
             if ladder_wall == 0 {
@@ -132,9 +154,9 @@ fn main() -> std::io::Result<()> {
         println!("  {:<11} {:>8.2}", id.name(), absolutes[w_idx][w128]);
     }
     println!();
-    fs::write(
-        telemetry_dir.join("sweep.json"),
-        sweep_manifest_json("fig8", &outcome),
+    paragraph_core::artifact::write_atomic_bytes(
+        &telemetry_dir.join("sweep.json"),
+        sweep_manifest_json("fig8", &outcome).as_bytes(),
     )?;
     // Artifact-path diagnostics go to stderr, keeping stdout as the figure.
     eprintln!(
@@ -146,5 +168,12 @@ fn main() -> std::io::Result<()> {
         outcome.arena.hits,
         csv_path.display()
     );
+    if outcome.quarantined() > 0 {
+        eprintln!(
+            "fig8: {} cell(s) quarantined; the figure is incomplete",
+            outcome.quarantined()
+        );
+        std::process::exit(6);
+    }
     Ok(())
 }

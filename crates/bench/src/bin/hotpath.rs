@@ -234,7 +234,11 @@ fn main() {
         "hotpath.report.json"
     };
     let report_path = study.out_dir().join(report_name);
-    fs::write(&report_path, format!("{report_json}\n")).expect("report artifact write");
+    paragraph_core::artifact::write_atomic_bytes(
+        &report_path,
+        format!("{report_json}\n").as_bytes(),
+    )
+    .expect("report artifact write");
     println!("report: {}", report_path.display());
 
     let line = format!(

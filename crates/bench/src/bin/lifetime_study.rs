@@ -15,7 +15,6 @@ use paragraph_bench::{thousands, Study};
 use paragraph_core::AnalysisConfig;
 use paragraph_workloads::WorkloadId;
 use std::fs;
-use std::io::BufWriter;
 
 fn main() -> std::io::Result<()> {
     let study = Study::from_env();
@@ -45,12 +44,13 @@ fn main() -> std::io::Result<()> {
             sharing.max().unwrap_or(0),
             thousands(report.peak_live_values() as u64),
         );
-        lifetimes.write_csv(BufWriter::new(fs::File::create(
-            dir.join(format!("{id}-lifetimes.csv")),
-        )?))?;
-        sharing.write_csv(BufWriter::new(fs::File::create(
-            dir.join(format!("{id}-sharing.csv")),
-        )?))?;
+        // Atomic writes: a crash mid-study never leaves a torn CSV behind.
+        paragraph_core::artifact::write_atomic(&dir.join(format!("{id}-lifetimes.csv")), |out| {
+            lifetimes.write_csv(out)
+        })?;
+        paragraph_core::artifact::write_atomic(&dir.join(format!("{id}-sharing.csv")), |out| {
+            sharing.write_csv(out)
+        })?;
     }
     println!();
     println!("CSV distributions written to {}", dir.display());

@@ -28,7 +28,9 @@ fn main() {
     println!();
     println!("{:-<78}", "");
     for id in WorkloadId::ALL {
-        let (records, segments) = study.collect(id);
+        let (records, segments) = study
+            .collect(id)
+            .unwrap_or_else(|e| panic!("trace collection failed: {e}"));
         print!("{:<11}", id.name());
         for machine in &machines {
             let config = machine.configure().with_segments(segments);

@@ -29,7 +29,9 @@ fn main() {
     println!(" {:>8}", "max/min");
     println!("{:-<100}", "");
     for id in WorkloadId::ALL {
-        let (records, segments) = study.collect(id);
+        let (records, segments) = study
+            .collect(id)
+            .unwrap_or_else(|e| panic!("trace collection failed: {e}"));
         let config = AnalysisConfig::dataflow_limit().with_segments(segments);
         let whole = analyze_refs(&records, &config).available_parallelism();
         print!("{:<11} {:>11}", id.name(), parallelism(whole));

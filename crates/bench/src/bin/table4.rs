@@ -21,7 +21,9 @@ fn main() {
     );
     println!("{:-<78}", "");
     for id in WorkloadId::ALL {
-        let (records, segments) = study.collect(id);
+        let (records, segments) = study
+            .collect(id)
+            .unwrap_or_else(|e| panic!("trace collection failed: {e}"));
         print!("{:<11}", id.name());
         let configs: Vec<AnalysisConfig> = RenameSet::table4_conditions()
             .into_iter()

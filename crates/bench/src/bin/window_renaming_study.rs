@@ -26,7 +26,9 @@ fn main() {
     println!(" {:>9} {:>9}", "inf r", "inf rm");
     println!("{:-<96}", "");
     for id in WorkloadId::ALL {
-        let (records, segments) = study.collect(id);
+        let (records, segments) = study
+            .collect(id)
+            .unwrap_or_else(|e| panic!("trace collection failed: {e}"));
         let mut configs = Vec::new();
         for window in WINDOWS
             .iter()

@@ -40,15 +40,19 @@ use paragraph_trace::{SegmentMap, TraceRecord};
 use paragraph_vm::RunOutcome;
 use paragraph_workloads::{Workload, WorkloadId};
 use std::fs;
-use std::io::{BufReader, BufWriter, Write as _};
-use std::path::PathBuf;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 pub mod arena;
 pub mod scheduler;
+pub mod supervisor;
 
 pub use arena::{ArenaStats, ArenaTrace, TraceArena};
-pub use scheduler::{run_sweep, CellMetrics, CellOutcome, SweepCell, SweepOptions, SweepOutcome};
+pub use scheduler::{
+    run_sweep, CellMetrics, CellOutcome, CellResult, SweepCell, SweepOptions, SweepOutcome,
+};
+pub use supervisor::{CellError, CellStatus, FaultSpec};
 
 /// Records between harness checkpoints in [`Study::measure_restartable`].
 pub const CHECKPOINT_EVERY: u64 = 1_000_000;
@@ -154,19 +158,28 @@ impl Study {
     /// Captures `id`'s trace in memory for multi-configuration studies, so
     /// the VM runs once per workload instead of once per configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on VM faults, as for [`Study::measure`].
-    pub fn collect(&self, id: WorkloadId) -> (Vec<paragraph_trace::TraceRecord>, SegmentMap) {
+    /// [`CellError::Vm`] on a VM fault. The workloads are deterministic and
+    /// fault-free, so in practice this only fires under fault injection or
+    /// a generator bug — but a sweep must degrade to a quarantined cell
+    /// either way, never die.
+    pub fn collect(
+        &self,
+        id: WorkloadId,
+    ) -> Result<(Vec<paragraph_trace::TraceRecord>, SegmentMap), CellError> {
         self.workload(id)
             .collect_trace(self.fuel)
-            .unwrap_or_else(|e| panic!("{id}: {e}"))
+            .map_err(|e| CellError::Vm(format!("{id}: {e}")))
     }
 
     fn checkpoint_file(&self, study: &str, id: WorkloadId) -> PathBuf {
-        self.out_dir
-            .join("checkpoints")
-            .join(format!("{study}-{id}.pgcp"))
+        self.checkpoints_dir().join(format!("{study}-{id}.pgcp"))
+    }
+
+    /// The directory harness checkpoints and stage markers live in.
+    pub(crate) fn checkpoints_dir(&self) -> PathBuf {
+        self.out_dir.join("checkpoints")
     }
 
     /// Like [`Study::measure`], but restartable: analyzer state is
@@ -294,9 +307,7 @@ impl Study {
     /// Path of a completed-stage marker for `study`/`key` (used to make
     /// multi-workload sweeps restartable at workload granularity).
     fn stage_file(&self, study: &str, key: &str) -> PathBuf {
-        self.out_dir
-            .join("checkpoints")
-            .join(format!("{study}-{key}.row"))
+        self.checkpoints_dir().join(format!("{study}-{key}.row"))
     }
 
     /// Loads a previously stored stage result, if one exists.
@@ -305,19 +316,14 @@ impl Study {
     }
 
     /// Stores a completed stage result so an interrupted sweep can skip the
-    /// stage on restart. Written atomically (temp file + rename).
+    /// stage on restart. Written through the shared crash-consistent helper
+    /// ([`paragraph_core::artifact`]): unique temp name, synced, renamed.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn store_stage(&self, study: &str, key: &str, data: &str) -> std::io::Result<()> {
-        let path = self.stage_file(study, key);
-        if let Some(dir) = path.parent() {
-            fs::create_dir_all(dir)?;
-        }
-        let tmp = path.with_extension("row.tmp");
-        fs::write(&tmp, data)?;
-        fs::rename(&tmp, &path)
+        paragraph_core::artifact::write_atomic_bytes(&self.stage_file(study, key), data.as_bytes())
     }
 
     /// Deletes every stage marker of `study` after a sweep completes, so the
@@ -390,19 +396,16 @@ pub fn run_manifest_json(
     )
 }
 
-/// Writes a checkpoint to `path` via a temp file and rename, so an
-/// interrupt mid-write never destroys the previous checkpoint.
-fn write_checkpoint_atomic(analyzer: &LiveWell, path: &PathBuf) -> std::io::Result<()> {
-    if let Some(dir) = path.parent() {
-        fs::create_dir_all(dir)?;
-    }
-    let tmp = path.with_extension("pgcp.tmp");
-    let mut out = BufWriter::new(fs::File::create(&tmp)?);
-    analyzer
-        .save_checkpoint(&mut out)
-        .map_err(|e| std::io::Error::other(e.to_string()))?;
-    out.flush()?;
-    fs::rename(&tmp, path)
+/// Writes a checkpoint to `path` through the shared crash-consistent
+/// helper: unique temp name, `sync_all`, rename, parent-directory fsync.
+/// One implementation serves the harness and the CLI — see
+/// [`paragraph_core::artifact::write_atomic`].
+fn write_checkpoint_atomic(analyzer: &LiveWell, path: &Path) -> std::io::Result<()> {
+    paragraph_core::artifact::write_atomic(path, |out| {
+        analyzer
+            .save_checkpoint(out)
+            .map_err(|e| std::io::Error::other(e.to_string()))
+    })
 }
 
 impl Default for Study {

@@ -11,8 +11,16 @@
 //! encoding of the cell's artifacts) via the study's checkpoint directory,
 //! so an interrupted sweep resumes at cell granularity: restored cells are
 //! not recomputed, and their artifacts are byte-identical to a fresh run's.
+//!
+//! Cells are **supervised** (see `docs/supervision.md`): every cell runs
+//! inside a `catch_unwind` boundary, failures become typed
+//! [`CellError`]s, failed cells are retried with bounded deterministic
+//! backoff, and cells that exhaust their retries are *quarantined* — the
+//! sweep completes with every healthy cell's artifacts byte-identical to a
+//! fault-free run's, plus a per-cell [`CellStatus`] degradation report.
 
 use crate::arena::{ArenaStats, TraceArena};
+use crate::supervisor::{backoff_delay, panic_message, CellError, CellStatus, FaultSpec};
 use crate::Study;
 use paragraph_core::telemetry::{self, Value};
 use paragraph_core::{AnalysisConfig, LiveWell, ParallelismProfile};
@@ -105,6 +113,12 @@ pub struct SweepOptions {
     /// Load completed cells from stage markers and store new ones, making
     /// interrupted sweeps restartable at cell granularity.
     pub reuse_stages: bool,
+    /// Failed-cell retries before quarantine (`0` quarantines on the first
+    /// failure).
+    pub retries: u32,
+    /// Base backoff between retries, in milliseconds; see
+    /// [`backoff_delay`] for the growth and jitter rules.
+    pub retry_backoff_ms: u64,
 }
 
 impl Default for SweepOptions {
@@ -113,7 +127,40 @@ impl Default for SweepOptions {
             jobs: 0,
             arena_budget_bytes: 0,
             reuse_stages: true,
+            retries: 2,
+            retry_backoff_ms: 25,
         }
+    }
+}
+
+/// One supervised cell's final state: its outcome when it succeeded, its
+/// error when it was quarantined, and the supervision provenance either
+/// way.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell's workload.
+    pub workload: WorkloadId,
+    /// The cell's configuration label.
+    pub label: String,
+    /// How supervision left the cell.
+    pub status: CellStatus,
+    /// Attempts consumed (0 when restored from a stage marker).
+    pub attempts: u32,
+    /// The final error, for quarantined cells.
+    pub error: Option<String>,
+    /// The artifacts, for successful cells.
+    pub outcome: Option<CellOutcome>,
+}
+
+impl CellResult {
+    /// The successful outcome, if the cell was not quarantined.
+    pub fn outcome(&self) -> Option<&CellOutcome> {
+        self.outcome.as_ref()
+    }
+
+    /// True when the cell exhausted its retries.
+    pub fn is_quarantined(&self) -> bool {
+        self.status == CellStatus::Quarantined
     }
 }
 
@@ -121,13 +168,25 @@ impl Default for SweepOptions {
 #[derive(Debug)]
 pub struct SweepOutcome {
     /// Per-cell results, index-aligned with the input cells.
-    pub cells: Vec<CellOutcome>,
+    pub cells: Vec<CellResult>,
     /// Wall-clock nanoseconds for the whole sweep.
     pub wall_ns: u64,
     /// Worker threads actually used.
     pub jobs: usize,
     /// Arena traffic (misses count trace generations).
     pub arena: ArenaStats,
+}
+
+impl SweepOutcome {
+    /// Number of quarantined cells (0 for a fully healthy sweep).
+    pub fn quarantined(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_quarantined()).count()
+    }
+
+    /// The successful outcomes, index-aligned gaps skipped.
+    pub fn ok_cells(&self) -> impl Iterator<Item = &CellOutcome> {
+        self.cells.iter().filter_map(|c| c.outcome.as_ref())
+    }
 }
 
 /// Version tag of the stage-marker format; markers with any other first
@@ -189,8 +248,12 @@ fn decode_marker(cell: &SweepCell, text: &str) -> Option<CellOutcome> {
     })
 }
 
-fn analyze_cell(study: &Study, cell: &SweepCell, arena: &TraceArena) -> CellOutcome {
-    let trace = arena.get(study, cell.workload);
+fn analyze_cell(
+    study: &Study,
+    cell: &SweepCell,
+    arena: &TraceArena,
+) -> Result<CellOutcome, CellError> {
+    let trace = arena.get(study, cell.workload)?;
     let config = cell.config.clone().with_segments(trace.segments);
     let started = Instant::now();
     let mut analyzer = LiveWell::new(config);
@@ -220,13 +283,37 @@ fn analyze_cell(study: &Study, cell: &SweepCell, arena: &TraceArena) -> CellOutc
         );
         registry.counter("sweep.cells_analyzed").add(1);
     }
-    CellOutcome {
+    Ok(CellOutcome {
         workload: cell.workload,
         label: cell.label.clone(),
         metrics,
         profile: report.profile().clone(),
         report_json: report.to_json(),
         from_stage: false,
+    })
+}
+
+/// One supervised attempt at a cell: the fault injector (if armed) and the
+/// analysis run inside a `catch_unwind` boundary, so a panicking cell —
+/// analyzer bug, VM bug, injected fault — becomes a typed
+/// [`CellError::Panic`] instead of taking down the worker and its queued
+/// siblings.
+fn run_cell(
+    study: &Study,
+    cell: &SweepCell,
+    arena: &TraceArena,
+    fault: Option<&FaultSpec>,
+    attempt: u32,
+) -> Result<CellOutcome, CellError> {
+    let attempt_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(spec) = fault {
+            spec.inject(cell.workload.name(), &cell.label, attempt)?;
+        }
+        analyze_cell(study, cell, arena)
+    }));
+    match attempt_result {
+        Ok(result) => result,
+        Err(payload) => Err(CellError::Panic(panic_message(payload))),
     }
 }
 
@@ -239,23 +326,46 @@ fn effective_jobs(requested: usize, cells: usize) -> usize {
     jobs.clamp(1, cells.max(1))
 }
 
+/// One cell's supervision state: how many attempts it has consumed and how
+/// the last one ended.
+#[derive(Debug, Default)]
+struct CellSlot {
+    attempts: u32,
+    result: Option<Result<CellOutcome, CellError>>,
+}
+
 /// Runs `cells` under `study`, fanning them across worker threads, and
 /// returns the results in input order (deterministic for any job count).
 ///
 /// `name` scopes the stage markers (and should match the driver: `fig7`,
-/// `fig8`, `sweep`, ...). On a fully completed sweep the markers are
-/// cleared, so the next run starts fresh; an interrupted sweep leaves the
-/// completed cells' markers behind for the next attempt to reuse.
+/// `fig8`, `sweep`, ...). On a sweep that completes with no quarantined
+/// cell the markers are cleared, so the next run starts fresh; an
+/// interrupted or degraded sweep leaves the completed cells' markers
+/// behind for the next attempt to reuse.
 ///
-/// # Panics
-///
-/// Panics if a worker thread panics (VM fault or analyzer bug) — the
-/// sweep's partial progress remains on disk as stage markers.
+/// Cells never panic the sweep: each attempt runs inside `catch_unwind`,
+/// failures are retried up to [`SweepOptions::retries`] times with
+/// deterministic backoff, and cells that exhaust their retries come back
+/// as [`CellStatus::Quarantined`] entries with their error attached.
+/// `PARAGRAPH_FAULT_CELL` (see [`FaultSpec`]) injects a deliberate fault
+/// into one cell for testing.
 pub fn run_sweep(
     study: &Study,
     name: &str,
     cells: &[SweepCell],
     opts: &SweepOptions,
+) -> SweepOutcome {
+    run_sweep_supervised(study, name, cells, opts, FaultSpec::from_env().as_ref())
+}
+
+/// [`run_sweep`] with an explicit fault injector (tests construct
+/// [`FaultSpec`]s directly instead of racing on the environment).
+fn run_sweep_supervised(
+    study: &Study,
+    name: &str,
+    cells: &[SweepCell],
+    opts: &SweepOptions,
+    fault: Option<&FaultSpec>,
 ) -> SweepOutcome {
     let started = Instant::now();
     let jobs = effective_jobs(opts.jobs, cells.len());
@@ -264,9 +374,14 @@ pub fn run_sweep(
     } else {
         TraceArena::new(opts.arena_budget_bytes)
     };
+    if opts.reuse_stages {
+        // Sweep temp files orphaned by a previous crash; completed markers
+        // (already renamed into place) are untouched.
+        paragraph_core::artifact::clean_orphaned_tmp(&study.checkpoints_dir());
+    }
 
     // Restore stage-cached cells up front; only the rest are scheduled.
-    let results: Vec<Mutex<Option<CellOutcome>>> = cells
+    let results: Vec<Mutex<CellSlot>> = cells
         .iter()
         .map(|cell| {
             let restored = opts
@@ -274,11 +389,14 @@ pub fn run_sweep(
                 .then(|| study.load_stage(name, &cell.stage_key()))
                 .flatten()
                 .and_then(|marker| decode_marker(cell, &marker));
-            Mutex::new(restored)
+            Mutex::new(CellSlot {
+                attempts: 0,
+                result: restored.map(Ok),
+            })
         })
         .collect();
     let pending: Vec<usize> = (0..cells.len())
-        .filter(|&i| lock_poison_ok(&results[i]).is_none())
+        .filter(|&i| lock_poison_ok(&results[i]).result.is_none())
         .collect();
     if let Some(registry) = telemetry::active() {
         let restored = cells.len() - pending.len();
@@ -314,32 +432,102 @@ pub fn run_sweep(
                     break;
                 };
                 let cell = &cells[index];
-                let outcome = analyze_cell(study, cell, arena);
-                if opts.reuse_stages {
-                    if let Err(e) =
-                        study.store_stage(name, &cell.stage_key(), &encode_marker(&outcome))
-                    {
-                        // Stage persistence is best-effort, like harness
-                        // checkpoints: the sweep itself must not die
-                        // because the disk did.
-                        eprintln!("{name}: stage marker for {} failed: {e}", cell.stage_key());
+                let attempt = {
+                    let mut slot = lock_poison_ok(&results[index]);
+                    slot.attempts += 1;
+                    slot.attempts
+                };
+                match run_cell(study, cell, arena, fault, attempt) {
+                    Ok(outcome) => {
+                        if opts.reuse_stages {
+                            if let Err(e) =
+                                study.store_stage(name, &cell.stage_key(), &encode_marker(&outcome))
+                            {
+                                // Stage persistence is best-effort, like
+                                // harness checkpoints: the sweep itself
+                                // must not die because the disk did.
+                                eprintln!(
+                                    "{name}: stage marker for {} failed: {e}",
+                                    cell.stage_key()
+                                );
+                            }
+                        }
+                        lock_poison_ok(&results[index]).result = Some(Ok(outcome));
+                    }
+                    Err(err) if attempt <= opts.retries => {
+                        eprintln!(
+                            "{name}: cell {} attempt {attempt} failed ({err}); retrying",
+                            cell.stage_key()
+                        );
+                        if let Some(registry) = telemetry::active() {
+                            registry.counter("sweep.cell_retries").add(1);
+                        }
+                        // Sleep the backoff here, then requeue: the cell is
+                        // never parked in a queue while its backoff runs,
+                        // so no sibling burns a slot waiting on it.
+                        std::thread::sleep(backoff_delay(opts.retry_backoff_ms, attempt, index));
+                        lock_poison_ok_deque(&queues[me]).push_back(index);
+                    }
+                    Err(err) => {
+                        eprintln!(
+                            "{name}: cell {} quarantined after {attempt} attempt(s): {err}",
+                            cell.stage_key()
+                        );
+                        if let Some(registry) = telemetry::active() {
+                            registry.counter("sweep.cells_quarantined").add(1);
+                        }
+                        lock_poison_ok(&results[index]).result = Some(Err(err));
                     }
                 }
-                *lock_poison_ok(&results[index]) = Some(outcome);
             });
         }
     });
 
-    let cells_out: Vec<CellOutcome> = results
+    let cells_out: Vec<CellResult> = results
         .into_iter()
-        .enumerate()
-        .map(|(i, slot)| {
-            slot.into_inner()
-                .unwrap_or_else(PoisonError::into_inner)
-                .unwrap_or_else(|| panic!("sweep cell {i} finished without a result"))
+        .zip(cells)
+        .map(|(slot, cell)| {
+            let slot = slot.into_inner().unwrap_or_else(PoisonError::into_inner);
+            let attempts = slot.attempts;
+            match slot.result {
+                Some(Ok(outcome)) => CellResult {
+                    workload: cell.workload,
+                    label: cell.label.clone(),
+                    status: if attempts > 1 {
+                        CellStatus::Retried
+                    } else {
+                        CellStatus::Ok
+                    },
+                    attempts,
+                    error: None,
+                    outcome: Some(outcome),
+                },
+                Some(Err(err)) => CellResult {
+                    workload: cell.workload,
+                    label: cell.label.clone(),
+                    status: CellStatus::Quarantined,
+                    attempts,
+                    error: Some(err.to_string()),
+                    outcome: None,
+                },
+                // Unreachable in practice — every dequeued index stores a
+                // result — but a lost cell must degrade like any other
+                // failure, never panic the collection.
+                None => CellResult {
+                    workload: cell.workload,
+                    label: cell.label.clone(),
+                    status: CellStatus::Quarantined,
+                    attempts,
+                    error: Some("cell finished without a result (worker lost)".to_owned()),
+                    outcome: None,
+                },
+            }
         })
         .collect();
-    if opts.reuse_stages {
+    // Only a fully healthy sweep clears its markers: after a degraded one,
+    // the healthy cells' markers let the next attempt recompute just the
+    // quarantined cells.
+    if opts.reuse_stages && !cells_out.iter().any(CellResult::is_quarantined) {
         study.clear_stages(name);
     }
     SweepOutcome {
@@ -350,9 +538,7 @@ pub fn run_sweep(
     }
 }
 
-fn lock_poison_ok<'a>(
-    slot: &'a Mutex<Option<CellOutcome>>,
-) -> std::sync::MutexGuard<'a, Option<CellOutcome>> {
+fn lock_poison_ok<'a>(slot: &'a Mutex<CellSlot>) -> std::sync::MutexGuard<'a, CellSlot> {
     slot.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -395,14 +581,15 @@ pub fn cell_manifest_json(cell: &CellOutcome) -> String {
 }
 
 /// Renders a sweep-level telemetry manifest: grid shape, wall time,
-/// per-cell timings, and arena traffic. Written by the drivers next to
-/// their CSV artifacts.
+/// per-cell timings and supervision status, and arena traffic. Written
+/// by the drivers next to their CSV artifacts.
 pub fn sweep_manifest_json(name: &str, outcome: &SweepOutcome) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{{\"sweep\":\"{name}\",\"jobs\":{},\"cells\":{},\"wall_ns\":{},",
+        "{{\"sweep\":\"{name}\",\"jobs\":{},\"cells\":{},\"quarantined\":{},\"wall_ns\":{},",
         outcome.jobs,
         outcome.cells.len(),
+        outcome.quarantined(),
         outcome.wall_ns,
     ));
     out.push_str(&format!(
@@ -417,22 +604,59 @@ pub fn sweep_manifest_json(name: &str, outcome: &SweepOutcome) -> String {
         if i > 0 {
             out.push(',');
         }
+        // Quarantined cells report zeroed metrics so the manifest schema
+        // stays rectangular for downstream readers.
+        let (records, critical_path, parallelism, wall_ns, from_stage) = match &cell.outcome {
+            Some(c) => (
+                c.metrics.records,
+                c.metrics.critical_path,
+                c.metrics.parallelism,
+                c.metrics.wall_ns,
+                c.from_stage,
+            ),
+            None => (0, 0, 0.0, 0, false),
+        };
         out.push_str(&format!(
             concat!(
-                "{{\"workload\":\"{}\",\"config\":\"{}\",\"records\":{},",
+                "{{\"workload\":\"{}\",\"config\":\"{}\",\"status\":\"{}\",",
+                "\"attempts\":{},\"error\":{},\"records\":{},",
                 "\"critical_path\":{},\"parallelism\":{:.6},\"wall_ns\":{},",
                 "\"from_stage\":{}}}"
             ),
             cell.workload.name(),
             cell.label,
-            cell.metrics.records,
-            cell.metrics.critical_path,
-            cell.metrics.parallelism,
-            cell.metrics.wall_ns,
-            cell.from_stage,
+            cell.status,
+            cell.attempts,
+            match &cell.error {
+                Some(e) => format!("\"{}\"", escape_json(e)),
+                None => "null".to_owned(),
+            },
+            records,
+            critical_path,
+            parallelism,
+            wall_ns,
+            from_stage,
         ));
     }
     out.push_str("]}\n");
+    out
+}
+
+/// Minimal JSON string escaping for error messages embedded in the
+/// manifest (quotes, backslashes, and control characters).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
     out
 }
 
@@ -446,6 +670,16 @@ mod tests {
         let out =
             std::env::temp_dir().join(format!("paragraph-sched-test-{tag}-{}", std::process::id()));
         Study::new(100_000, 2, out)
+    }
+
+    /// Unwraps a cell that the test expects to have succeeded.
+    fn ok(cell: &CellResult) -> &CellOutcome {
+        cell.outcome.as_ref().unwrap_or_else(|| {
+            panic!(
+                "cell {}@{} was quarantined: {:?}",
+                cell.workload, cell.label, cell.error
+            )
+        })
     }
 
     fn grid(workloads: &[WorkloadId]) -> Vec<SweepCell> {
@@ -493,6 +727,7 @@ mod tests {
         let parallel = run_sweep(&study, "t-det", &cells, &opts_par);
         assert_eq!(sequential.jobs, 1);
         for (a, b) in sequential.cells.iter().zip(&parallel.cells) {
+            let (a, b) = (ok(a), ok(b));
             assert_eq!(a.report_json, b.report_json, "{}@{}", a.workload, a.label);
             assert_eq!(a.profile, b.profile);
             let mut csv_a = Vec::new();
@@ -514,11 +749,11 @@ mod tests {
             ..SweepOptions::default()
         };
         let outcome = run_sweep(&study, "t-direct", &cells, &opts);
-        let (records, segments) = study.collect(WorkloadId::Xlisp);
+        let (records, segments) = study.collect(WorkloadId::Xlisp).unwrap();
         for (cell, result) in cells.iter().zip(&outcome.cells) {
             let config = cell.config.clone().with_segments(segments);
             let direct = analyze_slice(&records, &config);
-            assert_eq!(result.report_json, direct.to_json());
+            assert_eq!(ok(result).report_json, direct.to_json());
         }
         assert_eq!(outcome.arena.misses, 1, "one workload, one decode");
         let _ = fs::remove_dir_all(study.out_dir());
@@ -533,7 +768,7 @@ mod tests {
             ..SweepOptions::default()
         };
         let fresh = run_sweep(&study, "t-stage", &cells, &opts);
-        assert!(fresh.cells.iter().all(|c| !c.from_stage));
+        assert!(fresh.cells.iter().all(|c| !ok(c).from_stage));
 
         // Simulate an interrupted sweep: pre-store one cell's marker, then
         // re-run. The restored cell must be byte-identical and flagged.
@@ -541,13 +776,15 @@ mod tests {
             .store_stage(
                 "t-stage",
                 &cells[0].stage_key(),
-                &encode_marker(&fresh.cells[0]),
+                &encode_marker(ok(&fresh.cells[0])),
             )
             .unwrap();
         let resumed = run_sweep(&study, "t-stage", &cells, &opts);
-        assert!(resumed.cells[0].from_stage);
-        assert!(!resumed.cells[1].from_stage);
+        assert!(ok(&resumed.cells[0]).from_stage);
+        assert_eq!(resumed.cells[0].attempts, 0, "restored cells run nothing");
+        assert!(!ok(&resumed.cells[1]).from_stage);
         for (a, b) in fresh.cells.iter().zip(&resumed.cells) {
+            let (a, b) = (ok(a), ok(b));
             assert_eq!(a.report_json, b.report_json);
             assert_eq!(a.metrics.records, b.metrics.records);
             assert_eq!(a.profile, b.profile);
@@ -567,12 +804,13 @@ mod tests {
             ..SweepOptions::default()
         };
         let outcome = run_sweep(&study, "t-marker", &cells[..1], &opts);
-        let marker = encode_marker(&outcome.cells[0]);
+        let first = ok(&outcome.cells[0]);
+        let marker = encode_marker(first);
         let decoded = decode_marker(&cells[0], &marker).unwrap();
-        assert_eq!(decoded.report_json, outcome.cells[0].report_json);
-        assert_eq!(decoded.profile, outcome.cells[0].profile);
+        assert_eq!(decoded.report_json, first.report_json);
+        assert_eq!(decoded.profile, first.profile);
         assert_eq!(decoded.metrics, {
-            let mut m = outcome.cells[0].metrics;
+            let mut m = first.metrics;
             m.wall_ns = decoded.metrics.wall_ns;
             m
         });
@@ -584,7 +822,7 @@ mod tests {
         // Truncation lands either in the profile or the json; both reject
         // or round-trip to a prefix that fails validation.
         if let Some(bad) = decode_marker(&cells[0], truncated) {
-            assert_ne!(bad.report_json, outcome.cells[0].report_json);
+            assert_ne!(bad.report_json, first.report_json);
         }
         let _ = fs::remove_dir_all(study.out_dir());
     }
@@ -602,9 +840,141 @@ mod tests {
         let manifest = sweep_manifest_json("t-manifest", &outcome);
         assert!(manifest.contains("\"sweep\":\"t-manifest\""));
         assert!(manifest.contains("\"misses\":1"));
+        assert!(manifest.contains("\"quarantined\":0"));
         for cell in &outcome.cells {
             assert!(manifest.contains(&format!("\"config\":\"{}\"", cell.label)));
+            assert_eq!(cell.status, CellStatus::Ok);
+            assert_eq!(cell.attempts, 1);
         }
+        assert!(manifest.contains("\"status\":\"ok\""));
+        assert!(manifest.contains("\"error\":null"));
+        let _ = fs::remove_dir_all(study.out_dir());
+    }
+
+    #[test]
+    fn quarantined_cell_leaves_siblings_byte_identical() {
+        use crate::supervisor::FaultKind;
+        let study = temp_study("quarantine");
+        let cells = grid(&[WorkloadId::Xlisp, WorkloadId::Eqntott]);
+        let opts = SweepOptions {
+            jobs: 4,
+            reuse_stages: false,
+            retries: 1,
+            retry_backoff_ms: 0,
+            ..SweepOptions::default()
+        };
+        let clean = run_sweep_supervised(&study, "t-quar", &cells, &opts, None);
+        assert_eq!(clean.quarantined(), 0);
+
+        // Permanently fault one cell (always panics) and re-run.
+        let fault = FaultSpec {
+            workload: "xlisp".to_owned(),
+            label: "w64".to_owned(),
+            fails: u32::MAX,
+            kind: FaultKind::Panic,
+        };
+        let faulted = run_sweep_supervised(&study, "t-quar", &cells, &opts, Some(&fault));
+        assert_eq!(faulted.quarantined(), 1);
+        for (a, b) in clean.cells.iter().zip(&faulted.cells) {
+            if fault.targets(b.workload.name(), &b.label) {
+                assert!(b.is_quarantined());
+                assert_eq!(b.status, CellStatus::Quarantined);
+                assert_eq!(b.attempts, opts.retries + 1, "retries are bounded");
+                assert!(b.outcome.is_none());
+                let err = b.error.as_deref().unwrap();
+                assert!(
+                    err.contains("injected"),
+                    "error should carry the cause: {err}"
+                );
+            } else {
+                assert_eq!(b.status, CellStatus::Ok);
+                assert_eq!(ok(a).report_json, ok(b).report_json);
+                assert_eq!(ok(a).profile, ok(b).profile);
+            }
+        }
+        let manifest = sweep_manifest_json("t-quar", &faulted);
+        assert!(manifest.contains("\"quarantined\":1"));
+        assert!(manifest.contains("\"status\":\"quarantined\""));
+        let _ = fs::remove_dir_all(study.out_dir());
+    }
+
+    #[test]
+    fn transient_fault_retries_then_succeeds() {
+        use crate::supervisor::FaultKind;
+        let study = temp_study("retry");
+        let cells = grid(&[WorkloadId::Matrix300]);
+        let opts = SweepOptions {
+            jobs: 2,
+            reuse_stages: false,
+            retries: 2,
+            retry_backoff_ms: 0,
+            ..SweepOptions::default()
+        };
+        let clean = run_sweep_supervised(&study, "t-retry", &cells, &opts, None);
+        // Fault the first attempt only: the retry must succeed and produce
+        // the exact same artifacts a fault-free run does.
+        let fault = FaultSpec {
+            workload: "matrix300".to_owned(),
+            label: "dataflow".to_owned(),
+            fails: 1,
+            kind: FaultKind::Vm,
+        };
+        let retried = run_sweep_supervised(&study, "t-retry", &cells, &opts, Some(&fault));
+        assert_eq!(retried.quarantined(), 0);
+        let target = retried
+            .cells
+            .iter()
+            .find(|c| fault.targets(c.workload.name(), &c.label))
+            .unwrap();
+        assert_eq!(target.status, CellStatus::Retried);
+        assert_eq!(target.attempts, 2);
+        assert!(target.error.is_none());
+        for (a, b) in clean.cells.iter().zip(&retried.cells) {
+            assert_eq!(ok(a).report_json, ok(b).report_json);
+        }
+        let manifest = sweep_manifest_json("t-retry", &retried);
+        assert!(manifest.contains("\"status\":\"retried\""));
+        let _ = fs::remove_dir_all(study.out_dir());
+    }
+
+    #[test]
+    fn degraded_sweep_keeps_markers_so_reruns_only_recompute_failures() {
+        use crate::supervisor::FaultKind;
+        let study = temp_study("degraded");
+        let cells = grid(&[WorkloadId::Xlisp]);
+        let opts = SweepOptions {
+            jobs: 2,
+            reuse_stages: true,
+            retries: 0,
+            retry_backoff_ms: 0,
+            ..SweepOptions::default()
+        };
+        let fault = FaultSpec {
+            workload: "xlisp".to_owned(),
+            label: "renone".to_owned(),
+            fails: u32::MAX,
+            kind: FaultKind::Decode,
+        };
+        let degraded = run_sweep_supervised(&study, "t-degraded", &cells, &opts, Some(&fault));
+        assert_eq!(degraded.quarantined(), 1);
+        // Healthy cells' markers survive a degraded sweep...
+        assert!(study
+            .load_stage("t-degraded", &cells[0].stage_key())
+            .is_some());
+        // ...so a healthy rerun restores them and recomputes only the
+        // formerly quarantined cell, then clears the markers.
+        let rerun = run_sweep_supervised(&study, "t-degraded", &cells, &opts, None);
+        assert_eq!(rerun.quarantined(), 0);
+        for cell in &rerun.cells {
+            if fault.targets(cell.workload.name(), &cell.label) {
+                assert!(!ok(cell).from_stage, "quarantined cell must recompute");
+            } else {
+                assert!(ok(cell).from_stage, "healthy cells must restore");
+            }
+        }
+        assert!(study
+            .load_stage("t-degraded", &cells[0].stage_key())
+            .is_none());
         let _ = fs::remove_dir_all(study.out_dir());
     }
 
@@ -661,6 +1031,7 @@ mod tests {
             jobs: crate::jobs_from_env(),
             arena_budget_bytes: usize::MAX,
             reuse_stages: false,
+            ..SweepOptions::default()
         };
         let mut bench = SweepBench {
             before_ns: u64::MAX,
@@ -675,7 +1046,7 @@ mod tests {
             let start = Instant::now();
             let mut before_reports = Vec::new();
             for cell in cells {
-                let (records, segments) = study.collect(cell.workload);
+                let (records, segments) = study.collect(cell.workload).unwrap();
                 let config = cell.config.clone().with_segments(segments);
                 before_reports.push(analyze_slice(&records, &config).to_json());
             }
@@ -684,7 +1055,7 @@ mod tests {
             // After: decode-once arena + scheduler.
             let outcome = run_sweep(study, name, cells, &opts);
             for (old, new) in before_reports.iter().zip(&outcome.cells) {
-                assert_eq!(old, &new.report_json, "engine changed a report");
+                assert_eq!(old, &ok(new).report_json, "engine changed a report");
             }
             println!(
                 "{name} rep {rep}: before {:.2}s, after {:.2}s",

@@ -32,7 +32,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 /// A CLI failure, classified so scripts can dispatch on the exit code:
-/// 2 usage, 3 I/O, 4 corrupt trace/checkpoint input, 5 analysis failure.
+/// 2 usage, 3 I/O, 4 corrupt trace/checkpoint input, 5 analysis failure,
+/// 6 degraded sweep (some cells quarantined, the rest completed).
 #[derive(Debug)]
 enum CliError {
     /// Bad command line: unknown flag, missing argument, invalid value.
@@ -43,6 +44,9 @@ enum CliError {
     CorruptTrace(String),
     /// The workload or VM run itself failed.
     Analysis(String),
+    /// A sweep completed but quarantined one or more cells; the healthy
+    /// cells' artifacts are intact and byte-identical to a fault-free run.
+    Quarantined(String),
 }
 
 impl CliError {
@@ -52,6 +56,7 @@ impl CliError {
             CliError::Io(_) => 3,
             CliError::CorruptTrace(_) => 4,
             CliError::Analysis(_) => 5,
+            CliError::Quarantined(_) => 6,
         })
     }
 }
@@ -62,7 +67,8 @@ impl fmt::Display for CliError {
             CliError::Usage(m)
             | CliError::Io(m)
             | CliError::CorruptTrace(m)
-            | CliError::Analysis(m) => f.write_str(m),
+            | CliError::Analysis(m)
+            | CliError::Quarantined(m) => f.write_str(m),
         }
     }
 }
@@ -173,6 +179,10 @@ common options:
                     cores; also PARAGRAPH_JOBS); results are byte-identical
                     for any N. With --out DIR, per-cell report JSON and
                     profile CSVs land in DIR (see docs/sweep.md)
+  --retries N       grid sweep: failed-cell retries before quarantine
+                    (default 2; see docs/supervision.md)
+  --retry-backoff-ms N  base backoff between cell retries (default 25;
+                    exponential growth, deterministic jitter)
 
 fault tolerance (analyze):
   --recover             read a damaged trace: resynchronize past corrupt
@@ -192,7 +202,8 @@ telemetry (analyze; see docs/telemetry.md):
   stats --telemetry FILE   summarize a JSONL log (per-stage table)
   stats --metrics FILE     validate a Prometheus snapshot
 
-exit codes: 0 ok, 2 usage, 3 I/O, 4 corrupt trace, 5 analysis failure"
+exit codes: 0 ok, 2 usage, 3 I/O, 4 corrupt trace, 5 analysis failure,
+            6 degraded sweep (cells quarantined; healthy cells intact)"
     );
 }
 
@@ -239,6 +250,10 @@ struct Options {
     workloads: Vec<WorkloadId>,
     /// Worker threads for the grid sweep (`0`/absent = all cores).
     jobs: Option<usize>,
+    /// Failed-cell retries before quarantine (grid sweep).
+    retries: Option<u32>,
+    /// Base backoff between cell retries, in milliseconds (grid sweep).
+    retry_backoff_ms: Option<u64>,
 }
 
 impl Options {
@@ -317,6 +332,8 @@ impl Options {
                     }
                 }
                 "--jobs" => opts.jobs = Some(parse_num(&value()?)?),
+                "--retries" => opts.retries = Some(parse_num(&value()?)?),
+                "--retry-backoff-ms" => opts.retry_backoff_ms = Some(parse_num(&value()?)?),
                 "--recover" => opts.recover = true,
                 "--checkpoint-every" => {
                     let n: u64 = parse_num(&value()?)?;
@@ -468,6 +485,11 @@ struct LoadedTrace {
     segments: SegmentMap,
     recovery: Option<RecoveryStats>,
     bytes: u64,
+    /// Identity of the stream for checkpoint embedding/verification —
+    /// taken after `--skip` but *before* `--take`, so a checkpoint saved
+    /// under a `--take` bound resumes over the full trace. `None` when no
+    /// checkpointing is in play.
+    identity: Option<paragraph_core::TraceIdentity>,
 }
 
 /// Loads the records to analyze: either a binary trace or a workload run,
@@ -509,6 +531,7 @@ fn load_records(opts: &Options) -> Result<LoadedTrace, CliError> {
             segments,
             recovery,
             bytes: reader.bytes_read(),
+            identity: None,
         }
     } else {
         let mut span = paragraph_core::span!("generate");
@@ -522,11 +545,20 @@ fn load_records(opts: &Options) -> Result<LoadedTrace, CliError> {
             segments,
             recovery: None,
             bytes: 0,
+            identity: None,
         }
     };
     if let Some(skip) = opts.skip {
         loaded.records.drain(..skip.min(loaded.records.len()));
     }
+    // The identity is taken before `--take` truncates: `--take` bounds how
+    // far this run analyzes the trace, it does not make it a different
+    // trace — a checkpoint saved under `--take N` must resume over the
+    // full stream. `--skip` genuinely shifts the stream, so it applies
+    // first. Computed once here, never in the hot loop, and only when
+    // checkpoints are in play.
+    loaded.identity = (opts.checkpoint_every.is_some() || opts.resume.is_some())
+        .then(|| paragraph_core::TraceIdentity::of_records(&loaded.records));
     if let Some(take) = opts.take {
         loaded.records.truncate(take);
     }
@@ -551,7 +583,11 @@ fn print_recovery_stats(stats: &RecoveryStats) {
     );
 }
 
-fn print_report(report: &AnalysisReport, opts: &Options) -> Result<(), CliError> {
+/// Prints the analysis report and writes the requested artifacts. Artifact
+/// write failures (a full disk under `--profile`/`--json`) degrade: the
+/// report still reaches stdout, the failure lands in `artifact_failures`,
+/// and the caller turns a non-empty ledger into exit code 3 at the end.
+fn print_report(report: &AnalysisReport, opts: &Options, artifact_failures: &mut Vec<String>) {
     print!("{report}");
     if let Some(lifetimes) = report.value_lifetimes() {
         println!(
@@ -571,23 +607,33 @@ fn print_report(report: &AnalysisReport, opts: &Options) -> Result<(), CliError>
         );
     }
     if let Some(path) = &opts.profile {
-        let file = File::create(path).map_err(|e| io_err(path, e))?;
-        report
-            .profile()
-            .write_csv(BufWriter::new(file))
-            .map_err(|e| io_err(path, e))?;
-        // Diagnostics go to stderr; stdout carries only the report itself,
-        // so piping/redirecting it never picks up status noise.
-        eprintln!("profile written to {path}");
+        match paragraph_core::artifact::write_atomic(std::path::Path::new(path), |out| {
+            report.profile().write_csv(out)
+        }) {
+            // Diagnostics go to stderr; stdout carries only the report
+            // itself, so piping/redirecting it never picks up status noise.
+            Ok(()) => eprintln!("profile written to {path}"),
+            Err(e) => {
+                eprintln!("warning: profile CSV failed ({path}: {e})");
+                artifact_failures.push(format!("profile {path}: {e}"));
+            }
+        }
     }
     if let Some(path) = &opts.json {
-        std::fs::write(path, report.to_json()).map_err(|e| io_err(path, e))?;
-        eprintln!("report written to {path}");
+        match paragraph_core::artifact::write_atomic_bytes(
+            std::path::Path::new(path),
+            report.to_json().as_bytes(),
+        ) {
+            Ok(()) => eprintln!("report written to {path}"),
+            Err(e) => {
+                eprintln!("warning: report JSON failed ({path}: {e})");
+                artifact_failures.push(format!("report {path}: {e}"));
+            }
+        }
     }
     if opts.plot {
         println!("{}", report.profile().ascii_plot(72, 12));
     }
-    Ok(())
 }
 
 /// The checkpoint path for this run: `--checkpoint FILE`, or derived from
@@ -601,19 +647,18 @@ fn checkpoint_path(opts: &Options) -> String {
     })
 }
 
-/// Saves a checkpoint atomically: write to a temp file, then rename, so an
-/// interrupt mid-save never destroys the previous checkpoint.
+/// Saves a checkpoint through the shared crash-consistent writer: unique
+/// temp name, `sync_all`, rename, parent-directory fsync — an interrupt or
+/// power cut mid-save never destroys the previous checkpoint, and two
+/// concurrent processes checkpointing the same path never collide on the
+/// temp file.
 fn save_checkpoint_atomic(analyzer: &LiveWell, path: &str) -> Result<(), CliError> {
-    let tmp = format!("{path}.tmp");
-    let file = File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
-    let mut out = BufWriter::new(file);
-    analyzer
-        .save_checkpoint(&mut out)
-        .map_err(|e| io_err(path, e))?;
-    use std::io::Write as _;
-    out.flush().map_err(|e| io_err(&tmp, e))?;
-    std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
-    Ok(())
+    paragraph_core::artifact::write_atomic(std::path::Path::new(path), |out| {
+        analyzer
+            .save_checkpoint(out)
+            .map_err(|e| std::io::Error::other(e.to_string()))
+    })
+    .map_err(|e| io_err(path, e))
 }
 
 /// The telemetry wiring of one `analyze` run: whether the global registry
@@ -743,12 +788,21 @@ fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
         );
     }
 
+    // The identity of the analyzed trace (see `load_records`): checkpoints
+    // embed it so `--resume` against the wrong trace fails as typed
+    // corruption instead of producing silently wrong numbers.
+    let trace_identity = loaded.identity;
     let mut analyzer = match &opts.resume {
         Some(path) => {
             let mut span = paragraph_core::span!("checkpoint.load");
             let file = File::open(path).map_err(|e| io_err(path, e))?;
             let analyzer = LiveWell::resume_from(BufReader::new(file), config)
                 .map_err(|e| CliError::CorruptTrace(format!("{path}: {e}")))?;
+            if let Some(current) = &trace_identity {
+                analyzer
+                    .verify_trace_identity(current)
+                    .map_err(|e| CliError::CorruptTrace(format!("{path}: {e}")))?;
+            }
             span.field("records", analyzer.records_processed());
             eprintln!(
                 "resumed from {path} at record {}",
@@ -758,6 +812,7 @@ fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
         }
         None => LiveWell::new(config),
     };
+    analyzer.set_trace_identity(trace_identity);
     let done = usize::try_from(analyzer.records_processed()).unwrap_or(usize::MAX);
     if done > records.len() {
         return Err(CliError::CorruptTrace(format!(
@@ -771,6 +826,32 @@ fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
         ProgressReporter::new(Duration::from_secs_f64(secs), Some(records.len() as u64))
     });
     let ckpt_path = checkpoint_path(opts);
+    // Artifact-failure ledger: sink failures (checkpoint, telemetry log,
+    // metrics, CSVs) never abort the analysis — they warn, the analysis
+    // runs to completion, and a non-empty ledger becomes exit code 3.
+    let mut artifact_failures: Vec<String> = Vec::new();
+    let mut checkpoints_enabled = opts.checkpoint_every.is_some();
+    if checkpoints_enabled {
+        // Sweep temp files a crashed predecessor left next to the
+        // checkpoint (scoped to this checkpoint's name, so nothing else in
+        // a shared directory is touched).
+        let swept =
+            paragraph_core::artifact::clean_orphaned_tmp_for(std::path::Path::new(&ckpt_path));
+        if swept > 0 {
+            eprintln!("removed {swept} orphaned checkpoint temp file(s) for {ckpt_path}");
+        }
+    }
+    let save_checkpoint_degraded =
+        |analyzer: &LiveWell, enabled: &mut bool, failures: &mut Vec<String>| {
+            if !*enabled {
+                return;
+            }
+            if let Err(e) = save_checkpoint_instrumented(analyzer, &ckpt_path, &setup) {
+                eprintln!("warning: checkpoint save failed ({e}); continuing without checkpoints");
+                failures.push(format!("checkpoint {ckpt_path}: {e}"));
+                *enabled = false;
+            }
+        };
     // Power-of-two stride between beat checks: one mask-and-branch per
     // record when idle, so a plain run stays within the <2% overhead budget.
     const BEAT_STRIDE: u64 = 1 << 16;
@@ -792,7 +873,11 @@ fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
             n = next;
             if let Some(every) = opts.checkpoint_every {
                 if n.is_multiple_of(every) {
-                    save_checkpoint_instrumented(&analyzer, &ckpt_path, &setup)?;
+                    save_checkpoint_degraded(
+                        &analyzer,
+                        &mut checkpoints_enabled,
+                        &mut artifact_failures,
+                    );
                 }
             }
             if n & (BEAT_STRIDE - 1) == 0 {
@@ -800,9 +885,11 @@ fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
             }
         }
     }
-    if opts.checkpoint_every.is_some() {
-        save_checkpoint_instrumented(&analyzer, &ckpt_path, &setup)?;
-        eprintln!("checkpoint written to {ckpt_path}");
+    if checkpoints_enabled {
+        save_checkpoint_degraded(&analyzer, &mut checkpoints_enabled, &mut artifact_failures);
+        if checkpoints_enabled {
+            eprintln!("checkpoint written to {ckpt_path}");
+        }
     }
     // The final heartbeat is unconditional so short runs still show one.
     progress_beat(&mut reporter, &analyzer, loaded.bytes, records.len(), true);
@@ -811,7 +898,7 @@ fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
         let _span = paragraph_core::span!("report");
         analyzer.finish()
     };
-    print_report(&report, opts)?;
+    print_report(&report, opts, &mut artifact_failures);
 
     if setup.enabled {
         let registry = telemetry::global();
@@ -825,15 +912,28 @@ fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
         );
         registry.emit_final_dump();
         if let Err(e) = registry.flush_sink() {
-            return Err(CliError::Io(format!("telemetry log: {e}")));
+            eprintln!("warning: telemetry log failed ({e}); analysis output is complete");
+            artifact_failures.push(format!("telemetry log: {e}"));
         }
         if let Some(path) = &setup.metrics_out {
-            write_metrics_snapshot(path)?;
-            eprintln!("metrics snapshot written to {path}");
+            match write_metrics_snapshot(path) {
+                Ok(()) => eprintln!("metrics snapshot written to {path}"),
+                Err(e) => {
+                    eprintln!("warning: metrics snapshot failed ({e})");
+                    artifact_failures.push(format!("metrics {path}: {e}"));
+                }
+            }
         }
         if let Some(path) = &opts.telemetry_out {
             eprintln!("telemetry log written to {path}");
         }
+    }
+    if !artifact_failures.is_empty() {
+        return Err(CliError::Io(format!(
+            "analysis completed, but {} artifact(s) failed: {}",
+            artifact_failures.len(),
+            artifact_failures.join("; ")
+        )));
     }
     Ok(())
 }
@@ -1194,20 +1294,15 @@ fn cmd_sweep_grid(opts: &Options) -> Result<(), CliError> {
         // different machine flags would alias. Each CLI sweep is
         // self-contained instead.
         reuse_stages: false,
+        retries: opts.retries.unwrap_or(SweepOptions::default().retries),
+        retry_backoff_ms: opts
+            .retry_backoff_ms
+            .unwrap_or(SweepOptions::default().retry_backoff_ms),
     };
-    // A VM fault or analyzer bug panics the worker; surface it as an
-    // analysis failure (exit 5) rather than an abort.
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_sweep(&study, "sweep", &cells, &sweep_opts)
-    }))
-    .map_err(|panic| {
-        let msg = panic
-            .downcast_ref::<String>()
-            .map(String::as_str)
-            .or_else(|| panic.downcast_ref::<&str>().copied())
-            .unwrap_or("worker panicked");
-        CliError::Analysis(format!("sweep failed: {msg}"))
-    })?;
+    // Cells are supervised inside run_sweep: a VM fault or analyzer panic
+    // is caught, retried, and at worst quarantines that one cell — the
+    // sweep itself always completes.
+    let outcome = run_sweep(&study, "sweep", &cells, &sweep_opts);
 
     let ladder = windows.len() + 1;
     println!(
@@ -1216,43 +1311,60 @@ fn cmd_sweep_grid(opts: &Options) -> Result<(), CliError> {
     );
     for (w_idx, &id) in opts.workloads.iter().enumerate() {
         let row = &outcome.cells[w_idx * ladder..(w_idx + 1) * ladder];
-        let total = row[ladder - 1].metrics.parallelism;
-        for (cell, &w) in row.iter().zip(&windows) {
-            println!(
-                "{:<11} {w:>10}  {:>14}  {:>12.2}  {:>7.2}%",
-                id.name(),
-                cell.metrics.critical_path,
-                cell.metrics.parallelism,
-                100.0 * cell.metrics.parallelism / total
-            );
+        let total = row[ladder - 1]
+            .outcome()
+            .map_or(f64::NAN, |c| c.metrics.parallelism);
+        let window_name = |i: usize| {
+            if i == ladder - 1 {
+                "inf".to_owned()
+            } else {
+                windows[i].to_string()
+            }
+        };
+        for (i, result) in row.iter().enumerate() {
+            match result.outcome() {
+                Some(cell) => println!(
+                    "{:<11} {:>10}  {:>14}  {:>12.2}  {:>7.2}%",
+                    id.name(),
+                    window_name(i),
+                    cell.metrics.critical_path,
+                    cell.metrics.parallelism,
+                    100.0 * cell.metrics.parallelism / total
+                ),
+                None => println!(
+                    "{:<11} {:>10}  {:>14}  {:>12}  {:>8}",
+                    id.name(),
+                    window_name(i),
+                    "quarantined",
+                    "-",
+                    "-"
+                ),
+            }
         }
-        println!(
-            "{:<11} {:>10}  {:>14}  {:>12.2}  {:>8}",
-            id.name(),
-            "inf",
-            row[ladder - 1].metrics.critical_path,
-            total,
-            "100.00%"
-        );
     }
 
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).map_err(|e| io_err(&dir.display().to_string(), e))?;
-        for cell in &outcome.cells {
+        // Healthy cells' artifacts land atomically and byte-identically to
+        // a fault-free run; quarantined cells simply have no artifacts.
+        for result in &outcome.cells {
+            let Some(cell) = result.outcome() else {
+                continue;
+            };
             let stem = format!("{}@{}", cell.workload.name(), cell.label);
             let json_path = dir.join(format!("{stem}.report.json"));
-            std::fs::write(&json_path, &cell.report_json)
+            paragraph_core::artifact::write_atomic_bytes(&json_path, cell.report_json.as_bytes())
                 .map_err(|e| io_err(&json_path.display().to_string(), e))?;
             let csv_path = dir.join(format!("{stem}.profile.csv"));
-            let file =
-                File::create(&csv_path).map_err(|e| io_err(&csv_path.display().to_string(), e))?;
-            cell.profile
-                .write_csv(BufWriter::new(file))
+            paragraph_core::artifact::write_atomic(&csv_path, |out| cell.profile.write_csv(out))
                 .map_err(|e| io_err(&csv_path.display().to_string(), e))?;
         }
         let manifest = dir.join("sweep.json");
-        std::fs::write(&manifest, sweep_manifest_json("sweep", &outcome))
-            .map_err(|e| io_err(&manifest.display().to_string(), e))?;
+        paragraph_core::artifact::write_atomic_bytes(
+            &manifest,
+            sweep_manifest_json("sweep", &outcome).as_bytes(),
+        )
+        .map_err(|e| io_err(&manifest.display().to_string(), e))?;
     }
     eprintln!(
         "sweep: {} cells on {} worker(s) in {:.2}s (arena: {} decode(s), {} hit(s), {} eviction(s))",
@@ -1265,6 +1377,28 @@ fn cmd_sweep_grid(opts: &Options) -> Result<(), CliError> {
     );
     if let Some(path) = &setup.metrics_out {
         write_metrics_snapshot(path)?;
+    }
+    if outcome.quarantined() > 0 {
+        let details: Vec<String> = outcome
+            .cells
+            .iter()
+            .filter(|c| c.is_quarantined())
+            .map(|c| {
+                format!(
+                    "{}@{} after {} attempt(s): {}",
+                    c.workload.name(),
+                    c.label,
+                    c.attempts,
+                    c.error.as_deref().unwrap_or("unknown error")
+                )
+            })
+            .collect();
+        return Err(CliError::Quarantined(format!(
+            "sweep degraded — {} of {} cell(s) quarantined ({}); healthy cells' artifacts are complete",
+            outcome.quarantined(),
+            outcome.cells.len(),
+            details.join("; ")
+        )));
     }
     Ok(())
 }
@@ -1435,5 +1569,18 @@ mod tests {
             CliError::Analysis(String::new()).exit_code(),
             ExitCode::from(5)
         );
+        assert_eq!(
+            CliError::Quarantined(String::new()).exit_code(),
+            ExitCode::from(6)
+        );
+    }
+
+    #[test]
+    fn supervision_flags_parse() {
+        let opts = parse(&["--retries", "5", "--retry-backoff-ms", "100"]).unwrap();
+        assert_eq!(opts.retries, Some(5));
+        assert_eq!(opts.retry_backoff_ms, Some(100));
+        assert!(parse(&["--retries"]).is_err());
+        assert!(parse(&["--retry-backoff-ms", "fast"]).is_err());
     }
 }

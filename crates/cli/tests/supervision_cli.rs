@@ -1,0 +1,251 @@
+//! End-to-end supervision checks for the grid sweep and checkpoint resume.
+//!
+//! The contract (see docs/supervision.md): a fault injected into one cell
+//! must quarantine that cell alone — the sweep completes, exits with the
+//! dedicated degraded code (6), reports the quarantine in `sweep.json`,
+//! and every *other* cell's artifacts are byte-identical to a fault-free
+//! run's. A transient fault must retry to success and change nothing.
+//! Resuming a checkpoint against the wrong trace must fail as typed
+//! corruption (exit 4), never silently produce wrong numbers.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn paragraph_with_fault(args: &[&str], fault: Option<&str>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_paragraph"));
+    cmd.args(args);
+    match fault {
+        Some(spec) => cmd.env("PARAGRAPH_FAULT_CELL", spec),
+        None => cmd.env_remove("PARAGRAPH_FAULT_CELL"),
+    };
+    cmd.output().expect("failed to spawn the paragraph binary")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("paragraph-supervise-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&path);
+    path
+}
+
+fn run_grid(jobs: &str, out: &Path, fault: Option<&str>) -> Output {
+    paragraph_with_fault(
+        &[
+            "sweep",
+            "--workloads",
+            "xlisp,eqntott",
+            "--windows",
+            "64",
+            "--fuel",
+            "30000",
+            "--jobs",
+            jobs,
+            "--retries",
+            "1",
+            "--retry-backoff-ms",
+            "0",
+            "--out",
+            out.to_str().expect("utf-8 temp path"),
+        ],
+        fault,
+    )
+}
+
+fn artifact_names(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = fs::read_dir(dir)
+        .expect("read output dir")
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .into_string()
+                .expect("utf-8")
+        })
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn faulted_cell_quarantines_alone_and_exits_degraded() {
+    let dir_clean = scratch("clean");
+    let dir_faulted = scratch("faulted");
+
+    let clean = run_grid("4", &dir_clean, None);
+    assert!(
+        clean.status.success(),
+        "clean sweep failed: {}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+
+    // Permanently panic one cell: bounded retries, then quarantine.
+    let faulted = run_grid("4", &dir_faulted, Some("xlisp@w64"));
+    assert_eq!(
+        faulted.status.code(),
+        Some(6),
+        "a quarantined cell must exit with the degraded-sweep code, got {:?}: {}",
+        faulted.status.code(),
+        String::from_utf8_lossy(&faulted.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&faulted.stderr);
+    assert!(
+        stderr.contains("quarantined"),
+        "stderr should report the quarantine: {stderr}"
+    );
+
+    // The degradation report names the cell, its status, and its attempts.
+    let manifest =
+        fs::read_to_string(dir_faulted.join("sweep.json")).expect("faulted sweep manifest");
+    assert!(manifest.contains("\"quarantined\":1"), "{manifest}");
+    assert!(
+        manifest.contains("\"status\":\"quarantined\""),
+        "{manifest}"
+    );
+    assert!(manifest.contains("\"attempts\":2"), "{manifest}");
+
+    // The quarantined cell has no artifacts; every sibling's artifacts are
+    // byte-identical to the fault-free run's.
+    let faulted_names = artifact_names(&dir_faulted);
+    assert!(
+        !faulted_names.iter().any(|n| n.starts_with("xlisp@w64.")),
+        "quarantined cell must not leave artifacts: {faulted_names:?}"
+    );
+    for name in &faulted_names {
+        if name == "sweep.json" {
+            continue;
+        }
+        let a = fs::read(dir_clean.join(name)).expect("clean artifact");
+        let b = fs::read(dir_faulted.join(name)).expect("faulted artifact");
+        assert_eq!(a, b, "{name} differs between the clean and faulted runs");
+    }
+    // Three of the four cells survived (xlisp@full, eqntott@w64,
+    // eqntott@full): 3 reports + 3 profiles + the manifest.
+    assert_eq!(faulted_names.len(), 7, "{faulted_names:?}");
+
+    let _ = fs::remove_dir_all(&dir_clean);
+    let _ = fs::remove_dir_all(&dir_faulted);
+}
+
+#[test]
+fn transient_fault_retries_to_an_identical_sweep() {
+    let dir_clean = scratch("retry-clean");
+    let dir_retry = scratch("retry-faulted");
+
+    let clean = run_grid("2", &dir_clean, None);
+    assert!(
+        clean.status.success(),
+        "clean sweep failed: {}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+
+    // Fail the first attempt only (VM-fault flavor): the retry succeeds
+    // and the run is healthy — exit 0, every artifact byte-identical.
+    let retried = run_grid("2", &dir_retry, Some("eqntott@full:1:vm"));
+    assert!(
+        retried.status.success(),
+        "retried sweep should exit 0: {}",
+        String::from_utf8_lossy(&retried.stderr)
+    );
+    let manifest =
+        fs::read_to_string(dir_retry.join("sweep.json")).expect("retried sweep manifest");
+    assert!(manifest.contains("\"status\":\"retried\""), "{manifest}");
+    assert!(manifest.contains("\"quarantined\":0"), "{manifest}");
+
+    let names = artifact_names(&dir_clean);
+    assert_eq!(names, artifact_names(&dir_retry));
+    for name in &names {
+        if name == "sweep.json" {
+            continue;
+        }
+        let a = fs::read(dir_clean.join(name)).expect("clean artifact");
+        let b = fs::read(dir_retry.join(name)).expect("retried artifact");
+        assert_eq!(a, b, "{name} differs after a retried transient fault");
+    }
+
+    let _ = fs::remove_dir_all(&dir_clean);
+    let _ = fs::remove_dir_all(&dir_retry);
+}
+
+#[test]
+fn resume_against_the_wrong_trace_fails_typed() {
+    let dir = scratch("identity");
+    fs::create_dir_all(&dir).expect("scratch dir");
+    let ckpt = dir.join("xlisp.pgcp");
+    let ckpt_str = ckpt.to_str().expect("utf-8 temp path");
+
+    // Checkpoint an xlisp analysis; the checkpoint embeds the trace
+    // identity of the analyzed stream.
+    let save = paragraph_with_fault(
+        &[
+            "analyze",
+            "--workload",
+            "xlisp",
+            "--fuel",
+            "20000",
+            "--checkpoint-every",
+            "5000",
+            "--checkpoint",
+            ckpt_str,
+        ],
+        None,
+    );
+    assert!(
+        save.status.success(),
+        "checkpointed analyze failed: {}",
+        String::from_utf8_lossy(&save.stderr)
+    );
+    assert!(ckpt.exists(), "checkpoint file must exist");
+
+    // Resuming over the matching trace is fine (the analysis is already
+    // complete, so this is a no-op replay) — and must succeed.
+    let ok = paragraph_with_fault(
+        &[
+            "analyze",
+            "--workload",
+            "xlisp",
+            "--fuel",
+            "20000",
+            "--resume",
+            ckpt_str,
+        ],
+        None,
+    );
+    assert!(
+        ok.status.success(),
+        "matching-trace resume failed: {}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+
+    // Resuming over a different record stream must fail as corruption
+    // (exit 4) with a typed mismatch message — not a panic, not silence.
+    // Same workload and configuration, shifted stream (`--skip`): only the
+    // embedded trace identity can catch this.
+    let wrong = paragraph_with_fault(
+        &[
+            "analyze",
+            "--workload",
+            "xlisp",
+            "--fuel",
+            "20000",
+            "--skip",
+            "100",
+            "--resume",
+            ckpt_str,
+        ],
+        None,
+    );
+    assert_eq!(
+        wrong.status.code(),
+        Some(4),
+        "wrong-trace resume must exit 4, got {:?}: {}",
+        wrong.status.code(),
+        String::from_utf8_lossy(&wrong.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&wrong.stderr);
+    assert!(
+        stderr.contains("different trace"),
+        "stderr should explain the identity mismatch: {stderr}"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,250 @@
+//! Crash-consistent artifact writes: every durable output (checkpoints,
+//! reports, CSVs, stage rows) goes to disk atomically or not at all.
+//!
+//! The pattern is the classic one: write the full payload to a temp file in
+//! the destination directory, `sync_all` it, rename it over the final path,
+//! then fsync the parent directory so the rename itself is durable. A crash
+//! at any point leaves either the old artifact or the new one — never a
+//! truncated hybrid.
+//!
+//! Temp names are unique per process *and* per call
+//! (`.{name}.{pid}.{seq}.tmp`), so two concurrent sweeps writing the same
+//! artifact path cannot corrupt each other's in-flight temp file — the loser
+//! of the rename race merely overwrites the winner with identical bytes.
+//! Temp files orphaned by a crash are swept by [`clean_orphaned_tmp`] at
+//! startup.
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-process sequence number distinguishing concurrent temp files.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Suffix shared by every in-flight temp file; [`clean_orphaned_tmp`] keys
+/// on it.
+const TMP_SUFFIX: &str = ".tmp";
+
+/// The unique temp path for an atomic write targeting `path`.
+fn tmp_path_for(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".to_owned());
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp_name = format!(".{name}.{}.{seq}{TMP_SUFFIX}", std::process::id());
+    path.with_file_name(tmp_name)
+}
+
+/// Fsyncs `dir` so a just-completed rename inside it survives a crash.
+/// Directory fsync is a Unix notion; elsewhere this is a no-op.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+/// Writes an artifact atomically: `fill` streams the payload into a
+/// buffered writer over a unique temp file, which is synced and renamed
+/// over `path`, and the parent directory is fsynced. On any failure the
+/// temp file is removed and `path` is untouched.
+///
+/// # Errors
+///
+/// Propagates the first I/O failure from temp-file creation, `fill`, sync,
+/// rename, or the directory fsync.
+pub fn write_atomic(
+    path: &Path,
+    fill: impl FnOnce(&mut dyn Write) -> io::Result<()>,
+) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    fs::create_dir_all(&parent)?;
+    let tmp = tmp_path_for(path);
+    let result = (|| {
+        let file = File::create(&tmp)?;
+        let mut writer = BufWriter::new(file);
+        fill(&mut writer)?;
+        writer.flush()?;
+        writer.get_ref().sync_all()?;
+        fs::rename(&tmp, path)?;
+        sync_dir(&parent)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// [`write_atomic`] over a fully materialized payload.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O failure; `path` is untouched on error.
+pub fn write_atomic_bytes(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    write_atomic(path, |w| w.write_all(bytes))
+}
+
+/// Removes temp files orphaned in `dir` by a crashed or killed writer
+/// (`.{name}.{pid}.{seq}.tmp`, plus the legacy fixed `*.tmp` suffixes
+/// earlier builds used). Returns how many were removed; a missing or
+/// unreadable directory removes nothing. Errors deleting individual
+/// entries are ignored — an orphan that survives one sweep is caught by
+/// the next.
+pub fn clean_orphaned_tmp(dir: &Path) -> usize {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let is_tmp = name.to_string_lossy().ends_with(TMP_SUFFIX);
+        let is_file = entry.file_type().map(|t| t.is_file()).unwrap_or(false);
+        if is_tmp && is_file && fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+/// Removes temp files orphaned by crashed writers of one specific artifact
+/// (`.{name}.*.tmp` siblings of `path`, plus the legacy fixed `{name}.tmp`
+/// earlier builds used). Unlike [`clean_orphaned_tmp`] this is safe to run
+/// in a shared directory — say, next to a user-named checkpoint in the
+/// working directory — because it only matches temps derived from `path`'s
+/// own file name. Returns how many were removed.
+pub fn clean_orphaned_tmp_for(path: &Path) -> usize {
+    let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+        return 0;
+    };
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let Ok(entries) = fs::read_dir(&dir) else {
+        return 0;
+    };
+    let prefix = format!(".{name}.");
+    let legacy = format!("{name}{TMP_SUFFIX}");
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let entry_name = entry.file_name().to_string_lossy().into_owned();
+        let matches = entry_name == legacy
+            || (entry_name.starts_with(&prefix) && entry_name.ends_with(TMP_SUFFIX));
+        let is_file = entry.file_type().map(|t| t.is_file()).unwrap_or(false);
+        if matches && is_file && fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "paragraph-artifact-{tag}-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        fs::create_dir_all(&dir).expect("test temp dir");
+        dir
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp() {
+        let dir = temp_dir("basic");
+        let path = dir.join("report.json");
+        write_atomic_bytes(&path, b"old").expect("first write");
+        write_atomic_bytes(&path, b"new").expect("second write");
+        assert_eq!(fs::read(&path).expect("read back"), b"new");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .expect("dir listing")
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(TMP_SUFFIX))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_fill_removes_temp_and_preserves_old_artifact() {
+        let dir = temp_dir("fail");
+        let path = dir.join("report.json");
+        write_atomic_bytes(&path, b"intact").expect("seed write");
+        let err = write_atomic(&path, |w| {
+            w.write_all(b"partial")?;
+            Err(io::Error::other("simulated ENOSPC"))
+        });
+        assert!(err.is_err());
+        assert_eq!(fs::read(&path).expect("read back"), b"intact");
+        assert_eq!(clean_orphaned_tmp(&dir), 0, "failed write must clean up");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orphan_sweep_removes_only_temp_files() {
+        let dir = temp_dir("orphans");
+        fs::write(dir.join(".ckpt.pgcp.1234.0.tmp"), b"x").expect("orphan");
+        fs::write(dir.join("stage.row.tmp"), b"x").expect("legacy orphan");
+        fs::write(dir.join("keep.pgcp"), b"x").expect("real artifact");
+        assert_eq!(clean_orphaned_tmp(&dir), 2);
+        assert!(dir.join("keep.pgcp").exists());
+        assert_eq!(clean_orphaned_tmp(&dir), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn targeted_orphan_sweep_spares_unrelated_temps() {
+        let dir = temp_dir("targeted");
+        let ckpt = dir.join("run.pgcp");
+        fs::write(dir.join(".run.pgcp.999.7.tmp"), b"x").expect("orphan");
+        fs::write(dir.join("run.pgcp.tmp"), b"x").expect("legacy orphan");
+        fs::write(dir.join(".other.csv.999.0.tmp"), b"x").expect("unrelated temp");
+        fs::write(&ckpt, b"x").expect("real artifact");
+        assert_eq!(clean_orphaned_tmp_for(&ckpt), 2);
+        assert!(ckpt.exists());
+        assert!(
+            dir.join(".other.csv.999.0.tmp").exists(),
+            "unrelated artifacts' temps must survive a targeted sweep"
+        );
+        assert_eq!(clean_orphaned_tmp_for(&dir.join("missing.pgcp")), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_to_one_path_never_mix_bytes() {
+        let dir = temp_dir("race");
+        let path = dir.join("contended.bin");
+        let payloads: Vec<Vec<u8>> = (0u8..4).map(|i| vec![i; 4096]).collect();
+        std::thread::scope(|scope| {
+            for payload in &payloads {
+                scope.spawn(|| {
+                    for _ in 0..16 {
+                        write_atomic_bytes(&path, payload).expect("atomic write");
+                    }
+                });
+            }
+        });
+        let last = fs::read(&path).expect("read back");
+        assert!(
+            payloads.iter().any(|p| *p == last),
+            "artifact must be exactly one writer's payload"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

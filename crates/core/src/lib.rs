@@ -87,6 +87,7 @@
 #![warn(missing_docs)]
 
 mod analyze;
+pub mod artifact;
 pub mod branch;
 pub mod checkpoint;
 mod config;
@@ -105,7 +106,7 @@ mod well;
 mod window;
 
 pub use analyze::{analyze, analyze_refs, analyze_slice, analyze_with_stats};
-pub use checkpoint::CheckpointError;
+pub use checkpoint::{CheckpointError, TraceIdentity};
 pub use config::{AnalysisConfig, RenameSet, SyscallPolicy, WindowSize};
 pub use ddg::{Ddg, DdgBuilder, DdgNode, DepKind, Edge, NodeId};
 pub use dist::Distribution;

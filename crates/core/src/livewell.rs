@@ -1,7 +1,7 @@
 //! The live well: the paper's streaming DDG placement algorithm.
 
 use crate::branch::{BranchPolicy, Predictor};
-use crate::checkpoint::{self, CheckpointError};
+use crate::checkpoint::{self, CheckpointError, TraceIdentity};
 use crate::config::{AnalysisConfig, SyscallPolicy};
 use crate::dist::Distribution;
 use crate::fasthash::FastMap;
@@ -179,6 +179,11 @@ pub struct LiveWellImpl<M: MemTable> {
     /// bit-identical to pre-telemetry builds), so after a resume it counts
     /// from the restart.
     window_stalls: u64,
+    /// Fingerprint of the trace this analysis is running over, installed by
+    /// the driver that materialized the records. Saved into version-2
+    /// checkpoints and verified on resume; `None` (e.g. a streamed trace
+    /// nobody fingerprinted, or a version-1 checkpoint) skips the check.
+    trace_identity: Option<TraceIdentity>,
 }
 
 /// The default analyzer: the streaming algorithm over the paged memory
@@ -327,6 +332,39 @@ impl<M: MemTable> LiveWellImpl<M> {
             peak_live_values: 0,
             class_placed: [0; OpClass::ALL.len()],
             window_stalls: 0,
+            trace_identity: None,
+        }
+    }
+
+    /// Installs the trace identity fingerprint to embed in checkpoints.
+    /// Call it once, before analysis, from whichever driver materialized
+    /// the trace; the analyzer itself never hashes records.
+    pub fn set_trace_identity(&mut self, identity: Option<TraceIdentity>) {
+        self.trace_identity = identity;
+    }
+
+    /// The trace identity carried by this analyzer (from
+    /// [`set_trace_identity`](Self::set_trace_identity) or a resumed
+    /// version-2 checkpoint), if any.
+    pub fn trace_identity(&self) -> Option<TraceIdentity> {
+        self.trace_identity
+    }
+
+    /// Checks a resumed checkpoint's trace identity against the trace
+    /// offered for the rest of the run.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::TraceMismatch`] when the checkpoint carries an
+    /// identity and it differs from `current`. A checkpoint without an
+    /// identity (version 1, or a streamed save) passes unverified.
+    pub fn verify_trace_identity(&self, current: &TraceIdentity) -> Result<(), CheckpointError> {
+        match self.trace_identity {
+            Some(saved) if saved != *current => Err(CheckpointError::TraceMismatch {
+                saved,
+                current: *current,
+            }),
+            _ => Ok(()),
         }
     }
 
@@ -700,6 +738,18 @@ impl<M: MemTable> LiveWellImpl<M> {
         let mut body = Vec::new();
         w_u64(&mut body, checkpoint::config_fingerprint(&self.config));
 
+        // Version 2: the trace identity, written right after the config
+        // fingerprint so a wrong-trace resume is rejected before any state
+        // is even parsed into an analyzer.
+        match self.trace_identity {
+            Some(identity) => {
+                w_u64(&mut body, 1);
+                w_u64(&mut body, u64::from(identity.prefix_crc));
+                w_u64(&mut body, identity.records);
+            }
+            None => w_u64(&mut body, 0),
+        }
+
         w_u64(&mut body, self.total_records);
         w_u64(&mut body, self.placed);
         w_u64(&mut body, self.syscalls);
@@ -852,7 +902,7 @@ impl<M: MemTable> LiveWellImpl<M> {
         }
         let mut version = [0u8; 1];
         input.read_exact(&mut version)?;
-        if version[0] != checkpoint::VERSION {
+        if !(checkpoint::MIN_VERSION..=checkpoint::VERSION).contains(&version[0]) {
             return Err(CheckpointError::UnsupportedVersion(version[0]));
         }
         let mut rest = Vec::new();
@@ -875,6 +925,19 @@ impl<M: MemTable> LiveWellImpl<M> {
         if saved != current {
             return Err(CheckpointError::ConfigMismatch { saved, current });
         }
+
+        // Version 1 predates the trace identity; it loads with none.
+        let trace_identity = if version[0] >= 2 && r_flag(&mut r)? {
+            let prefix_crc = r_u64(&mut r)?;
+            let prefix_crc = u32::try_from(prefix_crc)
+                .map_err(|_| CheckpointError::Corrupt("trace identity CRC exceeds 32 bits"))?;
+            Some(TraceIdentity {
+                prefix_crc,
+                records: r_u64(&mut r)?,
+            })
+        } else {
+            None
+        };
 
         let total_records = r_u64(&mut r)?;
         let placed = r_u64(&mut r)?;
@@ -1069,6 +1132,7 @@ impl<M: MemTable> LiveWellImpl<M> {
             class_placed,
             // Deliberately not restored: telemetry-only, counts since resume.
             window_stalls: 0,
+            trace_identity,
         })
     }
 
@@ -1820,6 +1884,68 @@ mod tests {
             LiveWell::resume_from(&wrong_version[..], AnalysisConfig::dataflow_limit()),
             Err(CheckpointError::UnsupportedVersion(9))
         ));
+    }
+
+    #[test]
+    fn version_1_checkpoints_still_load() {
+        // Forge a version-1 file from a version-2 save without an identity:
+        // drop the identity flag byte after the config fingerprint, rewrite
+        // the version byte, recompute the CRC. Old checkpoints must keep
+        // loading — and resume with no identity to verify.
+        let trace = synthetic::random_trace(300, 11);
+        let mut lw = LiveWell::new(AnalysisConfig::dataflow_limit());
+        lw.process_all(&trace[..150]);
+        let mut v2 = Vec::new();
+        lw.save_checkpoint(&mut v2).unwrap();
+
+        let body = &v2[5..v2.len() - 4];
+        let fp_len = 1 + body.iter().take_while(|b| **b & 0x80 != 0).count();
+        assert_eq!(body[fp_len], 0, "no-identity save must write flag 0");
+        let mut v1_body = body.to_vec();
+        v1_body.remove(fp_len);
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(checkpoint::MAGIC);
+        v1.push(1);
+        v1.extend_from_slice(&v1_body);
+        v1.extend_from_slice(&crc32(&v1_body).to_le_bytes());
+
+        let mut resumed = LiveWell::resume_from(&v1[..], AnalysisConfig::dataflow_limit()).unwrap();
+        assert_eq!(resumed.trace_identity(), None);
+        assert!(resumed
+            .verify_trace_identity(&checkpoint::TraceIdentity::of_records(&trace))
+            .is_ok());
+        resumed.process_all(&trace[150..]);
+        let mut direct = LiveWell::new(AnalysisConfig::dataflow_limit());
+        direct.process_all(&trace);
+        assert_eq!(resumed.finish().to_json(), direct.finish().to_json());
+    }
+
+    #[test]
+    fn trace_identity_round_trips_and_rejects_the_wrong_trace() {
+        let trace = synthetic::random_trace(400, 23);
+        let other = synthetic::random_trace(400, 24);
+        let identity = checkpoint::TraceIdentity::of_records(&trace);
+
+        let mut lw = LiveWell::new(AnalysisConfig::dataflow_limit());
+        lw.set_trace_identity(Some(identity));
+        lw.process_all(&trace[..200]);
+        let mut bytes = Vec::new();
+        lw.save_checkpoint(&mut bytes).unwrap();
+
+        let resumed = LiveWell::resume_from(&bytes[..], AnalysisConfig::dataflow_limit()).unwrap();
+        assert_eq!(resumed.trace_identity(), Some(identity));
+        assert!(resumed.verify_trace_identity(&identity).is_ok());
+        let wrong = checkpoint::TraceIdentity::of_records(&other);
+        assert!(matches!(
+            resumed.verify_trace_identity(&wrong),
+            Err(CheckpointError::TraceMismatch { saved, current })
+                if saved == identity && current == wrong
+        ));
+
+        // The identity must survive a resume: a re-save is still guarded.
+        let mut resave = Vec::new();
+        resumed.save_checkpoint(&mut resave).unwrap();
+        assert_eq!(bytes, resave);
     }
 
     #[test]

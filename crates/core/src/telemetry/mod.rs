@@ -412,13 +412,21 @@ impl Registry {
         inner.sink_failed = false;
     }
 
-    /// Flushes the event sink, reporting the first failure.
+    /// Flushes the event sink, reporting the first failure — including a
+    /// mid-run write error that disabled the sink (the log on disk is
+    /// incomplete, and whoever owns the artifact should fail it).
     ///
     /// # Errors
     ///
-    /// Propagates the underlying I/O error.
+    /// Propagates the underlying I/O error, or reports a sink disabled by
+    /// an earlier write failure.
     pub fn flush_sink(&self) -> std::io::Result<()> {
         let mut inner = self.lock();
+        if inner.sink_failed {
+            return Err(std::io::Error::other(
+                "event sink disabled after a write failure; the log is incomplete",
+            ));
+        }
         match inner.sink.as_mut() {
             Some(sink) => sink.flush(),
             None => Ok(()),

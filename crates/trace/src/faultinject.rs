@@ -241,6 +241,98 @@ fn frame_spans(bytes: &[u8]) -> Vec<(usize, usize)> {
     result
 }
 
+/// A [`Write`](std::io::Write) wrapper that simulates a disk filling up:
+/// it passes bytes through until a configured capacity is exhausted, then
+/// fails every write with an `ENOSPC`-shaped error ("no space left on
+/// device"). With [`short_writes`](Self::short_writes) enabled, the last
+/// write that crosses the boundary is *partially* accepted first — the
+/// short-write case `write_all` loops over and bare `write` callers often
+/// mishandle.
+///
+/// This is the sink-side companion to [`FaultPlan`]: where `FaultPlan`
+/// damages bytes already on disk, `FaultyWriter` damages the act of
+/// getting them there. Integration tests wrap checkpoint, telemetry, and
+/// CSV sinks in it and assert the analysis degrades instead of aborting.
+///
+/// # Examples
+///
+/// ```
+/// use paragraph_trace::faultinject::FaultyWriter;
+/// use std::io::Write;
+///
+/// let mut sink = FaultyWriter::enospc_after(Vec::new(), 4);
+/// assert!(sink.write_all(b"1234").is_ok());
+/// assert!(sink.write_all(b"5").is_err());
+/// assert_eq!(sink.get_ref(), b"1234");
+/// ```
+#[derive(Debug)]
+pub struct FaultyWriter<W> {
+    inner: W,
+    remaining: usize,
+    short_writes: bool,
+}
+
+impl<W: std::io::Write> FaultyWriter<W> {
+    /// Wraps `inner`, accepting at most `capacity` bytes before every
+    /// further write fails.
+    pub fn enospc_after(inner: W, capacity: usize) -> FaultyWriter<W> {
+        FaultyWriter {
+            inner,
+            remaining: capacity,
+            short_writes: false,
+        }
+    }
+
+    /// Partially accepts the write that crosses the capacity boundary
+    /// (returning a short count) before failing subsequent writes.
+    #[must_use]
+    pub fn short_writes(mut self) -> FaultyWriter<W> {
+        self.short_writes = true;
+        self
+    }
+
+    /// The wrapped writer (e.g. the bytes that made it through).
+    pub fn get_ref(&self) -> &W {
+        &self.inner
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    fn enospc() -> std::io::Error {
+        std::io::Error::other("no space left on device (simulated ENOSPC)")
+    }
+}
+
+impl<W: std::io::Write> std::io::Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if self.remaining == 0 {
+            return Err(Self::enospc());
+        }
+        if buf.len() <= self.remaining {
+            let written = self.inner.write(buf)?;
+            self.remaining -= written;
+            return Ok(written);
+        }
+        if self.short_writes {
+            let written = self.inner.write(&buf[..self.remaining])?;
+            self.remaining -= written;
+            return Ok(written);
+        }
+        self.remaining = 0;
+        Err(Self::enospc())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +391,37 @@ mod tests {
             .protect_prefix(100)
             .apply(&data);
         assert_eq!(kept.len(), 100);
+    }
+
+    #[test]
+    fn faulty_writer_fails_hard_at_the_boundary() {
+        use std::io::Write;
+        let mut sink = FaultyWriter::enospc_after(Vec::new(), 10);
+        assert_eq!(sink.write(b"12345").ok(), Some(5));
+        // Crossing the boundary without short writes: all-or-nothing error.
+        assert!(sink.write(b"6789abcd").is_err());
+        assert!(sink.write(b"x").is_err(), "writer stays failed");
+        assert_eq!(sink.get_ref(), b"12345");
+    }
+
+    #[test]
+    fn faulty_writer_short_write_then_fails() {
+        use std::io::Write;
+        let mut sink = FaultyWriter::enospc_after(Vec::new(), 6).short_writes();
+        assert_eq!(sink.write(b"1234").ok(), Some(4));
+        // Crossing the boundary: the first two bytes land, then ENOSPC.
+        assert_eq!(sink.write(b"5678").ok(), Some(2));
+        assert!(sink.write(b"78").is_err());
+        assert_eq!(sink.into_inner(), b"123456");
+    }
+
+    #[test]
+    fn faulty_writer_write_all_surfaces_the_error_not_a_panic() {
+        use std::io::Write;
+        let mut sink = FaultyWriter::enospc_after(Vec::new(), 100).short_writes();
+        let err = sink.write_all(&[7u8; 1000]).expect_err("must hit ENOSPC");
+        assert!(err.to_string().contains("no space left"));
+        assert_eq!(sink.get_ref().len(), 100, "short write landed first");
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Artifact-sink degradation: a full disk (ENOSPC) under any output sink —
+//! checkpoint, telemetry JSONL, profile CSV — must surface as a typed
+//! `io::Error` and leave the *analysis* unharmed. The analyzer keeps
+//! processing, the report still computes, and a previously written artifact
+//! survives a failed atomic replacement.
+
+use paragraph_core::telemetry::{Registry, Value};
+use paragraph_core::{analyze_refs, artifact, AnalysisConfig, LiveWell};
+use paragraph_trace::faultinject::FaultyWriter;
+use paragraph_trace::{synthetic, SegmentMap};
+
+fn test_config() -> AnalysisConfig {
+    AnalysisConfig::dataflow_limit().with_segments(SegmentMap::all_data())
+}
+
+#[test]
+fn checkpoint_enospc_fails_the_save_but_not_the_analysis() {
+    let records = synthetic::random_trace(4_000, 11);
+    let config = test_config();
+    let direct = analyze_refs(&records, &config);
+
+    let mut analyzer = LiveWell::new(config);
+    analyzer.process_slice(&records[..2_000]);
+
+    // The checkpoint body is far larger than 64 bytes, so the save hits
+    // the simulated full disk mid-stream. It must error — never panic —
+    // and must not disturb the analyzer.
+    let mut sink = FaultyWriter::enospc_after(Vec::new(), 64);
+    let err = analyzer.save_checkpoint(&mut sink);
+    assert!(err.is_err(), "a full disk must fail the checkpoint save");
+
+    // Degraded mode: the run simply continues without checkpoints, and the
+    // final report is byte-identical to an uninterrupted run's.
+    analyzer.process_slice(&records[2_000..]);
+    assert_eq!(analyzer.finish().to_json(), direct.to_json());
+}
+
+#[test]
+fn short_writes_from_a_nearly_full_disk_also_fail_the_checkpoint_cleanly() {
+    let records = synthetic::random_trace(2_000, 23);
+    let mut analyzer = LiveWell::new(test_config());
+    analyzer.process_slice(&records);
+    let mut sink = FaultyWriter::enospc_after(Vec::new(), 256).short_writes();
+    assert!(
+        analyzer.save_checkpoint(&mut sink).is_err(),
+        "partial trailing writes must still surface the failure"
+    );
+}
+
+#[test]
+fn telemetry_sink_enospc_disables_the_sink_and_reports_on_flush() {
+    let registry = Registry::new();
+    registry.enable();
+    registry.set_event_sink(Box::new(FaultyWriter::enospc_after(Vec::new(), 16)));
+
+    // The first oversized event trips the fault; every later emit must be
+    // a quiet no-op (the sink self-disables) rather than a panic or abort.
+    for i in 0..100u64 {
+        registry.emit(
+            "tick",
+            &[
+                ("seq", Value::U64(i)),
+                ("detail", Value::Str("x".repeat(64).as_str())),
+            ],
+        );
+    }
+    assert!(
+        registry.flush_sink().is_err(),
+        "flush must report the sink failure so the CLI can fail the artifact"
+    );
+
+    // Metrics keep collecting after the event sink dies.
+    registry.counter("still.alive").add(3);
+    assert!(registry.snapshot().to_prometheus().contains("still_alive"));
+}
+
+#[test]
+fn profile_csv_enospc_is_an_error_not_a_panic() {
+    let records = synthetic::random_trace(3_000, 5);
+    let report = analyze_refs(&records, &test_config());
+    let sink = FaultyWriter::enospc_after(Vec::new(), 32);
+    assert!(
+        report.profile().write_csv(sink).is_err(),
+        "CSV emission into a full disk must error cleanly"
+    );
+}
+
+#[test]
+fn failed_atomic_rewrite_preserves_the_previous_artifact() {
+    let dir =
+        std::env::temp_dir().join(format!("paragraph-sink-degradation-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("profile.csv");
+
+    let records = synthetic::random_trace(3_000, 5);
+    let report = analyze_refs(&records, &test_config());
+    artifact::write_atomic(&path, |out| report.profile().write_csv(out))
+        .expect("healthy write must land");
+    let good = std::fs::read(&path).expect("first artifact");
+
+    // The rewrite dies mid-payload on a simulated full disk: the error
+    // propagates, the temp file is cleaned up, and the previous artifact
+    // is still intact.
+    let err = artifact::write_atomic(&path, |out| {
+        let mut faulty = FaultyWriter::enospc_after(out, 16);
+        report.profile().write_csv(&mut faulty)
+    });
+    assert!(err.is_err());
+    assert_eq!(
+        std::fs::read(&path).expect("artifact after failed rewrite"),
+        good,
+        "a failed atomic rewrite must leave the old artifact untouched"
+    );
+    assert_eq!(artifact::clean_orphaned_tmp(&dir), 0, "no temp left behind");
+    let _ = std::fs::remove_dir_all(&dir);
+}
