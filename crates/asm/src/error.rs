@@ -27,6 +27,20 @@ pub enum AsmErrorKind {
     WrongSegment(&'static str),
     /// The program has no text segment.
     EmptyProgram,
+    /// The source tripped an assembler resource limit (see
+    /// [`AsmLimits`](crate::AsmLimits)). Raised before any allocation is
+    /// made on the declaration's behalf, so a hostile `.space` cannot
+    /// balloon memory.
+    LimitExceeded {
+        /// Stable name of the limit that tripped (e.g. `max-data-words`).
+        limit: &'static str,
+        /// What was being measured when the limit tripped.
+        what: &'static str,
+        /// The offending value.
+        actual: u64,
+        /// The configured cap.
+        cap: u64,
+    },
 }
 
 impl fmt::Display for AsmErrorKind {
@@ -42,6 +56,12 @@ impl fmt::Display for AsmErrorKind {
             AsmErrorKind::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
             AsmErrorKind::WrongSegment(what) => write!(f, "{what}"),
             AsmErrorKind::EmptyProgram => write!(f, "program has no instructions"),
+            AsmErrorKind::LimitExceeded {
+                limit,
+                what,
+                actual,
+                cap,
+            } => write!(f, "{what} {actual} exceeds the {limit} limit of {cap}"),
         }
     }
 }
@@ -77,6 +97,13 @@ impl AsmError {
     /// The error detail.
     pub fn kind(&self) -> &AsmErrorKind {
         &self.kind
+    }
+
+    /// Whether this error is a resource-limit rejection (as opposed to a
+    /// syntax or semantic error). Callers use this to distinguish
+    /// "malformed program" from "program refused by policy".
+    pub fn is_limit(&self) -> bool {
+        matches!(self.kind, AsmErrorKind::LimitExceeded { .. })
     }
 }
 

@@ -54,10 +54,12 @@
 #![warn(missing_docs)]
 
 mod error;
+mod limits;
 mod parser;
 mod program;
 
 pub use error::{AsmError, AsmErrorKind};
+pub use limits::AsmLimits;
 pub use program::{Program, DEFAULT_DATA_BASE};
 
 /// Assembles `source` with the default options (data segment at
@@ -78,5 +80,22 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
 ///
 /// As for [`assemble`].
 pub fn assemble_at(source: &str, data_base: u64) -> Result<Program, AsmError> {
-    parser::assemble_impl(source, data_base)
+    parser::assemble_impl(source, data_base, &AsmLimits::default())
+}
+
+/// Assembles `source` under explicit [`AsmLimits`] — the entry point for
+/// untrusted input. Any limit violation surfaces as
+/// [`AsmErrorKind::LimitExceeded`], raised before the assembler allocates
+/// anything on the offending declaration's behalf (a hostile
+/// `.space 99999999999` is rejected as a number, not as a buffer).
+///
+/// # Errors
+///
+/// As for [`assemble`], plus [`AsmErrorKind::LimitExceeded`].
+pub fn assemble_with_limits(
+    source: &str,
+    data_base: u64,
+    limits: &AsmLimits,
+) -> Result<Program, AsmError> {
+    parser::assemble_impl(source, data_base, limits)
 }

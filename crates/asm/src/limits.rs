@@ -1,0 +1,97 @@
+//! Resource limits for assembling untrusted source.
+//!
+//! The assembler is part of the toolkit's front door: workload sources may
+//! arrive from generators, fuzzers, or other people's machines. A hostile
+//! source must not be able to make the assembler allocate unbounded memory —
+//! in particular, a `.space` directive *declares* a word count, and that
+//! declaration has to be checked against a cap before any buffer is sized
+//! from it.
+//!
+//! The naming mirrors `paragraph_trace::govern`: every violation carries a
+//! stable `limit` name, the thing that tripped it, and the two numbers.
+
+use std::env;
+
+/// Caps applied while assembling a source file.
+///
+/// The defaults are generous — far beyond any real workload in the
+/// repository — so ordinary assembly never notices them; they exist to turn
+/// "allocate 8 TiB because one line asked for it" into a typed error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsmLimits {
+    /// Maximum source length in bytes.
+    pub max_source_bytes: u64,
+    /// Maximum number of text-segment instructions.
+    pub max_instructions: u64,
+    /// Maximum number of 64-bit data-segment words, including words a
+    /// `.space` directive merely *declares*.
+    pub max_data_words: u64,
+}
+
+impl Default for AsmLimits {
+    fn default() -> AsmLimits {
+        AsmLimits {
+            max_source_bytes: 1 << 26, // 64 MiB of text
+            max_instructions: 1 << 22, // 4M instructions
+            max_data_words: 1 << 24,   // 128 MiB of data
+        }
+    }
+}
+
+impl AsmLimits {
+    /// Tight caps for fuzzing: small enough that a fuzz iteration cannot
+    /// spend meaningful time or memory even on a pathological input.
+    pub fn strict() -> AsmLimits {
+        AsmLimits {
+            max_source_bytes: 1 << 20,
+            max_instructions: 1 << 14,
+            max_data_words: 1 << 16,
+        }
+    }
+
+    /// Defaults overridden by `PARAGRAPH_ASM_MAX_SOURCE_BYTES`,
+    /// `PARAGRAPH_ASM_MAX_INSTRUCTIONS`, and `PARAGRAPH_ASM_MAX_DATA_WORDS`.
+    /// Unset or unparseable variables keep the default for that cap.
+    pub fn from_env() -> AsmLimits {
+        fn read(name: &str, default: u64) -> u64 {
+            env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(default)
+        }
+        let d = AsmLimits::default();
+        AsmLimits {
+            max_source_bytes: read("PARAGRAPH_ASM_MAX_SOURCE_BYTES", d.max_source_bytes),
+            max_instructions: read("PARAGRAPH_ASM_MAX_INSTRUCTIONS", d.max_instructions),
+            max_data_words: read("PARAGRAPH_ASM_MAX_DATA_WORDS", d.max_data_words),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_generous_and_strict_is_not() {
+        let d = AsmLimits::default();
+        let s = AsmLimits::strict();
+        assert!(d.max_source_bytes > s.max_source_bytes);
+        assert!(d.max_instructions > s.max_instructions);
+        assert!(d.max_data_words > s.max_data_words);
+    }
+
+    #[test]
+    fn env_overrides_parse_and_ignore_garbage() {
+        // Env vars are process-global; run both cases in one test to avoid
+        // racing a parallel test over the same variable.
+        env::set_var("PARAGRAPH_ASM_MAX_DATA_WORDS", "123");
+        assert_eq!(AsmLimits::from_env().max_data_words, 123);
+        env::set_var("PARAGRAPH_ASM_MAX_DATA_WORDS", "not a number");
+        assert_eq!(
+            AsmLimits::from_env().max_data_words,
+            AsmLimits::default().max_data_words
+        );
+        env::remove_var("PARAGRAPH_ASM_MAX_DATA_WORDS");
+    }
+}

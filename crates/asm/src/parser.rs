@@ -1,6 +1,7 @@
 //! The two-pass assembler proper.
 
 use crate::error::{AsmError, AsmErrorKind};
+use crate::limits::AsmLimits;
 use crate::program::Program;
 use paragraph_isa::{FpReg, Inst, IntReg};
 use std::collections::BTreeMap;
@@ -18,7 +19,51 @@ enum SegmentState {
     Data,
 }
 
-pub(crate) fn assemble_impl(source: &str, data_base: u64) -> Result<Program, AsmError> {
+/// Raises [`AsmErrorKind::LimitExceeded`] at `line_no` when `actual > cap`.
+fn check_limit(
+    line_no: usize,
+    limit: &'static str,
+    what: &'static str,
+    actual: u64,
+    cap: u64,
+) -> Result<(), AsmError> {
+    if actual > cap {
+        return Err(AsmError::new(
+            line_no,
+            AsmErrorKind::LimitExceeded {
+                limit,
+                what,
+                actual,
+                cap,
+            },
+        ));
+    }
+    Ok(())
+}
+
+/// Checks the (actual or declared) data-segment word count against the cap.
+fn check_data_words(line_no: usize, words: u64, limits: &AsmLimits) -> Result<(), AsmError> {
+    check_limit(
+        line_no,
+        "max-data-words",
+        "data segment length",
+        words,
+        limits.max_data_words,
+    )
+}
+
+pub(crate) fn assemble_impl(
+    source: &str,
+    data_base: u64,
+    limits: &AsmLimits,
+) -> Result<Program, AsmError> {
+    check_limit(
+        0,
+        "max-source-bytes",
+        "source length",
+        source.len() as u64,
+        limits.max_source_bytes,
+    )?;
     let mut segment = SegmentState::Text;
     let mut data: Vec<u64> = Vec::new();
     let mut data_symbols: BTreeMap<String, u64> = BTreeMap::new();
@@ -72,6 +117,7 @@ pub(crate) fn assemble_impl(source: &str, data_base: u64) -> Result<Program, Asm
                         let v = parse_imm(&item).ok_or_else(|| bad_operand(line_no, &item))?;
                         data.push(v as u64);
                     }
+                    check_data_words(line_no, data.len() as u64, limits)?;
                 }
                 "float" => {
                     require_data(segment, line_no)?;
@@ -79,12 +125,21 @@ pub(crate) fn assemble_impl(source: &str, data_base: u64) -> Result<Program, Asm
                         let v: f64 = item.parse().map_err(|_| bad_operand(line_no, &item))?;
                         data.push(v.to_bits());
                     }
+                    check_data_words(line_no, data.len() as u64, limits)?;
                 }
                 "space" => {
                     require_data(segment, line_no)?;
                     let n = parse_imm(args.trim())
                         .filter(|&n| n >= 0)
                         .ok_or_else(|| bad_operand(line_no, args.trim()))?;
+                    // The declared word count is validated while it is still
+                    // just a number — `.space 99999999999` must not reach
+                    // the allocator.
+                    check_data_words(
+                        line_no,
+                        (data.len() as u64).saturating_add(n as u64),
+                        limits,
+                    )?;
                     data.extend(std::iter::repeat_n(0u64, n as usize));
                 }
                 other => {
@@ -104,6 +159,13 @@ pub(crate) fn assemble_impl(source: &str, data_base: u64) -> Result<Program, Asm
             ));
         }
         let (mnemonic, args) = split_first_word(rest);
+        check_limit(
+            line_no,
+            "max-instructions",
+            "text segment length",
+            pending.len() as u64 + 1,
+            limits.max_instructions,
+        )?;
         pending.push(PendingInst {
             line: line_no,
             mnemonic: mnemonic.to_ascii_lowercase(),
@@ -518,11 +580,69 @@ fn encode(inst: &PendingInst, resolver: &Resolver<'_>) -> Result<Inst, AsmError>
 
 #[cfg(test)]
 mod tests {
-    use crate::{assemble, assemble_at, AsmErrorKind};
+    use crate::{assemble, assemble_at, assemble_with_limits, AsmErrorKind, AsmLimits};
     use paragraph_isa::{Inst, IntReg};
 
     fn r(i: u8) -> IntReg {
         IntReg::new(i).unwrap()
+    }
+
+    #[test]
+    fn a_huge_space_declaration_is_rejected_not_allocated() {
+        // 2^40 words would be 8 TiB; the declared count must be refused
+        // while it is still just a number. Even the *default* limits catch
+        // it — no opt-in required.
+        let err = assemble(".data\nbuf: .space 1099511627776\n.text\nhalt\n").unwrap_err();
+        assert!(err.is_limit(), "got {err:?}");
+        assert_eq!(err.line(), 2);
+        let AsmErrorKind::LimitExceeded { limit, .. } = err.kind() else {
+            panic!("expected LimitExceeded, got {:?}", err.kind());
+        };
+        assert_eq!(*limit, "max-data-words");
+    }
+
+    #[test]
+    fn space_within_limits_still_reserves_words() {
+        let program = assemble(".data\nbuf: .space 8\n.text\nhalt\n").unwrap();
+        assert_eq!(program.data_words().len(), 8);
+    }
+
+    #[test]
+    fn explicit_limits_cap_source_text_and_data() {
+        let limits = AsmLimits {
+            max_source_bytes: 16,
+            ..AsmLimits::default()
+        };
+        let err =
+            assemble_with_limits(".text\nnop\nnop\nnop\nhalt\n", 0x1000, &limits).unwrap_err();
+        assert!(err.is_limit());
+        assert_eq!(err.line(), 0);
+
+        let limits = AsmLimits {
+            max_instructions: 2,
+            ..AsmLimits::default()
+        };
+        let err =
+            assemble_with_limits(".text\nnop\nnop\nnop\nhalt\n", 0x1000, &limits).unwrap_err();
+        assert!(err.is_limit());
+        assert_eq!(err.line(), 4, "the third instruction trips the cap");
+
+        let limits = AsmLimits {
+            max_data_words: 2,
+            ..AsmLimits::default()
+        };
+        let err = assemble_with_limits(".data\nv: .word 1, 2, 3\n.text\nhalt\n", 0x1000, &limits)
+            .unwrap_err();
+        assert!(err.is_limit());
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn limit_errors_render_the_numbers() {
+        let err = assemble(".data\nbuf: .space 99999999999999\n.text\nhalt\n").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("max-data-words"), "{text}");
+        assert!(text.contains("99999999999999"), "{text}");
     }
 
     #[test]

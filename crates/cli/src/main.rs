@@ -22,6 +22,7 @@ use paragraph_core::{
 };
 use paragraph_isa::LatencyModel;
 use paragraph_trace::binary::{RecoveryStats, TraceReader, TraceWriter};
+use paragraph_trace::govern::{Limits, ResourceGovernor};
 use paragraph_trace::{SegmentMap, TraceError, TraceErrorKind, TraceRecord};
 use paragraph_vm::Vm;
 use paragraph_workloads::{Workload, WorkloadId};
@@ -33,7 +34,9 @@ use std::time::Duration;
 
 /// A CLI failure, classified so scripts can dispatch on the exit code:
 /// 2 usage, 3 I/O, 4 corrupt trace/checkpoint input, 5 analysis failure,
-/// 6 degraded sweep (some cells quarantined, the rest completed).
+/// 6 degraded sweep (some cells quarantined, the rest completed),
+/// 7 input rejected by a resource governor (well-formed-looking input that
+/// *declares* more than policy allows; distinct from damage).
 #[derive(Debug)]
 enum CliError {
     /// Bad command line: unknown flag, missing argument, invalid value.
@@ -47,6 +50,17 @@ enum CliError {
     /// A sweep completed but quarantined one or more cells; the healthy
     /// cells' artifacts are intact and byte-identical to a fault-free run.
     Quarantined(String),
+    /// Untrusted input tripped a resource-governor limit. Carries both the
+    /// human-readable message and a machine-readable JSON report (one
+    /// object: `error`, `path`, `limit`, `what`, `actual`, `cap`) that is
+    /// printed to stderr so supervisors can parse the rejection.
+    InputRejected {
+        /// Human-readable diagnostic, printed like every other error.
+        message: String,
+        /// One-line JSON rejection report, printed to stderr after the
+        /// diagnostic (and written to `--reject-report FILE` if given).
+        report: String,
+    },
 }
 
 impl CliError {
@@ -57,6 +71,7 @@ impl CliError {
             CliError::CorruptTrace(_) => 4,
             CliError::Analysis(_) => 5,
             CliError::Quarantined(_) => 6,
+            CliError::InputRejected { .. } => 7,
         })
     }
 }
@@ -69,7 +84,47 @@ impl fmt::Display for CliError {
             | CliError::CorruptTrace(m)
             | CliError::Analysis(m)
             | CliError::Quarantined(m) => f.write_str(m),
+            CliError::InputRejected { message, .. } => f.write_str(message),
         }
+    }
+}
+
+/// Minimal JSON string escaping for the rejection report (paths may contain
+/// quotes or backslashes; limit names never do, but escape uniformly).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds the typed rejection: message for humans, JSON for machines.
+fn input_rejected(
+    path: &str,
+    limit: &'static str,
+    what: &'static str,
+    actual: u64,
+    cap: u64,
+    detail: impl fmt::Display,
+) -> CliError {
+    CliError::InputRejected {
+        message: format!("{path}: input rejected: {detail}"),
+        report: format!(
+            "{{\"error\":\"input-rejected\",\"path\":\"{}\",\"limit\":\"{}\",\
+             \"what\":\"{}\",\"actual\":{actual},\"cap\":{cap}}}",
+            json_escape(path),
+            json_escape(limit),
+            json_escape(what),
+        ),
     }
 }
 
@@ -82,10 +137,26 @@ fn io_err(path: &str, e: impl fmt::Display) -> CliError {
 }
 
 /// Classifies a trace-format error: damaged bytes are distinct from a
-/// failing disk.
+/// failing disk, and a governor rejection is distinct from both.
 fn trace_err(path: &str, e: TraceError) -> CliError {
+    if let Some(v) = e.limit_violation() {
+        return input_rejected(path, v.limit, v.what, v.actual, v.cap, v);
+    }
     match e.kind() {
         TraceErrorKind::Io(_) => CliError::Io(format!("{path}: {e}")),
+        _ => CliError::CorruptTrace(format!("{path}: {e}")),
+    }
+}
+
+/// Classifies a checkpoint-loader error the same way: I/O, governor
+/// rejection, or damage.
+fn checkpoint_err(path: &str, e: paragraph_core::CheckpointError) -> CliError {
+    use paragraph_core::CheckpointError;
+    match e {
+        CheckpointError::LimitExceeded(v) => {
+            input_rejected(path, v.limit, v.what, v.actual, v.cap, v)
+        }
+        CheckpointError::Io(_) => CliError::Io(format!("{path}: {e}")),
         _ => CliError::CorruptTrace(format!("{path}: {e}")),
     }
 }
@@ -96,6 +167,11 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("paragraph: {e}");
+            if let CliError::InputRejected { report, .. } = &e {
+                // Machine-readable rejection on its own stderr line, so a
+                // supervisor can parse what was refused and why.
+                eprintln!("{report}");
+            }
             e.exit_code()
         }
     }
@@ -107,10 +183,11 @@ fn run(args: &[String]) -> Result<(), CliError> {
         return Ok(());
     };
     let opts = Options::parse(&args[1..]).map_err(CliError::Usage)?;
-    match command.as_str() {
+    let result = match command.as_str() {
         "list" => cmd_list(),
         "analyze" => cmd_analyze(&opts),
         "trace" => cmd_trace(&opts),
+        "ingest" => cmd_ingest(&opts),
         "run" => cmd_run(&opts),
         "disasm" => cmd_disasm(&opts),
         "dot" => cmd_dot(&opts),
@@ -125,7 +202,15 @@ fn run(args: &[String]) -> Result<(), CliError> {
         other => Err(usage_err(format!(
             "unknown command `{other}` (try `paragraph help`)"
         ))),
+    };
+    if let (Err(CliError::InputRejected { report, .. }), Some(path)) =
+        (&result, &opts.reject_report)
+    {
+        if let Err(e) = std::fs::write(path, format!("{report}\n")) {
+            eprintln!("warning: reject report failed ({path}: {e})");
+        }
     }
+    result
 }
 
 fn print_usage() {
@@ -138,6 +223,8 @@ commands:
   list      show the available workloads (the paper's Table 2 inventory)
   analyze   run the live-well analyzer over a workload or a trace file
   trace     capture a workload's execution trace to a binary file
+  ingest    convert an external text trace (--text FILE, see docs/ingest.md)
+            into the binary trace format (--out FILE); streaming, governed
   run       execute an assembly file on the VM
   disasm    print a workload's generated assembly
   dot       export a (small) workload's explicit DDG in Graphviz format
@@ -199,11 +286,19 @@ telemetry (analyze; see docs/telemetry.md):
   --telemetry-out FILE  write a JSONL structured event log
   --metrics-out FILE    write a Prometheus text snapshot at exit and at
                         every checkpoint
-  stats --telemetry FILE   summarize a JSONL log (per-stage table)
+  stats --telemetry FILE   summarize a JSONL log (per-stage table); bad
+                        lines are skipped with a warning (--strict: fail)
   stats --metrics FILE     validate a Prometheus snapshot
 
+untrusted input (see docs/ingest.md):
+  resource governors cap what a trace, checkpoint, ingest, or asm file may
+  declare or allocate (PARAGRAPH_MAX_* env overrides); a violation exits 7
+  with a one-line JSON rejection report on stderr
+  --reject-report FILE  also write the JSON rejection report to FILE
+
 exit codes: 0 ok, 2 usage, 3 I/O, 4 corrupt trace, 5 analysis failure,
-            6 degraded sweep (cells quarantined; healthy cells intact)"
+            6 degraded sweep (cells quarantined; healthy cells intact),
+            7 input rejected by a resource governor"
     );
 }
 
@@ -254,6 +349,13 @@ struct Options {
     retries: Option<u32>,
     /// Base backoff between cell retries, in milliseconds (grid sweep).
     retry_backoff_ms: Option<u64>,
+    /// `ingest --text FILE`: external text trace to convert.
+    text: Option<String>,
+    /// Where to also write the JSON rejection report on exit code 7.
+    reject_report: Option<String>,
+    /// `stats --telemetry`: fail on the first malformed JSONL line instead
+    /// of warning and skipping it.
+    strict: bool,
 }
 
 impl Options {
@@ -356,6 +458,9 @@ impl Options {
                 "--metrics-out" => opts.metrics_out = Some(value()?),
                 "--telemetry" => opts.stats_telemetry = Some(value()?),
                 "--metrics" => opts.stats_metrics = Some(value()?),
+                "--text" => opts.text = Some(value()?),
+                "--reject-report" => opts.reject_report = Some(value()?),
+                "--strict" => opts.strict = true,
                 flag if flag.starts_with("--progress=") => {
                     let secs: f64 = flag["--progress=".len()..]
                         .parse()
@@ -506,7 +611,10 @@ fn load_records(opts: &Options) -> Result<LoadedTrace, CliError> {
         } else {
             TraceReader::new(input)
         }
-        .map_err(|e| trace_err(path, e))?;
+        .map_err(|e| trace_err(path, e))?
+        // Every length the file declares is checked against the governor
+        // before anything is allocated for it; violations exit 7.
+        .with_governor(ResourceGovernor::new(Limits::from_env()));
         let segments = reader.segment_map();
         // Block decode: whole chunk payloads at a time, no per-record
         // iterator dispatch.
@@ -797,11 +905,11 @@ fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
             let mut span = paragraph_core::span!("checkpoint.load");
             let file = File::open(path).map_err(|e| io_err(path, e))?;
             let analyzer = LiveWell::resume_from(BufReader::new(file), config)
-                .map_err(|e| CliError::CorruptTrace(format!("{path}: {e}")))?;
+                .map_err(|e| checkpoint_err(path, e))?;
             if let Some(current) = &trace_identity {
                 analyzer
                     .verify_trace_identity(current)
-                    .map_err(|e| CliError::CorruptTrace(format!("{path}: {e}")))?;
+                    .map_err(|e| checkpoint_err(path, e))?;
             }
             span.field("records", analyzer.records_processed());
             eprintln!(
@@ -1021,14 +1129,71 @@ fn cmd_trace(opts: &Options) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `paragraph ingest --text FILE --out FILE`: converts an external
+/// line-oriented text trace (docs/ingest.md) into the binary v2 format.
+/// Streaming — the input is never buffered whole — and governed, so a
+/// hostile file is rejected with exit 7 rather than exhausting memory.
+fn cmd_ingest(opts: &Options) -> Result<(), CliError> {
+    use paragraph_trace::ingest::{ingest_text, IngestError, IngestErrorKind};
+    let text_path = opts
+        .text
+        .as_deref()
+        .ok_or_else(|| usage_err("ingest needs --text FILE"))?;
+    let out_path = opts
+        .out
+        .as_deref()
+        .ok_or_else(|| usage_err("ingest needs --out FILE"))?;
+    let input: Box<dyn std::io::BufRead> = if text_path == "-" {
+        Box::new(BufReader::new(std::io::stdin()))
+    } else {
+        let file = File::open(text_path).map_err(|e| io_err(text_path, e))?;
+        Box::new(BufReader::new(file))
+    };
+    let out = File::create(out_path).map_err(|e| io_err(out_path, e))?;
+    let mut governor = ResourceGovernor::new(Limits::from_env());
+    let classify = |e: IngestError| -> CliError {
+        if let Some(v) = e.limit_violation() {
+            return input_rejected(text_path, v.limit, v.what, v.actual, v.cap, &e);
+        }
+        match e.kind() {
+            IngestErrorKind::Io(_) => CliError::Io(format!("{text_path}: {e}")),
+            _ => CliError::CorruptTrace(format!("{text_path}: {e}")),
+        }
+    };
+    let stats = ingest_text(input, BufWriter::new(out), &mut governor).map_err(classify)?;
+    println!(
+        "{text_path}: {} records from {} lines ({} comment/blank) written to {out_path}",
+        stats.records, stats.lines, stats.skipped_lines
+    );
+    Ok(())
+}
+
 fn cmd_run(opts: &Options) -> Result<(), CliError> {
     let path = opts
         .asm
         .as_deref()
         .ok_or_else(|| usage_err("run needs --asm FILE"))?;
     let source = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
-    let program =
-        paragraph_asm::assemble(&source).map_err(|e| CliError::Analysis(format!("{path}: {e}")))?;
+    // Assembly files are front-door input too: assemble under limits so a
+    // hostile `.space` declaration is a typed rejection, not an allocation.
+    let program = paragraph_asm::assemble_with_limits(
+        &source,
+        paragraph_asm::DEFAULT_DATA_BASE,
+        &paragraph_asm::AsmLimits::from_env(),
+    )
+    .map_err(|e| {
+        if let paragraph_asm::AsmErrorKind::LimitExceeded {
+            limit,
+            what,
+            actual,
+            cap,
+        } = *e.kind()
+        {
+            input_rejected(path, limit, what, actual, cap, &e)
+        } else {
+            CliError::Analysis(format!("{path}: {e}"))
+        }
+    })?;
     let mut vm = Vm::new(program);
     vm.extend_input(opts.inputs.iter().copied());
     let outcome = vm
@@ -1082,8 +1247,23 @@ fn cmd_stats(opts: &Options) -> Result<(), CliError> {
     // smoke job can use them as parsers.
     if let Some(path) = &opts.stats_telemetry {
         let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
-        let events = telemetry::summary::parse_jsonl(&text)
-            .map_err(|e| CliError::CorruptTrace(format!("{path}: {e}")))?;
+        // Telemetry logs are routinely truncated mid-line by a crash or a
+        // full disk; by default the readable prefix is still summarized and
+        // each bad line is warned about. `--strict` restores fail-fast for
+        // CI, which wants to prove a healthy run wrote a clean log.
+        let events = if opts.strict {
+            telemetry::summary::parse_jsonl(&text)
+                .map_err(|e| CliError::CorruptTrace(format!("{path}: {e}")))?
+        } else {
+            let (events, skipped) = telemetry::summary::parse_jsonl_lossy(&text);
+            for bad in &skipped {
+                eprintln!("warning: {path}: line {} skipped: {}", bad.line, bad.reason);
+            }
+            if !skipped.is_empty() {
+                eprintln!("skipped_lines: {}", skipped.len());
+            }
+            events
+        };
         let summary = telemetry::summary::summarize(&events);
         print!("{}", telemetry::summary::render_table(&summary));
         return Ok(());
@@ -1573,6 +1753,54 @@ mod tests {
             CliError::Quarantined(String::new()).exit_code(),
             ExitCode::from(6)
         );
+        assert_eq!(
+            CliError::InputRejected {
+                message: String::new(),
+                report: String::new()
+            }
+            .exit_code(),
+            ExitCode::from(7)
+        );
+    }
+
+    #[test]
+    fn ingest_and_rejection_flags_parse() {
+        let opts = parse(&[
+            "--text",
+            "in.pgtxt",
+            "--out",
+            "out.pgtr",
+            "--reject-report",
+            "why.json",
+            "--strict",
+        ])
+        .unwrap();
+        assert_eq!(opts.text.as_deref(), Some("in.pgtxt"));
+        assert_eq!(opts.out.as_deref(), Some("out.pgtr"));
+        assert_eq!(opts.reject_report.as_deref(), Some("why.json"));
+        assert!(opts.strict);
+        assert!(parse(&["--text"]).is_err());
+    }
+
+    #[test]
+    fn rejection_report_is_one_json_object() {
+        let err = input_rejected(
+            "a \"b\"\\c.pgtr",
+            "max-declared-len",
+            "chunk payload length",
+            9,
+            4,
+            "boom",
+        );
+        let CliError::InputRejected { message, report } = err else {
+            panic!("wrong variant");
+        };
+        assert!(message.contains("input rejected"));
+        assert!(report.starts_with('{') && report.ends_with('}'));
+        assert!(report.contains("\"limit\":\"max-declared-len\""));
+        assert!(report.contains("\"actual\":9"));
+        assert!(report.contains("\"cap\":4"));
+        assert!(report.contains("a \\\"b\\\"\\\\c.pgtr"));
     }
 
     #[test]

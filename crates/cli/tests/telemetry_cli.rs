@@ -106,12 +106,32 @@ fn malformed_artifacts_are_rejected() {
     std::fs::write(&bad, "{\"ts_ns\":1,\"event\":\"run_start\"\nnot json\n")
         .expect("write scratch file");
 
+    // `--strict` fails fast on the first bad line (the CI contract).
     let stats = paragraph(&[
         "stats",
+        "--strict",
         "--telemetry",
         bad.to_str().expect("utf-8 temp path"),
     ]);
     assert!(!stats.status.success(), "truncated JSONL accepted");
+
+    // The default is lossy: the readable lines are summarized, each bad
+    // line is warned about, and the skip count is reported.
+    let lossy = paragraph(&[
+        "stats",
+        "--telemetry",
+        bad.to_str().expect("utf-8 temp path"),
+    ]);
+    assert!(
+        lossy.status.success(),
+        "lossy stats failed: {}",
+        String::from_utf8_lossy(&lossy.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&lossy.stderr);
+    assert!(
+        stderr.contains("skipped_lines: 2"),
+        "missing skip count: {stderr}"
+    );
 
     std::fs::write(&bad, "paragraph_bad{le=\"nope\" 1\n").expect("write scratch file");
     let metrics = paragraph(&["stats", "--metrics", bad.to_str().expect("utf-8 temp path")]);

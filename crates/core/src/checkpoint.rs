@@ -79,6 +79,10 @@ pub enum CheckpointError {
     },
     /// The bytes decoded but describe an impossible analyzer state.
     Corrupt(&'static str),
+    /// The checkpoint tripped a resource-governor limit (e.g. it declares
+    /// a live well larger than the per-allocation cap). Rejected before
+    /// any allocation is made on the input's behalf.
+    LimitExceeded(paragraph_trace::govern::LimitViolation),
 }
 
 impl fmt::Display for CheckpointError {
@@ -105,6 +109,7 @@ impl fmt::Display for CheckpointError {
                  (saved identity {saved}, current {current})"
             ),
             CheckpointError::Corrupt(why) => write!(f, "corrupt checkpoint: {why}"),
+            CheckpointError::LimitExceeded(v) => write!(f, "checkpoint rejected: {v}"),
         }
     }
 }

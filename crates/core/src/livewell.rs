@@ -12,6 +12,7 @@ use crate::well::{FlatWell, MemTable, PagedWell, ValueRecord};
 use crate::window::WindowLimiter;
 use paragraph_isa::OpClass;
 use paragraph_trace::crc32::crc32;
+use paragraph_trace::govern::{LimitViolation, Limits, ResourceGovernor};
 use paragraph_trace::wire;
 use paragraph_trace::{Loc, TraceRecord};
 use std::io::{Read, Write};
@@ -75,6 +76,28 @@ fn w_dist(buf: &mut Vec<u8>, dist: &Distribution) {
         w_u64(buf, value);
         w_u64(buf, count);
     }
+}
+
+/// Validates a declared entry count before anything is allocated for it:
+/// first against the governor's declared-length cap (a hostile checkpoint
+/// declaring a 4 GiB table is a policy rejection), then against the bytes
+/// actually remaining in the body (every entry costs at least one byte, so
+/// a count past the remainder is an impossible state — corruption).
+fn check_declared_count(
+    governor: &ResourceGovernor,
+    what: &'static str,
+    declared: usize,
+    remaining: usize,
+) -> Result<(), CheckpointError> {
+    governor
+        .check_declared_len(what, declared as u64)
+        .map_err(CheckpointError::LimitExceeded)?;
+    if declared > remaining {
+        return Err(CheckpointError::Corrupt(
+            "declared count exceeds the remaining body",
+        ));
+    }
+    Ok(())
 }
 
 fn r_dist<R: Read>(r: &mut R) -> Result<Distribution, CheckpointError> {
@@ -891,9 +914,31 @@ impl<M: MemTable> LiveWellImpl<M> {
     ///   checkpointed configuration.
     /// * [`CheckpointError::Corrupt`] — the bytes decode to an impossible
     ///   analyzer state.
+    /// * [`CheckpointError::LimitExceeded`] — the file tripped a resource
+    ///   governor limit (default limits with `PARAGRAPH_MAX_*` environment
+    ///   overrides; see [`Limits::from_env`]).
     pub fn resume_from<R: Read>(
+        input: R,
+        config: AnalysisConfig,
+    ) -> Result<LiveWellImpl<M>, CheckpointError> {
+        let mut governor = ResourceGovernor::new(Limits::from_env());
+        Self::resume_from_governed(input, config, &mut governor)
+    }
+
+    /// Like [`resume_from`](LiveWellImpl::resume_from) with an explicit
+    /// [`ResourceGovernor`]. Every length the file *declares* is validated
+    /// against the governor's caps before anything is allocated for it — a
+    /// checkpoint claiming a multi-gigabyte live well is rejected while
+    /// the claim is still just a varint.
+    ///
+    /// # Errors
+    ///
+    /// As [`resume_from`](LiveWellImpl::resume_from), with limit
+    /// violations surfacing as [`CheckpointError::LimitExceeded`].
+    pub fn resume_from_governed<R: Read>(
         mut input: R,
         config: AnalysisConfig,
+        governor: &mut ResourceGovernor,
     ) -> Result<LiveWellImpl<M>, CheckpointError> {
         let mut magic = [0u8; 4];
         input.read_exact(&mut magic)?;
@@ -905,10 +950,26 @@ impl<M: MemTable> LiveWellImpl<M> {
         if !(checkpoint::MIN_VERSION..=checkpoint::VERSION).contains(&version[0]) {
             return Err(CheckpointError::UnsupportedVersion(version[0]));
         }
+        // The body is read through a hard cap so a hostile or runaway
+        // stream cannot balloon the buffer past the allocation budget.
+        let cap = governor.limits().max_alloc_bytes;
         let mut rest = Vec::new();
         input
+            .by_ref()
+            .take(cap.saturating_add(1))
             .read_to_end(&mut rest)
             .map_err(CheckpointError::from)?;
+        if rest.len() as u64 > cap {
+            return Err(CheckpointError::LimitExceeded(LimitViolation {
+                limit: "max-alloc-bytes",
+                what: "checkpoint body",
+                actual: rest.len() as u64,
+                cap,
+            }));
+        }
+        governor
+            .charge_alloc("checkpoint body", rest.len() as u64)
+            .map_err(CheckpointError::LimitExceeded)?;
         if rest.len() < 4 {
             return Err(CheckpointError::Truncated);
         }
@@ -969,6 +1030,7 @@ impl<M: MemTable> LiveWellImpl<M> {
         }
 
         let mem_len = r_usize(&mut r)?;
+        check_declared_count(governor, "memory table length", mem_len, r.len())?;
         let mut mem = M::default();
         let mut prev_addr: Option<u64> = None;
         for _ in 0..mem_len {
@@ -981,6 +1043,10 @@ impl<M: MemTable> LiveWellImpl<M> {
         }
 
         let slot_count = r_usize(&mut r)?;
+        check_declared_count(governor, "window slot table length", slot_count, r.len())?;
+        governor
+            .charge_alloc("window slot table", (slot_count as u64).saturating_mul(16))
+            .map_err(CheckpointError::LimitExceeded)?;
         let mut levels = Vec::with_capacity(slot_count.min(1 << 20));
         for _ in 0..slot_count {
             levels.push(if r_flag(&mut r)? {
@@ -993,6 +1059,10 @@ impl<M: MemTable> LiveWellImpl<M> {
             .ok_or(CheckpointError::Corrupt("window slots exceed window size"))?;
 
         let bin_count = r_usize(&mut r)?;
+        check_declared_count(governor, "profile bin table length", bin_count, r.len())?;
+        governor
+            .charge_alloc("profile bin table", (bin_count as u64).saturating_mul(8))
+            .map_err(CheckpointError::LimitExceeded)?;
         let mut counts = Vec::with_capacity(bin_count.min(1 << 20));
         for _ in 0..bin_count {
             counts.push(r_u64(&mut r)?);
@@ -1022,9 +1092,10 @@ impl<M: MemTable> LiveWellImpl<M> {
                 ));
             };
             let counter_len = r_usize(&mut r)?;
-            if counter_len > body.len() {
-                return Err(CheckpointError::Truncated);
-            }
+            check_declared_count(governor, "predictor counter length", counter_len, r.len())?;
+            governor
+                .charge_alloc("predictor counters", counter_len as u64)
+                .map_err(CheckpointError::LimitExceeded)?;
             let mut counters = vec![0u8; counter_len];
             r.read_exact(&mut counters)?;
             let history = r_u64(&mut r)?;
@@ -1050,6 +1121,7 @@ impl<M: MemTable> LiveWellImpl<M> {
                 ));
             }
             let entries = r_usize(&mut r)?;
+            check_declared_count(governor, "issue counter table length", entries, r.len())?;
             let mut starts = FastMap::default();
             let mut prev: Option<i64> = None;
             for _ in 0..entries {
@@ -1884,6 +1956,116 @@ mod tests {
             LiveWell::resume_from(&wrong_version[..], AnalysisConfig::dataflow_limit()),
             Err(CheckpointError::UnsupportedVersion(9))
         ));
+    }
+
+    /// Builds a checkpoint that is perfectly well-formed up to the memory
+    /// table, then *declares* a table of `mem_len` entries it never
+    /// supplies. The loader must reject the claim while it is still just a
+    /// varint — before sizing any buffer from it.
+    fn checkpoint_declaring_mem_len(config: &AnalysisConfig, mem_len: u64) -> Vec<u8> {
+        let mut body = Vec::new();
+        w_u64(&mut body, checkpoint::config_fingerprint(config));
+        w_u64(&mut body, 0); // no trace identity
+        for _ in 0..7 {
+            w_u64(&mut body, 0); // totals and counters
+        }
+        w_i64(&mut body, 0); // floor
+        w_i64(&mut body, 0); // deepest
+        w_u64(&mut body, OpClass::ALL.len() as u64);
+        for _ in OpClass::ALL {
+            w_u64(&mut body, 0);
+        }
+        for _ in 0..64 {
+            w_u64(&mut body, 0); // empty register files
+        }
+        w_u64(&mut body, mem_len);
+        let mut file = Vec::new();
+        file.extend_from_slice(checkpoint::MAGIC);
+        file.push(checkpoint::VERSION);
+        file.extend_from_slice(&body);
+        file.extend_from_slice(&crc32(&body).to_le_bytes());
+        file
+    }
+
+    #[test]
+    fn checkpoint_declaring_a_huge_live_well_is_rejected_before_allocation() {
+        use paragraph_trace::govern::{Limits, ResourceGovernor};
+        let config = AnalysisConfig::dataflow_limit();
+        let file = checkpoint_declaring_mem_len(&config, 1 << 32);
+        let mut governor = ResourceGovernor::new(Limits::default());
+        let err = LiveWell::resume_from_governed(&file[..], config, &mut governor).unwrap_err();
+        let CheckpointError::LimitExceeded(v) = err else {
+            panic!("expected LimitExceeded, got {err:?}");
+        };
+        assert_eq!(v.what, "memory table length");
+        assert_eq!(v.actual, 1 << 32);
+        // Nothing was ever allocated on the claim's behalf: the peak covers
+        // only the (tiny) body buffer, not the declared four-billion-entry
+        // table.
+        assert!(
+            governor.peak_alloc() < 4096,
+            "peak {}",
+            governor.peak_alloc()
+        );
+    }
+
+    #[test]
+    fn checkpoint_declared_count_past_the_body_is_corrupt_not_fatal() {
+        // A declared count that fits the governor cap but exceeds the
+        // remaining body is plain corruption, caught before the read loop.
+        let config = AnalysisConfig::dataflow_limit();
+        let file = checkpoint_declaring_mem_len(&config, 100_000);
+        assert!(matches!(
+            LiveWell::resume_from(&file[..], config),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_body_over_the_alloc_cap_is_rejected_without_buffering() {
+        use paragraph_trace::govern::{Limits, ResourceGovernor};
+        let mut lw = LiveWell::new(AnalysisConfig::dataflow_limit());
+        lw.process_all(&synthetic::random_trace(200, 9));
+        let mut bytes = Vec::new();
+        lw.save_checkpoint(&mut bytes).unwrap();
+
+        let mut governor = ResourceGovernor::new(Limits {
+            max_alloc_bytes: 16,
+            ..Limits::default()
+        });
+        let err = LiveWell::resume_from_governed(
+            &bytes[..],
+            AnalysisConfig::dataflow_limit(),
+            &mut governor,
+        )
+        .unwrap_err();
+        let CheckpointError::LimitExceeded(v) = err else {
+            panic!("expected LimitExceeded, got {err:?}");
+        };
+        assert_eq!(v.what, "checkpoint body");
+        assert_eq!(v.limit, "max-alloc-bytes");
+    }
+
+    #[test]
+    fn governed_resume_accepts_a_legitimate_checkpoint() {
+        use paragraph_trace::govern::{Limits, ResourceGovernor};
+        let trace = synthetic::random_trace(400, 13);
+        let mut lw = LiveWell::new(AnalysisConfig::dataflow_limit());
+        lw.process_all(&trace[..200]);
+        let mut bytes = Vec::new();
+        lw.save_checkpoint(&mut bytes).unwrap();
+
+        let mut governor = ResourceGovernor::new(Limits::default());
+        let mut resumed = LiveWell::resume_from_governed(
+            &bytes[..],
+            AnalysisConfig::dataflow_limit(),
+            &mut governor,
+        )
+        .unwrap();
+        resumed.process_all(&trace[200..]);
+        let mut uninterrupted = LiveWell::new(AnalysisConfig::dataflow_limit());
+        uninterrupted.process_all(&trace);
+        assert_eq!(resumed.finish().to_json(), uninterrupted.finish().to_json());
     }
 
     #[test]

@@ -219,6 +219,61 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
     Ok(events)
 }
 
+/// One line `parse_jsonl_lossy` could not parse: its 1-based line number
+/// and the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedLine {
+    /// 1-based line number in the log.
+    pub line: usize,
+    /// Why the line was rejected.
+    pub reason: String,
+}
+
+/// Like [`parse_jsonl`], but a malformed line is recorded and skipped
+/// instead of failing the whole log. A telemetry log's tail is routinely
+/// truncated mid-line by a crash or a full disk — the readable prefix is
+/// still worth summarizing, which is exactly when the summary matters most.
+pub fn parse_jsonl_lossy(text: &str) -> (Vec<Event>, Vec<SkippedLine>) {
+    let mut events = Vec::new();
+    let mut skipped = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut skip = |reason: String| {
+            skipped.push(SkippedLine {
+                line: lineno + 1,
+                reason,
+            });
+        };
+        let mut fields = match parse_flat_object(line) {
+            Ok(fields) => fields,
+            Err(e) => {
+                skip(e);
+                continue;
+            }
+        };
+        let Some(ts_ns) = fields.remove("ts_ns").and_then(|v| v.as_u64()) else {
+            skip("missing ts_ns".to_owned());
+            continue;
+        };
+        let event = match fields.remove("event") {
+            Some(FieldValue::Str(s)) => s,
+            _ => {
+                skip("missing event".to_owned());
+                continue;
+            }
+        };
+        events.push(Event {
+            ts_ns,
+            event,
+            fields,
+        });
+    }
+    (events, skipped)
+}
+
 /// Aggregated view of one span stage within a log.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StageSummary {
@@ -442,5 +497,32 @@ mod tests {
     fn render_table_handles_empty_log() {
         let table = render_table(&summarize(&[]));
         assert!(table.contains("no span events"));
+    }
+
+    #[test]
+    fn lossy_parse_skips_bad_lines_and_keeps_the_rest() {
+        // A crash-truncated tail and a garbage line: both are skipped with
+        // their line numbers, the well-formed lines still parse.
+        let log = concat!(
+            "{\"ts_ns\":10,\"event\":\"span\",\"name\":\"decode\",\"dur_ns\":100}\n",
+            "not json at all\n",
+            "{\"ts_ns\":20,\"event\":\"span\",\"name\":\"decode\",\"dur_ns\":50}\n",
+            "{\"ts_ns\":30,\"event\":\"span\",\"na", // truncated mid-line
+        );
+        let (events, skipped) = parse_jsonl_lossy(log);
+        assert_eq!(events.len(), 2);
+        assert_eq!(skipped.len(), 2);
+        assert_eq!(skipped[0].line, 2);
+        assert_eq!(skipped[1].line, 4);
+        // The same log fails outright under the strict parser.
+        assert!(parse_jsonl(log).is_err());
+    }
+
+    #[test]
+    fn lossy_parse_of_a_clean_log_skips_nothing() {
+        let log = "{\"ts_ns\":1,\"event\":\"x\"}\n\n{\"ts_ns\":2,\"event\":\"y\"}\n";
+        let (events, skipped) = parse_jsonl_lossy(log);
+        assert_eq!(events.len(), 2);
+        assert!(skipped.is_empty());
     }
 }

@@ -72,6 +72,7 @@
 
 use crate::crc32::Crc32;
 use crate::error::{TraceError, TraceErrorKind};
+use crate::govern::{LimitViolation, ResourceGovernor};
 use crate::loc::Loc;
 use crate::record::TraceRecord;
 use crate::segment::SegmentMap;
@@ -684,6 +685,10 @@ enum ChunkParse {
     BadHeader(&'static str),
     /// Frame intact but the checksum disagrees.
     BadCrc { stored: u32, computed: u32 },
+    /// The chunk tripped a resource-governor limit. Terminal even in
+    /// recovery mode: a declared length past the cap is a policy
+    /// rejection, not damage to scan past.
+    LimitExceeded(LimitViolation),
 }
 
 /// Streaming reader for the binary trace format (v1 and v2).
@@ -727,6 +732,8 @@ pub struct TraceReader<R: Read> {
     batch_pos: usize,
     /// Fault to surface once the records batched ahead of it are served.
     pending_err: Option<TraceError>,
+    /// Resource caps enforced while decoding (generous by default).
+    governor: ResourceGovernor,
 }
 
 impl<R: Read> TraceReader<R> {
@@ -812,7 +819,25 @@ impl<R: Read> TraceReader<R> {
             batch: Vec::new(),
             batch_pos: 0,
             pending_err: None,
+            governor: ResourceGovernor::default(),
         })
+    }
+
+    /// Installs a resource governor enforcing caps on record counts,
+    /// allocations, declared lengths, decode bytes, and wall-clock time.
+    /// Limit violations surface as terminal
+    /// [`TraceErrorKind::LimitExceeded`] errors — never resynced past,
+    /// even under [`TraceReader::with_recovery`].
+    #[must_use]
+    pub fn with_governor(mut self, governor: ResourceGovernor) -> TraceReader<R> {
+        self.governor = governor;
+        self
+    }
+
+    /// The resource governor in effect (lets callers inspect
+    /// [`ResourceGovernor::peak_alloc`] after a decode).
+    pub fn governor(&self) -> &ResourceGovernor {
+        &self.governor
     }
 
     /// Switches this reader to the legacy per-record decode path (one
@@ -906,6 +931,10 @@ impl<R: Read> TraceReader<R> {
                 self.batch_pos = self.batch.len();
                 self.delivered += n as u64;
                 self.stats.records_read += n as u64;
+                if let Err(e) = self.charge_delivered(n as u64) {
+                    self.done = true;
+                    return Err(e);
+                }
                 return Ok(n);
             }
             if let Some(e) = self.pending_err.take() {
@@ -924,6 +953,10 @@ impl<R: Read> TraceReader<R> {
                     if n > 0 {
                         self.delivered += n as u64;
                         self.stats.records_read += n as u64;
+                        if let Err(e) = self.charge_delivered(n as u64) {
+                            self.done = true;
+                            return Err(e);
+                        }
                         return Ok(n);
                     }
                     // The refill produced only a pending fault; loop to
@@ -981,12 +1014,36 @@ impl<R: Read> TraceReader<R> {
         }
     }
 
+    /// Checks the cumulative decode-byte budget and the wall-clock
+    /// deadline. Called once per chunk parse, per v1 buffer refill, and
+    /// per resync scan round — the three places an adversarial stream can
+    /// make the reader consume input without delivering records.
+    fn check_budgets(&self) -> Result<(), TraceError> {
+        if let Err(v) = self.governor.check_decode_bytes(self.input.offset) {
+            return Err(self.error(TraceErrorKind::LimitExceeded(v)));
+        }
+        if let Err(v) = self.governor.check_deadline() {
+            return Err(self.error(TraceErrorKind::LimitExceeded(v)));
+        }
+        Ok(())
+    }
+
+    /// Charges `n` delivered records against the governor's record budget.
+    fn charge_delivered(&mut self, n: u64) -> Result<(), TraceError> {
+        match self.governor.charge_records(n) {
+            Ok(()) => Ok(()),
+            Err(v) => Err(self.error(TraceErrorKind::LimitExceeded(v))),
+        }
+    }
+
     /// v1: decode the next record straight off the stream.
     fn next_v1(&mut self) -> Result<Option<TraceRecord>, TraceError> {
+        self.check_budgets()?;
         match decode_record(&mut self.input, &mut self.last_pc) {
             Ok(Some(record)) => {
                 self.delivered += 1;
                 self.stats.records_read += 1;
+                self.charge_delivered(1)?;
                 Ok(Some(record))
             }
             Ok(None) => Ok(None),
@@ -999,6 +1056,12 @@ impl<R: Read> TraceReader<R> {
     /// trailers are consumed, and a data chunk's frame is left buffered
     /// for the caller to decode in place and consume.
     fn try_parse_chunk(&mut self) -> io::Result<ChunkParse> {
+        if let Err(v) = self.governor.check_decode_bytes(self.input.offset) {
+            return Ok(ChunkParse::LimitExceeded(v));
+        }
+        if let Err(v) = self.governor.check_deadline() {
+            return Ok(ChunkParse::LimitExceeded(v));
+        }
         let available = self.input.fill_to(SYNC_MARKER.len())?;
         if available == 0 {
             return Ok(ChunkParse::End);
@@ -1037,6 +1100,20 @@ impl<R: Read> TraceReader<R> {
         if payload_len > MAX_PAYLOAD_LEN {
             return Ok(ChunkParse::BadHeader("payload length out of range"));
         }
+        // Governor checks run on the *declared* length, before any byte of
+        // the payload is buffered: a hostile header cannot make us allocate.
+        if let Err(v) = self
+            .governor
+            .check_declared_len("chunk payload length", payload_len)
+        {
+            return Ok(ChunkParse::LimitExceeded(v));
+        }
+        if let Err(v) = self
+            .governor
+            .check_declared_len("chunk record count", count)
+        {
+            return Ok(ChunkParse::LimitExceeded(v));
+        }
         if count == 0 && payload_len != 0 {
             return Ok(ChunkParse::BadHeader("trailer with payload"));
         }
@@ -1052,6 +1129,9 @@ impl<R: Read> TraceReader<R> {
         let stored = u32::from_le_bytes(stored);
         let header_len = SYNC_MARKER.len() + varint_len + 4;
         let frame_len = header_len + payload_len as usize;
+        if let Err(v) = self.governor.charge_alloc("chunk frame", frame_len as u64) {
+            return Ok(ChunkParse::LimitExceeded(v));
+        }
         if self.input.fill_to(frame_len)? < frame_len {
             return Ok(ChunkParse::Truncated);
         }
@@ -1076,12 +1156,15 @@ impl<R: Read> TraceReader<R> {
     }
 
     /// Recovery: drop one byte, then scan forward to the next candidate
-    /// sync marker (or end of input).
-    fn resync(&mut self) -> io::Result<()> {
+    /// sync marker (or end of input). The governor's decode-byte budget
+    /// and deadline bound the scan — an adversarial stream cannot make
+    /// recovery walk an unbounded garbage region for free.
+    fn resync(&mut self) -> Result<(), TraceError> {
         self.stats.resyncs += 1;
         self.input.consume(1);
         self.stats.bytes_skipped += 1;
         loop {
+            self.check_budgets()?;
             let bytes = self.input.buffered();
             if let Some(at) = find_marker(bytes) {
                 self.input.consume(at);
@@ -1095,7 +1178,11 @@ impl<R: Read> TraceReader<R> {
             self.input.consume(drop);
             self.stats.bytes_skipped += drop as u64;
             let before = self.input.available();
-            if self.input.fill_to(before + 8192)? == before {
+            let filled = self
+                .input
+                .fill_to(before + 8192)
+                .map_err(|e| self.error(TraceErrorKind::Io(e)))?;
+            if filled == before {
                 // End of input: nothing left to scan.
                 let rest = self.input.available();
                 self.input.consume(rest);
@@ -1170,6 +1257,7 @@ impl<R: Read> TraceReader<R> {
     /// runs out.
     fn refill_v1(&mut self, out: &mut Vec<TraceRecord>, base: usize) -> Result<bool, TraceError> {
         loop {
+            self.check_budgets()?;
             let avail = self
                 .input
                 .fill_to(V1_FILL_BYTES)
@@ -1323,6 +1411,11 @@ impl<R: Read> TraceReader<R> {
                     }
                     return Err(self.error(TraceErrorKind::ChecksumMismatch { stored, computed }));
                 }
+                // Terminal even in recovery mode: limit violations are
+                // policy rejections, not damage to scan past.
+                ChunkParse::LimitExceeded(v) => {
+                    return Err(self.error(TraceErrorKind::LimitExceeded(v)));
+                }
             }
         }
     }
@@ -1341,6 +1434,7 @@ impl<R: Read> TraceReader<R> {
                         self.delivered += 1;
                         self.pos += 1;
                         self.stats.records_read += 1;
+                        self.charge_delivered(1)?;
                         return Ok(Some(record));
                     }
                     // A CRC-valid chunk that does not decode (possible
@@ -1438,12 +1532,16 @@ impl<R: Read> TraceReader<R> {
                     }
                     return Err(self.error(TraceErrorKind::ChecksumMismatch { stored, computed }));
                 }
+                // Terminal even in recovery mode.
+                ChunkParse::LimitExceeded(v) => {
+                    return Err(self.error(TraceErrorKind::LimitExceeded(v)));
+                }
             }
         }
     }
 
     fn resync_or_fail(&mut self) -> Result<(), TraceError> {
-        self.resync().map_err(|e| self.error(TraceErrorKind::Io(e)))
+        self.resync()
     }
 }
 
@@ -1492,6 +1590,10 @@ impl<R: Read> Iterator for TraceReader<R> {
                     self.batch_pos += 1;
                     self.delivered += 1;
                     self.stats.records_read += 1;
+                    if let Err(e) = self.charge_delivered(1) {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
                     return Some(Ok(record));
                 }
                 if let Some(e) = self.pending_err.take() {
@@ -2017,5 +2119,168 @@ mod tests {
         assert_eq!(find_marker(&bytes), Some(20));
         assert_eq!(find_marker(&SYNC_MARKER), Some(0));
         assert_eq!(find_marker(&SYNC_MARKER[..7]), None);
+    }
+
+    // ---- resource governor ------------------------------------------------
+
+    use crate::govern::Limits;
+
+    /// A bare v2 stream header (magic, version, all-data segment bounds).
+    fn v2_header() -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(VERSION_V2);
+        let _ = write_varint(&mut buf, 0);
+        let _ = write_varint(&mut buf, 0);
+        buf
+    }
+
+    /// A chunk header that *declares* `payload_len` bytes without
+    /// supplying them — the adversarial shape the governor must reject
+    /// before buffering.
+    fn declared_frame(count: u64, payload_len: u64) -> Vec<u8> {
+        let mut buf = v2_header();
+        buf.extend_from_slice(&SYNC_MARKER);
+        let _ = write_varint(&mut buf, 0);
+        let _ = write_varint(&mut buf, count);
+        let _ = write_varint(&mut buf, payload_len);
+        buf.extend_from_slice(&[0u8; 4]); // CRC: never reached
+        buf
+    }
+
+    #[test]
+    fn governor_rejects_declared_payload_before_buffering() {
+        let buf = declared_frame(4096, 1 << 24);
+        let limits = Limits {
+            max_declared_len: 1 << 16,
+            ..Limits::default()
+        };
+        for strict in [true, false] {
+            let reader = if strict {
+                TraceReader::new(buf.as_slice())
+            } else {
+                // Terminal even in recovery mode: never resynced past.
+                TraceReader::with_recovery(buf.as_slice())
+            };
+            let mut reader = reader.unwrap().with_governor(ResourceGovernor::new(limits));
+            let err = reader.read_block(&mut Vec::new()).unwrap_err();
+            let v = err.limit_violation().expect("limit violation");
+            assert_eq!(v.limit, "max-declared-len");
+            assert_eq!(v.actual, 1 << 24);
+            assert!(!err.is_corruption());
+            assert_eq!(
+                reader.governor().peak_alloc(),
+                0,
+                "nothing may be allocated for a rejected declaration"
+            );
+            // The reader is done; it does not limp on.
+            assert_eq!(reader.read_block(&mut Vec::new()).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn governor_alloc_cap_rejects_a_frame_past_the_budget() {
+        // Declared length passes, but the frame allocation would not.
+        let buf = declared_frame(64, 1 << 14);
+        let limits = Limits {
+            max_declared_len: 1 << 20,
+            max_alloc_bytes: 1 << 10,
+            ..Limits::default()
+        };
+        let mut reader = TraceReader::new(buf.as_slice())
+            .unwrap()
+            .with_governor(ResourceGovernor::new(limits));
+        let err = reader.read_block(&mut Vec::new()).unwrap_err();
+        let v = err.limit_violation().expect("limit violation");
+        assert_eq!(v.limit, "max-alloc-bytes");
+        assert_eq!(reader.governor().peak_alloc(), 0);
+    }
+
+    #[test]
+    fn governor_bounds_resync_scanning() {
+        // A recovery reader facing a long markerless garbage region scans
+        // for a sync marker; the decode-byte budget bounds that scan.
+        let mut buf = v2_header();
+        buf.extend_from_slice(&vec![0x42u8; 256 * 1024]);
+        let limits = Limits {
+            max_decode_bytes: 4096,
+            ..Limits::default()
+        };
+        let mut reader = TraceReader::with_recovery(buf.as_slice())
+            .unwrap()
+            .with_governor(ResourceGovernor::new(limits));
+        let err = reader.read_block(&mut Vec::new()).unwrap_err();
+        let v = err.limit_violation().expect("limit violation");
+        assert_eq!(v.limit, "max-decode-bytes");
+        assert!(
+            reader.bytes_read() < 64 * 1024,
+            "scan must stop near the budget, read {}",
+            reader.bytes_read()
+        );
+    }
+
+    #[test]
+    fn governor_record_budget_stops_delivery() {
+        let records = synthetic::random_trace(500, 9);
+        let buf = encode(&records, SegmentMap::all_data());
+        let limits = Limits {
+            max_records: 100,
+            ..Limits::default()
+        };
+        // Block path.
+        let mut reader = TraceReader::new(buf.as_slice())
+            .unwrap()
+            .with_governor(ResourceGovernor::new(limits));
+        let mut out = Vec::new();
+        let err = loop {
+            match reader.read_block(&mut out) {
+                Ok(0) => panic!("must trip the record budget"),
+                Ok(_) => {}
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.limit_violation().unwrap().limit, "max-records");
+        // Per-record oracle path agrees.
+        let mut reader = TraceReader::new(buf.as_slice())
+            .unwrap()
+            .with_governor(ResourceGovernor::new(limits))
+            .with_per_record_decode();
+        let (read, err) = drain(&mut reader);
+        assert_eq!(read.len(), 100, "exactly the budget is delivered");
+        let err = err.expect("per-record path must also trip");
+        assert_eq!(err.limit_violation().unwrap().limit, "max-records");
+    }
+
+    #[test]
+    fn governor_deadline_trips_on_the_reader() {
+        let records = synthetic::random_trace(50, 3);
+        let buf = encode(&records, SegmentMap::all_data());
+        let limits = Limits {
+            deadline: Some(std::time::Duration::ZERO),
+            ..Limits::default()
+        };
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let mut reader = TraceReader::new(buf.as_slice())
+            .unwrap()
+            .with_governor(ResourceGovernor::new(limits));
+        let err = reader.read_block(&mut Vec::new()).unwrap_err();
+        assert_eq!(err.limit_violation().unwrap().limit, "deadline");
+    }
+
+    #[test]
+    fn governed_clean_reads_are_unaffected_and_track_peak_alloc() {
+        let records = synthetic::random_trace(500, 21);
+        let segments = SegmentMap::new(64, 1 << 20);
+        let buf = encode(&records, segments);
+        let mut reader = TraceReader::new(buf.as_slice())
+            .unwrap()
+            .with_governor(ResourceGovernor::new(Limits::strict()));
+        let mut out = Vec::new();
+        while reader.read_block(&mut out).unwrap() > 0 {}
+        assert_eq!(out, records);
+        let gov = reader.governor();
+        assert!(gov.peak_alloc() > 0);
+        assert!(gov.peak_alloc() <= gov.limits().max_alloc_bytes);
+        assert_eq!(gov.records(), records.len() as u64);
     }
 }

@@ -10,6 +10,8 @@ use std::error::Error;
 use std::fmt;
 use std::io;
 
+use crate::govern::LimitViolation;
+
 /// What went wrong while reading a trace stream.
 #[derive(Debug)]
 #[non_exhaustive]
@@ -32,6 +34,9 @@ pub enum TraceErrorKind {
     /// The bytes decoded but violate the format (bad tag, overflowing
     /// varint, impossible field...).
     Corrupt(String),
+    /// The input tripped a [`ResourceGovernor`](crate::govern::ResourceGovernor)
+    /// limit. Terminal: the fault-tolerant reader never resyncs past it.
+    LimitExceeded(LimitViolation),
 }
 
 /// A trace-format error with stream context.
@@ -85,9 +90,21 @@ impl TraceError {
     }
 
     /// Whether this error indicates corrupt or truncated trace data (as
-    /// opposed to an underlying I/O failure).
+    /// opposed to an underlying I/O failure or a resource-limit rejection).
     pub fn is_corruption(&self) -> bool {
-        !matches!(self.kind, TraceErrorKind::Io(_))
+        !matches!(
+            self.kind,
+            TraceErrorKind::Io(_) | TraceErrorKind::LimitExceeded(_)
+        )
+    }
+
+    /// Whether this error is a resource-governor rejection, and if so which
+    /// limit tripped.
+    pub fn limit_violation(&self) -> Option<&LimitViolation> {
+        match &self.kind {
+            TraceErrorKind::LimitExceeded(v) => Some(v),
+            _ => None,
+        }
     }
 }
 
@@ -107,6 +124,7 @@ impl fmt::Display for TraceError {
                 "chunk checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
             )?,
             TraceErrorKind::Corrupt(why) => write!(f, "corrupt trace: {why}")?,
+            TraceErrorKind::LimitExceeded(v) => write!(f, "input rejected: {v}")?,
         }
         write!(
             f,

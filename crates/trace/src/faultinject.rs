@@ -20,20 +20,22 @@
 //! assert!(report.bits_flipped > 0);
 //! ```
 
-/// SplitMix64: a tiny, high-quality, seedable generator. Kept private to
-/// this crate so the harness has no dependencies and identical seeds give
-/// identical damage forever.
+/// SplitMix64: a tiny, high-quality, seedable generator. Public so the
+/// fuzz smoke harness shares it; it has no dependencies, and identical
+/// seeds give identical sequences forever.
 #[derive(Debug, Clone)]
-struct SplitMix64 {
+pub struct SplitMix64 {
     state: u64,
 }
 
 impl SplitMix64 {
-    fn new(seed: u64) -> SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
         SplitMix64 { state: seed }
     }
 
-    fn next_u64(&mut self) -> u64 {
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -42,13 +44,20 @@ impl SplitMix64 {
     }
 
     /// Uniform in `[0, 1)`.
-    fn next_f64(&mut self) -> f64 {
+    pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[0, bound)`.
-    fn below(&mut self, bound: u64) -> u64 {
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `bound` is nonzero (returns 0 in release).
+    pub fn below(&mut self, bound: u64) -> u64 {
         debug_assert!(bound > 0);
+        if bound == 0 {
+            return 0;
+        }
         self.next_u64() % bound
     }
 }
@@ -211,8 +220,10 @@ impl FaultPlan {
 }
 
 /// Splits `bytes` into spans `[start, start+len)` delimited by sync
-/// markers. Bytes before the first marker form their own span.
-fn frame_spans(bytes: &[u8]) -> Vec<(usize, usize)> {
+/// markers. Bytes before the first marker form their own span. Public so
+/// structure-aware mutators (the fuzz smoke harness) can cut and splice
+/// whole frames.
+pub fn frame_spans(bytes: &[u8]) -> Vec<(usize, usize)> {
     use crate::binary::SYNC_MARKER;
     let mut starts = Vec::new();
     let mut i = 0;

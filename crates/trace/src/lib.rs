@@ -40,6 +40,8 @@ pub mod binary;
 pub mod crc32;
 pub mod error;
 pub mod faultinject;
+pub mod govern;
+pub mod ingest;
 mod loc;
 mod record;
 mod segment;
@@ -48,6 +50,7 @@ pub mod synthetic;
 pub mod wire;
 
 pub use error::{TraceError, TraceErrorKind};
+pub use govern::{LimitViolation, Limits, ResourceGovernor};
 pub use loc::Loc;
 pub use record::{BranchInfo, TraceRecord};
 pub use segment::{Segment, SegmentMap};

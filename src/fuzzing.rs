@@ -1,0 +1,131 @@
+//! Fuzzing entry points for the toolkit's untrusted-input surfaces.
+//!
+//! Each `check_*` function takes arbitrary bytes and drives one front-door
+//! parser under [`Limits::strict`]: tight caps on declared lengths,
+//! allocations, record counts, and decode bytes, plus a wall-clock
+//! deadline. The contract under fuzzing is:
+//!
+//! * **Errors are fine.** Malformed input must produce a typed error.
+//! * **Panics are bugs.** No input may panic, overflow, or OOM.
+//!
+//! The same functions back both the `cargo fuzz` targets under `fuzz/`
+//! (libFuzzer, nightly, coverage-guided — for deep local sessions) and the
+//! deterministic `fuzz-smoke` binary (stable Rust, fixed seed — run in CI
+//! on every push). Keeping the harness in the library means the smoke
+//! runner and the coverage-guided fuzzer can never drift apart.
+
+use paragraph_core::{AnalysisConfig, LiveWell, WindowSize};
+use paragraph_trace::binary::TraceReader;
+use paragraph_trace::govern::{Limits, ResourceGovernor};
+use paragraph_trace::ingest;
+
+/// A strict governor for one fuzz iteration.
+fn governor() -> ResourceGovernor {
+    ResourceGovernor::new(Limits::strict())
+}
+
+/// Feeds `data` to the v2/v1 trace decoder (strict mode: damage is an
+/// error, not recoverable) and drains every record it will yield.
+pub fn check_v2_decoder(data: &[u8]) {
+    let Ok(reader) = TraceReader::new(data) else {
+        return;
+    };
+    let mut reader = reader.with_governor(governor());
+    let mut block = Vec::new();
+    loop {
+        match reader.read_block(&mut block) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Feeds `data` to the recovery-mode reader, which resynchronizes past
+/// damage — the mode with the most state to confuse.
+pub fn check_resync_reader(data: &[u8]) {
+    let Ok(reader) = TraceReader::with_recovery(data) else {
+        return;
+    };
+    let mut reader = reader.with_governor(governor());
+    let mut block = Vec::new();
+    loop {
+        match reader.read_block(&mut block) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    let _ = reader.recovery_stats();
+}
+
+/// Feeds `data` to the checkpoint loader under two configurations: the
+/// plain dataflow limit, and a full-featured one so the predictor and
+/// issue-ledger decode paths are reachable.
+pub fn check_checkpoint_loader(data: &[u8]) {
+    use paragraph_core::branch::{BranchPolicy, PredictorKind};
+    let mut g = governor();
+    let _ = LiveWell::resume_from_governed(data, AnalysisConfig::dataflow_limit(), &mut g);
+    let full = AnalysisConfig::dataflow_limit()
+        .with_window(WindowSize::bounded(64))
+        .with_issue_limit(4)
+        .with_branch_policy(BranchPolicy::Predict(PredictorKind::Gshare {
+            index_bits: 8,
+        }))
+        .with_value_stats(true);
+    let mut g = governor();
+    let _ = LiveWell::resume_from_governed(data, full, &mut g);
+}
+
+/// Feeds `data` to the external-text-trace ingest parser, writing the
+/// converted trace into a sink.
+pub fn check_ingest_parser(data: &[u8]) {
+    let mut g = governor();
+    let _ = ingest::ingest_text(data, std::io::sink(), &mut g);
+}
+
+/// Feeds `data` (when it is UTF-8) to the assembler under strict limits.
+pub fn check_asm_parser(data: &[u8]) {
+    let Ok(source) = std::str::from_utf8(data) else {
+        return;
+    };
+    let _ = paragraph_asm::assemble_with_limits(
+        source,
+        paragraph_asm::DEFAULT_DATA_BASE,
+        &paragraph_asm::AsmLimits::strict(),
+    );
+}
+
+/// Every fuzz target by name, for runners that iterate over all of them.
+pub const TARGETS: &[(&str, fn(&[u8]))] = &[
+    ("v2_decoder", check_v2_decoder),
+    ("resync_reader", check_resync_reader),
+    ("checkpoint_loader", check_checkpoint_loader),
+    ("ingest_parser", check_ingest_parser),
+    ("asm_parser", check_asm_parser),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every target must shrug off trivial adversarial inputs without
+    /// panicking — the smoke runner exercises the real corpus.
+    #[test]
+    fn targets_survive_trivial_inputs() {
+        let inputs: &[&[u8]] = &[
+            b"",
+            b"\x00",
+            b"PGTR",
+            b"PGTR\x02\x00\x00",
+            b"PGCP\x02\xff\xff\xff\xff",
+            b"!segments heap=9 stack=1\n",
+            b".data\nx: .space 99999999999\n",
+            &[0xff; 512],
+        ];
+        for (name, check) in TARGETS {
+            for input in inputs {
+                check(input);
+                let _ = name;
+            }
+        }
+    }
+}

@@ -37,6 +37,8 @@
 //! run it on the VM, and analyze the captured trace under several machine
 //! models.
 
+pub mod fuzzing;
+
 pub use paragraph_asm as asm;
 pub use paragraph_core as core;
 pub use paragraph_isa as isa;

@@ -1,0 +1,173 @@
+//! Adversarial-input properties of the resource governors: no declared
+//! length in a hostile stream — chunk header, checkpoint table, or ingest
+//! line — may translate into an allocation beyond the governor's
+//! per-allocation cap, and the text ingest path must be byte-identical to
+//! the native binary writer.
+
+use paragraph::core::{AnalysisConfig, LiveWell};
+use paragraph::trace::binary::{TraceReader, TraceWriter, SYNC_MARKER};
+use paragraph::trace::crc32::crc32;
+use paragraph::trace::govern::{Limits, ResourceGovernor};
+use paragraph::trace::{ingest, synthetic, SegmentMap};
+use proptest::prelude::*;
+
+fn push_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// A trace stream whose single chunk header declares attacker-chosen
+/// record-count and payload-length fields over an arbitrary short payload.
+fn hostile_stream(count: u64, payload_len: u64, payload: &[u8]) -> Vec<u8> {
+    let mut bytes = b"PGTR\x02\x00\x00".to_vec();
+    bytes.extend_from_slice(&SYNC_MARKER);
+    push_varint(&mut bytes, 0); // first record index
+    push_varint(&mut bytes, count);
+    push_varint(&mut bytes, payload_len);
+    bytes.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]); // CRC (wrong)
+    bytes.extend_from_slice(payload);
+    bytes
+}
+
+/// A small valid checkpoint to mutate.
+fn valid_checkpoint() -> Vec<u8> {
+    let mut analyzer = LiveWell::new(AnalysisConfig::dataflow_limit());
+    analyzer.process_all(&synthetic::random_trace(200, 7));
+    let mut bytes = Vec::new();
+    analyzer
+        .save_checkpoint(&mut bytes)
+        .expect("in-memory save");
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever lengths a chunk header declares, the governed reader
+    /// allocates no more than its per-allocation cap before erroring out.
+    #[test]
+    fn hostile_chunk_headers_never_overallocate(
+        count in any::<u64>(),
+        payload_len in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let bytes = hostile_stream(count, payload_len, &payload);
+        let cap = Limits::strict().max_alloc_bytes;
+        let mut reader = TraceReader::new(&bytes[..])
+            .expect("the header itself is well formed")
+            .with_governor(ResourceGovernor::new(Limits::strict()));
+        let mut block = Vec::new();
+        loop {
+            match reader.read_block(&mut block) {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(e) => {
+                    // Typed, not a panic; a governor refusal names its limit.
+                    if let Some(v) = e.limit_violation() {
+                        prop_assert!(v.actual > v.cap);
+                    }
+                    break;
+                }
+            }
+        }
+        prop_assert!(
+            reader.governor().peak_alloc() <= cap,
+            "peak allocation {} exceeded the {} cap",
+            reader.governor().peak_alloc(),
+            cap
+        );
+    }
+
+    /// Same contract in recovery mode, which scans damaged streams for the
+    /// next sync marker instead of stopping at the first fault.
+    #[test]
+    fn hostile_chunk_headers_never_overallocate_in_recovery(
+        count in any::<u64>(),
+        payload_len in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let bytes = hostile_stream(count, payload_len, &payload);
+        let cap = Limits::strict().max_alloc_bytes;
+        let mut reader = TraceReader::with_recovery(&bytes[..])
+            .expect("the header itself is well formed")
+            .with_governor(ResourceGovernor::new(Limits::strict()));
+        let mut block = Vec::new();
+        loop {
+            match reader.read_block(&mut block) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+        prop_assert!(reader.governor().peak_alloc() <= cap);
+    }
+
+    /// Corrupting any window of a valid checkpoint — with the CRC patched
+    /// so the mutated body actually reaches the decoder — never drives an
+    /// allocation past the governor cap, whatever counts the mutated
+    /// length fields declare.
+    #[test]
+    fn mutated_checkpoints_never_overallocate(
+        offset in 0usize..512,
+        run in proptest::collection::vec(any::<u8>(), 1..24),
+    ) {
+        let mut file = valid_checkpoint();
+        let body_start = 5; // magic + version
+        let body_end = file.len() - 4;
+        let at = body_start + offset % (body_end - body_start);
+        let end = (at + run.len()).min(body_end);
+        file[at..end].copy_from_slice(&run[..end - at]);
+        let fixed = crc32(&file[body_start..body_end]);
+        let crc_at = file.len() - 4;
+        file[crc_at..].copy_from_slice(&fixed.to_le_bytes());
+
+        let limits = Limits::strict();
+        let cap = limits.max_alloc_bytes;
+        let mut governor = ResourceGovernor::new(limits);
+        let _ = LiveWell::resume_from_governed(
+            &file[..],
+            AnalysisConfig::dataflow_limit(),
+            &mut governor,
+        );
+        prop_assert!(
+            governor.peak_alloc() <= cap,
+            "peak allocation {} exceeded the {} cap",
+            governor.peak_alloc(),
+            cap
+        );
+    }
+
+    /// Ingesting the rendered text of any trace produces the same bytes as
+    /// writing that trace with the default binary writer: the text path is
+    /// a front door onto the identical v2 format, not a dialect.
+    #[test]
+    fn ingest_round_trip_is_byte_identical(
+        len in 1usize..400,
+        seed in any::<u64>(),
+    ) {
+        let records = synthetic::random_trace(len, seed);
+        let segments = SegmentMap::all_data();
+
+        let mut native = Vec::new();
+        let mut writer = TraceWriter::new(&mut native, segments).expect("in-memory writer");
+        for record in &records {
+            writer.write_record(record).expect("in-memory write");
+        }
+        writer.finish().expect("in-memory finish");
+
+        let text = ingest::render_trace(&records, segments);
+        let mut ingested = Vec::new();
+        let mut governor = ResourceGovernor::new(Limits::default());
+        let stats = ingest::ingest_text(text.as_bytes(), &mut ingested, &mut governor)
+            .expect("rendered text must ingest cleanly");
+
+        prop_assert_eq!(stats.records, records.len() as u64);
+        prop_assert_eq!(native, ingested);
+    }
+}

@@ -108,6 +108,58 @@ fn streaming_and_explicit_analyzers_agree_on_real_traces() {
 }
 
 #[test]
+fn committed_external_trace_ingests_to_the_native_byte_stream() {
+    // The committed example external trace (docs/ingest.md format) must
+    // ingest cleanly, convert to bytes identical to writing the decoded
+    // records natively, and analyze like any homegrown trace.
+    use paragraph::trace::govern::{Limits, ResourceGovernor};
+    use paragraph::trace::ingest;
+
+    let text = include_str!("../examples/traces/sum-loop.pgtxt");
+    let mut bytes = Vec::new();
+    let mut governor = ResourceGovernor::new(Limits::default());
+    let stats =
+        ingest::ingest_text(text.as_bytes(), &mut bytes, &mut governor).expect("example ingests");
+    assert_eq!(stats.records, 17);
+    assert_eq!(
+        stats.segments,
+        paragraph::trace::SegmentMap::new(64, 256),
+        "the example sets explicit segments"
+    );
+    assert!(stats.skipped_lines > 0, "the example is commented");
+
+    let mut reader = TraceReader::new(bytes.as_slice()).expect("ingested bytes parse");
+    let segments = reader.segment_map();
+    let decoded: Vec<_> = reader.by_ref().map(|r| r.unwrap()).collect();
+    assert_eq!(decoded.len() as u64, stats.records);
+
+    // Byte-identity: the text path is a front door onto the same v2
+    // format, not a dialect.
+    let mut native = Vec::new();
+    let mut writer = TraceWriter::new(&mut native, segments).unwrap();
+    for r in &decoded {
+        writer.write_record(r).unwrap();
+    }
+    writer.finish().unwrap();
+    assert_eq!(native, bytes);
+
+    // And re-rendering the decoded records reproduces an ingestible text
+    // that converts to the very same bytes again.
+    let rendered = ingest::render_trace(&decoded, segments);
+    let mut again = Vec::new();
+    let mut governor = ResourceGovernor::new(Limits::default());
+    ingest::ingest_text(rendered.as_bytes(), &mut again, &mut governor)
+        .expect("re-rendered text ingests");
+    assert_eq!(again, bytes);
+
+    let config = AnalysisConfig::dataflow_limit().with_segments(segments);
+    let report = analyze_refs(&decoded, &config);
+    assert_eq!(report.total_records(), stats.records);
+    assert_eq!(report.syscalls(), 1);
+    assert!(report.critical_path_length() > 0);
+}
+
+#[test]
 fn workload_disassembly_reassembles_identically() {
     // Program -> disassemble -> assemble is a fixed point (label names are
     // rewritten but instructions must survive exactly).
