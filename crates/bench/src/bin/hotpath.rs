@@ -28,7 +28,7 @@ use paragraph_isa::OpClass;
 use paragraph_trace::binary::{TraceReader, TraceWriter};
 use paragraph_trace::{Loc, SegmentMap, TraceRecord};
 use std::fs::{self, File};
-use std::io::{BufReader, BufWriter, Write as _};
+use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -253,14 +253,8 @@ fn main() {
         after_ns,
         speedup,
     );
-    let mut bench_log = fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open("BENCH.hotpath.json")
-        .expect("bench log open");
-    bench_log
-        .write_all(line.as_bytes())
-        .expect("bench log write");
+    paragraph_bench::append_bench_row(Path::new("BENCH.hotpath.json"), &line)
+        .expect("bench log append");
     if !quick {
         let _ = fs::remove_file(&trace_path);
     }

@@ -448,6 +448,27 @@ pub fn jobs_from_env() -> usize {
         .unwrap_or(0)
 }
 
+/// Appends one JSONL row to a bench history file (`BENCH.hotpath.json`,
+/// `BENCH.sweep.json`). Each harness run adds a row; the files are the
+/// repo's perf trajectory and feed `paragraph profile --bench-compare`.
+/// A trailing newline is added when the row lacks one.
+///
+/// # Errors
+///
+/// Propagates any I/O error from opening or appending to the file.
+pub fn append_bench_row(path: &Path, row: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut file = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    file.write_all(row.as_bytes())?;
+    if !row.ends_with('\n') {
+        file.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
 /// Formats `n` with thousands separators, as the paper's tables do.
 pub fn thousands(n: u64) -> String {
     let digits = n.to_string();

@@ -22,7 +22,7 @@
 use crate::arena::{ArenaStats, TraceArena};
 use crate::supervisor::{backoff_delay, panic_message, CellError, CellStatus, FaultSpec};
 use crate::Study;
-use paragraph_core::telemetry::{self, Value};
+use paragraph_core::telemetry::{self, timeline, Value};
 use paragraph_core::{AnalysisConfig, LiveWell, ParallelismProfile};
 use paragraph_workloads::WorkloadId;
 use std::collections::VecDeque;
@@ -256,6 +256,16 @@ fn analyze_cell(
     let trace = arena.get(study, cell.workload)?;
     let config = cell.config.clone().with_segments(trace.segments);
     let started = Instant::now();
+    // Timeline slice covering the analysis only (not the arena fetch, which
+    // may block on another worker's decode — attributing that wait to the
+    // cell would make identical cells look slower under contention).
+    let mut tspan = match timeline::timeline_active() {
+        Some(tl) => tl.span_labeled(
+            "sweep.cell",
+            Some(&format!("{}@{}", cell.workload.name(), cell.label)),
+        ),
+        None => timeline::timeline_span("sweep.cell"),
+    };
     let mut analyzer = LiveWell::new(config);
     analyzer.process_slice(&trace.records);
     let window_stalls = analyzer.window_stalls();
@@ -283,6 +293,9 @@ fn analyze_cell(
         );
         registry.counter("sweep.cells_analyzed").add(1);
     }
+    tspan.arg("records", metrics.records);
+    tspan.arg("critical_path", metrics.critical_path);
+    drop(tspan);
     Ok(CellOutcome {
         workload: cell.workload,
         label: cell.label.clone(),
@@ -422,61 +435,104 @@ fn run_sweep_supervised(
             let queues = &queues;
             let results = &results;
             let arena = &arena;
-            scope.spawn(move || loop {
-                let next = lock_poison_ok_deque(&queues[me]).pop_front().or_else(|| {
-                    (1..jobs)
-                        .map(|step| (me + step) % jobs)
-                        .find_map(|victim| lock_poison_ok_deque(&queues[victim]).pop_back())
-                });
-                let Some(index) = next else {
-                    break;
-                };
-                let cell = &cells[index];
-                let attempt = {
-                    let mut slot = lock_poison_ok(&results[index]);
-                    slot.attempts += 1;
-                    slot.attempts
-                };
-                match run_cell(study, cell, arena, fault, attempt) {
-                    Ok(outcome) => {
-                        if opts.reuse_stages {
-                            if let Err(e) =
-                                study.store_stage(name, &cell.stage_key(), &encode_marker(&outcome))
-                            {
-                                // Stage persistence is best-effort, like
-                                // harness checkpoints: the sweep itself
-                                // must not die because the disk did.
-                                eprintln!(
-                                    "{name}: stage marker for {} failed: {e}",
-                                    cell.stage_key()
-                                );
+            scope.spawn(move || {
+                if let Some(tl) = timeline::timeline_active() {
+                    tl.set_thread_name(&format!("worker-{me}"));
+                }
+                loop {
+                    let next = lock_poison_ok_deque(&queues[me]).pop_front().or_else(|| {
+                        (1..jobs)
+                            .map(|step| (me + step) % jobs)
+                            .find_map(|victim| lock_poison_ok_deque(&queues[victim]).pop_back())
+                    });
+                    let Some(index) = next else {
+                        break;
+                    };
+                    let cell = &cells[index];
+                    let attempt = {
+                        let mut slot = lock_poison_ok(&results[index]);
+                        slot.attempts += 1;
+                        slot.attempts
+                    };
+                    if attempt > 1 {
+                        // Close the flow arrow opened when the previous attempt
+                        // chose to retry; Perfetto draws it from the failing
+                        // worker's lane into this attempt's slice.
+                        if let Some(tl) = timeline::timeline_active() {
+                            tl.flow_finish("sweep.retry", retry_flow_id(index, attempt - 1));
+                        }
+                    }
+                    match run_cell(study, cell, arena, fault, attempt) {
+                        Ok(outcome) => {
+                            if opts.reuse_stages {
+                                if let Err(e) = study.store_stage(
+                                    name,
+                                    &cell.stage_key(),
+                                    &encode_marker(&outcome),
+                                ) {
+                                    // Stage persistence is best-effort, like
+                                    // harness checkpoints: the sweep itself
+                                    // must not die because the disk did.
+                                    eprintln!(
+                                        "{name}: stage marker for {} failed: {e}",
+                                        cell.stage_key()
+                                    );
+                                }
+                            }
+                            lock_poison_ok(&results[index]).result = Some(Ok(outcome));
+                            if let Some(tl) = timeline::timeline_active() {
+                                // Arena counters sampled at cell boundaries:
+                                // Perfetto renders them as a stepped
+                                // counter-over-time track per sweep.
+                                let stats = arena.stats();
+                                tl.counter("arena.hits", stats.hits);
+                                tl.counter("arena.misses", stats.misses);
+                                tl.counter("arena.evictions", stats.evictions);
                             }
                         }
-                        lock_poison_ok(&results[index]).result = Some(Ok(outcome));
-                    }
-                    Err(err) if attempt <= opts.retries => {
-                        eprintln!(
-                            "{name}: cell {} attempt {attempt} failed ({err}); retrying",
-                            cell.stage_key()
-                        );
-                        if let Some(registry) = telemetry::active() {
-                            registry.counter("sweep.cell_retries").add(1);
+                        Err(err) if attempt <= opts.retries => {
+                            eprintln!(
+                                "{name}: cell {} attempt {attempt} failed ({err}); retrying",
+                                cell.stage_key()
+                            );
+                            if let Some(registry) = telemetry::active() {
+                                registry.counter("sweep.cell_retries").add(1);
+                            }
+                            if let Some(tl) = timeline::timeline_active() {
+                                tl.instant_with_args(
+                                    "sweep.retry",
+                                    Some(&cell.stage_key()),
+                                    &[("attempt", u64::from(attempt))],
+                                );
+                                tl.flow_start("sweep.retry", retry_flow_id(index, attempt));
+                            }
+                            // Sleep the backoff here, then requeue: the cell is
+                            // never parked in a queue while its backoff runs,
+                            // so no sibling burns a slot waiting on it.
+                            std::thread::sleep(backoff_delay(
+                                opts.retry_backoff_ms,
+                                attempt,
+                                index,
+                            ));
+                            lock_poison_ok_deque(&queues[me]).push_back(index);
                         }
-                        // Sleep the backoff here, then requeue: the cell is
-                        // never parked in a queue while its backoff runs,
-                        // so no sibling burns a slot waiting on it.
-                        std::thread::sleep(backoff_delay(opts.retry_backoff_ms, attempt, index));
-                        lock_poison_ok_deque(&queues[me]).push_back(index);
-                    }
-                    Err(err) => {
-                        eprintln!(
-                            "{name}: cell {} quarantined after {attempt} attempt(s): {err}",
-                            cell.stage_key()
-                        );
-                        if let Some(registry) = telemetry::active() {
-                            registry.counter("sweep.cells_quarantined").add(1);
+                        Err(err) => {
+                            eprintln!(
+                                "{name}: cell {} quarantined after {attempt} attempt(s): {err}",
+                                cell.stage_key()
+                            );
+                            if let Some(registry) = telemetry::active() {
+                                registry.counter("sweep.cells_quarantined").add(1);
+                            }
+                            if let Some(tl) = timeline::timeline_active() {
+                                tl.instant_with_args(
+                                    "sweep.quarantine",
+                                    Some(&cell.stage_key()),
+                                    &[("attempts", u64::from(attempt))],
+                                );
+                            }
+                            lock_poison_ok(&results[index]).result = Some(Err(err));
                         }
-                        lock_poison_ok(&results[index]).result = Some(Err(err));
                     }
                 }
             });
@@ -536,6 +592,13 @@ fn run_sweep_supervised(
         jobs,
         arena: arena.stats(),
     }
+}
+
+/// Deterministic flow-event id tying a retry decision to the attempt it
+/// spawns. Depends only on cell index and attempt number, so traces from
+/// different job counts normalize identically.
+fn retry_flow_id(index: usize, attempt: u32) -> u64 {
+    (index as u64) << 8 | u64::from(attempt & 0xff)
 }
 
 fn lock_poison_ok<'a>(slot: &'a Mutex<CellSlot>) -> std::sync::MutexGuard<'a, CellSlot> {
@@ -1115,8 +1178,19 @@ mod tests {
         }
         let ladder = measure_sweep(&study, "t-bench14", &ladder_cells, 2);
 
-        println!("{}", pair.json("10x2", cpus));
-        println!("{}", ladder.json("10x14", cpus));
+        // Print the rows and append them to the workspace perf trajectory;
+        // `paragraph profile --bench-compare` diffs two such files. Append
+        // is best-effort: a read-only checkout must not fail the benchmark.
+        let bench_log = std::path::Path::new(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH.sweep.json"
+        ));
+        for row in [pair.json("10x2", cpus), ladder.json("10x14", cpus)] {
+            println!("{row}");
+            if let Err(e) = crate::append_bench_row(bench_log, &row) {
+                eprintln!("bench log append failed: {e}");
+            }
+        }
 
         assert_eq!(pair.misses, 10, "each workload must decode exactly once");
         let pair_speedup = pair.speedup();

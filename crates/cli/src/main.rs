@@ -183,6 +183,14 @@ fn run(args: &[String]) -> Result<(), CliError> {
         return Ok(());
     };
     let opts = Options::parse(&args[1..]).map_err(CliError::Usage)?;
+    // Only `profile` takes positional arguments (timeline/bench-log
+    // files); everywhere else a stray word is a typo, not an input.
+    if command != "profile" && !opts.positional.is_empty() {
+        return Err(usage_err(format!(
+            "unexpected argument `{}`",
+            opts.positional[0]
+        )));
+    }
     let result = match command.as_str() {
         "list" => cmd_list(),
         "analyze" => cmd_analyze(&opts),
@@ -195,6 +203,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "compare" => cmd_compare(&opts),
         "stats" => cmd_stats(&opts),
         "report" => cmd_report(&opts),
+        "profile" => cmd_profile(&opts),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -233,6 +242,9 @@ commands:
   compare   one workload under the standard ladder of machine conditions
   stats     first-order operation frequencies of a workload or trace file
   report    full Section-2.3 analysis: lifetimes, sharing, slack, storage
+  profile   summarize a --timeline-out recording: per-stage self-time,
+            lane utilization, slowest slices; --diff B compares two
+            timelines; --bench-compare BASELINE checks bench-log rows
 
 common options:
   --workload NAME   one of the ten benchmark analogues
@@ -289,6 +301,16 @@ telemetry (analyze; see docs/telemetry.md):
   stats --telemetry FILE   summarize a JSONL log (per-stage table); bad
                         lines are skipped with a warning (--strict: fail)
   stats --metrics FILE     validate a Prometheus snapshot
+
+flight recorder (analyze / run / sweep; see docs/telemetry.md):
+  --timeline-out FILE   record a per-thread span timeline and export it as
+                        Chrome trace-event JSON (open in ui.perfetto.dev);
+                        lane capacity via PARAGRAPH_TIMELINE_EVENTS
+  profile T.json [--top N]        per-stage self-time, lanes, slow slices
+  profile A.json --diff B.json    stage-by-stage timeline comparison
+  profile CUR --bench-compare BASE [--bench-threshold PCT]
+                        compare bench-log rows (BENCH.*.json); exit 5 when
+                        any row slows down more than PCT% (default 20)
 
 untrusted input (see docs/ingest.md):
   resource governors cap what a trace, checkpoint, ingest, or asm file may
@@ -356,6 +378,21 @@ struct Options {
     /// `stats --telemetry`: fail on the first malformed JSONL line instead
     /// of warning and skipping it.
     strict: bool,
+    /// `--timeline-out FILE`: record a flight-recorder timeline and export
+    /// it as Chrome trace-event JSON (analyze / run / sweep).
+    timeline_out: Option<String>,
+    /// `profile A --diff B`: compare two timelines stage by stage.
+    diff: Option<String>,
+    /// `profile --top N`: how many slowest slices to list (default 10).
+    top: Option<usize>,
+    /// `profile CURRENT --bench-compare BASELINE`: compare bench-log rows
+    /// against a baseline instead of profiling a timeline.
+    bench_compare: Option<String>,
+    /// `--bench-threshold PCT`: allowed slowdown before the compare fails
+    /// (default 20).
+    bench_threshold: Option<f64>,
+    /// Non-flag arguments (only the `profile` command accepts them).
+    positional: Vec<String>,
 }
 
 impl Options {
@@ -461,6 +498,17 @@ impl Options {
                 "--text" => opts.text = Some(value()?),
                 "--reject-report" => opts.reject_report = Some(value()?),
                 "--strict" => opts.strict = true,
+                "--timeline-out" => opts.timeline_out = Some(value()?),
+                "--diff" => opts.diff = Some(value()?),
+                "--top" => opts.top = Some(parse_num(&value()?)?),
+                "--bench-compare" => opts.bench_compare = Some(value()?),
+                "--bench-threshold" => {
+                    let pct: f64 = parse_num(&value()?)?;
+                    if !pct.is_finite() || pct < 0.0 {
+                        return Err("--bench-threshold must be a non-negative percent".into());
+                    }
+                    opts.bench_threshold = Some(pct);
+                }
                 flag if flag.starts_with("--progress=") => {
                     let secs: f64 = flag["--progress=".len()..]
                         .parse()
@@ -470,6 +518,7 @@ impl Options {
                     }
                     opts.progress = Some(secs);
                 }
+                other if !other.starts_with('-') => opts.positional.push(other.to_owned()),
                 other => return Err(format!("unknown option `{other}`")),
             }
         }
@@ -604,6 +653,7 @@ struct LoadedTrace {
 fn load_records(opts: &Options) -> Result<LoadedTrace, CliError> {
     let mut loaded = if let Some(path) = &opts.trace {
         let mut span = paragraph_core::span!("decode");
+        let mut tspan = telemetry::timeline::timeline_span("decode");
         let file = File::open(path).map_err(|e| io_err(path, e))?;
         let input = BufReader::new(file);
         let mut reader = if opts.recover {
@@ -627,6 +677,8 @@ fn load_records(opts: &Options) -> Result<LoadedTrace, CliError> {
         let recovery = opts.recover.then(|| reader.recovery_stats());
         span.field("records", reader.records_read());
         span.field("bytes", reader.bytes_read());
+        tspan.arg("records", reader.records_read());
+        tspan.arg("bytes", reader.bytes_read());
         paragraph_core::counter!("decode.records", reader.records_read());
         paragraph_core::counter!("decode.bytes", reader.bytes_read());
         if let Some(stats) = &recovery {
@@ -643,11 +695,13 @@ fn load_records(opts: &Options) -> Result<LoadedTrace, CliError> {
         }
     } else {
         let mut span = paragraph_core::span!("generate");
+        let mut tspan = telemetry::timeline::timeline_span("generate");
         let workload = opts.build_workload().map_err(usage_err)?;
         let (records, segments) = workload
             .collect_trace(opts.fuel())
             .map_err(|e| CliError::Analysis(format!("{}: {e}", workload.id())))?;
         span.field("records", records.len() as u64);
+        tspan.arg("records", records.len() as u64);
         LoadedTrace {
             records,
             segments,
@@ -806,6 +860,50 @@ fn write_metrics_snapshot(path: &str) -> Result<(), CliError> {
     std::fs::write(path, text).map_err(|e| io_err(path, e))
 }
 
+/// Arms the flight recorder when `--timeline-out` asks for it. Separate
+/// from the metrics registry: a timeline can be recorded without paying
+/// for counters/heartbeats and vice versa. Lane capacity is overridable
+/// via `PARAGRAPH_TIMELINE_EVENTS` (events per thread lane).
+fn init_timeline(opts: &Options) -> bool {
+    if opts.timeline_out.is_none() {
+        return false;
+    }
+    let timeline = telemetry::timeline::timeline();
+    if let Some(cap) = std::env::var("PARAGRAPH_TIMELINE_EVENTS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        timeline.set_lane_capacity(cap);
+    }
+    timeline.enable();
+    timeline.set_thread_name("main");
+    true
+}
+
+/// Exports the recorded timeline as Chrome trace-event JSON, atomically.
+/// Touches only the target file and stderr — never stdout, so instrumented
+/// reports stay byte-identical to plain runs.
+fn export_timeline(path: &str) -> Result<(), CliError> {
+    let Some(timeline) = telemetry::timeline::timeline_active() else {
+        return Ok(());
+    };
+    paragraph_core::artifact::write_atomic(std::path::Path::new(path), |out| {
+        timeline.export_chrome_trace(out)
+    })
+    .map_err(|e| io_err(path, e))?;
+    eprintln!("timeline written to {path}");
+    Ok(())
+}
+
+/// [`export_timeline`] with ledger-style degradation: a failed export
+/// warns and lands in the artifact-failure ledger instead of aborting.
+fn export_timeline_degraded(path: &str, artifact_failures: &mut Vec<String>) {
+    if let Err(e) = export_timeline(path) {
+        eprintln!("warning: timeline export failed ({e})");
+        artifact_failures.push(format!("timeline {path}: {e}"));
+    }
+}
+
 /// One periodic beat of the analysis loop: refresh gauges, and when a
 /// heartbeat is due, print it to stderr and log it as a `progress` event.
 fn progress_beat(
@@ -841,6 +939,7 @@ fn progress_beat(
             &[
                 ("records", Value::U64(tick.records)),
                 ("records_per_sec", Value::F64(tick.records_per_sec)),
+                ("bytes_per_sec", Value::F64(tick.bytes_per_sec)),
                 ("mb_per_sec", Value::F64(tick.mb_per_sec)),
                 ("critical_path", Value::U64(cp)),
                 ("eta_secs", Value::F64(tick.eta_secs.unwrap_or(-1.0))),
@@ -860,6 +959,8 @@ fn save_checkpoint_instrumented(
     {
         let mut span = paragraph_core::span!("checkpoint.save");
         span.field("records", analyzer.records_processed());
+        let mut tspan = telemetry::timeline::timeline_span("checkpoint.save");
+        tspan.arg("records", analyzer.records_processed());
         save_checkpoint_atomic(analyzer, path)?;
     }
     if setup.enabled {
@@ -873,6 +974,7 @@ fn save_checkpoint_instrumented(
 
 fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
     let setup = init_telemetry(opts)?;
+    init_timeline(opts);
     let loaded = load_records(opts)?;
     if let Some(stats) = &loaded.recovery {
         print_recovery_stats(stats);
@@ -903,6 +1005,7 @@ fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
     let mut analyzer = match &opts.resume {
         Some(path) => {
             let mut span = paragraph_core::span!("checkpoint.load");
+            let _tspan = telemetry::timeline::timeline_span("checkpoint.load");
             let file = File::open(path).map_err(|e| io_err(path, e))?;
             let analyzer = LiveWell::resume_from(BufReader::new(file), config)
                 .map_err(|e| checkpoint_err(path, e))?;
@@ -932,6 +1035,7 @@ fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
 
     let mut reporter = opts.progress.map(|secs| {
         ProgressReporter::new(Duration::from_secs_f64(secs), Some(records.len() as u64))
+            .with_total_bytes((loaded.bytes > 0).then_some(loaded.bytes))
     });
     let ckpt_path = checkpoint_path(opts);
     // Artifact-failure ledger: sink failures (checkpoint, telemetry log,
@@ -977,7 +1081,13 @@ fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
                 next = next.min((n / every + 1) * every);
             }
             next = next.min((n / BEAT_STRIDE + 1) * BEAT_STRIDE);
-            analyzer.process_slice(&records[n as usize..next as usize]);
+            {
+                // One timeline slice per batch — stage attribution at
+                // checkpoint/beat boundaries, nothing per record.
+                let mut tspan = telemetry::timeline::timeline_span("livewell");
+                tspan.arg("records", next - n);
+                analyzer.process_slice(&records[n as usize..next as usize]);
+            }
             n = next;
             if let Some(every) = opts.checkpoint_every {
                 if n.is_multiple_of(every) {
@@ -990,6 +1100,11 @@ fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
             }
             if n & (BEAT_STRIDE - 1) == 0 {
                 progress_beat(&mut reporter, &analyzer, loaded.bytes, records.len(), false);
+                if let Some(timeline) = telemetry::timeline::timeline_active() {
+                    let (seen, _, critical_path, _) = analyzer.snapshot();
+                    timeline.counter("livewell.records", seen);
+                    timeline.counter("livewell.critical_path", critical_path);
+                }
             }
         }
     }
@@ -1004,9 +1119,13 @@ fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
 
     let report = {
         let _span = paragraph_core::span!("report");
+        let _tspan = telemetry::timeline::timeline_span("report");
         analyzer.finish()
     };
     print_report(&report, opts, &mut artifact_failures);
+    if let Some(path) = &opts.timeline_out {
+        export_timeline_degraded(path, &mut artifact_failures);
+    }
 
     if setup.enabled {
         let registry = telemetry::global();
@@ -1169,6 +1288,7 @@ fn cmd_ingest(opts: &Options) -> Result<(), CliError> {
 }
 
 fn cmd_run(opts: &Options) -> Result<(), CliError> {
+    init_timeline(opts);
     let path = opts
         .asm
         .as_deref()
@@ -1176,35 +1296,46 @@ fn cmd_run(opts: &Options) -> Result<(), CliError> {
     let source = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
     // Assembly files are front-door input too: assemble under limits so a
     // hostile `.space` declaration is a typed rejection, not an allocation.
-    let program = paragraph_asm::assemble_with_limits(
-        &source,
-        paragraph_asm::DEFAULT_DATA_BASE,
-        &paragraph_asm::AsmLimits::from_env(),
-    )
-    .map_err(|e| {
-        if let paragraph_asm::AsmErrorKind::LimitExceeded {
-            limit,
-            what,
-            actual,
-            cap,
-        } = *e.kind()
-        {
-            input_rejected(path, limit, what, actual, cap, &e)
-        } else {
-            CliError::Analysis(format!("{path}: {e}"))
-        }
-    })?;
+    let program = {
+        let _tspan = telemetry::timeline::timeline_span("assemble");
+        paragraph_asm::assemble_with_limits(
+            &source,
+            paragraph_asm::DEFAULT_DATA_BASE,
+            &paragraph_asm::AsmLimits::from_env(),
+        )
+        .map_err(|e| {
+            if let paragraph_asm::AsmErrorKind::LimitExceeded {
+                limit,
+                what,
+                actual,
+                cap,
+            } = *e.kind()
+            {
+                input_rejected(path, limit, what, actual, cap, &e)
+            } else {
+                CliError::Analysis(format!("{path}: {e}"))
+            }
+        })?
+    };
     let mut vm = Vm::new(program);
     vm.extend_input(opts.inputs.iter().copied());
-    let outcome = vm
-        .run(opts.fuel())
-        .map_err(|e| CliError::Analysis(format!("{path}: {e}")))?;
+    let outcome = {
+        let mut tspan = telemetry::timeline::timeline_span("vm.run");
+        let outcome = vm
+            .run(opts.fuel())
+            .map_err(|e| CliError::Analysis(format!("{path}: {e}")))?;
+        tspan.arg("instructions", outcome.executed());
+        outcome
+    };
     print!("{}", vm.output());
     println!(
         "[{} instructions, {:?}]",
         outcome.executed(),
         outcome.reason()
     );
+    if let Some(out) = &opts.timeline_out {
+        export_timeline(out)?;
+    }
     Ok(())
 }
 
@@ -1350,6 +1481,144 @@ fn cmd_report(opts: &Options) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `paragraph profile T.json`: summarize a flight-recorder timeline —
+/// per-stage self-time, lane utilization, slowest slices. With `--diff B`
+/// compares two timelines; with `--bench-compare BASELINE` switches to
+/// bench-log regression checking instead.
+fn cmd_profile(opts: &Options) -> Result<(), CliError> {
+    use telemetry::tracefmt;
+    if let Some(baseline) = &opts.bench_compare {
+        return cmd_profile_bench_compare(opts, baseline);
+    }
+    let path = opts.positional.first().ok_or_else(|| {
+        usage_err("profile needs a timeline file (paragraph profile t.json; see --timeline-out)")
+    })?;
+    let summary = load_timeline_summary(path)?;
+    match &opts.diff {
+        Some(other) => {
+            let candidate = load_timeline_summary(other)?;
+            println!("A: {path}");
+            println!("B: {other}");
+            print!("{}", tracefmt::render_diff(&summary, &candidate));
+        }
+        None => {
+            println!("{path}:");
+            print!(
+                "{}",
+                tracefmt::render_profile(&summary, opts.top.unwrap_or(10))
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Reads, validates, and summarizes one timeline file. Malformed
+/// trace-event JSON is typed corruption (exit 4), like every other
+/// damaged artifact.
+fn load_timeline_summary(path: &str) -> Result<telemetry::tracefmt::ProfileSummary, CliError> {
+    use telemetry::tracefmt;
+    let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+    tracefmt::validate(&text).map_err(|e| CliError::CorruptTrace(format!("{path}: {e}")))?;
+    let events = tracefmt::parse_chrome_trace(&text)
+        .map_err(|e| CliError::CorruptTrace(format!("{path}: {e}")))?;
+    Ok(tracefmt::summarize(&events))
+}
+
+/// `paragraph profile CURRENT --bench-compare BASELINE`: compares bench-log
+/// rows (`BENCH.hotpath.json` / `BENCH.sweep.json` JSONL) keyed by
+/// bench name + mode/grid, last row per key. Any key whose `after_ns`
+/// slows down by more than `--bench-threshold` percent (default 20) fails
+/// the check with exit 5 — the perf-regression gate.
+fn cmd_profile_bench_compare(opts: &Options, baseline_path: &str) -> Result<(), CliError> {
+    let current_path = opts.positional.first().ok_or_else(|| {
+        usage_err("profile --bench-compare needs the current bench log as an argument")
+    })?;
+    let threshold_pct = opts.bench_threshold.unwrap_or(20.0);
+    let baseline = read_bench_rows(baseline_path)?;
+    let current = read_bench_rows(current_path)?;
+    if baseline.is_empty() {
+        return Err(CliError::CorruptTrace(format!(
+            "{baseline_path}: no bench rows (expected JSONL with \"bench\" and \"after_ns\")"
+        )));
+    }
+    println!("bench-compare: {current_path} vs {baseline_path} (threshold +{threshold_pct:.0}%)");
+    let mut regressions: Vec<String> = Vec::new();
+    let mut compared = 0usize;
+    for (key, base_ns) in &baseline {
+        let Some(cur_ns) = current.get(key) else {
+            println!("  {key:<34} missing from current log");
+            continue;
+        };
+        compared += 1;
+        let delta_pct = if *base_ns > 0.0 {
+            100.0 * (cur_ns - base_ns) / base_ns
+        } else {
+            0.0
+        };
+        let verdict = if delta_pct > threshold_pct {
+            regressions.push(format!("{key} ({delta_pct:+.1}%)"));
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {key:<34} base {base_ns:>12.0}ns  cur {cur_ns:>12.0}ns  {delta_pct:>+7.1}%  {verdict}"
+        );
+    }
+    for key in current.keys() {
+        if !baseline.contains_key(key) {
+            println!("  {key:<34} new (no baseline)");
+        }
+    }
+    if compared == 0 {
+        return Err(CliError::Analysis(format!(
+            "no common bench keys between {current_path} and {baseline_path}"
+        )));
+    }
+    if !regressions.is_empty() {
+        return Err(CliError::Analysis(format!(
+            "bench regression above +{threshold_pct:.0}%: {}",
+            regressions.join(", ")
+        )));
+    }
+    Ok(())
+}
+
+/// Parses a bench log (JSONL, one row per run) into key → `after_ns`,
+/// last row per key winning. Key = `bench/mode` or `bench/grid`.
+fn read_bench_rows(path: &str) -> Result<std::collections::BTreeMap<String, f64>, CliError> {
+    use telemetry::tracefmt::{parse_json, JsonValue};
+    let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+    let mut rows = std::collections::BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let row = parse_json(line)
+            .map_err(|e| CliError::CorruptTrace(format!("{path}: line {}: {e}", lineno + 1)))?;
+        let Some(bench) = row.get("bench").and_then(JsonValue::as_str) else {
+            return Err(CliError::CorruptTrace(format!(
+                "{path}: line {}: missing \"bench\"",
+                lineno + 1
+            )));
+        };
+        let Some(after_ns) = row.get("after_ns").and_then(JsonValue::as_f64) else {
+            return Err(CliError::CorruptTrace(format!(
+                "{path}: line {}: missing \"after_ns\"",
+                lineno + 1
+            )));
+        };
+        let variant = row
+            .get("mode")
+            .or_else(|| row.get("grid"))
+            .and_then(JsonValue::as_str)
+            .unwrap_or("");
+        rows.insert(format!("{bench}/{variant}"), after_ns);
+    }
+    Ok(rows)
+}
+
 fn cmd_compare(opts: &Options) -> Result<(), CliError> {
     use paragraph_core::machine::Machine;
     let LoadedTrace {
@@ -1383,6 +1652,7 @@ fn cmd_sweep(opts: &Options) -> Result<(), CliError> {
     if !opts.workloads.is_empty() {
         return cmd_sweep_grid(opts);
     }
+    init_timeline(opts);
     let LoadedTrace {
         records, segments, ..
     } = load_records(opts)?;
@@ -1391,7 +1661,10 @@ fn cmd_sweep(opts: &Options) -> Result<(), CliError> {
     } else {
         opts.windows.clone()
     };
-    let full = analyze_refs(&records, &opts.config(segments));
+    let full = {
+        let _tspan = telemetry::timeline::timeline_span("sweep.window");
+        analyze_refs(&records, &opts.config(segments))
+    };
     let total = full.available_parallelism();
     println!(
         "{:>10}  {:>14}  {:>12}  {:>8}",
@@ -1399,7 +1672,14 @@ fn cmd_sweep(opts: &Options) -> Result<(), CliError> {
     );
     for &w in &windows {
         let config = opts.config(segments).with_window(WindowSize::bounded(w));
-        let report = analyze_refs(&records, &config);
+        let report = {
+            let mut tspan = match telemetry::timeline::timeline_active() {
+                Some(timeline) => timeline.span_labeled("sweep.window", Some(&format!("w{w}"))),
+                None => telemetry::timeline::timeline_span("sweep.window"),
+            };
+            tspan.arg("window", w as u64);
+            analyze_refs(&records, &config)
+        };
         println!(
             "{w:>10}  {:>14}  {:>12.2}  {:>7.2}%",
             report.critical_path_length(),
@@ -1414,6 +1694,9 @@ fn cmd_sweep(opts: &Options) -> Result<(), CliError> {
         total,
         "100.00%"
     );
+    if let Some(out) = &opts.timeline_out {
+        export_timeline(out)?;
+    }
     Ok(())
 }
 
@@ -1438,6 +1721,7 @@ fn cmd_sweep_grid(opts: &Options) -> Result<(), CliError> {
         ));
     }
     let setup = init_telemetry(opts)?;
+    init_timeline(opts);
     let windows = if opts.windows.is_empty() {
         vec![1, 10, 100, 1000, 10_000, 100_000]
     } else {
@@ -1482,7 +1766,13 @@ fn cmd_sweep_grid(opts: &Options) -> Result<(), CliError> {
     // Cells are supervised inside run_sweep: a VM fault or analyzer panic
     // is caught, retried, and at worst quarantines that one cell — the
     // sweep itself always completes.
+    if let Some(timeline) = telemetry::timeline::timeline_active() {
+        timeline.instant_with_args("sweep.start", None, &[("cells", cells.len() as u64)]);
+    }
     let outcome = run_sweep(&study, "sweep", &cells, &sweep_opts);
+    if let Some(timeline) = telemetry::timeline::timeline_active() {
+        timeline.instant_with_args("sweep.done", None, &[("cells", outcome.cells.len() as u64)]);
+    }
 
     let ladder = windows.len() + 1;
     println!(
@@ -1557,6 +1847,9 @@ fn cmd_sweep_grid(opts: &Options) -> Result<(), CliError> {
     );
     if let Some(path) = &setup.metrics_out {
         write_metrics_snapshot(path)?;
+    }
+    if let Some(path) = &opts.timeline_out {
+        export_timeline(path)?;
     }
     if outcome.quarantined() > 0 {
         let details: Vec<String> = outcome

@@ -59,9 +59,18 @@ fn instrumented_report_is_byte_identical_and_artifacts_parse() {
         plain.stdout, instrumented.stdout,
         "instrumentation changed the report on stdout"
     );
-    // The heartbeat and artifact notices land on stderr only.
+    // The heartbeat and artifact notices land on stderr only, and each
+    // heartbeat carries throughput and the critical-path cursor.
     let stderr = String::from_utf8_lossy(&instrumented.stderr);
     assert!(stderr.contains("progress:"), "missing heartbeat: {stderr}");
+    assert!(
+        stderr.contains("rec/s"),
+        "heartbeat lacks throughput: {stderr}"
+    );
+    assert!(
+        stderr.contains("cp="),
+        "heartbeat lacks critical path: {stderr}"
+    );
 
     // Both artifacts must survive their own validators.
     let stats = paragraph(&[

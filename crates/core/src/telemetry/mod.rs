@@ -22,6 +22,11 @@
 //!   a Prometheus text snapshot ([`prom`]), and a human stderr heartbeat
 //!   ([`progress`]). [`summary`] parses a JSONL log back into a per-stage
 //!   time/throughput table (the `paragraph stats --telemetry` view).
+//! * **The flight recorder** — [`timeline`] keeps a bounded, per-thread
+//!   ring of span/instant/flow/counter events and exports Chrome
+//!   trace-event JSON for Perfetto (`--timeline-out`); [`tracefmt`]
+//!   parses it back and computes the `paragraph profile` attribution
+//!   (per-stage self-time, lane utilization, slowest slices, diffs).
 //!
 //! # Examples
 //!
@@ -44,6 +49,8 @@
 pub mod progress;
 pub mod prom;
 pub mod summary;
+pub mod timeline;
+pub mod tracefmt;
 
 use std::collections::BTreeMap;
 use std::io::Write;

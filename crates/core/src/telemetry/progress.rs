@@ -4,7 +4,10 @@
 //! interval and formats each one as a single whole line — safe for CI logs
 //! and for interleaving with other stderr diagnostics (no carriage-return
 //! redraw tricks). The caller ticks it from the analysis loop; the reporter
-//! decides when a tick is due and what to print.
+//! decides when a tick is due and what to print. Every heartbeat carries
+//! throughput in both units (records/s and bytes/s); completion and ETA
+//! come from the record total when the caller knows it, and fall back to
+//! the trace size in bytes when only that is known (streamed input).
 
 use std::time::{Duration, Instant};
 
@@ -16,6 +19,7 @@ pub struct ProgressReporter {
     last_emit: Instant,
     last_records: u64,
     total_records: Option<u64>,
+    total_bytes: Option<u64>,
 }
 
 /// One rendered heartbeat, plus the raw numbers for event logging.
@@ -27,10 +31,14 @@ pub struct ProgressTick {
     pub records: u64,
     /// Instantaneous records/sec since the previous heartbeat.
     pub records_per_sec: f64,
+    /// Cumulative-average bytes/sec (0 when byte accounting is
+    /// unavailable).
+    pub bytes_per_sec: f64,
     /// Instantaneous MB/s since the previous heartbeat (0 when byte
     /// accounting is unavailable).
     pub mb_per_sec: f64,
-    /// Seconds remaining at the current rate, when the total is known.
+    /// Seconds remaining at the current rate, when a total (records or
+    /// bytes) is known.
     pub eta_secs: Option<f64>,
 }
 
@@ -45,7 +53,15 @@ impl ProgressReporter {
             last_emit: now,
             last_records: 0,
             total_records,
+            total_bytes: None,
         }
+    }
+
+    /// Sets the trace size in bytes, enabling a byte-derived ETA and
+    /// percent-done when the record total is unknown (streamed input).
+    pub fn with_total_bytes(mut self, total_bytes: Option<u64>) -> ProgressReporter {
+        self.total_bytes = total_bytes;
+        self
     }
 
     /// Whether enough wall-clock time has passed for another heartbeat.
@@ -70,28 +86,43 @@ impl ProgressReporter {
         let delta = records.saturating_sub(self.last_records);
         let inst_rate = delta as f64 / window;
         let avg_rate = records as f64 / elapsed;
-        // ETA from the cumulative average: smoother than the instantaneous
-        // window and correct-on-average for resumed runs.
-        let eta_secs = self.total_records.and_then(|total| {
-            let remaining = total.saturating_sub(records);
-            (avg_rate > 0.0).then(|| remaining as f64 / avg_rate)
-        });
-        let mb_per_sec = if bytes > 0 {
-            (bytes as f64 / 1e6) / elapsed
+        let bytes_per_sec = if bytes > 0 {
+            bytes as f64 / elapsed
         } else {
             0.0
         };
-        let mut line = format!("progress: {records} records ({:.2}M/s)", inst_rate / 1e6);
-        if let Some(total) = self.total_records {
-            let pct = if total == 0 {
-                100.0
-            } else {
-                100.0 * records as f64 / total as f64
-            };
+        // ETA from cumulative averages: smoother than the instantaneous
+        // window and correct-on-average for resumed runs. Prefer the
+        // record total; fall back to trace size when only bytes are known.
+        let eta_secs = match (self.total_records, self.total_bytes) {
+            (Some(total), _) => {
+                let remaining = total.saturating_sub(records);
+                (avg_rate > 0.0).then(|| remaining as f64 / avg_rate)
+            }
+            (None, Some(total)) => {
+                let remaining = total.saturating_sub(bytes);
+                (bytes_per_sec > 0.0).then(|| remaining as f64 / bytes_per_sec)
+            }
+            (None, None) => None,
+        };
+        let mut line = format!(
+            "progress: {records} records ({:.2}M rec/s)",
+            inst_rate / 1e6
+        );
+        let pct = match (self.total_records, self.total_bytes) {
+            (Some(0), _) => Some(100.0),
+            (Some(total), _) => Some(100.0 * records as f64 / total as f64),
+            (None, Some(total)) if total > 0 => Some(100.0 * bytes as f64 / total as f64),
+            _ => None,
+        };
+        if let Some(pct) = pct {
             let _ = std::fmt::Write::write_fmt(&mut line, format_args!(" {pct:.1}%"));
         }
-        if mb_per_sec > 0.0 {
-            let _ = std::fmt::Write::write_fmt(&mut line, format_args!(" {mb_per_sec:.1} MB/s"));
+        if bytes_per_sec > 0.0 {
+            let _ = std::fmt::Write::write_fmt(
+                &mut line,
+                format_args!(" {:.1} MB/s", bytes_per_sec / 1e6),
+            );
         }
         let _ = std::fmt::Write::write_fmt(&mut line, format_args!(" cp={critical_path}"));
         if let Some(eta) = eta_secs {
@@ -103,7 +134,8 @@ impl ProgressReporter {
             line,
             records,
             records_per_sec: inst_rate,
-            mb_per_sec,
+            bytes_per_sec,
+            mb_per_sec: bytes_per_sec / 1e6,
             eta_secs,
         }
     }
@@ -131,9 +163,11 @@ mod tests {
         let tick = reporter.tick(50, 1000, 7).expect("due immediately");
         assert_eq!(tick.records, 50);
         assert!(tick.line.contains("50 records"));
+        assert!(tick.line.contains("rec/s"));
         assert!(tick.line.contains("50.0%"));
         assert!(tick.line.contains("cp=7"));
         assert!(tick.eta_secs.is_some());
+        assert!(tick.bytes_per_sec > 0.0);
     }
 
     #[test]
@@ -158,5 +192,26 @@ mod tests {
         let mut reporter = ProgressReporter::new(Duration::ZERO, Some(0));
         let tick = reporter.force_tick(0, 0, 0);
         assert!(tick.line.contains("100.0%"));
+    }
+
+    #[test]
+    fn trace_size_drives_eta_when_record_total_is_unknown() {
+        let mut reporter =
+            ProgressReporter::new(Duration::ZERO, None).with_total_bytes(Some(1_000_000));
+        let tick = reporter.force_tick(10, 250_000, 0);
+        assert!(
+            tick.eta_secs.is_some(),
+            "byte total must provide a fallback ETA"
+        );
+        assert!(
+            tick.line.contains("25.0%"),
+            "percent from bytes: {}",
+            tick.line
+        );
+        // The record total, when present, wins over the byte total.
+        let mut both =
+            ProgressReporter::new(Duration::ZERO, Some(100)).with_total_bytes(Some(1_000_000));
+        let tick = both.force_tick(50, 250_000, 0);
+        assert!(tick.line.contains("50.0%"), "{}", tick.line);
     }
 }

@@ -39,6 +39,18 @@ fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
     let _ = writeln!(out, "{base}_bucket{{le=\"+Inf\"}} {}", h.count);
     let _ = writeln!(out, "{base}_sum {}", h.sum);
     let _ = writeln!(out, "{base}_count {}", h.count);
+    // Precomputed quantiles as a sibling gauge family (the classic
+    // histogram family stays untouched for PromQL `histogram_quantile`;
+    // these are the cheap scrape-side view). Upper-bound estimates from
+    // the log2 buckets, monotone by construction.
+    if h.count > 0 {
+        let _ = writeln!(out, "# TYPE {base}_quantiles gauge");
+        for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+            if let Some(value) = h.quantile(q) {
+                let _ = writeln!(out, "{base}_quantiles{{quantile=\"{label}\"}} {value}");
+            }
+        }
+    }
 }
 
 /// Renders the snapshot in the Prometheus text exposition format.
@@ -98,6 +110,15 @@ pub fn validate(text: &str) -> Result<usize, String> {
             Some((bare, labels)) => {
                 if !labels.ends_with('}') {
                     return Err(format!("line {}: unterminated label set", lineno + 1));
+                }
+                // Quantile labels must be probabilities: the gauge family
+                // rendered next to each histogram is only trustworthy if
+                // `quantile="q"` parses and lands in [0, 1].
+                if let Some(rest) = labels.strip_prefix("quantile=\"") {
+                    let q = rest.split('"').next().unwrap_or("");
+                    if !q.parse::<f64>().is_ok_and(|q| (0.0..=1.0).contains(&q)) {
+                        return Err(format!("line {}: bad quantile label {q:?}", lineno + 1));
+                    }
                 }
                 bare
             }
@@ -166,7 +187,41 @@ mod tests {
     }
 
     #[test]
+    fn histogram_quantiles_are_exported_and_monotone() {
+        let registry = Registry::new();
+        let h = registry.histogram("lat");
+        for v in [1u64, 2, 2, 3, 100, 4000] {
+            h.observe(v);
+        }
+        let text = registry.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE paragraph_lat_quantiles gauge"));
+        let quantile = |label: &str| -> f64 {
+            let needle = format!("paragraph_lat_quantiles{{quantile=\"{label}\"}} ");
+            let line = text
+                .lines()
+                .find(|l| l.starts_with(&needle))
+                .unwrap_or_else(|| panic!("missing quantile {label}"));
+            line[needle.len()..].parse().expect("numeric quantile")
+        };
+        let (p50, p90, p99) = (quantile("0.5"), quantile("0.9"), quantile("0.99"));
+        assert!(p50 <= p90 && p90 <= p99, "p50={p50} p90={p90} p99={p99}");
+        assert!(p99 >= 100.0, "p99 must reach the tail, got {p99}");
+        validate(&text).expect("snapshot with quantiles must validate");
+    }
+
+    #[test]
+    fn empty_histogram_renders_no_quantiles() {
+        let registry = Registry::new();
+        let _ = registry.histogram("quiet");
+        let text = registry.snapshot().to_prometheus();
+        assert!(!text.contains("paragraph_quiet_quantiles"));
+    }
+
+    #[test]
     fn validate_rejects_malformed_lines() {
+        assert!(validate("m{quantile=\"1.5\"} 3\n").is_err());
+        assert!(validate("m{quantile=\"nope\"} 3\n").is_err());
+        assert_eq!(validate("m{quantile=\"0.99\"} 3\n"), Ok(1));
         assert!(validate("").is_err());
         assert!(validate("# only comments\n").is_err());
         assert!(validate("metric_without_value\n").is_err());
