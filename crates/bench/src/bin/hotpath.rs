@@ -23,7 +23,9 @@
 //! Usage: `cargo run --release -p paragraph-bench --bin hotpath [-- --quick]`
 
 use paragraph_bench::{thousands, Study};
-use paragraph_core::{AnalysisConfig, AnalysisReport, FlatLiveWell, LiveWell, RenameSet};
+use paragraph_core::{
+    analyze_parallel, AnalysisConfig, AnalysisReport, FlatLiveWell, LiveWell, RenameSet,
+};
 use paragraph_isa::OpClass;
 use paragraph_trace::binary::{TraceReader, TraceWriter};
 use paragraph_trace::{Loc, SegmentMap, TraceRecord};
@@ -64,7 +66,17 @@ impl Rng {
 /// whose spills land on a handful of nearby words, sequential heap array
 /// walks with loads biased to recent words, and a sprinkle of sparse far
 /// pointers, interleaved with register compute and branches.
-fn write_trace(path: &Path, records: u64, seed: u64) -> std::io::Result<u64> {
+///
+/// `syscall_every: Some(n)` additionally emits a conservative system call
+/// every `n` records — the firewall cut points the parallel-analyze leg
+/// shards at. `None` leaves the byte stream exactly as before the
+/// parameter existed, keeping the committed golden report stable.
+fn write_trace(
+    path: &Path,
+    records: u64,
+    seed: u64,
+    syscall_every: Option<u64>,
+) -> std::io::Result<u64> {
     let file = File::create(path)?;
     let mut writer = TraceWriter::new(
         BufWriter::new(file),
@@ -76,6 +88,12 @@ fn write_trace(path: &Path, records: u64, seed: u64) -> std::io::Result<u64> {
     let reg = |rng: &mut Rng| Loc::int(1 + (rng.next() % 8) as u8);
     for i in 0..records {
         let pc = 0x400_000 + i * 4;
+        if let Some(every) = syscall_every {
+            if (i + 1) % every == 0 {
+                writer.write_record(&TraceRecord::syscall(pc, &[], None))?;
+                continue;
+            }
+        }
         // Spills cluster on the first couple dozen words of the frame.
         let stack_addr = sp + rng.next() % 24;
         let record = match rng.next() % 100 {
@@ -173,7 +191,7 @@ fn main() {
     } else {
         "hotpath.trace"
     });
-    let written = write_trace(&trace_path, records, 0x9e37_79b9).expect("trace write");
+    let written = write_trace(&trace_path, records, 0x9e37_79b9, None).expect("trace write");
     assert_eq!(written, records);
     let bytes = fs::metadata(&trace_path).expect("trace metadata").len();
     println!(
@@ -257,5 +275,92 @@ fn main() {
         .expect("bench log append");
     if !quick {
         let _ = fs::remove_file(&trace_path);
+    }
+
+    // ---- parallel analyze leg ------------------------------------------
+    // A second trace with a conservative-syscall cadence: syscalls are the
+    // firewall cut points `analyze_parallel` shards at (the block-decode
+    // trace above has none and stays byte-stable for the committed
+    // golden). Decoded once up front — this leg measures analysis only.
+    let par_path: PathBuf = study.out_dir().join(if quick {
+        "hotpath.parallel.quick.trace"
+    } else {
+        "hotpath.parallel.trace"
+    });
+    let written =
+        write_trace(&par_path, records, 0x51ed_270b, Some(10_000)).expect("parallel trace write");
+    assert_eq!(written, records);
+    let mut all: Vec<TraceRecord> = Vec::with_capacity(records as usize);
+    {
+        let file = File::open(&par_path).expect("parallel trace must open");
+        let mut reader =
+            TraceReader::new(BufReader::new(file)).expect("parallel trace must parse");
+        let mut block = Vec::new();
+        loop {
+            block.clear();
+            let n = reader
+                .read_block(&mut block)
+                .expect("parallel trace must decode");
+            if n == 0 {
+                break;
+            }
+            all.extend_from_slice(&block);
+        }
+    }
+
+    let mut seq_ns = u64::MAX;
+    let mut par_ns = [u64::MAX; 2];
+    const PAR_JOBS: [usize; 2] = [4, 8];
+    for rep in 0..reps {
+        let start = Instant::now();
+        let sequential = {
+            let mut analyzer = LiveWell::new(config.clone());
+            analyzer.process_slice(&all);
+            analyzer.finish()
+        };
+        let seq_elapsed = start.elapsed().as_nanos() as u64;
+        seq_ns = seq_ns.min(seq_elapsed);
+        let seq_json = sequential.to_json();
+
+        print!("  rep {}: seq {:>8.1} ms", rep + 1, seq_elapsed as f64 / 1e6);
+        for (slot, jobs) in PAR_JOBS.iter().enumerate() {
+            let start = Instant::now();
+            let parallel = analyze_parallel(&all, &config, *jobs);
+            let elapsed = start.elapsed().as_nanos() as u64;
+            par_ns[slot] = par_ns[slot].min(elapsed);
+            assert_eq!(
+                seq_json,
+                parallel.to_json(),
+                "--jobs {jobs} must produce a byte-identical report"
+            );
+            print!("   jobs{jobs} {:>8.1} ms", elapsed as f64 / 1e6);
+        }
+        println!();
+    }
+
+    let par4_ns = par_ns[0];
+    let par_speedup = seq_ns as f64 / par4_ns.max(1) as f64;
+    println!(
+        "hotpath-parallel: seq {:.1} ms, jobs4 {:.1} ms, jobs8 {:.1} ms — {par_speedup:.2}x at 4 jobs",
+        seq_ns as f64 / 1e6,
+        par4_ns as f64 / 1e6,
+        par_ns[1] as f64 / 1e6,
+    );
+
+    let line = format!(
+        concat!(
+            "{{\"bench\":\"hotpath-parallel-analyze\",\"mode\":\"{}\",\"records\":{},",
+            "\"jobs\":4,\"before_ns\":{},\"after_ns\":{},\"speedup\":{:.2}}}\n"
+        ),
+        if quick { "quick" } else { "full" },
+        records,
+        seq_ns,
+        par4_ns,
+        par_speedup,
+    );
+    paragraph_bench::append_bench_row(Path::new("BENCH.hotpath.json"), &line)
+        .expect("bench log append");
+    if !quick {
+        let _ = fs::remove_file(&par_path);
     }
 }

@@ -274,10 +274,13 @@ common options:
   --workloads LIST  grid sweep: comma-separated workloads, or `all`; each
                     trace is decoded once into a shared arena and the
                     (workload x window) cells run on --jobs workers
-  --jobs N          worker threads for the grid sweep (0 or absent: all
-                    cores; also PARAGRAPH_JOBS); results are byte-identical
-                    for any N. With --out DIR, per-cell report JSON and
-                    profile CSVs land in DIR (see docs/sweep.md)
+  --jobs N          worker threads. For `sweep --workloads`: cells of the
+                    grid fan out across N workers (0 or absent: all cores;
+                    also PARAGRAPH_JOBS). For `analyze`: one trace is cut
+                    at conservative-syscall firewalls into N segments
+                    analyzed concurrently; the report is byte-identical to
+                    --jobs 1 (see docs/hotpath.md). Configurations the cut
+                    rule cannot split exactly fall back to one thread
   --retries N       grid sweep: failed-cell retries before quarantine
                     (default 2; see docs/supervision.md)
   --retry-backoff-ms N  base backoff between cell retries (default 25;
@@ -904,13 +907,31 @@ fn export_timeline_degraded(path: &str, artifact_failures: &mut Vec<String>) {
     }
 }
 
+/// Bytes attributable to `seen` of `total_records` records, proportional
+/// to the trace's on-disk size. Widened to `u128` before multiplying:
+/// `total_bytes * seen` overflows `u64` long before either factor is
+/// individually implausible (a 1 TiB trace crosses 2^64 once ~16M records
+/// are seen), and the former `saturating_mul` silently pinned the
+/// heartbeat's byte figures at garbage values from then on.
+fn proportional_bytes(total_bytes: u64, seen: u64, total_records: u64) -> u64 {
+    if total_records == 0 {
+        return 0;
+    }
+    let scaled = u128::from(total_bytes) * u128::from(seen) / u128::from(total_records);
+    u64::try_from(scaled).unwrap_or(u64::MAX)
+}
+
 /// One periodic beat of the analysis loop: refresh gauges, and when a
 /// heartbeat is due, print it to stderr and log it as a `progress` event.
+/// `extra_records` counts records analyzed outside `analyzer` — the
+/// worker segments of a `--jobs` run, whose outcomes merge in only at the
+/// end — so the heartbeat reflects whole-run progress.
 fn progress_beat(
     reporter: &mut Option<ProgressReporter>,
     analyzer: &LiveWell,
     total_bytes: u64,
     total_records: usize,
+    extra_records: u64,
     force: bool,
 ) {
     let instrumented = telemetry::enabled();
@@ -923,14 +944,11 @@ fn progress_beat(
     if !force && !reporter.is_due() {
         return;
     }
-    let (seen, _, cp, _) = analyzer.snapshot();
+    let (chunk0_seen, _, cp, _) = analyzer.snapshot();
+    let seen = chunk0_seen.saturating_add(extra_records);
     // Records are decoded up front, so attribute bytes to the analysis
     // proportionally: seen/total of the trace's on-disk size.
-    let bytes = if total_records == 0 {
-        0
-    } else {
-        total_bytes.saturating_mul(seen) / total_records as u64
-    };
+    let bytes = proportional_bytes(total_bytes, seen, total_records as u64);
     let tick = reporter.force_tick(seen, bytes, cp);
     eprintln!("{}", tick.line);
     if instrumented {
@@ -981,6 +999,10 @@ fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
     }
     let records = &loaded.records;
     let config = opts.config(loaded.segments);
+    // Workers of a `--jobs` run analyze their segments under (a variant
+    // of) the same configuration; the primary analyzer consumes `config`
+    // itself below.
+    let worker_config = config.clone();
     if setup.enabled {
         let source = opts
             .trace
@@ -1033,9 +1055,44 @@ fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
         )));
     }
 
+    // Intra-trace parallelism: cut the records still to analyze at
+    // conservative-syscall firewalls into one segment per job. Worker
+    // segments start on fresh analyzers and their outcomes are spliced
+    // back level-exactly, so the report is byte-identical to --jobs 1.
+    // Configurations the cut rule cannot reproduce exactly — and traces
+    // without syscalls — fall back to the single-threaded path with a
+    // note, never to approximate numbers. See docs/hotpath.md.
+    let jobs = opts.jobs.map_or(1, paragraph_core::parallel::effective_jobs);
+    let cuts: Vec<usize> = if jobs > 1 {
+        match paragraph_core::parallel::eligibility(records, &worker_config) {
+            Ok(()) => {
+                let cuts = paragraph_core::parallel::plan_cuts(records, done, jobs);
+                if cuts.is_empty() && opts.progress.is_some() {
+                    eprintln!(
+                        "note: --jobs {jobs}: no conservative-syscall cut points; \
+                         analyzing on one thread"
+                    );
+                }
+                cuts
+            }
+            Err(reason) => {
+                if opts.progress.is_some() {
+                    eprintln!("note: --jobs {jobs}: {reason}; analyzing on one thread");
+                }
+                Vec::new()
+            }
+        }
+    } else {
+        Vec::new()
+    };
+
     let mut reporter = opts.progress.map(|secs| {
         ProgressReporter::new(Duration::from_secs_f64(secs), Some(records.len() as u64))
             .with_total_bytes((loaded.bytes > 0).then_some(loaded.bytes))
+            .with_resumed(
+                done as u64,
+                proportional_bytes(loaded.bytes, done as u64, records.len() as u64),
+            )
     });
     let ckpt_path = checkpoint_path(opts);
     // Artifact-failure ledger: sink failures (checkpoint, telemetry log,
@@ -1043,6 +1100,18 @@ fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
     // runs to completion, and a non-empty ledger becomes exit code 3.
     let mut artifact_failures: Vec<String> = Vec::new();
     let mut checkpoints_enabled = opts.checkpoint_every.is_some();
+    if checkpoints_enabled && !cuts.is_empty() {
+        // A checkpoint is a resumable *sequential* analyzer state. Chunk-0
+        // checkpoints would stay valid, but the post-merge state is not a
+        // sequential prefix of anything, so a final checkpoint would
+        // resume into silently wrong numbers. Refuse the combination
+        // loudly rather than write a trap.
+        eprintln!(
+            "warning: checkpoints are disabled under --jobs {jobs}: a merged analyzer \
+             state cannot be resumed; rerun with --jobs 1 to checkpoint"
+        );
+        checkpoints_enabled = false;
+    }
     if checkpoints_enabled {
         // Sweep temp files a crashed predecessor left next to the
         // checkpoint (scoped to this checkpoint's name, so nothing else in
@@ -1070,41 +1139,120 @@ fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
     {
         let mut span = paragraph_core::span!("analyze");
         span.field("records", (records.len() - done) as u64);
-        // Feed the analyzer whole slices, cut only where a checkpoint or
-        // heartbeat is due — the per-record loop body costs more than the
-        // placement math for cheap records.
-        let total = records.len() as u64;
-        let mut n = done as u64;
-        while n < total {
-            let mut next = total;
-            if let Some(every) = opts.checkpoint_every {
-                next = next.min((n / every + 1) * every);
-            }
-            next = next.min((n / BEAT_STRIDE + 1) * BEAT_STRIDE);
-            {
-                // One timeline slice per batch — stage attribution at
-                // checkpoint/beat boundaries, nothing per record.
-                let mut tspan = telemetry::timeline::timeline_span("livewell");
-                tspan.arg("records", next - n);
-                analyzer.process_slice(&records[n as usize..next as usize]);
-            }
-            n = next;
-            if let Some(every) = opts.checkpoint_every {
-                if n.is_multiple_of(every) {
-                    save_checkpoint_degraded(
+        // Chunk 0 — everything before the first cut; the whole trace when
+        // running sequentially — is processed right here by the (possibly
+        // resumed) primary analyzer with the usual checkpoint/heartbeat
+        // cadence, while worker segments run concurrently and splice in
+        // at the end. Heartbeats fold in worker progress via a shared
+        // counter so the line tracks whole-run completion.
+        let seq_end = cuts.first().copied().unwrap_or(records.len()) as u64;
+        let worker_progress = std::sync::atomic::AtomicU64::new(0);
+        let outcomes = std::thread::scope(|scope| {
+            let handles: Vec<_> = cuts
+                .iter()
+                .zip(cuts.iter().skip(1).chain(std::iter::once(&records.len())))
+                .enumerate()
+                .map(|(i, (&lo, &hi))| {
+                    let worker_config = &worker_config;
+                    let worker_progress = &worker_progress;
+                    scope.spawn(move || {
+                        // Each worker gets its own timeline lane, named so
+                        // Perfetto shows the segment fan-out.
+                        if let Some(timeline) = telemetry::timeline::timeline_active() {
+                            timeline.set_thread_name(&format!("analyze-{}", i + 1));
+                        }
+                        let mut tspan = telemetry::timeline::timeline_span("segment");
+                        tspan.arg("records", (hi - lo) as u64);
+                        paragraph_core::parallel::run_segment(
+                            &records[lo..hi],
+                            worker_config,
+                            worker_progress,
+                        )
+                    })
+                })
+                .collect();
+            // Feed the analyzer whole slices, cut only where a checkpoint
+            // or heartbeat is due — the per-record loop body costs more
+            // than the placement math for cheap records.
+            let mut n = done as u64;
+            while n < seq_end {
+                let mut next = seq_end;
+                if let Some(every) = opts.checkpoint_every {
+                    next = next.min((n / every + 1) * every);
+                }
+                next = next.min((n / BEAT_STRIDE + 1) * BEAT_STRIDE);
+                {
+                    // One timeline slice per batch — stage attribution at
+                    // checkpoint/beat boundaries, nothing per record.
+                    let mut tspan = telemetry::timeline::timeline_span("livewell");
+                    tspan.arg("records", next - n);
+                    analyzer.process_slice(&records[n as usize..next as usize]);
+                }
+                n = next;
+                if let Some(every) = opts.checkpoint_every {
+                    if n.is_multiple_of(every) {
+                        save_checkpoint_degraded(
+                            &analyzer,
+                            &mut checkpoints_enabled,
+                            &mut artifact_failures,
+                        );
+                    }
+                }
+                if n & (BEAT_STRIDE - 1) == 0 {
+                    let extra = worker_progress.load(std::sync::atomic::Ordering::Relaxed);
+                    progress_beat(
+                        &mut reporter,
                         &analyzer,
-                        &mut checkpoints_enabled,
-                        &mut artifact_failures,
+                        loaded.bytes,
+                        records.len(),
+                        extra,
+                        false,
                     );
+                    if let Some(timeline) = telemetry::timeline::timeline_active() {
+                        let (seen, _, critical_path, _) = analyzer.snapshot();
+                        timeline.counter("livewell.records", seen.saturating_add(extra));
+                        timeline.counter("livewell.critical_path", critical_path);
+                    }
                 }
             }
-            if n & (BEAT_STRIDE - 1) == 0 {
-                progress_beat(&mut reporter, &analyzer, loaded.bytes, records.len(), false);
-                if let Some(timeline) = telemetry::timeline::timeline_active() {
-                    let (seen, _, critical_path, _) = analyzer.snapshot();
-                    timeline.counter("livewell.records", seen);
-                    timeline.counter("livewell.critical_path", critical_path);
+            // Chunk 0 is done; keep heartbeats flowing while the worker
+            // segments drain, then collect their outcomes in trace order.
+            while handles.iter().any(|h| !h.is_finished()) {
+                std::thread::sleep(Duration::from_millis(25));
+                progress_beat(
+                    &mut reporter,
+                    &analyzer,
+                    loaded.bytes,
+                    records.len(),
+                    worker_progress.load(std::sync::atomic::Ordering::Relaxed),
+                    false,
+                );
+            }
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(outcome) => outcome,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect::<Vec<_>>()
+        });
+        if !outcomes.is_empty() {
+            if outcomes.iter().all(Option::is_some) {
+                let mut tspan = telemetry::timeline::timeline_span("merge");
+                tspan.arg("segments", outcomes.len() as u64);
+                for seg in outcomes.iter().flatten() {
+                    analyzer.merge_segment(seg);
                 }
+            } else {
+                // Unreachable by construction (worker configs keep exact
+                // profiles, the only way a segment declines to produce an
+                // outcome), but never leave a silent gap: chunk 0's state
+                // is exactly the right starting point to redo the tail.
+                eprintln!(
+                    "warning: a parallel segment returned no outcome; \
+                     re-analyzing the tail sequentially"
+                );
+                analyzer.process_slice(&records[seq_end as usize..]);
             }
         }
     }
@@ -1115,7 +1263,8 @@ fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
         }
     }
     // The final heartbeat is unconditional so short runs still show one.
-    progress_beat(&mut reporter, &analyzer, loaded.bytes, records.len(), true);
+    // Merged worker records are inside the analyzer by now, so no extra.
+    progress_beat(&mut reporter, &analyzer, loaded.bytes, records.len(), 0, true);
 
     let report = {
         let _span = paragraph_core::span!("report");
@@ -1883,6 +2032,28 @@ mod tests {
     fn parse(args: &[&str]) -> Result<Options, String> {
         let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
         Options::parse(&owned)
+    }
+
+    /// The heartbeat's byte attribution must survive totals whose product
+    /// `total_bytes * seen` exceeds `u64` — the former `saturating_mul`
+    /// pinned it at `u64::MAX / total_records` from that point on.
+    #[test]
+    fn proportional_bytes_survives_u64_overflow() {
+        let total_bytes = 1u64 << 40; // a 1 TiB trace
+        let total_records = 1u64 << 30;
+        let seen = 1u64 << 29; // halfway: product is 2^69, overflows u64
+        assert_eq!(
+            proportional_bytes(total_bytes, seen, total_records),
+            total_bytes / 2
+        );
+        // Small inputs are exact, and a zero record total stays zero.
+        assert_eq!(proportional_bytes(1000, 250, 1000), 250);
+        assert_eq!(proportional_bytes(1000, 250, 0), 0);
+        // Completion attributes every byte.
+        assert_eq!(
+            proportional_bytes(total_bytes, total_records, total_records),
+            total_bytes
+        );
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! End-to-end byte-identity checks for `analyze --jobs N`.
+//!
+//! The contract of intra-trace parallel analysis is absolute: for every
+//! job count, over clean, damaged (`--recover`), and checkpoint-resumed
+//! traces, the report written by the CLI is *byte-identical* to the
+//! `--jobs 1` report. These tests drive the built `paragraph` binary —
+//! the engine-level differentials live in `paragraph-core`'s `parallel`
+//! module; this file covers the orchestration the CLI adds on top
+//! (flag plumbing, heartbeats, checkpoint interplay, fallbacks).
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use paragraph_trace::binary::TraceWriter;
+use paragraph_trace::{synthetic, SegmentMap};
+
+fn paragraph(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_paragraph"))
+        .args(args)
+        .output()
+        .expect("failed to spawn the paragraph binary")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("paragraph-parallel-{}-{name}", std::process::id()));
+    path
+}
+
+/// Writes `n` records of the deterministic random trace (~2% conservative
+/// syscalls — plenty of cut points) to a fresh scratch file.
+fn write_random_trace(name: &str, n: usize, seed: u64) -> PathBuf {
+    let path = scratch(name);
+    let file = File::create(&path).expect("create scratch trace");
+    let mut writer =
+        TraceWriter::new(BufWriter::new(file), SegmentMap::all_data()).expect("trace header");
+    for record in synthetic::random_trace(n, seed) {
+        writer.write_record(&record).expect("trace record");
+    }
+    writer.finish().expect("trace finish");
+    path
+}
+
+fn assert_ok(out: &Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{what} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Runs `analyze` with the given extra flags and returns the JSON report
+/// bytes.
+fn analyze_json(trace: &PathBuf, tag: &str, extra: &[&str]) -> Vec<u8> {
+    let json = scratch(tag);
+    let trace_str = trace.to_str().expect("utf-8 path");
+    let json_str = json.to_str().expect("utf-8 path");
+    let mut args = vec!["analyze", "--trace", trace_str, "--json", json_str];
+    args.extend_from_slice(extra);
+    let out = paragraph(&args);
+    assert_ok(&out, tag);
+    let bytes = std::fs::read(&json).expect("read report json");
+    let _ = std::fs::remove_file(&json);
+    bytes
+}
+
+#[test]
+fn clean_trace_reports_are_byte_identical_across_jobs() {
+    let trace = write_random_trace("clean.pgtr", 20_000, 11);
+    let oracle = analyze_json(&trace, "clean-seq.json", &["--jobs", "1"]);
+    for jobs in ["2", "4", "8"] {
+        let parallel = analyze_json(&trace, "clean-par.json", &["--jobs", jobs]);
+        assert_eq!(
+            oracle, parallel,
+            "--jobs {jobs} diverged from the sequential report"
+        );
+    }
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn constrained_configs_stay_byte_identical_across_jobs() {
+    let trace = write_random_trace("constrained.pgtr", 20_000, 23);
+    // A bounded window plus finite issue width plus no renaming — the
+    // harshest configuration the cut rule still reproduces exactly.
+    let flags = [
+        "--rename",
+        "none",
+        "--window",
+        "64",
+        "--units",
+        "4",
+        "--no-disambiguation",
+    ];
+    let mut seq: Vec<&str> = vec!["--jobs", "1"];
+    seq.extend_from_slice(&flags);
+    let oracle = analyze_json(&trace, "con-seq.json", &seq);
+    let mut par: Vec<&str> = vec!["--jobs", "4"];
+    par.extend_from_slice(&flags);
+    let parallel = analyze_json(&trace, "con-par.json", &par);
+    assert_eq!(oracle, parallel);
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn damaged_trace_recovery_is_byte_identical_across_jobs() {
+    let trace = write_random_trace("damaged.pgtr", 20_000, 17);
+    // Stomp a stretch in the middle of the file: the CRC check discards
+    // the damaged chunk(s) and `--recover` resynchronizes past them. Both
+    // runs then analyze the same surviving record stream.
+    let mut bytes = std::fs::read(&trace).expect("read trace");
+    let mid = bytes.len() / 2;
+    for b in &mut bytes[mid..mid + 256] {
+        *b ^= 0x5a;
+    }
+    std::fs::write(&trace, bytes).expect("rewrite damaged trace");
+
+    let oracle = analyze_json(&trace, "dmg-seq.json", &["--recover", "--jobs", "1"]);
+    for jobs in ["2", "8"] {
+        let parallel = analyze_json(&trace, "dmg-par.json", &["--recover", "--jobs", jobs]);
+        assert_eq!(
+            oracle, parallel,
+            "--jobs {jobs} diverged on the recovered trace"
+        );
+    }
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn resumed_checkpoint_reports_are_byte_identical_across_jobs() {
+    let trace = write_random_trace("resumed.pgtr", 20_000, 29);
+    let ckpt = scratch("resumed.pgcp");
+    let trace_str = trace.to_str().expect("utf-8 path");
+    let ckpt_str = ckpt.to_str().expect("utf-8 path");
+    // Analyze a prefix under `--take` with checkpointing: the trace
+    // identity is taken before `--take` truncates, so the checkpoint is
+    // valid for resuming over the full trace.
+    let out = paragraph(&[
+        "analyze",
+        "--trace",
+        trace_str,
+        "--take",
+        "8000",
+        "--checkpoint-every",
+        "8000",
+        "--checkpoint",
+        ckpt_str,
+    ]);
+    assert_ok(&out, "prefix run");
+    assert!(ckpt.exists(), "prefix run must leave a checkpoint");
+
+    let oracle = analyze_json(
+        &trace,
+        "res-seq.json",
+        &["--resume", ckpt_str, "--jobs", "1"],
+    );
+    // The resumed analyzer becomes chunk 0; cuts are planned after it.
+    for jobs in ["2", "4"] {
+        let parallel = analyze_json(
+            &trace,
+            "res-par.json",
+            &["--resume", ckpt_str, "--jobs", jobs],
+        );
+        assert_eq!(
+            oracle, parallel,
+            "--jobs {jobs} diverged on the resumed trace"
+        );
+    }
+    // A full sequential run with no checkpoint in play agrees too: the
+    // resume machinery changed where analysis started, not its answer.
+    let fresh = analyze_json(&trace, "res-fresh.json", &["--jobs", "4"]);
+    assert_eq!(oracle, fresh);
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
+fn ineligible_config_falls_back_to_one_thread_with_a_note() {
+    let trace = write_random_trace("ineligible.pgtr", 10_000, 31);
+    let trace_str = trace.to_str().expect("utf-8 path");
+    // --value-stats retires values across cut points, so the parallel
+    // path must decline. The answer still matches --jobs 1, and with
+    // --progress the fallback says why.
+    let oracle = analyze_json(&trace, "inel-seq.json", &["--value-stats", "--jobs", "1"]);
+    let parallel = analyze_json(&trace, "inel-par.json", &["--value-stats", "--jobs", "8"]);
+    assert_eq!(oracle, parallel);
+
+    let json = scratch("inel-note.json");
+    let out = paragraph(&[
+        "analyze",
+        "--trace",
+        trace_str,
+        "--json",
+        json.to_str().expect("utf-8 path"),
+        "--value-stats",
+        "--jobs",
+        "8",
+        "--progress=0",
+    ]);
+    assert_ok(&out, "fallback note run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("analyzing on one thread"),
+        "expected a fallback note, got: {stderr}"
+    );
+    let _ = std::fs::remove_file(&json);
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn checkpointing_is_refused_under_parallel_jobs() {
+    let trace = write_random_trace("nockpt.pgtr", 10_000, 37);
+    let ckpt = scratch("nockpt.pgcp");
+    let out = paragraph(&[
+        "analyze",
+        "--trace",
+        trace.to_str().expect("utf-8 path"),
+        "--checkpoint-every",
+        "2000",
+        "--checkpoint",
+        ckpt.to_str().expect("utf-8 path"),
+        "--jobs",
+        "4",
+    ]);
+    assert_ok(&out, "parallel run with checkpoints requested");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("checkpoints are disabled under --jobs"),
+        "expected a checkpoint warning, got: {stderr}"
+    );
+    assert!(
+        !ckpt.exists(),
+        "no checkpoint may be written under --jobs > 1: a merged state cannot resume"
+    );
+    let _ = std::fs::remove_file(&trace);
+}

@@ -103,6 +103,18 @@ impl Distribution {
         self.counts.iter().map(|(&v, &n)| (v, n))
     }
 
+    /// Folds another distribution into this one: afterwards `self` is
+    /// exactly the distribution that would result from recording both
+    /// observation sets into one instance. Merging is commutative and
+    /// associative (per-value counts add), so segment-parallel analyses
+    /// can combine per-segment distributions in any order and still match
+    /// the sequential oracle bit for bit.
+    pub fn merge(&mut self, other: &Distribution) {
+        for (value, count) in other.iter() {
+            self.record_many(value, count);
+        }
+    }
+
     /// Population standard deviation (0 when fewer than two observations).
     pub fn stddev(&self) -> f64 {
         if self.total < 2 {
@@ -196,5 +208,63 @@ mod tests {
         let mut d = Distribution::new();
         d.record(4);
         assert!(d.to_string().contains("1 observations"));
+    }
+
+    /// SplitMix64 — the crate-standard minimal PRNG for deterministic
+    /// property tests.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// merge(a, b) must equal recording the union of the two observation
+    /// streams — the property the parallel analyzer's seam reconciliation
+    /// rests on. Checked structurally (`Eq` covers counts, total and sum)
+    /// over randomized splits, plus commutativity.
+    #[test]
+    fn merge_equals_recording_the_union() {
+        for seed in 0..8u64 {
+            let mut state = seed;
+            let n = 1 + (splitmix(&mut state) % 200) as usize;
+            let values: Vec<u64> = (0..n).map(|_| splitmix(&mut state) % 32).collect();
+            let split = (splitmix(&mut state) as usize) % (n + 1);
+
+            let mut union = Distribution::new();
+            for &v in &values {
+                union.record(v);
+            }
+            let mut a = Distribution::new();
+            for &v in &values[..split] {
+                a.record(v);
+            }
+            let mut b = Distribution::new();
+            for &v in &values[split..] {
+                b.record(v);
+            }
+
+            let mut ab = a.clone();
+            ab.merge(&b);
+            assert_eq!(ab, union, "seed {seed}: merge(a,b) != union");
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_eq!(ba, union, "seed {seed}: merge is not commutative");
+            assert_eq!(ab.mean(), union.mean());
+            assert_eq!(ab.percentile(0.5), union.percentile(0.5));
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut d = Distribution::new();
+        d.record_many(3, 5);
+        let before = d.clone();
+        d.merge(&Distribution::new());
+        assert_eq!(d, before);
+        let mut empty = Distribution::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
     }
 }

@@ -98,6 +98,7 @@ mod fasthash;
 mod livewell;
 pub mod machine;
 mod memmodel;
+pub mod parallel;
 mod profile;
 mod report;
 pub mod schedule;
@@ -111,8 +112,9 @@ pub use config::{AnalysisConfig, RenameSet, SyscallPolicy, WindowSize};
 pub use ddg::{Ddg, DdgBuilder, DdgNode, DepKind, Edge, NodeId};
 pub use dist::Distribution;
 pub use error::AnalysisError;
-pub use livewell::{FlatLiveWell, LiveWell, LiveWellImpl};
+pub use livewell::{FlatLiveWell, LiveWell, LiveWellImpl, SegmentOutcome};
 pub use memmodel::MemoryModel;
+pub use parallel::analyze_parallel;
 pub use profile::{ParallelismProfile, ProfileBin};
 pub use report::AnalysisReport;
 pub use well::{FlatWell, MemTable, PagedWell};

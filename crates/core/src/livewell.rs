@@ -221,6 +221,37 @@ pub type LiveWell = LiveWellImpl<PagedWell>;
 /// bit-identical reports and checkpoints to [`LiveWell`].
 pub type FlatLiveWell = LiveWellImpl<FlatWell>;
 
+/// The exported final state of one independently analyzed trace segment,
+/// produced by a segment worker and spliced onto the preceding state with
+/// [`LiveWellImpl::merge_segment`]. Levels inside are *relative* to the
+/// segment's own fresh floor of -1; the merge shifts them by the absolute
+/// floor at the cut. See [`crate::parallel`].
+#[derive(Debug, Clone)]
+pub struct SegmentOutcome {
+    /// Relative placement floor at the segment's end.
+    floor: i64,
+    /// Relative deepest completion level placed in the segment.
+    deepest: i64,
+    /// Exact operations placed per relative level (index = level).
+    level_counts: Vec<u64>,
+    /// Memory addresses the segment touched, ascending.
+    addrs: Vec<u64>,
+    total_records: u64,
+    placed: u64,
+    syscalls: u64,
+    firewalls: u64,
+    branch_firewalls: u64,
+    window_stalls: u64,
+    class_placed: [u64; OpClass::ALL.len()],
+}
+
+impl SegmentOutcome {
+    /// Trace records the segment covered.
+    pub fn records(&self) -> u64 {
+        self.total_records
+    }
+}
+
 #[derive(Debug, Default)]
 struct ValueStats {
     lifetimes: Distribution,
@@ -1206,6 +1237,96 @@ impl<M: MemTable> LiveWellImpl<M> {
             window_stalls: 0,
             trace_identity,
         })
+    }
+
+    /// Exports this analyzer's final state as a [`SegmentOutcome`] for the
+    /// parallel analyzer (see [`crate::parallel`]): the segment's relative
+    /// floor/deepest levels, its exact per-level placement counts, the
+    /// memory addresses it touched, and its counter totals.
+    ///
+    /// Returns `None` when the profile has coarsened (bin width > 1) —
+    /// per-level counts are no longer recoverable, so the segment cannot be
+    /// spliced exactly. The parallel driver prevents this by configuring
+    /// segment analyzers with an effectively unbounded bin budget
+    /// ([`crate::parallel::segment_config`]).
+    pub(crate) fn into_segment_outcome(self) -> Option<SegmentOutcome> {
+        let (counts, bin_width, total_ops, _max_level) = self.profile.raw_parts();
+        if bin_width != 1 {
+            return None;
+        }
+        debug_assert_eq!(total_ops, self.placed);
+        let level_counts = counts.to_vec();
+        let mut addrs = Vec::with_capacity(self.mem.len());
+        self.mem.for_each_sorted(|addr, _| addrs.push(addr));
+        Some(SegmentOutcome {
+            floor: self.floor,
+            deepest: self.deepest,
+            level_counts,
+            addrs,
+            total_records: self.total_records,
+            placed: self.placed,
+            syscalls: self.syscalls,
+            firewalls: self.firewalls,
+            branch_firewalls: self.branch_firewalls,
+            window_stalls: self.window_stalls,
+            class_placed: self.class_placed,
+        })
+    }
+
+    /// Splices the outcome of the trace segment that followed this
+    /// analyzer's records onto this analyzer's state.
+    ///
+    /// Correctness rests on the *firewall-cut* property: this analyzer's
+    /// last processed record must be a conservative system call, whose
+    /// firewall raised the floor to the deepest placed level. At that point
+    /// every live level — value availabilities, deepest uses, window slots,
+    /// memory-ordering bounds, issue-ledger counters — is at or below the
+    /// floor, so the `MAX(..., floor, ...)` placement rule absorbs all of
+    /// it and a fresh analyzer over the remaining records places every
+    /// operation exactly `floor + 1` levels lower than the sequential pass
+    /// would. Merging therefore shifts the segment's levels up by
+    /// `delta = floor + 1` and adds its counters; the memory-address union
+    /// reproduces the sequential peak live-well size. See
+    /// [`crate::parallel`] for the eligibility conditions the driver
+    /// enforces before cutting.
+    pub fn merge_segment(&mut self, seg: &SegmentOutcome) {
+        debug_assert_eq!(
+            self.floor, self.deepest,
+            "segments must be cut immediately after a conservative syscall"
+        );
+        let delta = self.floor + 1;
+        debug_assert!(delta >= 0);
+        for (level, &count) in seg.level_counts.iter().enumerate() {
+            if count > 0 {
+                // Binned identically to the sequential pass: profile
+                // coarsening is a pure function of the level/count multiset,
+                // independent of recording order (pairwise bin folding is an
+                // exact rebin).
+                self.profile
+                    .record_many((delta + level as i64) as u64, count);
+            }
+        }
+        self.deepest = self.deepest.max(delta + seg.deepest);
+        self.floor = delta + seg.floor;
+        self.total_records += seg.total_records;
+        self.placed += seg.placed;
+        self.syscalls += seg.syscalls;
+        self.firewalls += seg.firewalls;
+        self.branch_firewalls += seg.branch_firewalls;
+        self.window_stalls += seg.window_stalls;
+        for (mine, theirs) in self.class_placed.iter_mut().zip(seg.class_placed.iter()) {
+            *mine += theirs;
+        }
+        // Under the parallel-eligible configurations the memory table only
+        // grows (no cap, no evictions) and only within placed records, so
+        // the sequential peak is 64 registers plus the final table size —
+        // the union of every segment's touched addresses.
+        for &addr in &seg.addrs {
+            self.mem.get_or_insert_preexisting(addr);
+        }
+        if self.placed > 0 {
+            self.peak_live_values = self.peak_live_values.max(self.mem.len() + 64);
+        }
     }
 
     /// Finishes the pass and produces the report.

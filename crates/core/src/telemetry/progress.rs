@@ -18,6 +18,12 @@ pub struct ProgressReporter {
     started: Instant,
     last_emit: Instant,
     last_records: u64,
+    last_bytes: u64,
+    /// Records/bytes already analyzed by an earlier process when this one
+    /// resumed from a checkpoint. Excluded from every rate (this process
+    /// did not do that work), included in percent-done (it is done).
+    resumed_records: u64,
+    resumed_bytes: u64,
     total_records: Option<u64>,
     total_bytes: Option<u64>,
 }
@@ -31,8 +37,9 @@ pub struct ProgressTick {
     pub records: u64,
     /// Instantaneous records/sec since the previous heartbeat.
     pub records_per_sec: f64,
-    /// Cumulative-average bytes/sec (0 when byte accounting is
-    /// unavailable).
+    /// Cumulative-average bytes/sec since this process started (resumed
+    /// work excluded; 0 when byte accounting is unavailable). Feeds the
+    /// byte-derived ETA.
     pub bytes_per_sec: f64,
     /// Instantaneous MB/s since the previous heartbeat (0 when byte
     /// accounting is unavailable).
@@ -52,6 +59,9 @@ impl ProgressReporter {
             started: now,
             last_emit: now,
             last_records: 0,
+            last_bytes: 0,
+            resumed_records: 0,
+            resumed_bytes: 0,
             total_records,
             total_bytes: None,
         }
@@ -61,6 +71,20 @@ impl ProgressReporter {
     /// percent-done when the record total is unknown (streamed input).
     pub fn with_total_bytes(mut self, total_bytes: Option<u64>) -> ProgressReporter {
         self.total_bytes = total_bytes;
+        self
+    }
+
+    /// Marks `records`/`bytes` as already analyzed by an earlier process
+    /// (checkpoint resume). Rates and the ETA then measure only the work
+    /// this process performs — a resumed run otherwise reports an inflated
+    /// average rate (checkpointed records divided by near-zero elapsed
+    /// time) and a correspondingly underestimated ETA. Percent-done still
+    /// counts the resumed work: it is genuinely complete.
+    pub fn with_resumed(mut self, records: u64, bytes: u64) -> ProgressReporter {
+        self.last_records = records;
+        self.last_bytes = bytes;
+        self.resumed_records = records;
+        self.resumed_bytes = bytes;
         self
     }
 
@@ -83,17 +107,46 @@ impl ProgressReporter {
         let now = Instant::now();
         let window = now.duration_since(self.last_emit).as_secs_f64().max(1e-9);
         let elapsed = now.duration_since(self.started).as_secs_f64().max(1e-9);
-        let delta = records.saturating_sub(self.last_records);
-        let inst_rate = delta as f64 / window;
-        let avg_rate = records as f64 / elapsed;
+        let tick = self.compute_tick(records, bytes, critical_path, window, elapsed);
+        self.last_emit = now;
+        self.last_records = records;
+        self.last_bytes = bytes;
+        tick
+    }
+
+    /// The pure tick math, with wall-clock measurements passed in so tests
+    /// can pin them. `window` is seconds since the previous heartbeat,
+    /// `elapsed` seconds since this process started; both must be positive.
+    fn compute_tick(
+        &self,
+        records: u64,
+        bytes: u64,
+        critical_path: u64,
+        window: f64,
+        elapsed: f64,
+    ) -> ProgressTick {
+        let inst_rate = records.saturating_sub(self.last_records) as f64 / window;
+        // Instantaneous throughput from the byte delta over this heartbeat
+        // window — the cumulative average belongs to the ETA below, not to
+        // the "MB/s right now" slot on the line.
+        let mb_per_sec = if bytes > 0 {
+            bytes.saturating_sub(self.last_bytes) as f64 / window / 1e6
+        } else {
+            0.0
+        };
+        // Averages cover only this process's work: records/bytes restored
+        // from a checkpoint were analyzed by an earlier process, and
+        // counting them against this process's elapsed time would inflate
+        // the rate and shrink the ETA.
+        let avg_rate = records.saturating_sub(self.resumed_records) as f64 / elapsed;
         let bytes_per_sec = if bytes > 0 {
-            bytes as f64 / elapsed
+            bytes.saturating_sub(self.resumed_bytes) as f64 / elapsed
         } else {
             0.0
         };
         // ETA from cumulative averages: smoother than the instantaneous
-        // window and correct-on-average for resumed runs. Prefer the
-        // record total; fall back to trace size when only bytes are known.
+        // window. Prefer the record total; fall back to trace size when
+        // only bytes are known.
         let eta_secs = match (self.total_records, self.total_bytes) {
             (Some(total), _) => {
                 let remaining = total.saturating_sub(records);
@@ -118,24 +171,19 @@ impl ProgressReporter {
         if let Some(pct) = pct {
             let _ = std::fmt::Write::write_fmt(&mut line, format_args!(" {pct:.1}%"));
         }
-        if bytes_per_sec > 0.0 {
-            let _ = std::fmt::Write::write_fmt(
-                &mut line,
-                format_args!(" {:.1} MB/s", bytes_per_sec / 1e6),
-            );
+        if bytes > 0 {
+            let _ = std::fmt::Write::write_fmt(&mut line, format_args!(" {mb_per_sec:.1} MB/s"));
         }
         let _ = std::fmt::Write::write_fmt(&mut line, format_args!(" cp={critical_path}"));
         if let Some(eta) = eta_secs {
             let _ = std::fmt::Write::write_fmt(&mut line, format_args!(" eta={}", fmt_eta(eta)));
         }
-        self.last_emit = now;
-        self.last_records = records;
         ProgressTick {
             line,
             records,
             records_per_sec: inst_rate,
             bytes_per_sec,
-            mb_per_sec: bytes_per_sec / 1e6,
+            mb_per_sec,
             eta_secs,
         }
     }
@@ -213,5 +261,46 @@ mod tests {
             ProgressReporter::new(Duration::ZERO, Some(100)).with_total_bytes(Some(1_000_000));
         let tick = both.force_tick(50, 250_000, 0);
         assert!(tick.line.contains("50.0%"), "{}", tick.line);
+    }
+
+    /// The MB/s slot must report the byte delta over the heartbeat window,
+    /// not the cumulative average since start (the historical bug: a run
+    /// that slows down kept printing its fast long-run average).
+    #[test]
+    fn mb_per_sec_is_instantaneous_not_cumulative() {
+        let mut reporter = ProgressReporter::new(Duration::ZERO, Some(1_000))
+            .with_total_bytes(Some(10_000_000));
+        reporter.force_tick(100, 4_000_000, 0);
+        // Pinned clocks: 500 KB arrived in the last 1 s window, while the
+        // cumulative average over 10 s is 450 KB/s.
+        let tick = reporter.compute_tick(200, 4_500_000, 0, 1.0, 10.0);
+        assert_eq!(tick.mb_per_sec, 0.5, "instantaneous: 500 KB over 1 s");
+        assert_eq!(tick.bytes_per_sec, 450_000.0, "cumulative feeds the ETA");
+        assert!(tick.line.contains("0.5 MB/s"), "{}", tick.line);
+
+        // A fully stalled window shows 0 MB/s even though the cumulative
+        // average is still positive.
+        reporter.force_tick(200, 4_500_000, 0);
+        let stalled = reporter.compute_tick(200, 4_500_000, 0, 1.0, 20.0);
+        assert_eq!(stalled.mb_per_sec, 0.0);
+        assert!(stalled.bytes_per_sec > 0.0);
+    }
+
+    /// A resumed run must compute its average rate (and hence the ETA) from
+    /// post-resume deltas only. Counting checkpointed records against this
+    /// process's elapsed time inflated the rate and underestimated the ETA.
+    #[test]
+    fn resumed_run_eta_uses_post_resume_rate() {
+        let reporter =
+            ProgressReporter::new(Duration::ZERO, Some(1_000)).with_resumed(500, 2_000_000);
+        // 100 records in 10 s => 10 rec/s; 400 remaining => 40 s. The
+        // unseeded computation would claim 600 / 10 = 60 rec/s => 6.7 s.
+        let tick = reporter.compute_tick(600, 2_400_000, 0, 10.0, 10.0);
+        assert_eq!(tick.eta_secs, Some(40.0));
+        assert_eq!(tick.bytes_per_sec, 40_000.0, "bytes average excludes resumed bytes");
+        // Percent-done still counts the resumed work.
+        assert!(tick.line.contains("60.0%"), "{}", tick.line);
+        // The instantaneous rate starts from the resume point, not zero.
+        assert_eq!(tick.records_per_sec, 10.0);
     }
 }
