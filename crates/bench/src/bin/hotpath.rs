@@ -28,7 +28,8 @@ use paragraph_core::{
 };
 use paragraph_isa::OpClass;
 use paragraph_trace::binary::{TraceReader, TraceWriter};
-use paragraph_trace::{Loc, SegmentMap, TraceRecord};
+use paragraph_trace::source::DecodeAhead;
+use paragraph_trace::{Loc, SegmentMap, TraceRecord, TraceSource};
 use std::fs::{self, File};
 use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
@@ -160,6 +161,45 @@ fn run_before(path: &Path, config: &AnalysisConfig) -> AnalysisReport {
     analyzer.finish()
 }
 
+/// The PR 4 decode baseline: buffered reads and the scalar varint kernel,
+/// block decode and analysis strictly back to back on one thread.
+fn run_decode_before(path: &Path, config: &AnalysisConfig) -> AnalysisReport {
+    let file = File::open(path).expect("benchmark trace must open");
+    let mut reader = TraceReader::new(BufReader::new(file))
+        .expect("benchmark trace must parse")
+        .with_scalar_block_decode();
+    let mut analyzer = LiveWell::new(config.clone());
+    let mut block = Vec::new();
+    loop {
+        block.clear();
+        let n = reader
+            .read_block(&mut block)
+            .expect("benchmark trace must decode");
+        if n == 0 {
+            break;
+        }
+        analyzer.process_slice(&block);
+    }
+    analyzer.finish()
+}
+
+/// The overhauled decode pipeline: the trace is memory-mapped, varints
+/// decode through the SWAR kernel, and a helper thread CRC-checks and
+/// decodes chunk N+1 while the analyzer consumes chunk N.
+fn run_decode_after(path: &Path, config: &AnalysisConfig) -> AnalysisReport {
+    let source = TraceSource::mapped_file(path).expect("benchmark trace must map");
+    let reader = TraceReader::from_source(source).expect("benchmark trace must parse");
+    let mut analyzer = LiveWell::new(config.clone());
+    let mut pipeline = DecodeAhead::spawn(reader, None).expect("decode-ahead thread must spawn");
+    while let Some(batch) = pipeline.next_batch() {
+        let batch = batch.expect("benchmark trace must decode");
+        analyzer.process_slice(&batch);
+        pipeline.recycle(batch);
+    }
+    pipeline.finish();
+    analyzer.finish()
+}
+
 /// The optimized pipeline: block decode feeding `process_slice`.
 fn run_after(path: &Path, config: &AnalysisConfig) -> AnalysisReport {
     let file = File::open(path).expect("benchmark trace must open");
@@ -262,7 +302,7 @@ fn main() {
     let line = format!(
         concat!(
             "{{\"bench\":\"hotpath-block-decode\",\"mode\":\"{}\",\"records\":{},",
-            "\"trace_bytes\":{},\"before_ns\":{},\"after_ns\":{},\"speedup\":{:.2}}}\n"
+            "\"trace_bytes\":{},\"jobs\":1,\"before_ns\":{},\"after_ns\":{},\"speedup\":{:.2}}}\n"
         ),
         if quick { "quick" } else { "full" },
         records,
@@ -270,6 +310,57 @@ fn main() {
         before_ns,
         after_ns,
         speedup,
+    );
+    paragraph_bench::append_bench_row(Path::new("BENCH.hotpath.json"), &line)
+        .expect("bench log append");
+
+    // ---- decoder overhaul leg ------------------------------------------
+    // Same trace, the decode data path before and after its overhaul:
+    // buffered reads + scalar varints back to back versus mmap + SWAR
+    // varints with decode-ahead overlapping analysis. Byte-identical
+    // reports are asserted every rep before any timing is kept.
+    let mut dec_before_ns = u64::MAX;
+    let mut dec_after_ns = u64::MAX;
+    for rep in 0..reps {
+        let start = Instant::now();
+        let before = run_decode_before(&trace_path, &config);
+        let before_elapsed = start.elapsed().as_nanos() as u64;
+
+        let start = Instant::now();
+        let after = run_decode_after(&trace_path, &config);
+        let after_elapsed = start.elapsed().as_nanos() as u64;
+
+        assert_eq!(
+            before.to_json(),
+            after.to_json(),
+            "mmap/SWAR/decode-ahead pipeline must produce a byte-identical report"
+        );
+        dec_before_ns = dec_before_ns.min(before_elapsed);
+        dec_after_ns = dec_after_ns.min(after_elapsed);
+        println!(
+            "  rep {}: scalar+buffered {:>8.1} ms   swar+mmap+ahead {:>8.1} ms",
+            rep + 1,
+            before_elapsed as f64 / 1e6,
+            after_elapsed as f64 / 1e6,
+        );
+    }
+    let dec_speedup = dec_before_ns as f64 / dec_after_ns.max(1) as f64;
+    println!(
+        "hotpath-decode: before {:.1} ms, after {:.1} ms — {dec_speedup:.2}x",
+        dec_before_ns as f64 / 1e6,
+        dec_after_ns as f64 / 1e6,
+    );
+    let line = format!(
+        concat!(
+            "{{\"bench\":\"hotpath-decode\",\"mode\":\"{}\",\"records\":{},",
+            "\"trace_bytes\":{},\"jobs\":1,\"before_ns\":{},\"after_ns\":{},\"speedup\":{:.2}}}\n"
+        ),
+        if quick { "quick" } else { "full" },
+        records,
+        bytes,
+        dec_before_ns,
+        dec_after_ns,
+        dec_speedup,
     );
     paragraph_bench::append_bench_row(Path::new("BENCH.hotpath.json"), &line)
         .expect("bench log append");
@@ -293,8 +384,7 @@ fn main() {
     let mut all: Vec<TraceRecord> = Vec::with_capacity(records as usize);
     {
         let file = File::open(&par_path).expect("parallel trace must open");
-        let mut reader =
-            TraceReader::new(BufReader::new(file)).expect("parallel trace must parse");
+        let mut reader = TraceReader::new(BufReader::new(file)).expect("parallel trace must parse");
         let mut block = Vec::new();
         loop {
             block.clear();
@@ -322,7 +412,11 @@ fn main() {
         seq_ns = seq_ns.min(seq_elapsed);
         let seq_json = sequential.to_json();
 
-        print!("  rep {}: seq {:>8.1} ms", rep + 1, seq_elapsed as f64 / 1e6);
+        print!(
+            "  rep {}: seq {:>8.1} ms",
+            rep + 1,
+            seq_elapsed as f64 / 1e6
+        );
         for (slot, jobs) in PAR_JOBS.iter().enumerate() {
             let start = Instant::now();
             let parallel = analyze_parallel(&all, &config, *jobs);

@@ -23,7 +23,7 @@ use paragraph_core::{
 use paragraph_isa::LatencyModel;
 use paragraph_trace::binary::{RecoveryStats, TraceReader, TraceWriter};
 use paragraph_trace::govern::{Limits, ResourceGovernor};
-use paragraph_trace::{SegmentMap, TraceError, TraceErrorKind, TraceRecord};
+use paragraph_trace::{SegmentMap, TraceError, TraceErrorKind, TraceRecord, TraceSource};
 use paragraph_vm::Vm;
 use paragraph_workloads::{Workload, WorkloadId};
 use std::fmt;
@@ -281,6 +281,13 @@ common options:
                     analyzed concurrently; the report is byte-identical to
                     --jobs 1 (see docs/hotpath.md). Configurations the cut
                     rule cannot split exactly fall back to one thread
+  --mmap / --no-mmap  force the trace input backend: memory-mapped or
+                    buffered reads (default: map regular files, fall back
+                    to buffered reads; identical records, errors, and
+                    recovery accounting either way — see docs/hotpath.md)
+  --no-decode-ahead  decode chunks inline on the analysis thread instead
+                    of one chunk ahead on a helper thread (analyze with a
+                    --trace file)
   --retries N       grid sweep: failed-cell retries before quarantine
                     (default 2; see docs/supervision.md)
   --retry-backoff-ms N  base backoff between cell retries (default 25;
@@ -353,6 +360,14 @@ struct Options {
     inputs: Vec<i64>,
     windows: Vec<usize>,
     recover: bool,
+    /// Trace input backend: `Some(true)` forces the memory-mapped backend
+    /// (`--mmap`), `Some(false)` forces buffered reads (`--no-mmap`),
+    /// `None` maps regular files and silently falls back to buffered
+    /// reads where mapping is unavailable.
+    mmap: Option<bool>,
+    /// `--no-decode-ahead`: decode chunks inline on the analysis thread
+    /// instead of one chunk ahead on a helper thread.
+    no_decode_ahead: bool,
     checkpoint_every: Option<u64>,
     checkpoint: Option<String>,
     resume: Option<String>,
@@ -477,6 +492,9 @@ impl Options {
                 "--retries" => opts.retries = Some(parse_num(&value()?)?),
                 "--retry-backoff-ms" => opts.retry_backoff_ms = Some(parse_num(&value()?)?),
                 "--recover" => opts.recover = true,
+                "--mmap" => opts.mmap = Some(true),
+                "--no-mmap" => opts.mmap = Some(false),
+                "--no-decode-ahead" => opts.no_decode_ahead = true,
                 "--checkpoint-every" => {
                     let n: u64 = parse_num(&value()?)?;
                     if n == 0 {
@@ -649,52 +667,101 @@ struct LoadedTrace {
     identity: Option<paragraph_core::TraceIdentity>,
 }
 
+/// Opens the trace input through the backend `--mmap`/`--no-mmap` asks
+/// for: forced mapped, forced buffered, or (by default) mapped with a
+/// silent fallback to buffered reads. Decode semantics are identical
+/// across backends; only how bytes reach the decoder differs.
+fn open_trace_source(path: &str, mmap: Option<bool>) -> Result<TraceSource, CliError> {
+    let p = std::path::Path::new(path);
+    match mmap {
+        Some(true) => TraceSource::mapped_file(p),
+        Some(false) => TraceSource::buffered_file(p),
+        None => TraceSource::auto_file(p),
+    }
+    .map_err(|e| io_err(path, e))
+}
+
 /// Loads the records to analyze: either a binary trace or a workload run,
 /// then applies the `--skip`/`--take` phase window. Under `--recover` a
 /// damaged trace is read in recovery mode; the returned stats say what was
 /// lost.
+///
+/// When the trace is memory-mapped, `--jobs` is parallel, and the stream
+/// scans as pristine, whole-file decode fans out across the workers —
+/// each decodes its own span of chunks straight from the shared map. Any
+/// anomaly (damage, truncation, limits, a recovery request) declines the fast path
+/// and the sequential reader, which owns the exact error and recovery
+/// semantics, takes over.
 fn load_records(opts: &Options) -> Result<LoadedTrace, CliError> {
     let mut loaded = if let Some(path) = &opts.trace {
         let mut span = paragraph_core::span!("decode");
         let mut tspan = telemetry::timeline::timeline_span("decode");
-        let file = File::open(path).map_err(|e| io_err(path, e))?;
-        let input = BufReader::new(file);
-        let mut reader = if opts.recover {
-            TraceReader::with_recovery(input)
+        let source = open_trace_source(path, opts.mmap)?;
+        let limits = Limits::from_env();
+        let jobs = opts
+            .jobs
+            .map_or(1, paragraph_core::parallel::effective_jobs);
+        let parallel = if jobs > 1 && !opts.recover {
+            source.shared_bytes().and_then(|bytes| {
+                paragraph_trace::source::decode_all_parallel(&bytes, jobs, &limits)
+            })
         } else {
-            TraceReader::new(input)
-        }
-        .map_err(|e| trace_err(path, e))?
-        // Every length the file declares is checked against the governor
-        // before anything is allocated for it; violations exit 7.
-        .with_governor(ResourceGovernor::new(Limits::from_env()));
-        let segments = reader.segment_map();
-        // Block decode: whole chunk payloads at a time, no per-record
-        // iterator dispatch.
-        let mut records = Vec::new();
-        while reader
-            .read_block(&mut records)
+            None
+        };
+        if let Some(decoded) = parallel {
+            span.field("records", decoded.total);
+            span.field("bytes", decoded.bytes);
+            span.field("parallel", jobs as u64);
+            tspan.arg("records", decoded.total);
+            tspan.arg("bytes", decoded.bytes);
+            tspan.arg("jobs", jobs as u64);
+            paragraph_core::counter!("decode.records", decoded.total);
+            paragraph_core::counter!("decode.bytes", decoded.bytes);
+            LoadedTrace {
+                records: decoded.records,
+                segments: decoded.segments,
+                recovery: None,
+                bytes: decoded.bytes,
+                identity: None,
+            }
+        } else {
+            let mut reader = if opts.recover {
+                TraceReader::from_source_with_recovery(source)
+            } else {
+                TraceReader::from_source(source)
+            }
             .map_err(|e| trace_err(path, e))?
-            > 0
-        {}
-        let recovery = opts.recover.then(|| reader.recovery_stats());
-        span.field("records", reader.records_read());
-        span.field("bytes", reader.bytes_read());
-        tspan.arg("records", reader.records_read());
-        tspan.arg("bytes", reader.bytes_read());
-        paragraph_core::counter!("decode.records", reader.records_read());
-        paragraph_core::counter!("decode.bytes", reader.bytes_read());
-        if let Some(stats) = &recovery {
-            span.field("resyncs", stats.resyncs);
-            paragraph_core::counter!("decode.resyncs", stats.resyncs);
-            paragraph_core::counter!("decode.records_skipped", stats.records_skipped);
-        }
-        LoadedTrace {
-            records,
-            segments,
-            recovery,
-            bytes: reader.bytes_read(),
-            identity: None,
+            // Every length the file declares is checked against the governor
+            // before anything is allocated for it; violations exit 7.
+            .with_governor(ResourceGovernor::new(Limits::from_env()));
+            let segments = reader.segment_map();
+            // Block decode: whole chunk payloads at a time, no per-record
+            // iterator dispatch.
+            let mut records = Vec::new();
+            while reader
+                .read_block(&mut records)
+                .map_err(|e| trace_err(path, e))?
+                > 0
+            {}
+            let recovery = opts.recover.then(|| reader.recovery_stats());
+            span.field("records", reader.records_read());
+            span.field("bytes", reader.bytes_read());
+            tspan.arg("records", reader.records_read());
+            tspan.arg("bytes", reader.bytes_read());
+            paragraph_core::counter!("decode.records", reader.records_read());
+            paragraph_core::counter!("decode.bytes", reader.bytes_read());
+            if let Some(stats) = &recovery {
+                span.field("resyncs", stats.resyncs);
+                paragraph_core::counter!("decode.resyncs", stats.resyncs);
+                paragraph_core::counter!("decode.records_skipped", stats.records_skipped);
+            }
+            LoadedTrace {
+                records,
+                segments,
+                recovery,
+                bytes: reader.bytes_read(),
+                identity: None,
+            }
         }
     } else {
         let mut span = paragraph_core::span!("generate");
@@ -990,9 +1057,117 @@ fn save_checkpoint_instrumented(
     Ok(())
 }
 
+/// Returns the trace path when `analyze` should take the decode-ahead
+/// streaming path: the analyzer consumes chunk N while a helper thread
+/// CRC-checks and decodes chunk N+1, so decode and analysis overlap
+/// instead of running back to back. Only configurations whose stdout is
+/// trivially byte-identical to the load-then-analyze path are eligible: a
+/// plain sequential run over a trace file, with no phase window,
+/// recovery, checkpointing, heartbeats, or structured telemetry (those
+/// paths need the whole record vector, exact up-front counts, or decode
+/// bookkeeping the pipeline does not reproduce).
+fn streaming_trace_path(opts: &Options, setup: &TelemetrySetup) -> Option<String> {
+    let path = opts.trace.clone()?;
+    let plain = !opts.no_decode_ahead
+        && !opts.recover
+        && !setup.enabled
+        && opts.resume.is_none()
+        && opts.checkpoint_every.is_none()
+        && opts.skip.is_none()
+        && opts.take.is_none()
+        && opts.progress.is_none()
+        && opts
+            .jobs
+            .map_or(1, paragraph_core::parallel::effective_jobs)
+            <= 1;
+    plain.then_some(path)
+}
+
+/// `analyze --trace` through the decode-ahead pipeline (see
+/// [`streaming_trace_path`] for when this runs). The helper thread gets
+/// its own `decode-ahead` timeline lane, so a `--timeline-out` recording
+/// shows decode slices running ahead of the `livewell` slices that
+/// consume them.
+fn cmd_analyze_streaming(opts: &Options, path: &str) -> Result<(), CliError> {
+    use paragraph_trace::source::{DecodeAhead, DecodeEvent, DecodeObserver};
+    let source = open_trace_source(path, opts.mmap)?;
+    let reader = TraceReader::from_source(source)
+        .map_err(|e| trace_err(path, e))?
+        .with_governor(ResourceGovernor::new(Limits::from_env()));
+    let segments = reader.segment_map();
+    let mut analyzer = LiveWell::new(opts.config(segments));
+    analyzer.set_trace_identity(None);
+    let observer: Option<DecodeObserver> = telemetry::timeline::timeline_active().map(|timeline| {
+        let mut block: Option<telemetry::timeline::TimelineSpan<'static>> = None;
+        Box::new(move |event: DecodeEvent| match event {
+            DecodeEvent::ThreadStart => timeline.set_thread_name("decode-ahead"),
+            DecodeEvent::BlockStart => block = Some(timeline.span("decode.block")),
+            DecodeEvent::BlockEnd { records } => {
+                if let Some(mut span) = block.take() {
+                    span.arg("records", records as u64);
+                }
+            }
+        }) as DecodeObserver
+    });
+    let mut artifact_failures: Vec<String> = Vec::new();
+    let stream_err = {
+        let mut span = paragraph_core::span!("analyze");
+        let mut da = DecodeAhead::spawn(reader, observer).map_err(|e| io_err(path, e))?;
+        let mut stream_err = None;
+        while let Some(batch) = da.next_batch() {
+            match batch {
+                Ok(batch) => {
+                    {
+                        let mut tspan = telemetry::timeline::timeline_span("livewell");
+                        tspan.arg("records", batch.len() as u64);
+                        analyzer.process_slice(&batch);
+                    }
+                    da.recycle(batch);
+                }
+                // The fault arrives after every batch decoded ahead of it,
+                // exactly like the sequential reader delivers it; drain the
+                // pipeline before surfacing it.
+                Err(e) => {
+                    stream_err = Some(e);
+                    break;
+                }
+            }
+        }
+        let done = da.finish();
+        span.field("records", done.stats.records_read);
+        span.field("bytes", done.bytes_read);
+        paragraph_core::counter!("decode.records", done.stats.records_read);
+        paragraph_core::counter!("decode.bytes", done.bytes_read);
+        stream_err
+    };
+    if let Some(e) = stream_err {
+        return Err(trace_err(path, e));
+    }
+    let report = {
+        let _span = paragraph_core::span!("report");
+        let _tspan = telemetry::timeline::timeline_span("report");
+        analyzer.finish()
+    };
+    print_report(&report, opts, &mut artifact_failures);
+    if let Some(out) = &opts.timeline_out {
+        export_timeline_degraded(out, &mut artifact_failures);
+    }
+    if !artifact_failures.is_empty() {
+        return Err(CliError::Io(format!(
+            "analysis completed, but {} artifact(s) failed: {}",
+            artifact_failures.len(),
+            artifact_failures.join("; ")
+        )));
+    }
+    Ok(())
+}
+
 fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
     let setup = init_telemetry(opts)?;
     init_timeline(opts);
+    if let Some(path) = streaming_trace_path(opts, &setup) {
+        return cmd_analyze_streaming(opts, &path);
+    }
     let loaded = load_records(opts)?;
     if let Some(stats) = &loaded.recovery {
         print_recovery_stats(stats);
@@ -1062,7 +1237,9 @@ fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
     // Configurations the cut rule cannot reproduce exactly — and traces
     // without syscalls — fall back to the single-threaded path with a
     // note, never to approximate numbers. See docs/hotpath.md.
-    let jobs = opts.jobs.map_or(1, paragraph_core::parallel::effective_jobs);
+    let jobs = opts
+        .jobs
+        .map_or(1, paragraph_core::parallel::effective_jobs);
     let cuts: Vec<usize> = if jobs > 1 {
         match paragraph_core::parallel::eligibility(records, &worker_config) {
             Ok(()) => {
@@ -1264,7 +1441,14 @@ fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
     }
     // The final heartbeat is unconditional so short runs still show one.
     // Merged worker records are inside the analyzer by now, so no extra.
-    progress_beat(&mut reporter, &analyzer, loaded.bytes, records.len(), 0, true);
+    progress_beat(
+        &mut reporter,
+        &analyzer,
+        loaded.bytes,
+        records.len(),
+        0,
+        true,
+    );
 
     let report = {
         let _span = paragraph_core::span!("report");
@@ -1693,13 +1877,27 @@ fn cmd_profile_bench_compare(opts: &Options, baseline_path: &str) -> Result<(), 
     println!("bench-compare: {current_path} vs {baseline_path} (threshold +{threshold_pct:.0}%)");
     let mut regressions: Vec<String> = Vec::new();
     let mut compared = 0usize;
-    for (key, base_ns) in &baseline {
-        let Some(cur_ns) = current.get(key) else {
+    let mut skipped = 0usize;
+    for (key, base) in &baseline {
+        let Some(cur) = current.get(key) else {
             println!("  {key:<34} missing from current log");
             continue;
         };
+        // Wall clocks from differently-sized boxes are not comparable:
+        // a 0.71x parallel-analyze row from a single-core runner would
+        // "regress" every multi-core run. Rows that recorded their core
+        // count only gate against rows from a same-sized box; rows
+        // predating the field still compare (nothing better exists).
+        if let (Some(base_np), Some(cur_np)) = (base.nproc, cur.nproc) {
+            if base_np != cur_np {
+                skipped += 1;
+                println!("  {key:<34} skipped (nproc {base_np} vs {cur_np}: different machines)");
+                continue;
+            }
+        }
         compared += 1;
-        let delta_pct = if *base_ns > 0.0 {
+        let (base_ns, cur_ns) = (base.after_ns, cur.after_ns);
+        let delta_pct = if base_ns > 0.0 {
             100.0 * (cur_ns - base_ns) / base_ns
         } else {
             0.0
@@ -1720,6 +1918,12 @@ fn cmd_profile_bench_compare(opts: &Options, baseline_path: &str) -> Result<(), 
         }
     }
     if compared == 0 {
+        if skipped > 0 {
+            // Every common key came from a differently-sized box; there is
+            // nothing comparable, which is not a regression.
+            println!("note: all {skipped} common key(s) skipped (core-count mismatch)");
+            return Ok(());
+        }
         return Err(CliError::Analysis(format!(
             "no common bench keys between {current_path} and {baseline_path}"
         )));
@@ -1733,9 +1937,19 @@ fn cmd_profile_bench_compare(opts: &Options, baseline_path: &str) -> Result<(), 
     Ok(())
 }
 
-/// Parses a bench log (JSONL, one row per run) into key → `after_ns`,
+/// One bench-log row as the compare gate sees it.
+#[derive(Debug, Clone, Copy)]
+struct BenchRow {
+    /// The measured time being gated.
+    after_ns: f64,
+    /// Core count of the box the row was recorded on, when the row
+    /// carries one (rows predate the field).
+    nproc: Option<f64>,
+}
+
+/// Parses a bench log (JSONL, one row per run) into key → [`BenchRow`],
 /// last row per key winning. Key = `bench/mode` or `bench/grid`.
-fn read_bench_rows(path: &str) -> Result<std::collections::BTreeMap<String, f64>, CliError> {
+fn read_bench_rows(path: &str) -> Result<std::collections::BTreeMap<String, BenchRow>, CliError> {
     use telemetry::tracefmt::{parse_json, JsonValue};
     let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
     let mut rows = std::collections::BTreeMap::new();
@@ -1763,7 +1977,8 @@ fn read_bench_rows(path: &str) -> Result<std::collections::BTreeMap<String, f64>
             .or_else(|| row.get("grid"))
             .and_then(JsonValue::as_str)
             .unwrap_or("");
-        rows.insert(format!("{bench}/{variant}"), after_ns);
+        let nproc = row.get("nproc").and_then(JsonValue::as_f64);
+        rows.insert(format!("{bench}/{variant}"), BenchRow { after_ns, nproc });
     }
     Ok(rows)
 }

@@ -319,7 +319,10 @@ mod tests {
         let ideal = trace.len() / 4;
         for (i, &cut) in cuts.iter().enumerate() {
             let target = ideal * (i + 1);
-            assert!(cut.abs_diff(target) < trace.len() / 10, "cut {cut} vs {target}");
+            assert!(
+                cut.abs_diff(target) < trace.len() / 10,
+                "cut {cut} vs {target}"
+            );
         }
     }
 
@@ -349,7 +352,10 @@ mod tests {
             let outcome = run_segment(&trace[from..to], &config, &progress).unwrap();
             primary.merge_segment(&outcome);
         }
-        assert_eq!(progress.load(Ordering::Relaxed), (trace.len() - cuts[0]) as u64);
+        assert_eq!(
+            progress.load(Ordering::Relaxed),
+            (trace.len() - cuts[0]) as u64
+        );
         assert_eq!(primary.finish().to_json(), sequential.to_json());
     }
 

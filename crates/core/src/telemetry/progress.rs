@@ -268,8 +268,8 @@ mod tests {
     /// that slows down kept printing its fast long-run average).
     #[test]
     fn mb_per_sec_is_instantaneous_not_cumulative() {
-        let mut reporter = ProgressReporter::new(Duration::ZERO, Some(1_000))
-            .with_total_bytes(Some(10_000_000));
+        let mut reporter =
+            ProgressReporter::new(Duration::ZERO, Some(1_000)).with_total_bytes(Some(10_000_000));
         reporter.force_tick(100, 4_000_000, 0);
         // Pinned clocks: 500 KB arrived in the last 1 s window, while the
         // cumulative average over 10 s is 450 KB/s.
@@ -297,7 +297,10 @@ mod tests {
         // unseeded computation would claim 600 / 10 = 60 rec/s => 6.7 s.
         let tick = reporter.compute_tick(600, 2_400_000, 0, 10.0, 10.0);
         assert_eq!(tick.eta_secs, Some(40.0));
-        assert_eq!(tick.bytes_per_sec, 40_000.0, "bytes average excludes resumed bytes");
+        assert_eq!(
+            tick.bytes_per_sec, 40_000.0,
+            "bytes average excludes resumed bytes"
+        );
         // Percent-done still counts the resumed work.
         assert!(tick.line.contains("60.0%"), "{}", tick.line);
         // The instantaneous rate starts from the resume point, not zero.

@@ -76,7 +76,10 @@ use crate::govern::{LimitViolation, ResourceGovernor};
 use crate::loc::Loc;
 use crate::record::TraceRecord;
 use crate::segment::SegmentMap;
-use crate::wire::{read_varint, read_varint_slice, unzigzag, write_varint, zigzag};
+use crate::source::SharedBytes;
+use crate::wire::{
+    read_varint, read_varint_slice, read_varint_swar, unzigzag, write_varint, zigzag,
+};
 use paragraph_isa::OpClass;
 use std::io::{self, Read, Write};
 use std::sync::Arc;
@@ -243,15 +246,38 @@ fn eof_mid_record() -> io::Error {
     io::Error::new(io::ErrorKind::UnexpectedEof, "record ends past the buffer")
 }
 
+/// Operand-tag dispatch table: one indexed load classifies the tag byte
+/// instead of a chain of compares. Entries: 0 = int register, 1 = fp
+/// register, 2 = memory varint, 3 = invalid.
+const LOC_DISPATCH: [u8; 256] = {
+    let mut table = [3u8; 256];
+    table[TAG_INT as usize] = 0;
+    table[TAG_FP as usize] = 1;
+    table[TAG_MEM as usize] = 2;
+    table
+};
+
+/// Reads one varint with the kernel selected at monomorphization time:
+/// the SWAR bit-trick decoder on the hot path, the scalar loop for the
+/// retained oracle/baseline configuration.
+#[inline]
+fn read_varint_fast<const SWAR: bool>(buf: &[u8], pos: &mut usize) -> io::Result<u64> {
+    if SWAR {
+        read_varint_swar(buf, pos)
+    } else {
+        read_varint_slice(buf, pos)
+    }
+}
+
 /// Slice-based twin of [`read_loc`] for the block decoder.
 #[inline]
-fn read_loc_slice(buf: &[u8], pos: &mut usize) -> io::Result<Loc> {
+fn read_loc_slice_impl<const SWAR: bool>(buf: &[u8], pos: &mut usize) -> io::Result<Loc> {
     let Some(&tag) = buf.get(*pos) else {
         return Err(eof_mid_record());
     };
     *pos += 1;
-    match tag {
-        TAG_INT | TAG_FP => {
+    match LOC_DISPATCH[tag as usize] {
+        0 | 1 => {
             let Some(&idx) = buf.get(*pos) else {
                 return Err(eof_mid_record());
             };
@@ -265,22 +291,45 @@ fn read_loc_slice(buf: &[u8], pos: &mut usize) -> io::Result<Loc> {
                 io::Error::new(io::ErrorKind::InvalidData, "register index out of range")
             })
         }
-        TAG_MEM => Ok(Loc::Mem(read_varint_slice(buf, pos)?)),
-        t => Err(io::Error::new(
+        2 => Ok(Loc::Mem(read_varint_fast::<SWAR>(buf, pos)?)),
+        _ => Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("unknown location tag {t}"),
+            format!("unknown location tag {tag}"),
         )),
     }
 }
 
+/// Scalar-varint record decode: the differential baseline for the SWAR
+/// path and the kernel behind [`TraceReader::with_scalar_block_decode`].
+#[inline]
+fn decode_record_slice(
+    buf: &[u8],
+    pos: &mut usize,
+    last_pc: &mut u64,
+) -> io::Result<Option<TraceRecord>> {
+    decode_record_slice_impl::<false>(buf, pos, last_pc)
+}
+
+/// SWAR-varint record decode: the production hot path.
+#[inline]
+fn decode_record_slice_swar(
+    buf: &[u8],
+    pos: &mut usize,
+    last_pc: &mut u64,
+) -> io::Result<Option<TraceRecord>> {
+    decode_record_slice_impl::<true>(buf, pos, last_pc)
+}
+
 /// Slice-based twin of [`decode_record`] for the block decoder: decodes
-/// one record from `buf` at `*pos`, advancing `*pos` past it.
+/// one record from `buf` at `*pos`, advancing `*pos` past it. `SWAR`
+/// selects the varint kernel; both instantiations decode identical bytes
+/// to identical records with identical errors.
 ///
 /// Returns `None` with fewer than two bytes left at a record start — the
 /// same condition the `Read`-based decoder treats as a clean end of
 /// stream. Running out of bytes mid-record is `UnexpectedEof`.
 #[inline]
-fn decode_record_slice(
+fn decode_record_slice_impl<const SWAR: bool>(
     buf: &[u8],
     pos: &mut usize,
     last_pc: &mut u64,
@@ -302,15 +351,15 @@ fn decode_record_slice(
     }
     let has_dest = flags & 0x80 != 0;
     let has_branch = flags & 0x40 != 0;
-    let delta = unzigzag(read_varint_slice(buf, pos)?);
+    let delta = unzigzag(read_varint_fast::<SWAR>(buf, pos)?);
     let pc = last_pc.wrapping_add(delta as u64);
     *last_pc = pc;
     let mut srcs = [Loc::mem(0); 3];
     for slot in srcs.iter_mut().take(nsrc) {
-        *slot = read_loc_slice(buf, pos)?;
+        *slot = read_loc_slice_impl::<SWAR>(buf, pos)?;
     }
     let dest = if has_dest {
-        Some(read_loc_slice(buf, pos)?)
+        Some(read_loc_slice_impl::<SWAR>(buf, pos)?)
     } else {
         None
     };
@@ -319,7 +368,7 @@ fn decode_record_slice(
             return Err(eof_mid_record());
         };
         *pos += 1;
-        let target = read_varint_slice(buf, pos)?;
+        let target = read_varint_fast::<SWAR>(buf, pos)?;
         if class != OpClass::Branch {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -358,8 +407,23 @@ struct ChunkDecode {
 /// Decodes `count` records of a CRC-valid chunk payload into `out`,
 /// skipping the first `discard` (already delivered by an overlapping
 /// frame). Trailing payload bytes beyond `count` records are ignored,
-/// exactly as the per-record path ignores them.
+/// exactly as the per-record path ignores them. `swar` selects the varint
+/// kernel (both decode identically; the scalar one is the baseline).
 fn decode_chunk_payload(
+    payload: &[u8],
+    count: u64,
+    discard: u64,
+    out: &mut Vec<TraceRecord>,
+    swar: bool,
+) -> ChunkDecode {
+    if swar {
+        decode_chunk_payload_impl::<true>(payload, count, discard, out)
+    } else {
+        decode_chunk_payload_impl::<false>(payload, count, discard, out)
+    }
+}
+
+fn decode_chunk_payload_impl<const SWAR: bool>(
     payload: &[u8],
     count: u64,
     discard: u64,
@@ -371,7 +435,7 @@ fn decode_chunk_payload(
     let mut decoded = 0u64;
     let mut delivered = 0u64;
     while decoded < count {
-        match decode_record_slice(payload, &mut pos, &mut last_pc) {
+        match decode_record_slice_impl::<SWAR>(payload, &mut pos, &mut last_pc) {
             Ok(Some(record)) => {
                 decoded += 1;
                 if decoded > discard {
@@ -584,9 +648,17 @@ pub struct RecoveryStats {
 /// Buffered byte source for chunk parsing: supports peeking at unconsumed
 /// bytes (so a failed parse can rescan them) while tracking the absolute
 /// stream offset.
+///
+/// Two modes share one interface. In reader mode, bytes are pulled from
+/// `inner` into `buf` on demand. In zero-copy mode (`slice` set — the
+/// mmap'd backend), the entire input is already resident: `buffered()`
+/// borrows straight out of the shared region, `fill_to` never copies, and
+/// `inner` is never read.
 #[derive(Debug)]
-struct ByteStream<R: Read> {
+pub(crate) struct ByteStream<R: Read> {
     inner: R,
+    /// Whole-input in-memory region for the zero-copy mode.
+    slice: Option<SharedBytes>,
     buf: Vec<u8>,
     start: usize,
     offset: u64,
@@ -594,9 +666,10 @@ struct ByteStream<R: Read> {
 }
 
 impl<R: Read> ByteStream<R> {
-    fn new(inner: R) -> ByteStream<R> {
+    pub(crate) fn new(inner: R) -> ByteStream<R> {
         ByteStream {
             inner,
+            slice: None,
             buf: Vec::new(),
             start: 0,
             offset: 0,
@@ -604,17 +677,40 @@ impl<R: Read> ByteStream<R> {
         }
     }
 
+    /// Zero-copy mode over `slice`; `inner` is retained only to satisfy
+    /// the type and is never read.
+    pub(crate) fn with_slice(inner: R, slice: SharedBytes) -> ByteStream<R> {
+        ByteStream {
+            inner,
+            slice: Some(slice),
+            buf: Vec::new(),
+            start: 0,
+            offset: 0,
+            eof: true,
+        }
+    }
+
     fn available(&self) -> usize {
-        self.buf.len() - self.start
+        match &self.slice {
+            Some(bytes) => bytes.len() - self.start,
+            None => self.buf.len() - self.start,
+        }
     }
 
     fn buffered(&self) -> &[u8] {
-        &self.buf[self.start..]
+        match &self.slice {
+            Some(bytes) => &bytes[self.start..],
+            None => &self.buf[self.start..],
+        }
     }
 
     /// Tries to buffer at least `want` unconsumed bytes; stops early at
-    /// end-of-input. Returns the bytes now available.
+    /// end-of-input. Returns the bytes now available. In zero-copy mode
+    /// everything is already available, so this never reads.
     fn fill_to(&mut self, want: usize) -> io::Result<usize> {
+        if self.slice.is_some() {
+            return Ok(self.available());
+        }
         while self.available() < want && !self.eof {
             self.compact();
             let old_len = self.buf.len();
@@ -635,6 +731,9 @@ impl<R: Read> ByteStream<R> {
     }
 
     fn compact(&mut self) {
+        if self.slice.is_some() {
+            return;
+        }
         if self.start > 0 {
             self.buf.drain(..self.start);
             self.start = 0;
@@ -732,6 +831,9 @@ pub struct TraceReader<R: Read> {
     batch_pos: usize,
     /// Fault to surface once the records batched ahead of it are served.
     pending_err: Option<TraceError>,
+    /// SWAR varint kernel in the block decoder (default); false selects
+    /// the scalar kernel retained as baseline and differential oracle.
+    swar: bool,
     /// Resource caps enforced while decoding (generous by default).
     governor: ResourceGovernor,
 }
@@ -763,7 +865,13 @@ impl<R: Read> TraceReader<R> {
     }
 
     fn open(input: R, recover: bool) -> Result<TraceReader<R>, TraceError> {
-        let mut input = ByteStream::new(input);
+        TraceReader::open_stream(ByteStream::new(input), recover)
+    }
+
+    pub(crate) fn open_stream(
+        mut input: ByteStream<R>,
+        recover: bool,
+    ) -> Result<TraceReader<R>, TraceError> {
         let mut magic = [0u8; 5];
         input.read_exact(&mut magic).map_err(|e| {
             let kind = if e.kind() == io::ErrorKind::UnexpectedEof {
@@ -819,6 +927,7 @@ impl<R: Read> TraceReader<R> {
             batch: Vec::new(),
             batch_pos: 0,
             pending_err: None,
+            swar: true,
             governor: ResourceGovernor::default(),
         })
     }
@@ -849,6 +958,17 @@ impl<R: Read> TraceReader<R> {
     #[must_use]
     pub fn with_per_record_decode(mut self) -> TraceReader<R> {
         self.batched = false;
+        self
+    }
+
+    /// Switches the block decoder to the scalar varint kernel (the
+    /// pre-SWAR production path). Both kernels decode the same streams to
+    /// the same records with the same faults; this one is retained as the
+    /// benchmark baseline and a differential-testing oracle for the SWAR
+    /// kernel.
+    #[must_use]
+    pub fn with_scalar_block_decode(mut self) -> TraceReader<R> {
+        self.swar = false;
         self
     }
 
@@ -1281,7 +1401,12 @@ impl<R: Read> TraceReader<R> {
             let mut clean_end = false;
             while out.len() - base < BATCH_RECORDS && pos < stop {
                 let before = pos;
-                match decode_record_slice(bytes, &mut pos, &mut self.last_pc) {
+                let decoded = if self.swar {
+                    decode_record_slice_swar(bytes, &mut pos, &mut self.last_pc)
+                } else {
+                    decode_record_slice(bytes, &mut pos, &mut self.last_pc)
+                };
+                match decoded {
                     Ok(Some(record)) => out.push(record),
                     Ok(None) => {
                         // At most one dangling byte at end of input: the
@@ -1332,7 +1457,7 @@ impl<R: Read> TraceReader<R> {
                         continue;
                     };
                     let payload = &self.input.buffered()[header_len..frame_len];
-                    let outcome = decode_chunk_payload(payload, count, discard, out);
+                    let outcome = decode_chunk_payload(payload, count, discard, out, self.swar);
                     self.input.consume(frame_len);
                     self.pos += outcome.delivered;
                     let Some(fault) = outcome.fault else {
@@ -1574,6 +1699,133 @@ fn find_marker(bytes: &[u8]) -> Option<usize> {
         at += 1;
     }
     None
+}
+
+/// One chunk frame located by [`scan_chunks`]: its byte span within the
+/// stream plus the header fields needed to validate and decode it.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkSpan {
+    /// Byte offset of the frame's sync marker from the start of the input.
+    pub offset: usize,
+    /// Bytes of framing (marker, header varints, CRC) before the payload.
+    pub header_len: usize,
+    /// Total frame length including the payload.
+    pub frame_len: usize,
+    /// Absolute index of the frame's first record.
+    pub first_index: u64,
+    /// Records in the frame.
+    pub count: u64,
+}
+
+/// Structural map of a pristine v2 byte stream, produced by
+/// [`scan_chunks`] without touching any payload byte.
+#[derive(Debug, Clone)]
+pub struct ChunkScan {
+    /// Segment boundaries from the file header.
+    pub segments: SegmentMap,
+    /// Data chunks in stream order. CRCs are *not* yet verified.
+    pub chunks: Vec<ChunkSpan>,
+    /// Total records declared by the trailer.
+    pub total: u64,
+}
+
+/// Walks the frame structure of a complete in-memory v2 stream — headers
+/// only, payloads untouched, CRCs unverified — and returns the chunk map
+/// if and only if the stream is *pristine*: well-formed header, every
+/// frame contiguous, record indexes exactly consecutive with no gaps or
+/// overlaps, and a trailer whose total matches, ending exactly at the end
+/// of input.
+///
+/// Returns `None` for anything else (v1 streams, damage, truncation,
+/// overlapping frames). This is the admission test for the parallel
+/// whole-file decode: a pristine stream decodes embarrassingly parallel
+/// (the pc-delta chain restarts every chunk), anything less falls back to
+/// the sequential reader, which owns the error and recovery semantics.
+pub fn scan_chunks(bytes: &[u8]) -> Option<ChunkScan> {
+    let mut pos = 0usize;
+    if bytes.len() < 5 || &bytes[..4] != MAGIC || bytes[4] != VERSION_V2 {
+        return None;
+    }
+    pos += 5;
+    let heap_base = read_varint_slice(bytes, &mut pos).ok()?;
+    let stack_floor = read_varint_slice(bytes, &mut pos).ok()?;
+    if heap_base > stack_floor {
+        return None;
+    }
+    let segments = SegmentMap::new(heap_base, stack_floor);
+    let mut chunks = Vec::new();
+    let mut next_index = 0u64;
+    loop {
+        if bytes.len() - pos < SYNC_MARKER.len()
+            || bytes[pos..pos + SYNC_MARKER.len()] != SYNC_MARKER
+        {
+            return None;
+        }
+        let offset = pos;
+        let mut cursor = pos + SYNC_MARKER.len();
+        let first_index = read_varint_slice(bytes, &mut cursor).ok()?;
+        let count = read_varint_slice(bytes, &mut cursor).ok()?;
+        let payload_len = read_varint_slice(bytes, &mut cursor).ok()?;
+        if payload_len > MAX_PAYLOAD_LEN {
+            return None;
+        }
+        // CRC bytes follow the varints.
+        if bytes.len() - cursor < 4 {
+            return None;
+        }
+        let header_len = cursor + 4 - offset;
+        let frame_len = header_len + payload_len as usize;
+        if bytes.len() - offset < frame_len {
+            return None;
+        }
+        if count == 0 {
+            // Trailer: must declare exactly the records seen and end the
+            // stream exactly.
+            if payload_len != 0 || first_index != next_index || offset + frame_len != bytes.len() {
+                return None;
+            }
+            return Some(ChunkScan {
+                segments,
+                chunks,
+                total: next_index,
+            });
+        }
+        if first_index != next_index || count.saturating_mul(3) > payload_len {
+            return None;
+        }
+        next_index += count;
+        chunks.push(ChunkSpan {
+            offset,
+            header_len,
+            frame_len,
+            first_index,
+            count,
+        });
+        pos = offset + frame_len;
+    }
+}
+
+/// CRC-checks and decodes one [`ChunkSpan`] out of `bytes`, appending its
+/// records to `out`. Returns `false` on a CRC mismatch or a payload that
+/// does not decode to exactly `count` records — the caller must then fall
+/// back to the sequential reader for exact fault semantics.
+pub fn decode_span(bytes: &[u8], span: &ChunkSpan, out: &mut Vec<TraceRecord>) -> bool {
+    let Some(frame) = bytes.get(span.offset..span.offset + span.frame_len) else {
+        return false;
+    };
+    let varints = &frame[SYNC_MARKER.len()..span.header_len - 4];
+    let mut stored = [0u8; 4];
+    stored.copy_from_slice(&frame[span.header_len - 4..span.header_len]);
+    let stored = u32::from_le_bytes(stored);
+    let payload = &frame[span.header_len..];
+    let mut crc = Crc32::new();
+    crc.update(varints);
+    crc.update(payload);
+    if crc.finish() != stored {
+        return false;
+    }
+    let outcome = decode_chunk_payload(payload, span.count, 0, out, true);
+    outcome.fault.is_none() && outcome.delivered == span.count
 }
 
 impl<R: Read> Iterator for TraceReader<R> {
@@ -1945,8 +2197,9 @@ mod tests {
         (records, None)
     }
 
-    /// The block decoder and the legacy per-record decoder must agree on
-    /// everything observable: records, fault kind/position, and stats.
+    /// The SWAR block decoder, the scalar block decoder, and the legacy
+    /// per-record decoder must agree on everything observable: records,
+    /// fault kind/position, and stats.
     fn assert_paths_agree(bytes: &[u8], recover: bool) {
         let open = || {
             if recover {
@@ -1957,33 +2210,46 @@ mod tests {
         };
         // Header validation runs before the decode paths diverge; a
         // stream that does not open has nothing to compare.
-        let (Ok(mut batched), Ok(legacy)) = (open(), open()) else {
+        let (Ok(mut batched), Ok(scalar), Ok(legacy)) = (open(), open(), open()) else {
             assert!(open().is_err(), "open must fail deterministically");
             return;
         };
+        let mut scalar = scalar.with_scalar_block_decode();
         let mut legacy = legacy.with_per_record_decode();
         let (b_records, b_err) = drain(&mut batched);
+        let (s_records, s_err) = drain(&mut scalar);
         let (l_records, l_err) = drain(&mut legacy);
         assert_eq!(b_records, l_records, "decoded records diverge");
-        match (&b_err, &l_err) {
+        assert_eq!(b_records, s_records, "SWAR and scalar records diverge");
+        let check_faults = |a: &Option<TraceError>, b: &Option<TraceError>, what: &str| match (a, b)
+        {
             (None, None) => {}
-            (Some(b), Some(l)) => {
-                assert_eq!(b.byte_offset(), l.byte_offset(), "fault offsets diverge");
-                assert_eq!(b.record_index(), l.record_index());
-                assert_eq!(b.chunk(), l.chunk());
+            (Some(a), Some(b)) => {
+                assert_eq!(a.byte_offset(), b.byte_offset(), "{what}: offsets diverge");
+                assert_eq!(a.record_index(), b.record_index(), "{what}");
+                assert_eq!(a.chunk(), b.chunk(), "{what}");
                 assert_eq!(
+                    std::mem::discriminant(a.kind()),
                     std::mem::discriminant(b.kind()),
-                    std::mem::discriminant(l.kind())
+                    "{what}"
                 );
             }
-            _ => panic!("fault disagreement: batched {b_err:?} vs legacy {l_err:?}"),
-        }
+            _ => panic!("{what}: fault disagreement: {a:?} vs {b:?}"),
+        };
+        check_faults(&b_err, &l_err, "batched vs legacy");
+        check_faults(&b_err, &s_err, "SWAR vs scalar");
         assert_eq!(
             batched.recovery_stats(),
             legacy.recovery_stats(),
             "recovery accounting diverges"
         );
+        assert_eq!(
+            batched.recovery_stats(),
+            scalar.recovery_stats(),
+            "SWAR/scalar recovery accounting diverges"
+        );
         assert_eq!(batched.records_written(), legacy.records_written());
+        assert_eq!(batched.records_written(), scalar.records_written());
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod ingest;
 mod loc;
 mod record;
 mod segment;
+pub mod source;
 mod stats;
 pub mod synthetic;
 pub mod wire;
@@ -54,4 +55,5 @@ pub use govern::{LimitViolation, Limits, ResourceGovernor};
 pub use loc::Loc;
 pub use record::{BranchInfo, TraceRecord};
 pub use segment::{Segment, SegmentMap};
+pub use source::{SharedBytes, SourceBackend, TraceSource};
 pub use stats::TraceStats;

@@ -92,6 +92,31 @@ fn builtin_seeds(target: &str) -> Vec<Vec<u8>> {
                 .to_vec(),
             b".text\nnop\nhalt\n".to_vec(),
         ],
+        "varint_swar" => {
+            // A run of canonical encodings across every length class, then
+            // shapes the SWAR kernel must punt on: continuation runs into
+            // the buffer tail and maximal/overflowing 10-byte encodings.
+            let mut stream = Vec::new();
+            for v in [
+                0u64,
+                1,
+                127,
+                128,
+                300,
+                (1 << 14) - 1,
+                1 << 14,
+                (1 << 21) - 1,
+                (1 << 28) + 7,
+                (1 << 35) + 12_345,
+                (1 << 49) - 1,
+                (1 << 56) - 1,
+                1 << 56,
+                u64::MAX,
+            ] {
+                paragraph::trace::wire::write_varint(&mut stream, v).expect("in-memory write");
+            }
+            vec![stream, vec![0x80; 12], vec![0xff; 16], vec![0xff, 0xff, 0x7f]]
+        }
         _ => Vec::new(),
     }
 }

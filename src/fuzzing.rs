@@ -94,6 +94,39 @@ pub fn check_asm_parser(data: &[u8]) {
     );
 }
 
+/// Differentially checks the SWAR varint kernel against the scalar one on
+/// arbitrary bytes, starting a decode at every offset of `data`. The two
+/// kernels must agree exactly: same value and same cursor advance on
+/// success, same error kind on failure — including truncation at the
+/// buffer tail (where SWAR must fall back to the scalar loop) and 10-byte
+/// overflow encodings.
+pub fn check_varint_swar(data: &[u8]) {
+    use paragraph_trace::wire::{read_varint_slice, read_varint_swar};
+    for start in 0..=data.len() {
+        let mut swar_pos = start;
+        let mut scalar_pos = start;
+        let swar = read_varint_swar(data, &mut swar_pos);
+        let scalar = read_varint_slice(data, &mut scalar_pos);
+        match (swar, scalar) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a, b, "varint value diverged at offset {start}");
+                assert_eq!(
+                    swar_pos, scalar_pos,
+                    "varint cursor diverged at offset {start}"
+                );
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(
+                    a.kind(),
+                    b.kind(),
+                    "varint error kind diverged at offset {start}"
+                );
+            }
+            (a, b) => panic!("varint outcome diverged at offset {start}: SWAR {a:?}, scalar {b:?}"),
+        }
+    }
+}
+
 /// Every fuzz target by name, for runners that iterate over all of them.
 pub const TARGETS: &[(&str, fn(&[u8]))] = &[
     ("v2_decoder", check_v2_decoder),
@@ -101,6 +134,7 @@ pub const TARGETS: &[(&str, fn(&[u8]))] = &[
     ("checkpoint_loader", check_checkpoint_loader),
     ("ingest_parser", check_ingest_parser),
     ("asm_parser", check_asm_parser),
+    ("varint_swar", check_varint_swar),
 ];
 
 #[cfg(test)]

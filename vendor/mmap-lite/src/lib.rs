@@ -1,0 +1,221 @@
+//! Minimal read-only file memory mapping.
+//!
+//! A deliberately tiny stand-in for `memmap2`: map a whole file read-only,
+//! expose it as `&[u8]`, unmap on drop. On unix the implementation calls
+//! `mmap(2)`/`munmap(2)` directly through `extern "C"` declarations (std
+//! already links libc, so no crate dependency is needed); elsewhere it
+//! degrades to reading the file into an owned buffer, which keeps every
+//! caller portable at the cost of the copy the unix path avoids.
+//!
+//! Safety model: the map is `PROT_READ`/`MAP_PRIVATE`, so the kernel never
+//! writes through it and this process cannot either. As with every file
+//! mapping, truncating the file while mapped can turn reads into `SIGBUS`;
+//! callers that accept untrusted *writable* files should prefer a buffered
+//! read. Trace files here are written once and then read, so the mapping
+//! is stable in practice.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::{c_int, c_void};
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    /// An active `mmap(2)` region; unmapped on drop.
+    pub struct Map {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // The region is immutable for its whole lifetime (PROT_READ private
+    // mapping owned by this struct), so sharing it across threads is safe.
+    unsafe impl Send for Map {}
+    unsafe impl Sync for Map {}
+
+    impl Map {
+        pub fn new(file: &File, len: usize) -> io::Result<Map> {
+            // POSIX rejects zero-length mappings; the caller handles the
+            // empty-file case with an empty slice instead.
+            debug_assert!(len > 0);
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            // MAP_FAILED is (void*)-1.
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Map { ptr, len })
+        }
+
+        pub fn as_slice(&self) -> &[u8] {
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Map {
+        fn drop(&mut self) {
+            // Failure here is unrecoverable and harmless to ignore: the
+            // address range simply stays reserved until process exit.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+enum Backing {
+    #[cfg(unix)]
+    Mapped(sys::Map),
+    Owned(Vec<u8>),
+}
+
+/// A read-only view of an entire file.
+pub struct Mmap {
+    backing: Backing,
+}
+
+impl Mmap {
+    /// Maps `file` read-only in its entirety.
+    ///
+    /// # Errors
+    ///
+    /// Propagates metadata or `mmap(2)` failures (e.g. mapping a pipe or a
+    /// file larger than the address space).
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        let meta = file.metadata()?;
+        let len = usize::try_from(meta.len()).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidInput, "file exceeds address space")
+        })?;
+        if len == 0 {
+            return Ok(Mmap {
+                backing: Backing::Owned(Vec::new()),
+            });
+        }
+        #[cfg(unix)]
+        {
+            Ok(Mmap {
+                backing: Backing::Mapped(sys::Map::new(file, len)?),
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::Read;
+            let mut bytes = Vec::with_capacity(len);
+            let mut file = file;
+            file.read_to_end(&mut bytes)?;
+            Ok(Mmap {
+                backing: Backing::Owned(bytes),
+            })
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped(map) => map.as_slice(),
+            Backing::Owned(bytes) => bytes,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mmap-lite-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_path("contents");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        assert_eq!(&map[..], &payload[..]);
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        assert!(map.is_empty());
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn map_is_shareable_across_threads() {
+        let path = temp_path("threads");
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(b"shared bytes")
+            .unwrap();
+        let file = File::open(&path).unwrap();
+        let map = std::sync::Arc::new(Mmap::map(&file).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let map = std::sync::Arc::clone(&map);
+                std::thread::spawn(move || assert_eq!(&map[..], b"shared bytes"))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+}
