@@ -61,6 +61,11 @@ enum CliError {
         /// diagnostic (and written to `--reject-report FILE` if given).
         report: String,
     },
+    /// `client` only: the daemon answered 429 (queue full) or 503
+    /// (draining) — a retryable back-pressure condition, not a failure of
+    /// the request itself. Distinct code so supervisors can retry with
+    /// backoff instead of alerting.
+    ServerBusy(String),
 }
 
 impl CliError {
@@ -72,6 +77,7 @@ impl CliError {
             CliError::Analysis(_) => 5,
             CliError::Quarantined(_) => 6,
             CliError::InputRejected { .. } => 7,
+            CliError::ServerBusy(_) => 8,
         })
     }
 }
@@ -83,7 +89,8 @@ impl fmt::Display for CliError {
             | CliError::Io(m)
             | CliError::CorruptTrace(m)
             | CliError::Analysis(m)
-            | CliError::Quarantined(m) => f.write_str(m),
+            | CliError::Quarantined(m)
+            | CliError::ServerBusy(m) => f.write_str(m),
             CliError::InputRejected { message, .. } => f.write_str(message),
         }
     }
@@ -183,9 +190,10 @@ fn run(args: &[String]) -> Result<(), CliError> {
         return Ok(());
     };
     let opts = Options::parse(&args[1..]).map_err(CliError::Usage)?;
-    // Only `profile` takes positional arguments (timeline/bench-log
-    // files); everywhere else a stray word is a typo, not an input.
-    if command != "profile" && !opts.positional.is_empty() {
+    // Only `profile` (timeline/bench-log files) and `client`
+    // (METHOD PATH) take positional arguments; everywhere else a stray
+    // word is a typo, not an input.
+    if command != "profile" && command != "client" && !opts.positional.is_empty() {
         return Err(usage_err(format!(
             "unexpected argument `{}`",
             opts.positional[0]
@@ -204,6 +212,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "stats" => cmd_stats(&opts),
         "report" => cmd_report(&opts),
         "profile" => cmd_profile(&opts),
+        "serve" => cmd_serve(&opts),
+        "client" => cmd_client(&opts),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -245,6 +255,13 @@ commands:
   profile   summarize a --timeline-out recording: per-stage self-time,
             lane utilization, slowest slices; --diff B compares two
             timelines; --bench-compare BASELINE checks bench-log rows
+  serve     run the multi-tenant analysis daemon (see docs/serve.md):
+            trace uploads and analysis over HTTP on --addr or --uds, a
+            bounded worker pool with panic isolation, load shedding, and
+            graceful drain on SIGTERM/SIGINT
+  client    one request against a running daemon:
+            client ENDPOINT METHOD PATH [--body FILE]; the response body
+            goes to stdout and the status maps onto the exit codes below
 
 common options:
   --workload NAME   one of the ten benchmark analogues
@@ -322,6 +339,27 @@ flight recorder (analyze / run / sweep; see docs/telemetry.md):
                         compare bench-log rows (BENCH.*.json); exit 5 when
                         any row slows down more than PCT% (default 20)
 
+daemon (serve / client; see docs/serve.md):
+  --addr HOST:PORT      TCP bind address (default 127.0.0.1:7307)
+  --uds PATH            bind a unix-domain socket instead of TCP
+  --workers N           worker threads (default 4)
+  --queue N             admission queue capacity; beyond it, shed with
+                        429 + Retry-After (default 64)
+  --max-live-sessions N analyzers resident at once; beyond it, idle
+                        sessions are checkpointed to disk and resumed on
+                        touch (default 8)
+  --spool DIR           trace + session spool (default paragraph-serve)
+  --deadline-ms N       per-request analysis deadline (default none)
+  --max-body-mb N       largest accepted request body (default 256)
+  --ready-file FILE     write one line with the bound endpoint once
+                        listening, crash-consistently, for launchers
+  --body FILE           client: request body ('-' reads stdin)
+  uploads decode under Limits::strict(); PARAGRAPH_MAX_* overrides are
+  honored, but serve refuses to start on a malformed override (exit 2)
+  where the one-shot commands warn and fall back to defaults
+  PARAGRAPH_FAULT_REQUEST=<METHOD|*>@<path-prefix>[:fails[:kind]]
+  injects request faults (panic|reject|corrupt|deadline|disconnect|stall)
+
 untrusted input (see docs/ingest.md):
   resource governors cap what a trace, checkpoint, ingest, or asm file may
   declare or allocate (PARAGRAPH_MAX_* env overrides); a violation exits 7
@@ -330,7 +368,9 @@ untrusted input (see docs/ingest.md):
 
 exit codes: 0 ok, 2 usage, 3 I/O, 4 corrupt trace, 5 analysis failure,
             6 degraded sweep (cells quarantined; healthy cells intact),
-            7 input rejected by a resource governor"
+            7 input rejected by a resource governor,
+            8 daemon busy or draining (client; retry with backoff)
+            (HTTP mapping for the daemon: see the README table)"
     );
 }
 
@@ -409,7 +449,27 @@ struct Options {
     /// `--bench-threshold PCT`: allowed slowdown before the compare fails
     /// (default 20).
     bench_threshold: Option<f64>,
-    /// Non-flag arguments (only the `profile` command accepts them).
+    /// `serve --addr HOST:PORT`: TCP bind address.
+    addr: Option<String>,
+    /// `serve --uds PATH`: unix-domain socket path instead of TCP.
+    uds: Option<String>,
+    /// `serve --workers N`: worker threads.
+    workers: Option<usize>,
+    /// `serve --queue N`: admission queue capacity.
+    queue: Option<usize>,
+    /// `serve --max-live-sessions N`: resident analyzer budget.
+    max_live_sessions: Option<usize>,
+    /// `serve --spool DIR`: trace + session spool directory.
+    spool: Option<String>,
+    /// `serve --deadline-ms N`: per-request analysis deadline.
+    deadline_ms: Option<u64>,
+    /// `serve --max-body-mb N`: largest accepted request body.
+    max_body_mb: Option<u64>,
+    /// `serve --ready-file FILE`: readiness line for launchers.
+    ready_file: Option<String>,
+    /// `client --body FILE`: request body source (`-` reads stdin).
+    body: Option<String>,
+    /// Non-flag arguments (only `profile` and `client` accept them).
     positional: Vec<String>,
 }
 
@@ -523,6 +583,28 @@ impl Options {
                 "--diff" => opts.diff = Some(value()?),
                 "--top" => opts.top = Some(parse_num(&value()?)?),
                 "--bench-compare" => opts.bench_compare = Some(value()?),
+                "--addr" => opts.addr = Some(value()?),
+                "--uds" => opts.uds = Some(value()?),
+                "--workers" => {
+                    let n: usize = parse_num(&value()?)?;
+                    if n == 0 {
+                        return Err("--workers requires a positive count".into());
+                    }
+                    opts.workers = Some(n);
+                }
+                "--queue" => opts.queue = Some(parse_num(&value()?)?),
+                "--max-live-sessions" => {
+                    let n: usize = parse_num(&value()?)?;
+                    if n == 0 {
+                        return Err("--max-live-sessions requires a positive count".into());
+                    }
+                    opts.max_live_sessions = Some(n);
+                }
+                "--spool" => opts.spool = Some(value()?),
+                "--deadline-ms" => opts.deadline_ms = Some(parse_num(&value()?)?),
+                "--max-body-mb" => opts.max_body_mb = Some(parse_num(&value()?)?),
+                "--ready-file" => opts.ready_file = Some(value()?),
+                "--body" => opts.body = Some(value()?),
                 "--bench-threshold" => {
                     let pct: f64 = parse_num(&value()?)?;
                     if !pct.is_finite() || pct < 0.0 {
@@ -820,24 +902,10 @@ fn print_recovery_stats(stats: &RecoveryStats) {
 /// report still reaches stdout, the failure lands in `artifact_failures`,
 /// and the caller turns a non-empty ledger into exit code 3 at the end.
 fn print_report(report: &AnalysisReport, opts: &Options, artifact_failures: &mut Vec<String>) {
-    print!("{report}");
-    if let Some(lifetimes) = report.value_lifetimes() {
-        println!(
-            "  value lifetimes       : mean {:.2} levels, p50 {}, p99 {}, max {}",
-            lifetimes.mean(),
-            lifetimes.percentile(0.5).unwrap_or(0),
-            lifetimes.percentile(0.99).unwrap_or(0),
-            lifetimes.max().unwrap_or(0)
-        );
-    }
-    if let Some(sharing) = report.sharing_degrees() {
-        println!(
-            "  degree of sharing     : mean {:.2} consumers, p99 {}, max {}",
-            sharing.mean(),
-            sharing.percentile(0.99).unwrap_or(0),
-            sharing.max().unwrap_or(0)
-        );
-    }
+    // The text rendering is shared with the daemon (`format=text`
+    // responses call the same function), so serve/CLI byte-identity holds
+    // by construction rather than by keeping two format strings in sync.
+    print!("{}", paragraph_serve::render_report_text(report));
     if let Some(path) = &opts.profile {
         match paragraph_core::artifact::write_atomic(std::path::Path::new(path), |out| {
             report.profile().write_csv(out)
@@ -2238,6 +2306,164 @@ fn cmd_sweep_grid(opts: &Options) -> Result<(), CliError> {
         )));
     }
     Ok(())
+}
+
+/// `paragraph serve` — the multi-tenant analysis daemon. Binds, installs
+/// the signal handlers, runs the accept loop until SIGTERM/SIGINT or
+/// `POST /shutdown`, then drains: in-flight work finishes, live sessions
+/// are checkpointed crash-consistently, and the process exits 0.
+fn cmd_serve(opts: &Options) -> Result<(), CliError> {
+    // A daemon serving untrusted uploads must not silently weaken its
+    // admission policy: where the one-shot commands warn and fall back on
+    // a malformed PARAGRAPH_MAX_* / PARAGRAPH_DEADLINE_MS override, serve
+    // refuses to start.
+    let env_limits =
+        Limits::from_env_checked().map_err(|e| usage_err(format!("refusing to start: {e}")))?;
+    // Env overrides tighten/adjust the strict upload defaults only where
+    // the operator actually set a variable; unset variables keep strict.
+    let strict = Limits::strict();
+    let defaults = Limits::default();
+    let limits = Limits {
+        max_records: pick_override(
+            env_limits.max_records,
+            defaults.max_records,
+            strict.max_records,
+        ),
+        max_alloc_bytes: pick_override(
+            env_limits.max_alloc_bytes,
+            defaults.max_alloc_bytes,
+            strict.max_alloc_bytes,
+        ),
+        max_decode_bytes: pick_override(
+            env_limits.max_decode_bytes,
+            defaults.max_decode_bytes,
+            strict.max_decode_bytes,
+        ),
+        max_declared_len: pick_override(
+            env_limits.max_declared_len,
+            defaults.max_declared_len,
+            strict.max_declared_len,
+        ),
+        deadline: if env_limits.deadline == defaults.deadline {
+            strict.deadline
+        } else {
+            env_limits.deadline
+        },
+    };
+    let fault = paragraph_serve::RequestFault::from_env()
+        .map_err(|e| usage_err(format!("refusing to start: {e}")))?;
+    let mut serve_opts = paragraph_serve::ServeOptions {
+        limits,
+        fault,
+        external_shutdown: Some(Box::new(signal_lite::shutdown_requested)),
+        ..paragraph_serve::ServeOptions::default()
+    };
+    serve_opts.addr = opts.addr.clone().unwrap_or_else(|| "127.0.0.1:7307".into());
+    serve_opts.uds = opts.uds.clone().map(std::path::PathBuf::from);
+    if let Some(n) = opts.workers {
+        serve_opts.workers = n;
+    }
+    if let Some(n) = opts.queue {
+        serve_opts.queue_capacity = n;
+    }
+    if let Some(n) = opts.max_live_sessions {
+        serve_opts.max_live_sessions = n;
+    }
+    if let Some(dir) = &opts.spool {
+        serve_opts.spool = std::path::PathBuf::from(dir);
+    }
+    serve_opts.deadline = opts.deadline_ms.map(Duration::from_millis);
+    if let Some(mb) = opts.max_body_mb {
+        serve_opts.max_body_bytes = mb.saturating_mul(1024 * 1024);
+    }
+    serve_opts.ready_file = opts.ready_file.clone().map(std::path::PathBuf::from);
+    if !signal_lite::install_shutdown_handlers() {
+        eprintln!("warning: signal handlers unavailable; use POST /shutdown to drain");
+    }
+    let server = paragraph_serve::Server::bind(serve_opts)
+        .map_err(|e| CliError::Io(format!("serve: {e}")))?;
+    eprintln!("listening on {}", server.endpoint());
+    let summary = server
+        .run()
+        .map_err(|e| CliError::Io(format!("serve: {e}")))?;
+    if let Some(sig) = signal_lite::shutdown_signal() {
+        eprintln!("drained on signal {sig}");
+    }
+    eprintln!(
+        "served {} request(s), shed {}, recycled {} worker(s), checkpointed {} session(s)",
+        summary.requests, summary.shed, summary.workers_recycled, summary.sessions_checkpointed
+    );
+    if !summary.checkpoint_failures.is_empty() {
+        return Err(CliError::Io(format!(
+            "drain completed, but {} session checkpoint(s) failed: {}",
+            summary.checkpoint_failures.len(),
+            summary.checkpoint_failures.join("; ")
+        )));
+    }
+    Ok(())
+}
+
+/// An env override for one limit field: `strict` unless the operator set
+/// the variable (detected as: the checked env value differs from the
+/// plain default).
+fn pick_override(from_env: u64, default: u64, strict: u64) -> u64 {
+    if from_env == default {
+        strict
+    } else {
+        from_env
+    }
+}
+
+/// `paragraph client ENDPOINT METHOD PATH [--body FILE]` — one request
+/// against a running daemon. The response body goes to stdout; the HTTP
+/// status maps back onto the CLI exit codes (see the README table), so a
+/// script drives the daemon and the one-shot commands with one dispatch.
+fn cmd_client(opts: &Options) -> Result<(), CliError> {
+    let [endpoint, method, path] = opts.positional.as_slice() else {
+        return Err(usage_err(
+            "client needs ENDPOINT METHOD PATH (e.g. `client http://127.0.0.1:7307 GET /healthz`)",
+        ));
+    };
+    let endpoint = paragraph_serve::Endpoint::parse(endpoint).map_err(usage_err)?;
+    let body = match opts.body.as_deref() {
+        None => Vec::new(),
+        Some("-") => {
+            use std::io::Read;
+            let mut buf = Vec::new();
+            std::io::stdin()
+                .read_to_end(&mut buf)
+                .map_err(|e| io_err("stdin", e))?;
+            buf
+        }
+        Some(path) => std::fs::read(path).map_err(|e| io_err(path, e))?,
+    };
+    let resp = paragraph_serve::request(&endpoint, method, path, &body)
+        .map_err(|e| CliError::Io(format!("request failed: {e}")))?;
+    let text = resp.body_text();
+    if (200..300).contains(&resp.status) {
+        print!("{text}");
+        if !text.is_empty() && !text.ends_with('\n') {
+            println!();
+        }
+        return Ok(());
+    }
+    // Non-2xx: the body (a one-line JSON diagnostic) goes to stderr and
+    // the status picks the exit code from the same taxonomy the one-shot
+    // commands use.
+    let message = format!("daemon answered {}: {}", resp.status, text.trim_end());
+    Err(match resp.status {
+        404 | 405 => usage_err(message),
+        400 => CliError::CorruptTrace(message),
+        413 | 422 => CliError::InputRejected {
+            message,
+            report: text.trim_end().to_owned(),
+        },
+        429 | 503 => {
+            let retry = resp.retry_after.unwrap_or(1);
+            CliError::ServerBusy(format!("{message} (retry after {retry}s)"))
+        }
+        _ => CliError::Analysis(message),
+    })
 }
 
 #[cfg(test)]

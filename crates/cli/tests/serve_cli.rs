@@ -1,0 +1,453 @@
+//! End-to-end daemon checks against the built `paragraph` binary.
+//!
+//! The ISSUE tentpole's acceptance criteria, exercised for real: a spawned
+//! `paragraph serve` process stays up and byte-identical through a fault
+//! soak (injected panic, oversized declared input, deadline overrun,
+//! mid-upload disconnect, memory-pressure eviction + resume), N parallel
+//! clients read the same bytes the one-shot CLI prints, a malformed
+//! governor override refuses to start (exit 2) where one-shot commands
+//! merely warn, and SIGTERM drains to exit 0 with checkpointed sessions
+//! and no orphaned temp files.
+
+use paragraph_serve::{request, Endpoint};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn paragraph(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_paragraph"))
+        .args(args)
+        .output()
+        .expect("failed to spawn the paragraph binary")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("paragraph-serve-cli-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// A daemon child process; killed on drop so a failing test never leaks
+/// a listener.
+struct Daemon {
+    child: Child,
+    endpoint: Endpoint,
+    spool: PathBuf,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns `paragraph serve` on an ephemeral port with `extra` flags and
+/// `envs`, and waits for the ready file to learn the endpoint.
+fn spawn_daemon(dir: &PathBuf, extra: &[&str], envs: &[(&str, &str)]) -> Daemon {
+    let spool = dir.join("spool");
+    let ready = dir.join("ready.txt");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_paragraph"));
+    cmd.args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .arg("--spool")
+        .arg(&spool)
+        .arg("--ready-file")
+        .arg(&ready)
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped());
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let child = cmd.spawn().expect("failed to spawn the daemon");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let addr = loop {
+        if let Ok(line) = std::fs::read_to_string(&ready) {
+            let line = line.trim();
+            if let Some(addr) = line.strip_prefix("http://") {
+                break addr.to_owned();
+            }
+        }
+        assert!(Instant::now() < deadline, "daemon never became ready");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    Daemon {
+        child,
+        endpoint: Endpoint::Tcp(addr),
+        spool,
+    }
+}
+
+/// Captures a small workload trace with the real `trace` command.
+fn capture_trace(dir: &PathBuf) -> PathBuf {
+    let path = dir.join("t.pgtr");
+    let out = paragraph(&[
+        "trace",
+        "--workload",
+        "eqntott",
+        "--size",
+        "8",
+        "--out",
+        path.to_str().expect("utf8 path"),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    path
+}
+
+fn upload(daemon: &Daemon, trace: &PathBuf) -> String {
+    let bytes = std::fs::read(trace).expect("trace bytes");
+    let resp = request(&daemon.endpoint, "POST", "/traces", &bytes).expect("upload");
+    assert_eq!(resp.status, 200, "{}", resp.body_text());
+    field_str(&resp.body_text(), "id")
+}
+
+fn field_str(json: &str, key: &str) -> String {
+    let pat = format!("\"{key}\":\"");
+    let start = json
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no `{key}` in {json}"))
+        + pat.len();
+    json[start..].chars().take_while(|c| *c != '"').collect()
+}
+
+fn field_u64(json: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let start = json
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no `{key}` in {json}"))
+        + pat.len();
+    json[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("`{key}` not numeric in {json}"))
+}
+
+fn assert_no_tmp_files(spool: &PathBuf) {
+    for sub in ["traces", "sessions"] {
+        let dir = spool.join(sub);
+        if !dir.exists() {
+            continue;
+        }
+        for entry in std::fs::read_dir(&dir).expect("spool dir") {
+            let name = entry
+                .expect("entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned();
+            assert!(!name.ends_with(".tmp"), "orphaned temp file {sub}/{name}");
+        }
+    }
+}
+
+#[test]
+fn parallel_clients_read_the_bytes_the_cli_prints() {
+    let dir = scratch("determinism");
+    let trace = capture_trace(&dir);
+    let trace_str = trace.to_str().expect("utf8 path").to_owned();
+
+    // Reference bytes from the one-shot CLI: stdout text and --json.
+    let text_out = paragraph(&["analyze", "--trace", &trace_str]);
+    assert!(text_out.status.success());
+    let expected_text = String::from_utf8(text_out.stdout).expect("utf8 report");
+    let json_path = dir.join("cli.json");
+    let json_out = paragraph(&[
+        "analyze",
+        "--trace",
+        &trace_str,
+        "--json",
+        json_path.to_str().expect("utf8 path"),
+    ]);
+    assert!(json_out.status.success());
+    let expected_json = std::fs::read_to_string(&json_path).expect("cli json artifact");
+
+    let daemon = spawn_daemon(&dir, &[], &[]);
+    let trace_id = upload(&daemon, &trace);
+
+    // N concurrent clients, varying --jobs: every response is
+    // byte-identical to the CLI's artifacts.
+    let answers: Vec<_> = (0..6)
+        .map(|i| {
+            let endpoint = daemon.endpoint.clone();
+            let id = trace_id.clone();
+            std::thread::spawn(move || {
+                let jobs = 1 + (i % 3);
+                let fmt = if i % 2 == 0 { "json" } else { "text" };
+                let resp = request(
+                    &endpoint,
+                    "POST",
+                    &format!("/analyze?trace={id}&jobs={jobs}&format={fmt}"),
+                    &[],
+                )
+                .expect("analyze");
+                (fmt, resp.status, resp.body_text())
+            })
+        })
+        .collect();
+    for t in answers {
+        let (fmt, status, body) = t.join().expect("client thread");
+        assert_eq!(status, 200, "{body}");
+        let expected = if fmt == "json" {
+            &expected_json
+        } else {
+            &expected_text
+        };
+        assert_eq!(&body, expected, "served {fmt} must match the CLI bytes");
+    }
+}
+
+#[test]
+fn fault_soak_leaves_the_daemon_serving_identical_bytes() {
+    let dir = scratch("soak");
+    let trace = capture_trace(&dir);
+    // One injected panic on the first /analyze; uploads capped at 1000
+    // records so the big trace below is an oversized declaration.
+    let daemon = spawn_daemon(
+        &dir,
+        &["--max-live-sessions", "1"],
+        &[
+            ("PARAGRAPH_FAULT_REQUEST", "POST@/analyze:1:panic"),
+            ("PARAGRAPH_MAX_RECORDS", "1000"),
+        ],
+    );
+
+    // Fault 1 — oversized declared input: a well-formed trace with more
+    // records than admission policy allows is a 422 with the CLI-shaped
+    // report, and nothing is spooled for it.
+    let big = std::fs::read(&trace).expect("trace bytes");
+    let resp = request(&daemon.endpoint, "POST", "/traces", &big).expect("upload");
+    assert_eq!(resp.status, 422, "{}", resp.body_text());
+    assert!(resp
+        .body_text()
+        .starts_with("{\"error\":\"input-rejected\""));
+    assert!(resp.body_text().contains("\"limit\":\"max-records\""));
+
+    // A trace under the cap is accepted.
+    let small = dir.join("small.pgtr");
+    let out = paragraph(&[
+        "trace",
+        "--workload",
+        "eqntott",
+        "--size",
+        "2",
+        "--out",
+        small.to_str().expect("utf8 path"),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let trace_id = upload(&daemon, &small);
+    let small_str = small.to_str().expect("utf8 path");
+    let cli = paragraph(&["analyze", "--trace", small_str]);
+    let expected_text = String::from_utf8(cli.stdout).expect("utf8 report");
+
+    // Fault 2 — injected panic: a 500 reaches the client, the worker is
+    // recycled, and the daemon answers the retry with the canonical bytes.
+    let resp = request(
+        &daemon.endpoint,
+        "POST",
+        &format!("/analyze?trace={trace_id}&format=text"),
+        &[],
+    )
+    .expect("the 500 must be written before the worker dies");
+    assert_eq!(resp.status, 500, "{}", resp.body_text());
+    let resp = request(
+        &daemon.endpoint,
+        "POST",
+        &format!("/analyze?trace={trace_id}&format=text"),
+        &[],
+    )
+    .expect("analyze after panic");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body_text(), expected_text);
+
+    // Fault 3 — mid-upload disconnect: declare a body, send half, hang up.
+    {
+        let Endpoint::Tcp(addr) = &daemon.endpoint else {
+            unreachable!("tcp daemon")
+        };
+        let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+        conn.write_all(b"POST /traces HTTP/1.1\r\nContent-Length: 100000\r\n\r\n")
+            .expect("head");
+        conn.write_all(&vec![0u8; 1000]).expect("partial body");
+        drop(conn);
+    }
+
+    // Fault 4 — deadline overrun: a 1 ms per-request deadline on a
+    // session advance preserves progress and answers 422.
+    let resp = request(
+        &daemon.endpoint,
+        "POST",
+        &format!("/sessions?trace={trace_id}"),
+        &[],
+    )
+    .expect("session opens");
+    assert_eq!(resp.status, 200, "{}", resp.body_text());
+    let s1 = field_str(&resp.body_text(), "id");
+    let resp = request(
+        &daemon.endpoint,
+        "POST",
+        &format!("/sessions/{s1}/advance?records=50&deadline-ms=0"),
+        &[],
+    )
+    .expect("advance under an exhausted deadline");
+    assert_eq!(resp.status, 422, "{}", resp.body_text());
+    assert!(
+        resp.body_text().contains("\"limit\":\"deadline\""),
+        "{}",
+        resp.body_text()
+    );
+
+    // Fault 5 — memory-pressure eviction + resume: a second session over
+    // the 1-live budget forces checkpoint eviction; both still finish
+    // with the canonical report.
+    let resp = request(
+        &daemon.endpoint,
+        "POST",
+        &format!("/sessions?trace={trace_id}"),
+        &[],
+    )
+    .expect("second session opens");
+    let s2 = field_str(&resp.body_text(), "id");
+    for _ in 0..3 {
+        for id in [&s1, &s2] {
+            let resp = request(
+                &daemon.endpoint,
+                "POST",
+                &format!("/sessions/{id}/advance?records=40"),
+                &[],
+            )
+            .expect("advance");
+            assert_eq!(resp.status, 200, "{}", resp.body_text());
+        }
+    }
+    let health = request(&daemon.endpoint, "GET", "/healthz", &[]).expect("healthz");
+    assert_eq!(health.status, 200);
+    let health_body = health.body_text();
+    assert!(health_body.contains("\"status\":\"ok\""), "{health_body}");
+    assert!(
+        field_u64(&health_body, "sessions_evicted") >= 1,
+        "{health_body}"
+    );
+    assert_eq!(
+        field_u64(&health_body, "workers_recycled"),
+        1,
+        "{health_body}"
+    );
+    let expected_json = {
+        let json_path = dir.join("cli.json");
+        let out = paragraph(&[
+            "analyze",
+            "--trace",
+            small_str,
+            "--json",
+            json_path.to_str().expect("utf8 path"),
+        ]);
+        assert!(out.status.success());
+        std::fs::read_to_string(&json_path).expect("cli json artifact")
+    };
+    for id in [&s1, &s2] {
+        let resp = request(
+            &daemon.endpoint,
+            "POST",
+            &format!("/sessions/{id}/finish"),
+            &[],
+        )
+        .expect("finish");
+        assert_eq!(resp.status, 200, "{}", resp.body_text());
+        assert_eq!(
+            resp.body_text(),
+            expected_json,
+            "session bytes must survive the soak"
+        );
+    }
+    assert_no_tmp_files(&daemon.spool);
+}
+
+#[test]
+fn malformed_governor_override_refuses_to_start() {
+    let dir = scratch("badenv");
+    let out = Command::new(env!("CARGO_BIN_EXE_paragraph"))
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .arg("--spool")
+        .arg(dir.join("spool"))
+        .env("PARAGRAPH_DEADLINE_MS", "soon")
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "malformed override must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("refusing to start"), "{stderr}");
+    assert!(stderr.contains("PARAGRAPH_DEADLINE_MS"), "{stderr}");
+
+    // A malformed fault spec is the same refusal, not a silent default.
+    let out = Command::new(env!("CARGO_BIN_EXE_paragraph"))
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .arg("--spool")
+        .arg(dir.join("spool"))
+        .env("PARAGRAPH_FAULT_REQUEST", "not@a@valid@spec:::")
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+
+    // The one-shot commands keep their warn-and-degrade contract.
+    let trace = capture_trace(&dir);
+    let out = Command::new(env!("CARGO_BIN_EXE_paragraph"))
+        .args(["analyze", "--trace", trace.to_str().expect("utf8 path")])
+        .env("PARAGRAPH_DEADLINE_MS", "soon")
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "analyze must warn and proceed");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("warning"));
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_checkpoints_sessions_and_exits_zero() {
+    let dir = scratch("sigterm");
+    let trace = capture_trace(&dir);
+    let mut daemon = spawn_daemon(&dir, &[], &[]);
+    let trace_id = upload(&daemon, &trace);
+    let resp = request(
+        &daemon.endpoint,
+        "POST",
+        &format!("/sessions?trace={trace_id}"),
+        &[],
+    )
+    .expect("session opens");
+    let session_id = field_str(&resp.body_text(), "id");
+    let resp = request(
+        &daemon.endpoint,
+        "POST",
+        &format!("/sessions/{session_id}/advance?records=100"),
+        &[],
+    )
+    .expect("advance");
+    assert_eq!(resp.status, 200, "{}", resp.body_text());
+
+    let kill = Command::new("kill")
+        .args(["-TERM", &daemon.child.id().to_string()])
+        .status()
+        .expect("kill spawns");
+    assert!(kill.success());
+    let status = daemon.child.wait().expect("daemon exits");
+    assert_eq!(status.code(), Some(0), "a drained daemon exits 0");
+    assert!(
+        daemon
+            .spool
+            .join("sessions")
+            .join(format!("{session_id}.pgcp"))
+            .exists(),
+        "the in-flight session must be checkpointed by the drain"
+    );
+    assert_no_tmp_files(&daemon.spool);
+}

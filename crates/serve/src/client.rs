@@ -1,0 +1,215 @@
+//! A minimal HTTP/1.1 client for the daemon's API.
+//!
+//! Shared by `paragraph client` and the test suites. Speaks exactly the
+//! dialect the server emits: one request per connection, `Connection:
+//! close`, body delimited by `Content-Length` (falling back to
+//! read-to-EOF). No redirects, no TLS, no keep-alive.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where the daemon listens.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// `host:port`.
+    Tcp(String),
+    /// Unix-domain socket path.
+    Uds(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses an endpoint string: `unix:PATH`, `http://HOST:PORT`, or a
+    /// bare `HOST:PORT`.
+    pub fn parse(s: &str) -> Result<Endpoint, String> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("unix endpoint needs a socket path".into());
+            }
+            return Ok(Endpoint::Uds(PathBuf::from(path)));
+        }
+        let hostport = s.strip_prefix("http://").unwrap_or(s);
+        let hostport = hostport.trim_end_matches('/');
+        if hostport.is_empty() || !hostport.contains(':') {
+            return Err(format!("endpoint `{s}` is not unix:PATH or HOST:PORT"));
+        }
+        Ok(Endpoint::Tcp(hostport.to_owned()))
+    }
+}
+
+/// A decoded response: status code and body bytes.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Retry-After` seconds, when the server sent one.
+    pub retry_after: Option<u64>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The body as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+fn connect(endpoint: &Endpoint, timeout: Duration) -> std::io::Result<Stream> {
+    match endpoint {
+        Endpoint::Tcp(addr) => {
+            let stream = TcpStream::connect(addr.as_str())?;
+            stream.set_read_timeout(Some(timeout))?;
+            stream.set_write_timeout(Some(timeout))?;
+            Ok(Stream::Tcp(stream))
+        }
+        #[cfg(unix)]
+        Endpoint::Uds(path) => {
+            let stream = UnixStream::connect(path)?;
+            stream.set_read_timeout(Some(timeout))?;
+            stream.set_write_timeout(Some(timeout))?;
+            Ok(Stream::Unix(stream))
+        }
+        #[cfg(not(unix))]
+        Endpoint::Uds(path) => Err(std::io::Error::other(format!(
+            "unix sockets are not supported on this platform ({})",
+            path.display()
+        ))),
+    }
+}
+
+/// Issues one request. `body` is sent with `Content-Length`; the default
+/// timeout bounds both connect I/O directions.
+pub fn request(
+    endpoint: &Endpoint,
+    method: &str,
+    path_and_query: &str,
+    body: &[u8],
+) -> std::io::Result<ClientResponse> {
+    let mut stream = connect(endpoint, Duration::from_secs(120))?;
+    let head = format!(
+        "{method} {path_and_query} HTTP/1.1\r\nHost: paragraph\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    // Skip an interim 100 Continue if the server sent one.
+    if status_line.starts_with("HTTP/1.1 100") {
+        let mut blank = String::new();
+        reader.read_line(&mut blank)?; // the interim response's blank line
+        status_line.clear();
+        reader.read_line(&mut status_line)?;
+    }
+    let status: u16 = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed status line `{}`", status_line.trim_end()),
+            )
+        })?;
+    let mut content_length: Option<usize> = None;
+    let mut retry_after: Option<u64> = None;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().ok();
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                retry_after = value.parse().ok();
+            }
+        }
+    }
+    let body = match content_length {
+        Some(len) => {
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body)?;
+            body
+        }
+        None => {
+            let mut body = Vec::new();
+            reader.read_to_end(&mut body)?;
+            body
+        }
+    };
+    Ok(ClientResponse {
+        status,
+        retry_after,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_grammar_covers_all_three_forms() {
+        assert!(matches!(
+            Endpoint::parse("unix:/tmp/p.sock"),
+            Ok(Endpoint::Uds(_))
+        ));
+        assert!(matches!(
+            Endpoint::parse("http://127.0.0.1:8080"),
+            Ok(Endpoint::Tcp(hp)) if hp == "127.0.0.1:8080"
+        ));
+        assert!(matches!(
+            Endpoint::parse("127.0.0.1:8080"),
+            Ok(Endpoint::Tcp(_))
+        ));
+        assert!(Endpoint::parse("unix:").is_err());
+        assert!(Endpoint::parse("no-port").is_err());
+    }
+}

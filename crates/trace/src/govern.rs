@@ -82,13 +82,48 @@ impl Limits {
     /// * `PARAGRAPH_MAX_DECODE_BYTES`
     /// * `PARAGRAPH_DEADLINE_MS` (0 disables the deadline)
     ///
-    /// Unparseable values are ignored in favor of the default — a typo in
-    /// an env var must not silently disable analysis.
+    /// A malformed value (say `PARAGRAPH_MAX_RECORDS=1e6` — the variables
+    /// take plain decimal, not scientific notation) falls back to the
+    /// default for that limit **with a warning on stderr** — a typo must
+    /// neither silently disable analysis nor silently run with a far more
+    /// generous cap than the operator asked for. Long-running services
+    /// should use [`Limits::from_env_checked`] instead and refuse to start
+    /// on a malformed override.
     pub fn from_env() -> Limits {
-        fn var(name: &str) -> Option<u64> {
-            std::env::var(name).ok()?.trim().parse().ok()
+        match Limits::from_env_checked() {
+            Ok(limits) => limits,
+            Err(errors) => {
+                for e in &errors.errors {
+                    eprintln!("warning: {e}; using the default for that limit");
+                }
+                errors.fallback
+            }
         }
+    }
+
+    /// [`Limits::from_env`] that reports malformed overrides instead of
+    /// falling back: `Err` carries one message per bad variable plus the
+    /// limits that *would* apply if the bad values were ignored. One-shot
+    /// commands warn and continue with the fallback; `paragraph serve`
+    /// refuses to start, because a daemon that silently runs with generous
+    /// defaults after an operator typo is a fail-open policy hole.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvLimitErrors`] naming every unparsable variable and its value.
+    pub fn from_env_checked() -> Result<Limits, EnvLimitErrors> {
         let mut limits = Limits::default();
+        let mut errors = Vec::new();
+        let mut var = |name: &'static str| -> Option<u64> {
+            let raw = std::env::var(name).ok()?;
+            match raw.trim().parse() {
+                Ok(v) => Some(v),
+                Err(_) => {
+                    errors.push(format!("{name}={raw:?} is not a plain decimal integer"));
+                    None
+                }
+            }
+        };
         if let Some(v) = var("PARAGRAPH_MAX_RECORDS") {
             limits.max_records = v;
         }
@@ -104,9 +139,37 @@ impl Limits {
         if let Some(v) = var("PARAGRAPH_DEADLINE_MS") {
             limits.deadline = (v > 0).then(|| Duration::from_millis(v));
         }
-        limits
+        if errors.is_empty() {
+            Ok(limits)
+        } else {
+            Err(EnvLimitErrors {
+                errors,
+                fallback: limits,
+            })
+        }
     }
 }
+
+/// Malformed `PARAGRAPH_MAX_*` / `PARAGRAPH_DEADLINE_MS` overrides found
+/// by [`Limits::from_env_checked`]: every bad variable, plus the limits
+/// that apply when the bad values are ignored (for callers that choose to
+/// warn and degrade rather than refuse).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvLimitErrors {
+    /// One human-readable message per unparsable variable.
+    pub errors: Vec<String>,
+    /// The limits with every *valid* override applied and every malformed
+    /// one left at its default.
+    pub fallback: Limits,
+}
+
+impl fmt::Display for EnvLimitErrors {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed limit override(s): {}", self.errors.join("; "))
+    }
+}
+
+impl std::error::Error for EnvLimitErrors {}
 
 /// A resource limit was exceeded while decoding untrusted input.
 ///
@@ -359,8 +422,27 @@ mod tests {
     fn env_overrides_parse_and_ignore_garbage() {
         // Not testing actual env mutation (process-global, racy across the
         // parallel test harness); exercise the parser shape via from_env on
-        // the unset path instead.
+        // the unset path instead. The malformed-override paths (warning,
+        // fallback, serve's refusal to start) are covered end to end by
+        // crates/cli/tests/serve_cli.rs, which owns its child's environment.
         let limits = Limits::from_env();
         assert_eq!(limits.max_declared_len, Limits::default().max_declared_len);
+        let checked = Limits::from_env_checked();
+        assert_eq!(checked, Ok(limits), "unset env must be clean");
+    }
+
+    #[test]
+    fn env_limit_errors_display_names_every_variable() {
+        let errs = EnvLimitErrors {
+            errors: vec![
+                "PARAGRAPH_MAX_RECORDS=\"1e6\" is not a plain decimal integer".to_owned(),
+                "PARAGRAPH_DEADLINE_MS=\"fast\" is not a plain decimal integer".to_owned(),
+            ],
+            fallback: Limits::default(),
+        };
+        let text = errs.to_string();
+        assert!(text.contains("PARAGRAPH_MAX_RECORDS"), "{text}");
+        assert!(text.contains("PARAGRAPH_DEADLINE_MS"), "{text}");
+        assert!(text.contains("malformed"), "{text}");
     }
 }

@@ -51,7 +51,7 @@ pub mod synthetic;
 pub mod wire;
 
 pub use error::{TraceError, TraceErrorKind};
-pub use govern::{LimitViolation, Limits, ResourceGovernor};
+pub use govern::{EnvLimitErrors, LimitViolation, Limits, ResourceGovernor};
 pub use loc::Loc;
 pub use record::{BranchInfo, TraceRecord};
 pub use segment::{Segment, SegmentMap};

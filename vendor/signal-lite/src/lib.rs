@@ -1,0 +1,116 @@
+//! Minimal shutdown-signal notification.
+//!
+//! A deliberately tiny stand-in for `signal-hook`, following the vendored
+//! `mmap-lite` precedent: on unix the implementation calls `signal(2)`
+//! directly through an `extern "C"` declaration (std already links libc,
+//! so no crate dependency is needed) to route `SIGTERM` and `SIGINT` into
+//! a process-global atomic flag. Elsewhere installation reports `false`
+//! and the flag can only be raised programmatically.
+//!
+//! The handler body is strictly async-signal-safe: two relaxed atomic
+//! stores, nothing else — no allocation, no locks, no I/O. Consumers poll
+//! [`shutdown_requested`] from an ordinary loop (the serve accept loop
+//! polls between non-blocking accepts) rather than being interrupted.
+//!
+//! [`request_shutdown`] raises the same flag from regular code, so a
+//! graceful-drain endpoint, a test, or a non-unix build can trigger the
+//! exact drain path an operator signal would.
+
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
+
+/// `SIGINT`'s number on every platform this crate supports.
+pub const SIGINT: i32 = 2;
+/// `SIGTERM`'s number on every platform this crate supports.
+pub const SIGTERM: i32 = 15;
+
+/// Raised by the signal handler (or [`request_shutdown`]); never lowered.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+/// The signal number that raised the flag, 0 when raised programmatically.
+static SIGNAL: AtomicI32 = AtomicI32::new(0);
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_int;
+
+    extern "C" {
+        /// `sighandler_t signal(int signum, sighandler_t handler)`. The
+        /// handler is passed and returned as a plain address; `SIG_ERR`
+        /// is `(sighandler_t)-1`, i.e. `usize::MAX`.
+        fn signal(signum: c_int, handler: usize) -> usize;
+    }
+
+    /// The actual handler: record which signal fired, raise the flag.
+    /// Both stores are async-signal-safe.
+    extern "C" fn on_signal(signum: c_int) {
+        super::SIGNAL.store(signum, std::sync::atomic::Ordering::Relaxed);
+        super::SHUTDOWN.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Installs [`on_signal`] for `signum`; `false` if the kernel refused.
+    pub fn install(signum: c_int) -> bool {
+        // SAFETY: `on_signal` is an `extern "C" fn(c_int)` — exactly the
+        // shape `signal(2)` expects — and its body is async-signal-safe.
+        let previous = unsafe { signal(signum, on_signal as *const () as usize) };
+        previous != usize::MAX
+    }
+}
+
+/// Routes `SIGTERM` and `SIGINT` into the shutdown flag. Returns whether
+/// both handlers were installed; on non-unix targets this is `false` and
+/// only [`request_shutdown`] can raise the flag. Installing twice is
+/// harmless (the second install replaces the handler with itself).
+pub fn install_shutdown_handlers() -> bool {
+    #[cfg(unix)]
+    {
+        let term = sys::install(SIGTERM);
+        let int = sys::install(SIGINT);
+        term && int
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}
+
+/// Whether a shutdown has been requested — by a delivered `SIGTERM`/
+/// `SIGINT` or by [`request_shutdown`]. Once `true`, stays `true` for the
+/// life of the process.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Acquire)
+}
+
+/// Raises the shutdown flag from ordinary code: the graceful-drain
+/// endpoint and tests use this to trigger the exact path a signal would.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::Release);
+}
+
+/// The signal number that raised the flag, or `None` before any shutdown
+/// request (and `Some(0)` is never returned: a programmatic request
+/// reports `None` for the signal while [`shutdown_requested`] is `true`).
+pub fn shutdown_signal() -> Option<i32> {
+    match SIGNAL.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The flag is process-global and latches, so everything observable is
+    // exercised in one test to stay order-independent under the parallel
+    // test harness.
+    #[test]
+    fn programmatic_request_latches_the_flag() {
+        #[cfg(unix)]
+        assert!(install_shutdown_handlers(), "signal(2) refused a handler");
+        request_shutdown();
+        assert!(shutdown_requested());
+        // A programmatic request records no signal number.
+        assert!(shutdown_signal().is_none() || shutdown_signal() == Some(SIGTERM));
+        // Latched: still requested on a second look.
+        assert!(shutdown_requested());
+    }
+}
